@@ -1,0 +1,105 @@
+package athena
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// Public-API smoke tests: everything a downstream user touches through
+// the facade must work without reaching into internal packages.
+
+func TestFacadeParamsPresets(t *testing.T) {
+	for _, p := range []Params{TestParams(), MediumParams(), FullParams()} {
+		if p.LogN < 7 || p.T < 257 || p.LWEDim < 32 {
+			t.Fatalf("preset looks wrong: %+v", p)
+		}
+		if _, err := p.BFVParameters(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if FullParams().LogN != 15 || FullParams().T != 65537 {
+		t.Fatal("full params are not the paper's setting")
+	}
+}
+
+func TestFacadeModelZoo(t *testing.T) {
+	for _, name := range BenchmarkModels {
+		net, err := ModelByName(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.Name == "" {
+			t.Fatal("unnamed model")
+		}
+	}
+	if len(SynthDigits(10, 1).Samples) != 10 {
+		t.Fatal("digits dataset wrong size")
+	}
+	if len(SynthCIFAR(10, 1).Samples) != 10 {
+		t.Fatal("cifar dataset wrong size")
+	}
+}
+
+func TestFacadeTrainQuantizeSimulate(t *testing.T) {
+	net := NewDigitNet14(1)
+	_ = net
+	qn, err := SpecModel("MNIST", 7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := CompileTrace(qn, FullParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Simulate(tr, AthenaHW())
+	if r.TimeMS <= 0 || r.EnergyJ <= 0 {
+		t.Fatalf("degenerate simulation: %+v", r)
+	}
+}
+
+func TestFacadeEncryptedRoundTrip(t *testing.T) {
+	eng, err := NewEngine(TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := benchTinyNet()
+	rng := rand.New(rand.NewPCG(5, 5))
+	x := NewIntTensor(1, 6, 6)
+	for i := range x.Data {
+		x.Data[i] = int64(rng.IntN(8))
+	}
+	got, err := eng.Infer(net, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := net.ForwardInt(x).Data
+	if len(got) != len(want) {
+		t.Fatal("logit count mismatch")
+	}
+	for i := range got {
+		d := got[i] - want[i]
+		if d < -2 || d > 2 {
+			t.Fatalf("logit %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFacadeQuantizeFlow(t *testing.T) {
+	train := SynthDigits(300, 9)
+	net, err := ModelByName("MNIST", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	Train(net, train, cfg)
+	qc := DefaultQuantConfig()
+	qc.AccCap = 29000
+	qn, err := Quantize(net, train, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := qn.AccuracyInt(train); acc < 0.5 {
+		t.Fatalf("quantized train accuracy %.2f too low", acc)
+	}
+}

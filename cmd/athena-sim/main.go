@@ -1,0 +1,84 @@
+// Command athena-sim compiles one benchmark model onto the Athena
+// framework at the paper's full-scale parameters and prices it on a
+// chosen accelerator model.
+//
+//	athena-sim -model ResNet-20 -w 7 -a 7 -hw athena
+//	athena-sim -model ResNet-56 -hw sharp     # Athena framework on SHARP
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"athena"
+	"athena/internal/arch"
+	"athena/internal/compiler"
+)
+
+func main() {
+	model := flag.String("model", "ResNet-20", "benchmark model (MNIST, LeNet, ResNet-20, ResNet-56)")
+	w := flag.Int("w", 7, "weight bits")
+	a := flag.Int("a", 7, "activation bits")
+	hw := flag.String("hw", "athena", "hardware model: athena, craterlake, sharp")
+	dumpTrace := flag.Bool("trace", false, "dump the per-step operation trace")
+	flag.Parse()
+
+	qn, err := athena.SpecModel(*model, *w, *a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := athena.CompileTrace(qn, athena.FullParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var cfg athena.HWConfig
+	switch strings.ToLower(*hw) {
+	case "athena":
+		cfg = athena.AthenaHW()
+	case "craterlake":
+		cfg, err = arch.ForeignAthenaConfig("CraterLake")
+	case "sharp":
+		cfg, err = arch.ForeignAthenaConfig("SHARP")
+	default:
+		log.Fatalf("unknown hardware %q", *hw)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := athena.Simulate(tr, cfg)
+	tot := tr.Totals()
+	fmt.Printf("%s w%da%d on %s\n", *model, *w, *a, cfg.Name)
+	fmt.Printf("  trace: %d steps, PMult=%d CMult=%d SMult=%d HRot=%d SE=%d\n",
+		len(tr.Steps), tot.PMult, tot.CMult, tot.SMult, tot.HRot, tot.SE)
+	fmt.Printf("  latency : %.2f ms (%.0f Mcycles)\n", r.TimeMS, r.Cycles/1e6)
+	fmt.Printf("  energy  : %.3f J (avg power %.1f W)\n", r.EnergyJ, r.EnergyJ/(r.TimeMS/1e3))
+	fmt.Printf("  EDP     : %.4f J*s    EDAP: %.2f J*s*mm2\n", r.EDP, r.EDAPmm2)
+	fmt.Printf("  MM/MA cycle share: %.0f%%\n", r.MACCycleShare*100)
+
+	if *dumpTrace {
+		fmt.Println("  trace steps:")
+		fmt.Printf("    %-22s %-8s %-10s %8s %8s %8s %8s %8s %8s\n",
+			"layer", "kind", "category", "PMult", "CMult", "SMult", "HRot", "SE", "LUT")
+		for _, st := range tr.Steps {
+			fmt.Printf("    %-22s %-8s %-10s %8d %8d %8d %8d %8d %8d\n",
+				st.Layer, st.Kind, st.Cat, st.Counts.PMult, st.Counts.CMult,
+				st.Counts.SMult, st.Counts.HRot, st.Counts.SE, st.LUTSize)
+		}
+	}
+
+	fmt.Println("  time by category:")
+	cats := make([]compiler.Category, 0, len(r.TimeByCat))
+	for c := range r.TimeByCat {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for _, c := range cats {
+		ms := r.TimeByCat[c]
+		fmt.Printf("    %-12s %8.2f ms (%4.1f%%)\n", c, ms, ms/r.TimeMS*100)
+	}
+}

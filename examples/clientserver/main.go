@@ -1,0 +1,127 @@
+// clientserver: the Athena inference protocol over a real TCP socket.
+//
+// A server goroutine holds the evaluation side; the client encrypts its
+// input, ships it over the wire, and decrypts the returned encrypted
+// logits. The exchange uses the repository's binary wire formats — the
+// same bytes a cross-machine deployment would move. (Both sides derive
+// their key material from a shared seed here; in a real deployment the
+// client generates keys and ships only the public/evaluation material,
+// which has its own serialization — see cmd/athena-keygen.)
+//
+//	go run ./examples/clientserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net"
+
+	"athena"
+)
+
+func buildNet() *athena.QNetwork {
+	rng := rand.New(rand.NewPCG(7, 8))
+	mk := func(shape athena.ConvShape, act athena.Activation, mult float64) *athena.QConv {
+		w := make([][][][]int64, shape.Cout)
+		for co := range w {
+			w[co] = make([][][]int64, shape.Cin)
+			for ci := range w[co] {
+				w[co][ci] = make([][]int64, shape.K)
+				for i := range w[co][ci] {
+					w[co][ci][i] = make([]int64, shape.K)
+					for j := range w[co][ci][i] {
+						w[co][ci][i][j] = int64(rng.IntN(3)) - 1
+					}
+				}
+			}
+		}
+		return &athena.QConv{Shape: shape, Weights: w, Bias: make([]int64, shape.Cout),
+			Act: act, Multiplier: mult, ActBits: 4, MaxAcc: 120, IsDense: shape.H == 1}
+	}
+	return &athena.QNetwork{
+		Name: "wire-demo", InC: 1, InH: 6, InW: 6, WBits: 2, ABits: 4, InScale: 1,
+		Blocks: []athena.QBlock{athena.QSeq{
+			mk(athena.ConvShape{H: 6, W: 6, Cin: 1, Cout: 2, K: 3, Stride: 1, Pad: 1}, athena.ActReLU, 1.0/8),
+			mk(athena.FCShape(2*6*6, 4), athena.ActNone, 1.0/4),
+		}},
+	}
+}
+
+func main() {
+	params := athena.TestParams()
+	net1 := buildNet()
+
+	fmt.Println("== Athena inference over TCP ==")
+	fmt.Println("deriving key material (shared seed)...")
+	serverEng, err := athena.NewEngine(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clientEng, err := athena.NewEngine(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	fmt.Println("server listening on", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { // the server: sees only ciphertexts
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		in, err := serverEng.ReadEncryptedInput(net1, conn)
+		if err != nil {
+			done <- err
+			return
+		}
+		fmt.Printf("server: received %d input ciphertext(s), evaluating...\n", in.Size())
+		out, err := serverEng.EvaluateEncrypted(net1, in)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- serverEng.WriteEncryptedLogits(out, conn)
+	}()
+
+	// The client: encrypts, sends, receives, decrypts.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	rng := rand.New(rand.NewPCG(9, 10))
+	x := athena.NewIntTensor(1, 6, 6)
+	for i := range x.Data {
+		x.Data[i] = int64(rng.IntN(8))
+	}
+	in, err := clientEng.EncryptInput(net1, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := clientEng.WriteEncryptedInput(in, conn); err != nil {
+		log.Fatal(err)
+	}
+	out, err := clientEng.ReadEncryptedLogits(net1, conn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	logits, err := clientEng.DecryptLogits(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: decrypted logits  %v\n", logits)
+	fmt.Printf("plaintext reference       %v\n", net1.ForwardInt(x).Data)
+}

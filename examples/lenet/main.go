@@ -1,0 +1,123 @@
+// lenet: encrypted max pooling — the LeNet-style pipeline in miniature.
+//
+// LeNet is the paper's benchmark that exercises max pooling, which under
+// Athena runs as a PEGASUS-style max tree: max(a,b) = b + ReLU(a−b),
+// with the ReLU evaluated by functional bootstrapping and the additions
+// done directly on LWE ciphertexts. This example trains a small
+// conv→ReLU→maxpool→dense classifier on a four-class shape task and runs
+// it end to end under encryption at test-scale parameters.
+//
+//	go run ./examples/lenet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	"athena"
+)
+
+// shapeTask generates 6×6 images of four classes: horizontal bar,
+// vertical bar, diagonal, and blob.
+func shapeTask(n int, seed uint64) *athena.Dataset {
+	rng := rand.New(rand.NewPCG(seed, 0xa4))
+	ds := &athena.Dataset{Name: "shapes", Classes: 4}
+	for i := 0; i < n; i++ {
+		label := i % 4
+		img := &athena.Tensor{C: 1, H: 6, W: 6, Data: make([]float64, 36)}
+		pos := 1 + rng.IntN(4)
+		switch label {
+		case 0: // horizontal bar
+			for x := 0; x < 6; x++ {
+				img.Set(0, pos, x, 1)
+			}
+		case 1: // vertical bar
+			for y := 0; y < 6; y++ {
+				img.Set(0, y, pos, 1)
+			}
+		case 2: // diagonal
+			for d := 0; d < 6; d++ {
+				img.Set(0, d, d, 1)
+			}
+		case 3: // blob
+			cx, cy := 1+rng.IntN(4), 1+rng.IntN(4)
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					img.Set(0, cy+dy, cx+dx, 1)
+				}
+			}
+		}
+		for j := range img.Data {
+			img.Data[j] += rng.NormFloat64() * 0.1
+			if img.Data[j] < 0 {
+				img.Data[j] = 0
+			}
+		}
+		ds.Samples = append(ds.Samples, athena.Sample{X: img, Label: label})
+	}
+	return ds
+}
+
+func main() {
+	images := flag.Int("images", 4, "test images to run under encryption")
+	flag.Parse()
+
+	fmt.Println("== encrypted max pooling (mini-LeNet) ==")
+	train := shapeTask(400, 1)
+	test := shapeTask(64, 2)
+
+	net := athena.NewShapeNet6(3)
+	cfg := athena.DefaultTrainConfig()
+	cfg.Epochs = 8
+	athena.Train(net, train, cfg)
+
+	qc := athena.QuantConfig{WBits: 3, ABits: 4, CalibSamples: 32, AccMargin: 1.25, AccCap: 110}
+	qnet, err := athena.Quantize(net, train, qc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plaintext quantized accuracy (w3a4, 64 test images): %.0f%%\n",
+		qnet.AccuracyInt(test)*100)
+
+	fmt.Println("generating FHE keys (test-scale, N=128, t=257)...")
+	eng, err := athena.NewEngine(athena.TestParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	correct, agree := 0, 0
+	for i := 0; i < *images; i++ {
+		s := test.Samples[i]
+		start := time.Now()
+		logits, err := eng.Infer(qnet, qnet.QuantizeInput(s.X))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred := argmax(logits)
+		plain := qnet.Predict(s.X)
+		if pred == s.Label {
+			correct++
+		}
+		if pred == plain {
+			agree++
+		}
+		fmt.Printf("image %d: true=%d encrypted=%d plaintext=%d (%.1fs)\n",
+			i, s.Label, pred, plain, time.Since(start).Seconds())
+	}
+	fmt.Printf("encrypted top-1: %d/%d; agreement with plaintext: %d/%d\n",
+		correct, *images, agree, *images)
+	fmt.Printf("homomorphic ops (last image): %+v\n", eng.Stats)
+}
+
+func argmax(v []int64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,3 @@
+module athena
+
+go 1.23

@@ -1,0 +1,329 @@
+package arch
+
+import (
+	"math"
+	"testing"
+
+	"athena/internal/compiler"
+	"athena/internal/core"
+)
+
+func trace(t testing.TB, model string, w, a int) *compiler.Trace {
+	t.Helper()
+	qn, err := compiler.SpecModel(model, w, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := compiler.Compile(qn, core.FullParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestResNet20OperatingPoint(t *testing.T) {
+	// The calibration anchor: ResNet-20 w7a7 must land near the paper's
+	// 65.5 ms / 0.35 EDP point (within ±25%).
+	r := Simulate(trace(t, "ResNet-20", 7, 7), AthenaConfig())
+	if r.TimeMS < 49 || r.TimeMS > 82 {
+		t.Fatalf("ResNet-20 w7a7: %.1f ms, expected ≈65.5", r.TimeMS)
+	}
+	if r.EDP < 0.26 || r.EDP > 0.44 {
+		t.Fatalf("ResNet-20 w7a7 EDP %.3f, expected ≈0.35", r.EDP)
+	}
+	pw := r.EnergyJ / (r.TimeMS / 1e3)
+	if pw < 50 || pw > 148.1 {
+		t.Fatalf("operating power %.1f W outside the plausible envelope", pw)
+	}
+}
+
+func TestQuantModeSpeedup(t *testing.T) {
+	// Athena-w6a7 beats w7a7 via smaller LUTs (paper: 65.5 -> 54.9 ms).
+	for _, m := range []string{"MNIST", "LeNet", "ResNet-20", "ResNet-56"} {
+		r7 := Simulate(trace(t, m, 7, 7), AthenaConfig())
+		r6 := Simulate(trace(t, m, 6, 7), AthenaConfig())
+		ratio := r7.TimeMS / r6.TimeMS
+		if ratio < 1.05 || ratio > 1.6 {
+			t.Fatalf("%s w7a7/w6a7 speedup %.2f outside the paper's band", m, ratio)
+		}
+	}
+}
+
+func TestSpeedupVersusBaselines(t *testing.T) {
+	athena := Simulate(trace(t, "ResNet-20", 7, 7), AthenaConfig())
+	for _, b := range Baselines() {
+		bt, err := b.BaselineRuntime("ResNet-20")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := bt / athena.TimeMS
+		switch b.Name {
+		case "SHARP":
+			if sp < 1.2 || sp > 2.3 {
+				t.Fatalf("speedup vs SHARP %.2f, paper reports ~1.5x", sp)
+			}
+		case "BTS":
+			if sp < 20 {
+				t.Fatalf("speedup vs BTS %.1f, paper reports ~29x", sp)
+			}
+		case "CraterLake":
+			if sp < 3 || sp > 8 {
+				t.Fatalf("speedup vs CraterLake %.2f, paper reports ~4.9x", sp)
+			}
+		case "ARK":
+			if sp < 1.4 || sp > 3 {
+				t.Fatalf("speedup vs ARK %.2f, paper reports ~1.9x", sp)
+			}
+		}
+	}
+}
+
+func TestEDPBeatsAllBaselines(t *testing.T) {
+	for _, m := range []string{"LeNet", "ResNet-20", "ResNet-56"} {
+		athena := Simulate(trace(t, m, 7, 7), AthenaConfig())
+		for _, b := range Baselines() {
+			be, err := b.EDP(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if athena.EDP >= be {
+				t.Fatalf("%s: Athena EDP %.3f not below %s %.3f", m, athena.EDP, b.Name, be)
+			}
+		}
+	}
+}
+
+func TestEDAPAdvantageExceedsEDP(t *testing.T) {
+	// The paper: EDAP gains exceed EDP gains thanks to the small area.
+	athena := Simulate(trace(t, "ResNet-20", 7, 7), AthenaConfig())
+	area, _ := TotalAreaPower()
+	for _, b := range Baselines() {
+		be, _ := b.EDP("ResNet-20")
+		bea, _ := b.EDAP("ResNet-20")
+		edpGain := be / athena.EDP
+		edapGain := bea / (athena.EDP * area)
+		if edapGain <= edpGain {
+			t.Fatalf("%s: EDAP gain %.1f not above EDP gain %.1f", b.Name, edapGain, edpGain)
+		}
+	}
+}
+
+func TestTable9Totals(t *testing.T) {
+	area, power := TotalAreaPower()
+	if math.Abs(area-116.43) > 0.2 {
+		t.Fatalf("area total %.2f, paper reports 116.4 mm²", area)
+	}
+	if math.Abs(power-148.14) > 0.2 {
+		t.Fatalf("power total %.2f, paper reports 148.1 W", power)
+	}
+	// Athena is at least 1.53x smaller than every baseline (paper: vs
+	// SHARP).
+	for _, b := range Baselines() {
+		if b.AreaMM2/area < 1.5 {
+			t.Fatalf("%s area advantage %.2f below 1.5x", b.Name, b.AreaMM2/area)
+		}
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	rows := Table8()
+	if len(rows) != 5 || rows[4].Accelerator != "Athena" {
+		t.Fatal("Table 8 malformed")
+	}
+	athena := rows[4]
+	for _, r := range rows[:4] {
+		if athena.ScratchpadMB >= r.ScratchpadMB {
+			t.Fatalf("Athena scratchpad %0.f MB not below %s's %0.f MB", athena.ScratchpadMB, r.Accelerator, r.ScratchpadMB)
+		}
+	}
+	// >4x reduction vs CraterLake/ARK/BTS (paper's claim).
+	if rows[0].ScratchpadMB/athena.ScratchpadMB < 4 {
+		t.Fatal("scratchpad reduction below 4x vs CraterLake")
+	}
+}
+
+func TestForeignAcceleratorSlowdown(t *testing.T) {
+	tr := trace(t, "ResNet-20", 7, 7)
+	athena := Simulate(tr, AthenaConfig())
+	cl, err := ForeignAthenaConfig("CraterLake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := ForeignAthenaConfig("SHARP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCL := Simulate(tr, cl)
+	rSH := Simulate(tr, sh)
+	slowCL := rCL.TimeMS / athena.TimeMS
+	slowSH := rSH.TimeMS / athena.TimeMS
+	// Paper Fig. 8: at least 3.8x (CraterLake) and 9.9x (SHARP) slower.
+	if slowCL < 2.5 || slowCL > 6 {
+		t.Fatalf("CraterLake+AthenaFW slowdown %.1f outside the Fig. 8 band", slowCL)
+	}
+	if slowSH < 7 || slowSH > 14 {
+		t.Fatalf("SHARP+AthenaFW slowdown %.1f outside the Fig. 8 band", slowSH)
+	}
+	if slowSH <= slowCL {
+		t.Fatal("SHARP must be slower than CraterLake on the Athena framework")
+	}
+	// MM/MA dominance on foreign hardware (paper: >77% / >84%).
+	if rCL.MACCycleShare < 0.7 {
+		t.Fatalf("CraterLake MAC share %.2f below the Fig. 8 observation", rCL.MACCycleShare)
+	}
+	if rSH.MACCycleShare < 0.8 {
+		t.Fatalf("SHARP MAC share %.2f below the Fig. 8 observation", rSH.MACCycleShare)
+	}
+	if _, err := ForeignAthenaConfig("BTS"); err == nil {
+		t.Fatal("unmodeled foreign accelerator accepted")
+	}
+}
+
+func TestBreakdownDominatedByFBS(t *testing.T) {
+	// Fig. 9: the non-linear part (FBS) takes the largest share, up to
+	// ~72%.
+	for _, m := range []string{"MNIST", "LeNet", "ResNet-20", "ResNet-56"} {
+		r := Simulate(trace(t, m, 7, 7), AthenaConfig())
+		nonlinear := r.TimeByCat[compiler.CatActivation] + r.TimeByCat[compiler.CatPooling] + r.TimeByCat[compiler.CatSoftmax]
+		if nonlinear/r.TimeMS < 0.5 {
+			t.Fatalf("%s: non-linear share %.2f below half", m, nonlinear/r.TimeMS)
+		}
+		if r.TimeByCat[compiler.CatActivation] <= r.TimeByCat[compiler.CatLinear] {
+			t.Fatalf("%s: activation does not dominate linear", m)
+		}
+	}
+}
+
+func TestLeNetPoolingHeavierThanResNet(t *testing.T) {
+	// Fig. 9: LeNet's max pooling consumes a larger share than the
+	// ResNets' average pooling.
+	lenet := Simulate(trace(t, "LeNet", 7, 7), AthenaConfig())
+	rn := Simulate(trace(t, "ResNet-20", 7, 7), AthenaConfig())
+	lp := lenet.TimeByCat[compiler.CatPooling] / lenet.TimeMS
+	rp := rn.TimeByCat[compiler.CatPooling] / rn.TimeMS
+	if lp <= rp {
+		t.Fatalf("LeNet pooling share %.3f not above ResNet-20's %.3f", lp, rp)
+	}
+}
+
+func TestMemoryEnergyShare(t *testing.T) {
+	// Fig. 10: memory access ≈ 50% of energy; FRU the largest compute
+	// consumer.
+	r := Simulate(trace(t, "ResNet-20", 7, 7), AthenaConfig())
+	mem := r.EnergyByUnit["HBM"] + r.EnergyByUnit["SPM"]
+	share := mem / r.EnergyJ
+	if share < 0.3 || share > 0.65 {
+		t.Fatalf("memory energy share %.2f outside the ≈50%% band", share)
+	}
+	if r.EnergyByUnit["FRU"] <= r.EnergyByUnit["NTT"] {
+		t.Fatal("FRU must out-consume the NTT unit")
+	}
+}
+
+func TestLaneSensitivityOrdering(t *testing.T) {
+	// Fig. 13: FRU is the most delay-sensitive unit, then NTT; SE the
+	// least.
+	tr := trace(t, "ResNet-20", 7, 7)
+	at256 := map[string]float64{}
+	for _, u := range SensitivityUnits {
+		pts, err := LaneSensitivity(tr, u, []int{256, 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pts[1].Delay < 0.99 || pts[1].Delay > 1.01 {
+			t.Fatalf("%s: full-lane delay not normalized: %.3f", u, pts[1].Delay)
+		}
+		if pts[0].Delay < pts[1].Delay {
+			t.Fatalf("%s: fewer lanes cannot be faster", u)
+		}
+		at256[u] = pts[0].Delay
+	}
+	if !(at256[UnitFRU] > at256[UnitNTT] && at256[UnitNTT] >= at256[UnitAuto] && at256[UnitAuto] >= at256[UnitSE]) {
+		t.Fatalf("sensitivity ordering wrong: %+v", at256)
+	}
+	if at256[UnitFRU] < 1.5 {
+		t.Fatalf("FRU at 256 lanes should slow the system substantially, got %.2f", at256[UnitFRU])
+	}
+	if _, err := LaneSensitivity(tr, "bogus", []int{256}); err == nil {
+		t.Fatal("unknown unit accepted")
+	}
+}
+
+func TestCKKSComplexityRatios(t *testing.T) {
+	// The normalization ratios must sit near the paper's implied values
+	// (MNIST 0.11, LeNet 0.57, ResNet-56 2.95) — shape, not exact match.
+	ref, _ := CKKSComplexity("ResNet-20")
+	mn, _ := CKKSComplexity("MNIST")
+	ln, _ := CKKSComplexity("LeNet")
+	r56, _ := CKKSComplexity("ResNet-56")
+	if r := mn / ref; r < 0.05 || r > 0.25 {
+		t.Fatalf("MNIST ratio %.3f", r)
+	}
+	if r := ln / ref; r < 0.25 || r > 0.8 {
+		t.Fatalf("LeNet ratio %.3f", r)
+	}
+	if r := r56 / ref; r < 2.3 || r > 3.3 {
+		t.Fatalf("ResNet-56 ratio %.3f", r)
+	}
+	if _, err := CKKSComplexity("VGG"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestRegionPipelineAblation(t *testing.T) {
+	tr := trace(t, "ResNet-20", 7, 7)
+	base := Simulate(tr, AthenaConfig())
+	serial := AthenaConfig()
+	serial.SerializeFBSRegions = true
+	rs := Simulate(tr, serial)
+	if rs.TimeMS <= base.TimeMS {
+		t.Fatalf("serialized regions (%.1f ms) must be slower than pipelined (%.1f ms)", rs.TimeMS, base.TimeMS)
+	}
+	ratio := rs.TimeMS / base.TimeMS
+	if ratio < 1.15 || ratio > 2.0 {
+		t.Fatalf("pipeline benefit %.2fx outside the plausible band", ratio)
+	}
+}
+
+func TestUniformLUTAblation(t *testing.T) {
+	qn, err := compiler.SpecModel("ResNet-20", 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sized, err := compiler.Compile(qn, core.FullParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := compiler.CompileWithOptions(qn, core.FullParams(), compiler.Options{UniformLUT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Simulate(sized, AthenaConfig())
+	ru := Simulate(uniform, AthenaConfig())
+	if ru.TimeMS <= rs.TimeMS {
+		t.Fatalf("uniform-t LUTs (%.1f ms) must cost more than per-layer sizing (%.1f ms)", ru.TimeMS, rs.TimeMS)
+	}
+}
+
+func TestScaledArea(t *testing.T) {
+	full, _ := TotalAreaPower()
+	if d := ScaledArea(1) - full; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("ScaledArea(1) = %v, want %v", ScaledArea(1), full)
+	}
+	if ScaledArea(0.125) >= full {
+		t.Fatal("scaling down lanes must shrink area")
+	}
+	// Memory and HBM never scale: the floor is their sum.
+	floor := full - (3.8 + 1.2 + 4.51 + 0.32 + 42.6)
+	if ScaledArea(0.01) < floor {
+		t.Fatal("scaled area fell below the memory floor")
+	}
+}
+
+func TestRequiredSPMBandwidth(t *testing.T) {
+	// Table 8: Athena's FRU array needs ~180 TB/s of on-chip bandwidth.
+	bw := RequiredSPMBandwidth(AthenaConfig())
+	if bw < 160 || bw > 200 {
+		t.Fatalf("derived scratchpad bandwidth %.0f TB/s, Table 8 reports 180", bw)
+	}
+}

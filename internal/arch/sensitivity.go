@@ -1,0 +1,89 @@
+package arch
+
+import (
+	"fmt"
+
+	"athena/internal/compiler"
+)
+
+// Unit names for the Fig. 13 sensitivity sweep.
+const (
+	UnitNTT  = "NTT"
+	UnitFRU  = "FRU"
+	UnitAuto = "Automorphism"
+	UnitSE   = "SE"
+)
+
+// SensitivityUnits lists the swept units in the paper's order.
+var SensitivityUnits = []string{UnitNTT, UnitFRU, UnitAuto, UnitSE}
+
+// ScaledConfig returns the Athena configuration with one unit's lanes
+// scaled to `lanes` (256..2048 in the paper's sweep), all else fixed.
+func ScaledConfig(unit string, lanes int) (Config, error) {
+	cfg := AthenaConfig()
+	cfg.Name = fmt.Sprintf("Athena[%s=%d]", unit, lanes)
+	switch unit {
+	case UnitNTT:
+		cfg.NTTLanes = lanes
+	case UnitFRU:
+		cfg.FRULanes = lanes
+	case UnitAuto:
+		cfg.AutoLanes = lanes
+	case UnitSE:
+		// SE starts 2 extractions/cycle at 2048 "lanes"; scale
+		// proportionally with a floor of one per 1024 cycles.
+		cfg.SELanes = lanes / 1024
+		if cfg.SELanes < 1 {
+			cfg.SELanes = 1
+		}
+	default:
+		return Config{}, fmt.Errorf("arch: unknown unit %q", unit)
+	}
+	return cfg, nil
+}
+
+// SensPoint is one point of the Fig. 13 sweep, normalized to the
+// full-width (2048-lane) configuration.
+type SensPoint struct {
+	Unit   string
+	Lanes  int
+	Delay  float64 // relative to 2048 lanes
+	Energy float64
+	EDP    float64
+	EDAP   float64
+}
+
+// LaneSensitivity sweeps one unit's lanes over the given points for a
+// trace, normalizing each metric to the full configuration. EDAP uses
+// the area scaled by the lane factor for the swept unit.
+func LaneSensitivity(tr *compiler.Trace, unit string, lanePoints []int) ([]SensPoint, error) {
+	base := Simulate(tr, AthenaConfig())
+	out := make([]SensPoint, 0, len(lanePoints))
+	for _, lanes := range lanePoints {
+		cfg, err := ScaledConfig(unit, lanes)
+		if err != nil {
+			return nil, err
+		}
+		r := Simulate(tr, cfg)
+		// Area: only the swept unit shrinks.
+		factor := float64(lanes) / 2048
+		area := 0.0
+		for _, row := range Table9() {
+			if row.Component == unit {
+				area += row.AreaMM2 * factor
+			} else {
+				area += row.AreaMM2
+			}
+		}
+		baseArea, _ := TotalAreaPower()
+		out = append(out, SensPoint{
+			Unit:   unit,
+			Lanes:  lanes,
+			Delay:  r.TimeMS / base.TimeMS,
+			Energy: r.EnergyJ / base.EnergyJ,
+			EDP:    r.EDP / base.EDP,
+			EDAP:   (r.EDP * area) / (base.EDP * baseArea),
+		})
+	}
+	return out, nil
+}

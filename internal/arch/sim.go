@@ -1,0 +1,235 @@
+package arch
+
+import (
+	"math"
+
+	"athena/internal/compiler"
+)
+
+// Result is the outcome of simulating one trace on one configuration.
+type Result struct {
+	Config string
+	Model  string
+
+	Cycles  float64
+	TimeMS  float64
+	EnergyJ float64
+	EDP     float64 // J·s
+	EDAPmm2 float64 // J·s·mm²
+
+	// TimeByCat splits execution time across the Fig. 9 buckets (ms).
+	TimeByCat map[compiler.Category]float64
+	// EnergyByUnit splits energy across Fig. 10 contributors (J).
+	EnergyByUnit map[string]float64
+	// MACCycleShare is the fraction of compute cycles spent on MM/MA
+	// work (the Fig. 8 observation on foreign accelerators).
+	MACCycleShare float64
+}
+
+// stepCost is the priced form of one trace step.
+type stepCost struct {
+	cycles             float64
+	macCycles          float64
+	macs, butterflies  float64
+	autoElems, seElems float64
+	hbmBytes, spmBytes float64
+}
+
+// Simulate prices a compiled trace on cfg. The unit formulas:
+//
+//	limb-NTT:      (N/NTTLanes)·ceil(log2 N / 3) cycles (radix-8, §4.2.1)
+//	pointwise MAC: macs / (FRULanes·blocks) cycles
+//	automorphism:  elements / AutoLanes cycles (index-mapped, §4.2.1)
+//	SE:            extractions·(n+1)/SELanes/… ≈ 1 elem/cycle/lane (§4.2.3)
+//	HBM/SPM:       bytes / bytes-per-cycle, overlapped with compute
+//	FBS:           max(region-1 SMult/HAdd time, region-0 CMult time)
+//	               per the Fig. 7 two-region pipeline
+func Simulate(tr *compiler.Trace, cfg Config) *Result {
+	p := tr.Params
+	n := 1 << p.LogN
+	limbs := p.QiNum
+	ctBytes := float64(2 * n * limbs * 8)
+	keyBytes := float64(cfg.DNum*n*limbs*8) * 2 / 2 // PRNG halves the stored key
+
+	nttCyclesPerLimb := float64(n) / float64(cfg.NTTLanes) * math.Ceil(float64(p.LogN)/3)
+	bflPerLimb := float64(n) / 2 * float64(p.LogN)
+	allFRULanes := float64(cfg.FRULanes) * float64(cfg.FRUBlocksR1+1)
+
+	res := &Result{
+		Config:       cfg.Name,
+		Model:        tr.Model,
+		TimeByCat:    map[compiler.Category]float64{},
+		EnergyByUnit: map[string]float64{},
+	}
+
+	var totMacs, totBfl, totAuto, totSE, totHBM, totSPM float64
+	var totCycles, totMacCycles, totCompute float64
+
+	// Relinearization key is scratchpad-resident: stream it once.
+	setupHBM := keyBytes
+	totHBM += setupHBM
+	totCycles += setupHBM / cfg.HBMBytesPerCycle
+
+	for _, s := range tr.Steps {
+		c := priceStep(s, p.LogN, limbs, int(p.LWEDim), cfg, nttCyclesPerLimb, bflPerLimb, allFRULanes, ctBytes, keyBytes)
+		memCycles := c.hbmBytes/cfg.HBMBytesPerCycle + c.spmBytes/cfg.SPMBytesPerCycle
+		stepCycles := math.Max(c.cycles, memCycles) // double-buffered overlap
+		totCycles += stepCycles
+		totCompute += c.cycles
+		totMacCycles += c.macCycles
+		totMacs += c.macs
+		totBfl += c.butterflies
+		totAuto += c.autoElems
+		totSE += c.seElems
+		totHBM += c.hbmBytes
+		totSPM += c.spmBytes
+		res.TimeByCat[s.Cat] += stepCycles / (cfg.FreqGHz * 1e6) // ms
+	}
+
+	res.Cycles = totCycles
+	res.TimeMS = totCycles / (cfg.FreqGHz * 1e6)
+	if totCompute > 0 {
+		res.MACCycleShare = totMacCycles / totCompute
+	}
+
+	timeSec := res.TimeMS / 1e3
+	res.EnergyByUnit["FRU"] = totMacs * cfg.MacPJ * 1e-12
+	res.EnergyByUnit["NTT"] = totBfl * cfg.NTTBflPJ * 1e-12
+	res.EnergyByUnit["Automorphism"] = totAuto * cfg.AutoPJ * 1e-12
+	res.EnergyByUnit["SE"] = totSE * cfg.SEPJ * 1e-12
+	res.EnergyByUnit["HBM"] = totHBM * cfg.HBMPJB * 1e-12
+	res.EnergyByUnit["SPM"] = totSPM * cfg.SPMPJB * 1e-12
+	res.EnergyByUnit["Static"] = timeSec * cfg.StaticW
+	for _, e := range res.EnergyByUnit {
+		res.EnergyJ += e
+	}
+	res.EDP = res.EnergyJ * timeSec
+	area, _ := TotalAreaPower()
+	res.EDAPmm2 = res.EDP * area
+	return res
+}
+
+// priceStep converts one step's op counts into unit work.
+func priceStep(s compiler.Step, logN, limbs, lweDim int, cfg Config,
+	nttCyc, bflPerLimb, allFRULanes, ctBytes, keyBytes float64) stepCost {
+
+	n := float64(int(1) << logN)
+	l := float64(limbs)
+	var c stepCost
+
+	// Primitive building blocks.
+	pmultMacs := 2 * n * l // two polys, pointwise
+	// Tensor products (4 pointwise multiplies in the ~2L-limb extended
+	// basis ≈ 16·n·l), the scale-and-round RNS base conversions
+	// (≈ 10·n·l), and the relinearization inner products (dnum·n·l) —
+	// all on the FRU's MM/MA cascade.
+	cmultMacs := 26*n*l + float64(cfg.DNum)*n*l + float64(cfg.DNum)*n*l
+	// Lazy relinearization (once per giant-step group), amortized power
+	// reuse, and radix-8 iteration fusion bring the NTT work per CMult
+	// to ~2·L limb-NTTs; the FRU MAC stream is then the region-0
+	// bottleneck at full width.
+	cmultNTTs := 2 * l
+	// Hoisted decomposition: BSGS rotation groups decompose the operand
+	// once and reuse the digits across keys, amortizing the NTT work per
+	// rotation to ~L limb-NTTs.
+	ksNTTs := l
+	ksMacs := float64(cfg.DNum) * n * l
+
+	addMac := func(macs float64, lanes float64) {
+		cyc := macs / lanes
+		c.cycles += cyc
+		c.macCycles += cyc
+		c.macs += macs
+	}
+	addNTT := func(count float64) {
+		c.cycles += count * nttCyc
+		c.butterflies += count * bflPerLimb
+	}
+
+	switch s.Kind {
+	case compiler.KFBS:
+		// Two-region pipeline: the SMult stream runs on region 1 while the
+		// CMult chain runs on region 0. Each FRU block has 2048 MMs AND
+		// 2048 MAs cascaded (§4.2.2), so the inner-sum additions fuse into
+		// the multiply passes: region-1 time is the multiply stream alone.
+		// The region split is sized so region 0 binds at the full t-sized
+		// LUT, giving FBS its O(√t) scaling (Table 3).
+		r1Macs := float64(s.Counts.SMult)*pmultMacs + float64(s.Counts.HAdd)*pmultMacs
+		r1Cycles := float64(s.Counts.SMult) * pmultMacs / (float64(cfg.FRULanes) * float64(cfg.FRUBlocksR1))
+
+		// Within region 0 the NTT unit and the FRU pipeline across the
+		// CMult chain (fully pipelined radix-8 cores, §4.2.1); the MM+MA
+		// cascade doubles the region-0 MAC throughput.
+		r0NTT := float64(s.Counts.CMult) * cmultNTTs * nttCyc
+		r0Macs := float64(s.Counts.CMult) * cmultMacs
+		r0Cycles := math.Max(r0NTT, r0Macs/(2*float64(cfg.FRULanes)))
+
+		if cfg.SerializeFBSRegions {
+			c.cycles = r1Cycles + r0Cycles // ablation: no overlap
+		} else {
+			c.cycles = math.Max(r1Cycles, r0Cycles)
+		}
+		c.macCycles = math.Min(r1Cycles, c.cycles) // MM/MA-bound share
+		c.macs = r1Macs + r0Macs
+		c.butterflies = float64(s.Counts.CMult) * cmultNTTs * bflPerLimb
+		// Relin key is resident; baby powers live in the register files,
+		// so the streamed working set per op is a fraction of a
+		// ciphertext.
+		c.spmBytes = float64(s.Counts.CMult+s.Counts.SMult+s.Counts.HAdd) * ctBytes / 8
+		return c
+
+	case compiler.KLinear:
+		addMac(float64(s.Counts.PMult)*pmultMacs+float64(s.Counts.HAdd)*pmultMacs, allFRULanes)
+		// Kernel plaintexts stream from HBM (precomputed NTT form).
+		c.hbmBytes = float64(s.Counts.PMult) * (n * l * 8)
+		c.spmBytes = float64(s.Counts.PMult+s.Counts.HAdd) * ctBytes / 2
+		return c
+
+	case compiler.KPack:
+		addMac(float64(s.Counts.PMult)*pmultMacs+float64(s.Counts.HAdd)*pmultMacs,
+			float64(cfg.FRULanes)*float64(cfg.FRUBlocksR1))
+		// Rotations: automorphism + keyswitch, with rotation keys
+		// streamed from HBM (amortized 1/2 by reuse across groups).
+		rot := float64(s.Counts.HRot)
+		c.autoElems += rot * n * l
+		c.cycles += 2 * rot * n * l / float64(cfg.AutoLanes) // 2(l+N/l) index map
+		addNTT(rot * ksNTTs)
+		addMac(rot*ksMacs, float64(cfg.FRULanes))
+		// PRNG regeneration and cross-call caching of the hot BSGS keys
+		// quarter the streamed key bytes.
+		c.hbmBytes += rot * keyBytes / 4
+		// The packed LWE matrix is read as plaintext diagonals.
+		c.spmBytes += float64(s.Counts.PMult) * (float64(lweDim+1) * 8)
+		return c
+
+	case compiler.KS2C:
+		addMac(float64(s.Counts.PMult)*pmultMacs, allFRULanes)
+		rot := float64(s.Counts.HRot)
+		c.autoElems += rot * n * l
+		c.cycles += 2 * rot * n * l / float64(cfg.AutoLanes)
+		addNTT(rot * ksNTTs)
+		addMac(rot*ksMacs, float64(cfg.FRULanes))
+		c.hbmBytes += rot * keyBytes / 4
+		return c
+
+	case compiler.KSE:
+		// Modulus switch + ring degree switch per result ciphertext,
+		// then one extraction per value on the SE unit.
+		ks := float64(s.Counts.KeySwitch)
+		addNTT(ks * (ksNTTs + 2*l))
+		addMac(ks*(ksMacs+2*n*l), allFRULanes)
+		c.hbmBytes += ks * keyBytes
+		se := float64(s.Counts.SE)
+		c.seElems = se
+		c.cycles += se / float64(cfg.SELanes)
+		c.spmBytes += se * float64(lweDim+1) * 8
+		return c
+
+	case compiler.KLWEAdd:
+		macs := float64(s.Counts.LWEAdd) * float64(lweDim+1)
+		addMac(macs, allFRULanes)
+		c.spmBytes = 2 * macs * 8
+		return c
+	}
+	return c
+}

@@ -1,0 +1,53 @@
+package bfv
+
+import "testing"
+
+func BenchmarkEncrypt(b *testing.B) {
+	k := newTestKit(b, 11, 6, nil)
+	pt := k.cod.EncodeCoeffs(randVals(k.ctx.N, 1000, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.enc.Encrypt(pt)
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	k := newTestKit(b, 11, 6, nil)
+	ct := k.enc.Encrypt(k.cod.EncodeCoeffs(randVals(k.ctx.N, 1000, 2)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.dec.Decrypt(ct)
+	}
+}
+
+func BenchmarkPMult(b *testing.B) {
+	k := newTestKit(b, 11, 6, nil)
+	ct := k.enc.Encrypt(k.cod.EncodeCoeffs(randVals(k.ctx.N, 1000, 3)))
+	pm := k.cod.LiftToMul(k.cod.EncodeCoeffs(randVals(k.ctx.N, 100, 4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ev.MulPlain(ct, pm)
+	}
+}
+
+func BenchmarkCMult(b *testing.B) {
+	k := newTestKit(b, 11, 6, nil)
+	ct := k.enc.Encrypt(k.cod.EncodeCoeffs(randVals(k.ctx.N, 100, 5)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.ev.Mul(ct, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRotation(b *testing.B) {
+	k := newTestKit(b, 11, 6, []int{1})
+	ct := k.enc.Encrypt(k.cod.EncodeSlots(randVals(k.ctx.N, 100, 6)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.ev.RotateRows(ct, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package bfv
+
+import (
+	"fmt"
+
+	"athena/internal/ring"
+)
+
+// Encoder converts between integer data and BFV plaintexts in the two
+// encodings Athena uses:
+//
+//   - Coefficient encoding: value i sits in plaintext coefficient i.
+//     Polynomial multiplication then computes negacyclic convolutions,
+//     which is how the linear layers run (Section 3.2.1).
+//   - Slot (batch) encoding: values sit in the N CRT slots of
+//     Z_t[X]/(X^N+1); ⊙ then acts pointwise. Requires t ≡ 1 (mod 2N).
+//     The slot layout is two rows of N/2; X -> X^5 rotates the rows.
+type Encoder struct {
+	ctx *Context
+}
+
+// NewEncoder creates an encoder over ctx.
+func NewEncoder(ctx *Context) *Encoder { return &Encoder{ctx: ctx} }
+
+// reduceT maps a signed value into [0, t).
+func (e *Encoder) reduceT(v int64) uint64 { return e.ctx.TMod.ReduceInt64(v) }
+
+// EncodeCoeffs places vals (signed, interpreted mod t) into plaintext
+// coefficients 0..len(vals)-1. len(vals) must not exceed N.
+func (e *Encoder) EncodeCoeffs(vals []int64) *Plaintext {
+	if len(vals) > e.ctx.N {
+		panic(fmt.Sprintf("bfv: %d values exceed N=%d", len(vals), e.ctx.N))
+	}
+	pt := e.ctx.NewPlaintext()
+	for i, v := range vals {
+		pt.Coeffs[i] = e.reduceT(v)
+	}
+	return pt
+}
+
+// DecodeCoeffs returns the centered coefficients of pt.
+func (e *Encoder) DecodeCoeffs(pt *Plaintext) []int64 {
+	out := make([]int64, len(pt.Coeffs))
+	for i, v := range pt.Coeffs {
+		out[i] = e.ctx.TMod.Centered(v)
+	}
+	return out
+}
+
+// EncodeSlots places vals into the first len(vals) slots (row-major over
+// the two rows of N/2). Requires batching support.
+func (e *Encoder) EncodeSlots(vals []int64) *Plaintext {
+	ctx := e.ctx
+	if !ctx.batching {
+		panic("bfv: parameters do not support batching (t != 1 mod 2N)")
+	}
+	if len(vals) > ctx.N {
+		panic(fmt.Sprintf("bfv: %d values exceed N=%d slots", len(vals), ctx.N))
+	}
+	pt := ctx.NewPlaintext()
+	tmp := ctx.RingT.NewPoly()
+	for i, v := range vals {
+		tmp.Coeffs[0][ctx.slotIdx[i]] = e.reduceT(v)
+	}
+	ctx.RingT.INTT(tmp)
+	copy(pt.Coeffs, tmp.Coeffs[0])
+	return pt
+}
+
+// DecodeSlots returns all N slot values of pt, centered.
+func (e *Encoder) DecodeSlots(pt *Plaintext) []int64 {
+	ctx := e.ctx
+	if !ctx.batching {
+		panic("bfv: parameters do not support batching")
+	}
+	tmp := ctx.RingT.NewPoly()
+	copy(tmp.Coeffs[0], pt.Coeffs)
+	ctx.RingT.NTT(tmp)
+	out := make([]int64, ctx.N)
+	for i := range out {
+		out[i] = ctx.TMod.Centered(tmp.Coeffs[0][ctx.slotIdx[i]])
+	}
+	return out
+}
+
+// LiftToMul pre-lifts a plaintext into the ciphertext ring NTT domain
+// using centered representatives, for use with MulPlain.
+func (e *Encoder) LiftToMul(pt *Plaintext) *PlaintextMul {
+	ctx := e.ctx
+	p := ctx.RingQ.NewPoly()
+	for i := range ctx.RingQ.Moduli {
+		m := ctx.RingQ.Moduli[i]
+		pi := p.Coeffs[i]
+		for j, v := range pt.Coeffs {
+			pi[j] = m.ReduceInt64(ctx.TMod.Centered(v))
+		}
+	}
+	ctx.RingQ.NTT(p)
+	return &PlaintextMul{Value: p}
+}
+
+// LiftToDelta lifts a plaintext to Δ·m in the ciphertext ring NTT domain
+// (the additive embedding used at encryption and for plain addition).
+func (e *Encoder) LiftToDelta(pt *Plaintext) ring.Poly {
+	ctx := e.ctx
+	p := ctx.RingQ.NewPoly()
+	for i := range ctx.RingQ.Moduli {
+		m := ctx.RingQ.Moduli[i]
+		d := ctx.DeltaQi[i]
+		ds := m.ShoupPrecomp(d)
+		pi := p.Coeffs[i]
+		for j, v := range pt.Coeffs {
+			pi[j] = m.MulShoup(m.Reduce(v), d, ds)
+		}
+	}
+	ctx.RingQ.NTT(p)
+	return p
+}

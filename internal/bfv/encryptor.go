@@ -1,0 +1,123 @@
+package bfv
+
+import (
+	"math/big"
+
+	"athena/internal/ring"
+)
+
+// Encryptor encrypts plaintexts under a public key.
+type Encryptor struct {
+	ctx *Context
+	pk  *PublicKey
+	enc *Encoder
+	smp *ring.Sampler
+}
+
+// NewEncryptor creates an encryptor with its own sampler seed.
+func NewEncryptor(ctx *Context, pk *PublicKey, seed uint64) *Encryptor {
+	return &Encryptor{ctx: ctx, pk: pk, enc: NewEncoder(ctx), smp: ring.NewSampler(ctx.RingQ, seed)}
+}
+
+// Encrypt produces a fresh encryption of pt:
+// (C0, C1) = (P0·u + e0 + Δ·m, P1·u + e1).
+func (e *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	ctx := e.ctx
+	rq := ctx.RingQ
+	ct := ctx.NewCiphertext()
+
+	u := rq.NewPoly()
+	e.smp.TernaryDense(u)
+	rq.NTT(u)
+
+	e0 := rq.NewPoly()
+	e.smp.Gaussian(ctx.Params.Sigma, e0)
+	rq.NTT(e0)
+	e1 := rq.NewPoly()
+	e.smp.Gaussian(ctx.Params.Sigma, e1)
+	rq.NTT(e1)
+
+	rq.MulCoeffs(e.pk.P0, u, ct.C0)
+	rq.Add(ct.C0, e0, ct.C0)
+	dm := e.enc.LiftToDelta(pt)
+	rq.Add(ct.C0, dm, ct.C0)
+
+	rq.MulCoeffs(e.pk.P1, u, ct.C1)
+	rq.Add(ct.C1, e1, ct.C1)
+	return ct
+}
+
+// EncryptZero returns a fresh encryption of the zero plaintext.
+func (e *Encryptor) EncryptZero() *Ciphertext {
+	return e.Encrypt(e.ctx.NewPlaintext())
+}
+
+// Decryptor decrypts and inspects noise.
+type Decryptor struct {
+	ctx *Context
+	sk  *SecretKey
+}
+
+// NewDecryptor creates a decryptor for sk.
+func NewDecryptor(ctx *Context, sk *SecretKey) *Decryptor {
+	return &Decryptor{ctx: ctx, sk: sk}
+}
+
+// phase computes C0 + C1·s in the coefficient domain.
+func (d *Decryptor) phase(ct *Ciphertext) ring.Poly {
+	rq := d.ctx.RingQ
+	ph := rq.NewPoly()
+	rq.MulCoeffs(ct.C1, d.sk.Value, ph)
+	rq.Add(ph, ct.C0, ph)
+	rq.INTT(ph)
+	return ph
+}
+
+// Decrypt recovers the plaintext: m = round(t·phase/Q) mod t.
+func (d *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	ctx := d.ctx
+	pt := ctx.NewPlaintext()
+	ph := d.phase(ct)
+	ctx.BasisQ.ScaleAndRoundToUint(ph, ctx.TBig, ctx.QBig, ctx.Params.T, pt.Coeffs)
+	return pt
+}
+
+// NoiseBudget returns the remaining noise budget of ct in bits:
+// log2(Q/t) - log2(2·|e|∞) where e = phase - Δ·m is the exact noise.
+// A non-positive budget means decryption is no longer guaranteed.
+func (d *Decryptor) NoiseBudget(ct *Ciphertext) float64 {
+	ctx := d.ctx
+	ph := d.phase(ct)
+	pt := ctx.NewPlaintext()
+	ctx.BasisQ.ScaleAndRoundToUint(ph, ctx.TBig, ctx.QBig, ctx.Params.T, pt.Coeffs)
+
+	// e = phase - Δ·m (mod Q), centered.
+	scratch := make([]uint64, ctx.BasisQ.Len())
+	var v, dm big.Int
+	maxAbs := new(big.Int)
+	for j := 0; j < ctx.N; j++ {
+		for i := range ph.Coeffs {
+			scratch[i] = ph.Coeffs[i][j]
+		}
+		ctx.BasisQ.Reconstruct(scratch, &v)
+		dm.SetUint64(pt.Coeffs[j])
+		dm.Mul(&dm, ctx.Delta)
+		v.Sub(&v, &dm)
+		v.Mod(&v, ctx.QBig)
+		if v.Cmp(ctx.BasisQ.QHalf) > 0 {
+			v.Sub(&v, ctx.QBig)
+		}
+		v.Abs(&v)
+		if v.Cmp(maxAbs) > 0 {
+			maxAbs.Set(&v)
+		}
+	}
+	if maxAbs.Sign() == 0 {
+		return float64(ctx.QBig.BitLen() - ctx.TBig.BitLen())
+	}
+	budget := ctx.QBig.BitLen() - ctx.TBig.BitLen() - maxAbs.BitLen() - 1
+	if budget < 0 {
+		return float64(budget)
+	}
+	return float64(budget)
+}

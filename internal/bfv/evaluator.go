@@ -1,0 +1,234 @@
+package bfv
+
+import (
+	"fmt"
+
+	"athena/internal/ring"
+)
+
+// Evaluator performs homomorphic operations. It holds only precomputed
+// immutable state plus the key set, so a single Evaluator may be shared
+// across goroutines for read-only operation graphs (each call allocates
+// its own temporaries).
+type Evaluator struct {
+	ctx  *Context
+	keys *KeySet
+}
+
+// NewEvaluator creates an evaluator. keys may be nil when only key-free
+// operations (add, plain/scalar multiply) are needed.
+func NewEvaluator(ctx *Context, keys *KeySet) *Evaluator {
+	return &Evaluator{ctx: ctx, keys: keys}
+}
+
+// Add returns a + b.
+func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	out := ev.ctx.NewCiphertext()
+	ev.ctx.RingQ.Add(a.C0, b.C0, out.C0)
+	ev.ctx.RingQ.Add(a.C1, b.C1, out.C1)
+	return out
+}
+
+// AddInPlace sets a += b.
+func (ev *Evaluator) AddInPlace(a, b *Ciphertext) {
+	ev.ctx.RingQ.Add(a.C0, b.C0, a.C0)
+	ev.ctx.RingQ.Add(a.C1, b.C1, a.C1)
+}
+
+// Sub returns a - b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
+	out := ev.ctx.NewCiphertext()
+	ev.ctx.RingQ.Sub(a.C0, b.C0, out.C0)
+	ev.ctx.RingQ.Sub(a.C1, b.C1, out.C1)
+	return out
+}
+
+// Neg returns -a.
+func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
+	out := ev.ctx.NewCiphertext()
+	ev.ctx.RingQ.Neg(a.C0, out.C0)
+	ev.ctx.RingQ.Neg(a.C1, out.C1)
+	return out
+}
+
+// AddPlain returns ct + pt (the plaintext is embedded as Δ·m).
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	enc := NewEncoder(ev.ctx)
+	dm := enc.LiftToDelta(pt)
+	out := ct.Clone()
+	ev.ctx.RingQ.Add(out.C0, dm, out.C0)
+	return out
+}
+
+// MulPlain returns ct ⊗ pm, the plaintext-ciphertext product (PMult in
+// the paper's notation). The plaintext must have been lifted with
+// Encoder.LiftToMul.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pm *PlaintextMul) *Ciphertext {
+	out := ev.ctx.NewCiphertext()
+	ev.ctx.RingQ.MulCoeffs(ct.C0, pm.Value, out.C0)
+	ev.ctx.RingQ.MulCoeffs(ct.C1, pm.Value, out.C1)
+	return out
+}
+
+// MulPlainAndAdd sets acc += ct ⊗ pm without allocating.
+func (ev *Evaluator) MulPlainAndAdd(ct *Ciphertext, pm *PlaintextMul, acc *Ciphertext) {
+	ev.ctx.RingQ.MulCoeffsAndAdd(ct.C0, pm.Value, acc.C0)
+	ev.ctx.RingQ.MulCoeffsAndAdd(ct.C1, pm.Value, acc.C1)
+}
+
+// MulScalar returns ct · k for the scalar k ∈ Z_t, using the centered
+// representative of k to minimize noise growth (SMult).
+func (ev *Evaluator) MulScalar(ct *Ciphertext, k uint64) *Ciphertext {
+	c := ev.ctx.TMod.Centered(ev.ctx.TMod.Reduce(k))
+	out := ev.ctx.NewCiphertext()
+	rq := ev.ctx.RingQ
+	for i := range rq.Moduli {
+		m := rq.Moduli[i]
+		kv := m.ReduceInt64(c)
+		sh := m.ShoupPrecomp(kv)
+		for j := range ct.C0.Coeffs[i] {
+			out.C0.Coeffs[i][j] = m.MulShoup(ct.C0.Coeffs[i][j], kv, sh)
+			out.C1.Coeffs[i][j] = m.MulShoup(ct.C1.Coeffs[i][j], kv, sh)
+		}
+	}
+	return out
+}
+
+// Mul returns the relinearized product a·b (CMult): RNS tensor product in
+// the extended basis, exact t/Q scale-and-round, then keyswitching of the
+// degree-2 term. Requires a relinearization key.
+func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+	if ev.keys == nil || ev.keys.Relin == nil {
+		return nil, fmt.Errorf("bfv: Mul requires a relinearization key")
+	}
+	d0, d1, d2 := ev.tensor(a, b)
+	out := &Ciphertext{C0: d0, C1: d1}
+	// d2 is in the coefficient domain; keyswitch folds it into (C0, C1).
+	ks0, ks1 := ev.keySwitchCoeff(d2, &ev.keys.Relin.SwitchingKey)
+	ev.ctx.RingQ.Add(out.C0, ks0, out.C0)
+	ev.ctx.RingQ.Add(out.C1, ks1, out.C1)
+	return out, nil
+}
+
+// tensor computes the scaled tensor product: three polynomials
+// (d0, d1, d2) over Q with d0, d1 in the NTT domain and d2 in the
+// coefficient domain, such that d0 + d1·s + d2·s² ≈ Δ·m_a·m_b.
+func (ev *Evaluator) tensor(a, b *Ciphertext) (d0, d1, d2 ring.Poly) {
+	ctx := ev.ctx
+	rq, rqb := ctx.RingQ, ctx.RingQB
+
+	// Move operands to the coefficient domain, extend to basis QB.
+	ext := func(p ring.Poly) ring.Poly {
+		c := p.Clone()
+		rq.INTT(c)
+		e := rqb.NewPoly()
+		ctx.BasisQ.ExtendPoly(c, ctx.BasisQB, e)
+		rqb.NTT(e)
+		return e
+	}
+	a0, a1 := ext(a.C0), ext(a.C1)
+	b0, b1 := ext(b.C0), ext(b.C1)
+
+	t0 := rqb.NewPoly()
+	rqb.MulCoeffs(a0, b0, t0)
+	t1 := rqb.NewPoly()
+	rqb.MulCoeffs(a0, b1, t1)
+	rqb.MulCoeffsAndAdd(a1, b0, t1)
+	t2 := rqb.NewPoly()
+	rqb.MulCoeffs(a1, b1, t2)
+	rqb.INTT(t0)
+	rqb.INTT(t1)
+	rqb.INTT(t2)
+
+	// Scale each by t/Q and round, landing back in basis Q.
+	d0 = rq.NewPoly()
+	d1 = rq.NewPoly()
+	d2 = rq.NewPoly()
+	ctx.BasisQB.ScaleAndRound(t0, ctx.TBig, ctx.QBig, ctx.BasisQ, d0)
+	ctx.BasisQB.ScaleAndRound(t1, ctx.TBig, ctx.QBig, ctx.BasisQ, d1)
+	ctx.BasisQB.ScaleAndRound(t2, ctx.TBig, ctx.QBig, ctx.BasisQ, d2)
+	rq.NTT(d0)
+	rq.NTT(d1)
+	return d0, d1, d2
+}
+
+// keySwitchCoeff applies a switching key to a coefficient-domain
+// polynomial p, returning the NTT-domain pair (ks0, ks1) with
+// ks0 + ks1·s ≈ p·target.
+func (ev *Evaluator) keySwitchCoeff(p ring.Poly, swk *SwitchingKey) (ring.Poly, ring.Poly) {
+	ctx := ev.ctx
+	rq := ctx.RingQ
+	digits := ctx.BasisQ.DecomposeDigits(p, rq.NewPoly)
+	ks0 := rq.NewPoly()
+	ks1 := rq.NewPoly()
+	for i, d := range digits {
+		rq.NTT(d)
+		rq.MulCoeffsAndAdd(d, swk.B[i], ks0)
+		rq.MulCoeffsAndAdd(d, swk.A[i], ks1)
+	}
+	return ks0, ks1
+}
+
+// Automorphism applies X -> X^g to the ciphertext and keyswitches back to
+// the original secret. Requires the Galois key for g.
+func (ev *Evaluator) Automorphism(ct *Ciphertext, g uint64) (*Ciphertext, error) {
+	if g == 1 {
+		return ct.Clone(), nil
+	}
+	if ev.keys == nil {
+		return nil, fmt.Errorf("bfv: Automorphism requires galois keys")
+	}
+	gk, err := ev.keys.GaloisKeyFor(g)
+	if err != nil {
+		return nil, err
+	}
+	ctx := ev.ctx
+	rq := ctx.RingQ
+
+	c0 := ct.C0.Clone()
+	c1 := ct.C1.Clone()
+	rq.INTT(c0)
+	rq.INTT(c1)
+	p0 := rq.NewPoly()
+	p1 := rq.NewPoly()
+	dst, neg := ring.AutomorphismIndex(ctx.N, g)
+	rq.AutomorphismWithIndex(c0, dst, neg, p0)
+	rq.AutomorphismWithIndex(c1, dst, neg, p1)
+
+	// φ(ct) decrypts under φ(s); switch the C1 part back to s.
+	ks0, ks1 := ev.keySwitchCoeff(p1, &gk.SwitchingKey)
+	out := ctx.NewCiphertext()
+	rq.NTT(p0)
+	rq.Add(p0, ks0, out.C0)
+	ks1.CopyTo(out.C1)
+	return out, nil
+}
+
+// RotateRows rotates both slot rows left by k (slot i receives the value
+// previously at slot i+k within each row of N/2). Requires the Galois key
+// for 5^k.
+func (ev *Evaluator) RotateRows(ct *Ciphertext, k int) (*Ciphertext, error) {
+	g := ring.GaloisElementForRotation(ev.ctx.N, k)
+	return ev.Automorphism(ct, g)
+}
+
+// RotateColumns swaps the two slot rows (conjugation). Requires the
+// Galois key for 2N-1.
+func (ev *Evaluator) RotateColumns(ct *Ciphertext) (*Ciphertext, error) {
+	return ev.Automorphism(ct, ring.GaloisElementConjugate(ev.ctx.N))
+}
+
+// RotationGaloisElements returns the Galois elements needed to rotate by
+// each k in ks (deduplicated), for key generation.
+func RotationGaloisElements(ctx *Context, ks []int) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, k := range ks {
+		g := ring.GaloisElementForRotation(ctx.N, k)
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package bfv
+
+import (
+	"fmt"
+
+	"athena/internal/ring"
+)
+
+// SecretKey is a ternary RLWE secret. Value is kept in the NTT domain;
+// Signed retains the raw {-1,0,1} coefficients for noise analysis and for
+// building LWE keys after sample extraction.
+type SecretKey struct {
+	Value  ring.Poly // NTT domain, ring Q
+	Signed []int64
+}
+
+// PublicKey is an encryption of zero: P0 + P1·s = -e. Both polys are in
+// the NTT domain.
+type PublicKey struct {
+	P0, P1 ring.Poly
+}
+
+// SwitchingKey holds one RNS-decomposed keyswitching key: component i is
+// an encryption of QiHat_i · target under the output secret, both polys
+// in the NTT domain.
+type SwitchingKey struct {
+	B []ring.Poly // B[i] = -(A[i]·s + e_i) + QiHat_i·target
+	A []ring.Poly
+}
+
+// RelinearizationKey switches s² -> s.
+type RelinearizationKey struct{ SwitchingKey }
+
+// GaloisKey switches σ_g(s) -> s for one Galois element g.
+type GaloisKey struct {
+	GaloisEl uint64
+	SwitchingKey
+}
+
+// KeySet bundles everything an evaluator may need.
+type KeySet struct {
+	Relin  *RelinearizationKey
+	Galois map[uint64]*GaloisKey
+}
+
+// KeyGenerator derives keys deterministically from a seed.
+type KeyGenerator struct {
+	ctx *Context
+	smp *ring.Sampler
+}
+
+// NewKeyGenerator creates a generator over ctx seeded by seed.
+func NewKeyGenerator(ctx *Context, seed uint64) *KeyGenerator {
+	return &KeyGenerator{ctx: ctx, smp: ring.NewSampler(ctx.RingQ, seed)}
+}
+
+// GenSecretKey samples a fresh ternary secret.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	rq := kg.ctx.RingQ
+	sk := &SecretKey{Value: rq.NewPoly()}
+	sk.Signed = kg.smp.TernaryDense(sk.Value)
+	rq.NTT(sk.Value)
+	return sk
+}
+
+// GenPublicKey derives a public key for sk.
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	rq := kg.ctx.RingQ
+	pk := &PublicKey{P0: rq.NewPoly(), P1: rq.NewPoly()}
+	kg.smp.Uniform(pk.P1) // treat as NTT-domain uniform a
+	e := rq.NewPoly()
+	kg.smp.Gaussian(kg.ctx.Params.Sigma, e)
+	rq.NTT(e)
+	// P0 = -(a·s) - e
+	rq.MulCoeffs(pk.P1, sk.Value, pk.P0)
+	rq.Add(pk.P0, e, pk.P0)
+	rq.Neg(pk.P0, pk.P0)
+	return pk
+}
+
+// genSwitchingKey builds a keyswitching key from `target` (NTT domain)
+// to sk.
+func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, target ring.Poly) SwitchingKey {
+	ctx := kg.ctx
+	rq := ctx.RingQ
+	k := len(ctx.Params.Qi)
+	swk := SwitchingKey{B: make([]ring.Poly, k), A: make([]ring.Poly, k)}
+	for i := 0; i < k; i++ {
+		a := rq.NewPoly()
+		kg.smp.Uniform(a)
+		e := rq.NewPoly()
+		kg.smp.Gaussian(ctx.Params.Sigma, e)
+		rq.NTT(e)
+
+		b := rq.NewPoly()
+		rq.MulCoeffs(a, sk.Value, b)
+		rq.Add(b, e, b)
+		rq.Neg(b, b) // b = -(a·s + e)
+
+		// b += QiHat_i · target. QiHat_i mod q_l per limb.
+		hat := ctx.BasisQ.ScalarMod(ctx.BasisQ.QiHat[i])
+		scaled := rq.NewPoly()
+		rq.MulScalarRNS(target, hat, scaled)
+		rq.Add(b, scaled, b)
+
+		swk.A[i] = a
+		swk.B[i] = b
+	}
+	return swk
+}
+
+// GenRelinearizationKey builds the s² -> s key.
+func (kg *KeyGenerator) GenRelinearizationKey(sk *SecretKey) *RelinearizationKey {
+	rq := kg.ctx.RingQ
+	s2 := rq.NewPoly()
+	rq.MulCoeffs(sk.Value, sk.Value, s2)
+	return &RelinearizationKey{kg.genSwitchingKey(sk, s2)}
+}
+
+// GenGaloisKey builds the σ_g(s) -> s key for Galois element g.
+func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, g uint64) *GaloisKey {
+	rq := kg.ctx.RingQ
+	sCoeff := sk.Value.Clone()
+	rq.INTT(sCoeff)
+	sPerm := rq.NewPoly()
+	rq.Automorphism(sCoeff, g, sPerm)
+	rq.NTT(sPerm)
+	return &GaloisKey{GaloisEl: g, SwitchingKey: kg.genSwitchingKey(sk, sPerm)}
+}
+
+// GenKeySet builds a relinearization key plus Galois keys for the listed
+// elements.
+func (kg *KeyGenerator) GenKeySet(sk *SecretKey, galoisEls []uint64) *KeySet {
+	ks := &KeySet{
+		Relin:  kg.GenRelinearizationKey(sk),
+		Galois: make(map[uint64]*GaloisKey, len(galoisEls)),
+	}
+	for _, g := range galoisEls {
+		if _, ok := ks.Galois[g]; !ok {
+			ks.Galois[g] = kg.GenGaloisKey(sk, g)
+		}
+	}
+	return ks
+}
+
+// GaloisKeyFor fetches the key for element g, or an error naming it.
+func (ks *KeySet) GaloisKeyFor(g uint64) (*GaloisKey, error) {
+	if k, ok := ks.Galois[g]; ok {
+		return k, nil
+	}
+	return nil, fmt.Errorf("bfv: missing galois key for element %d", g)
+}

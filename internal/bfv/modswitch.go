@@ -1,0 +1,32 @@
+package bfv
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// SwitchModulus rescales ct from modulus Q to the word-sized modulus q2,
+// returning the coefficient-domain pair (a, b) with b + a·s ≈ m·(q2/t)
+// (mod q2). This is Step ② of the Athena loop: the large linear-layer
+// noise e is annihilated by the scaling, at the price of a small rounding
+// noise e_ms on the q2 scale.
+//
+// Choosing q2 = t·2^k leaves the message at scale 2^k; a subsequent LWE
+// modulus switch to t (after sample extraction and dimension switching)
+// recovers the scale-free embedding phase = m + e_ms used by functional
+// bootstrapping.
+func (c *Context) SwitchModulus(ct *Ciphertext, q2 uint64) (a, b []uint64, err error) {
+	if new(big.Int).SetUint64(q2).Cmp(c.QBig) >= 0 {
+		return nil, nil, fmt.Errorf("bfv: modulus switch target %d not below Q", q2)
+	}
+	c0 := ct.C0.Clone()
+	c1 := ct.C1.Clone()
+	c.RingQ.INTT(c0)
+	c.RingQ.INTT(c1)
+	a = make([]uint64, c.N)
+	b = make([]uint64, c.N)
+	q2Big := new(big.Int).SetUint64(q2)
+	c.BasisQ.ScaleAndRoundToUint(c1, q2Big, c.QBig, q2, a)
+	c.BasisQ.ScaleAndRoundToUint(c0, q2Big, c.QBig, q2, b)
+	return a, b, nil
+}

@@ -1,0 +1,173 @@
+// Package bfv implements the Brakerski/Fan-Vercauteren scheme over the
+// RNS rings of package ring: exact integer homomorphic encryption with
+// plaintext space Z_t[X]/(X^N+1). It provides the operations the Athena
+// framework needs — homomorphic addition, plaintext and scalar
+// multiplication, ciphertext-ciphertext multiplication with
+// relinearization, Galois automorphisms (slot rotations), batching, and
+// modulus switching — with exact big-integer scale-and-round on the cold
+// paths so that test-scale results are bit-identical to the plaintext
+// computation.
+package bfv
+
+import (
+	"fmt"
+	"math/big"
+
+	"athena/internal/ring"
+	"athena/internal/rns"
+)
+
+// Parameters fixes a BFV instance. T must be prime; batching additionally
+// requires T ≡ 1 (mod 2N).
+type Parameters struct {
+	LogN  int      // ring degree N = 2^LogN
+	Qi    []uint64 // ciphertext modulus chain (NTT-friendly primes)
+	T     uint64   // plaintext modulus
+	Sigma float64  // error standard deviation
+}
+
+// Context carries the precomputed state for a parameter set. It is
+// immutable after construction and safe for concurrent use.
+type Context struct {
+	Params Parameters
+
+	N     int
+	RingQ *ring.Ring // ciphertext ring, modulus Q
+	RingT *ring.Ring // plaintext ring, modulus t (single limb)
+
+	BasisQ  *rns.Basis
+	TMod    ring.Modulus
+	Delta   *big.Int // floor(Q/t)
+	DeltaQi []uint64 // Δ mod q_i
+	TBig    *big.Int
+	QBig    *big.Int
+
+	// Tensor-product machinery: the extended basis QB ⊃ Q large enough
+	// that the centered tensor product never wraps.
+	RingQB  *ring.Ring
+	BasisQB *rns.Basis
+
+	batching bool
+	slotIdx  []int // slot i lives at plaintext coefficient slotIdx[i]
+}
+
+// NewContext validates params and precomputes every table.
+func NewContext(p Parameters) (*Context, error) {
+	if p.LogN < 2 || p.LogN > 16 {
+		return nil, fmt.Errorf("bfv: logN %d out of range", p.LogN)
+	}
+	if p.Sigma <= 0 {
+		p.Sigma = ring.DefaultSigma
+	}
+	if !ring.IsPrime(p.T) {
+		return nil, fmt.Errorf("bfv: plaintext modulus %d must be prime", p.T)
+	}
+	rq, err := ring.NewRing(p.LogN, p.Qi)
+	if err != nil {
+		return nil, fmt.Errorf("bfv: ciphertext ring: %w", err)
+	}
+	c := &Context{
+		Params: p,
+		N:      rq.N,
+		RingQ:  rq,
+		BasisQ: rns.NewBasis(p.Qi),
+		TMod:   ring.NewModulus(p.T),
+		TBig:   new(big.Int).SetUint64(p.T),
+	}
+	c.QBig = c.BasisQ.Q
+	c.Delta = new(big.Int).Div(c.QBig, c.TBig)
+	c.DeltaQi = c.BasisQ.ScalarMod(c.Delta)
+
+	// Extended basis for tensor products: need prod(QB) > N·Q²
+	// (centered products bounded by N·(Q/2)², doubled for sign headroom).
+	extraBits := c.QBig.BitLen() + p.LogN + 2
+	extCount := (extraBits+58)/59 + 1
+	ext, err := ring.GenerateNTTPrimes(59, p.LogN, extCount+len(p.Qi))
+	if err != nil {
+		return nil, fmt.Errorf("bfv: tensor primes: %w", err)
+	}
+	used := make(map[uint64]bool, len(p.Qi))
+	for _, q := range p.Qi {
+		used[q] = true
+	}
+	qb := append([]uint64(nil), p.Qi...)
+	for _, q := range ext {
+		if len(qb) == len(p.Qi)+extCount {
+			break
+		}
+		if !used[q] {
+			qb = append(qb, q)
+		}
+	}
+	if len(qb) != len(p.Qi)+extCount {
+		return nil, fmt.Errorf("bfv: not enough distinct tensor primes")
+	}
+	c.RingQB, err = ring.NewRing(p.LogN, qb)
+	if err != nil {
+		return nil, fmt.Errorf("bfv: tensor ring: %w", err)
+	}
+	c.BasisQB = rns.NewBasis(qb)
+
+	// Batching requires t ≡ 1 (mod 2N) so Z_t[X]/(X^N+1) splits fully.
+	if (p.T-1)%uint64(2*c.N) == 0 {
+		c.batching = true
+		rt, err := ring.NewRing(p.LogN, []uint64{p.T})
+		if err != nil {
+			return nil, fmt.Errorf("bfv: plaintext ring: %w", err)
+		}
+		c.RingT = rt
+		c.slotIdx = buildSlotIndex(c.N, p.LogN)
+	}
+	return c, nil
+}
+
+// buildSlotIndex maps slot positions to plaintext NTT positions following
+// the standard two-row hypercube layout: row 0 holds slots 0..N/2-1 at
+// the orbit of the evaluation point under X -> X^5, row 1 its conjugates.
+func buildSlotIndex(n, logN int) []int {
+	idx := make([]int, n)
+	m := uint64(n) << 1
+	rowSize := n >> 1
+	pos := uint64(1)
+	for i := 0; i < rowSize; i++ {
+		index1 := (pos - 1) >> 1
+		index2 := (m - pos - 1) >> 1
+		idx[i] = int(bitrev(index1, logN))
+		idx[i|rowSize] = int(bitrev(index2, logN))
+		pos = pos * ring.GaloisGen % m
+	}
+	return idx
+}
+
+func bitrev(x uint64, bitLen int) uint64 {
+	var r uint64
+	for i := 0; i < bitLen; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// Batching reports whether this context supports slot encoding.
+func (c *Context) Batching() bool { return c.batching }
+
+// SlotIndex returns a copy of the slot-to-coefficient-position table:
+// slot i of the batched plaintext lives at NTT position SlotIndex()[i] of
+// the mod-t transform. Package pack uses it to build homomorphic linear
+// transforms between the two encodings.
+func (c *Context) SlotIndex() []int {
+	return append([]int(nil), c.slotIdx...)
+}
+
+// Slots returns the usable slot count per row (N/2); the full plaintext
+// carries two rows.
+func (c *Context) Slots() int { return c.N / 2 }
+
+// CiphertextSizeBytes returns the byte size of a fresh 2-poly ciphertext
+// at full level (the metric Table 1 reports).
+func (c *Context) CiphertextSizeBytes() int {
+	return 2 * c.N * len(c.Params.Qi) * 8
+}
+
+// LogQ returns the total ciphertext modulus size in bits.
+func (c *Context) LogQ() int { return c.QBig.BitLen() }

@@ -1,0 +1,306 @@
+package bfv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"athena/internal/ring"
+)
+
+// Wire format: everything little-endian. Each object starts with a
+// 4-byte magic, a format version, and the parameter fingerprint
+// (logN, limb count, t) so mismatched contexts fail loudly instead of
+// decrypting garbage.
+
+const (
+	magicCiphertext = 0x41435431 // "ACT1"
+	magicSecretKey  = 0x41534b31 // "ASK1"
+	magicPublicKey  = 0x41504b31 // "APK1"
+	magicKeySet     = 0x414b5331 // "AKS1"
+	wireVersion     = 1
+)
+
+type wireWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *wireWriter) u64(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, w.err = w.w.Write(b[:])
+}
+
+func (w *wireWriter) u64s(vs []uint64) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.u64(v)
+	}
+}
+
+func (w *wireWriter) poly(p ring.Poly) {
+	w.u64(uint64(len(p.Coeffs)))
+	for _, limb := range p.Coeffs {
+		w.u64s(limb)
+	}
+}
+
+type wireReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *wireReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	var b [8]byte
+	_, r.err = io.ReadFull(r.r, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (r *wireReader) u64s(max int) []uint64 {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(max) {
+		r.err = fmt.Errorf("bfv: wire length %d exceeds limit %d", n, max)
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.u64()
+	}
+	return out
+}
+
+func (r *wireReader) poly(rq *ring.Ring) ring.Poly {
+	limbs := r.u64()
+	if r.err != nil {
+		return ring.Poly{}
+	}
+	if limbs != uint64(rq.Level()) {
+		r.err = fmt.Errorf("bfv: wire poly has %d limbs, context expects %d", limbs, rq.Level())
+		return ring.Poly{}
+	}
+	p := rq.NewPoly()
+	for i := range p.Coeffs {
+		limb := r.u64s(rq.N)
+		if r.err != nil {
+			return ring.Poly{}
+		}
+		if len(limb) != rq.N {
+			r.err = fmt.Errorf("bfv: wire limb has %d coeffs, want %d", len(limb), rq.N)
+			return ring.Poly{}
+		}
+		copy(p.Coeffs[i], limb)
+	}
+	return p
+}
+
+func (c *Context) writeHeader(w *wireWriter, magic uint64) {
+	w.u64(magic)
+	w.u64(wireVersion)
+	w.u64(uint64(c.Params.LogN))
+	w.u64(uint64(len(c.Params.Qi)))
+	w.u64(c.Params.T)
+}
+
+func (c *Context) readHeader(r *wireReader, magic uint64) error {
+	if got := r.u64(); r.err == nil && got != magic {
+		return fmt.Errorf("bfv: bad magic %#x", got)
+	}
+	if v := r.u64(); r.err == nil && v != wireVersion {
+		return fmt.Errorf("bfv: unsupported wire version %d", v)
+	}
+	logN := r.u64()
+	limbs := r.u64()
+	t := r.u64()
+	if r.err != nil {
+		return r.err
+	}
+	if int(logN) != c.Params.LogN || int(limbs) != len(c.Params.Qi) || t != c.Params.T {
+		return fmt.Errorf("bfv: parameter mismatch (wire logN=%d limbs=%d t=%d)", logN, limbs, t)
+	}
+	return nil
+}
+
+// WriteCiphertext serializes ct.
+func (c *Context) WriteCiphertext(ct *Ciphertext, w io.Writer) error {
+	ww := &wireWriter{w: bufio.NewWriter(w)}
+	c.writeHeader(ww, magicCiphertext)
+	ww.poly(ct.C0)
+	ww.poly(ct.C1)
+	if ww.err != nil {
+		return ww.err
+	}
+	return ww.w.Flush()
+}
+
+// ReadCiphertext deserializes a ciphertext produced under the same
+// parameters.
+func (c *Context) ReadCiphertext(r io.Reader) (*Ciphertext, error) {
+	rr := &wireReader{r: bufio.NewReader(r)}
+	if err := c.readHeader(rr, magicCiphertext); err != nil {
+		return nil, err
+	}
+	ct := &Ciphertext{C0: rr.poly(c.RingQ), C1: rr.poly(c.RingQ)}
+	if rr.err != nil {
+		return nil, rr.err
+	}
+	return ct, nil
+}
+
+// WriteSecretKey serializes sk (including the signed coefficient vector
+// needed for the LWE bridge).
+func (c *Context) WriteSecretKey(sk *SecretKey, w io.Writer) error {
+	ww := &wireWriter{w: bufio.NewWriter(w)}
+	c.writeHeader(ww, magicSecretKey)
+	ww.poly(sk.Value)
+	ww.u64(uint64(len(sk.Signed)))
+	for _, s := range sk.Signed {
+		ww.u64(uint64(s + 1)) // {-1,0,1} -> {0,1,2}
+	}
+	if ww.err != nil {
+		return ww.err
+	}
+	return ww.w.Flush()
+}
+
+// ReadSecretKey deserializes a secret key.
+func (c *Context) ReadSecretKey(r io.Reader) (*SecretKey, error) {
+	rr := &wireReader{r: bufio.NewReader(r)}
+	if err := c.readHeader(rr, magicSecretKey); err != nil {
+		return nil, err
+	}
+	sk := &SecretKey{Value: rr.poly(c.RingQ)}
+	n := rr.u64()
+	if rr.err != nil {
+		return nil, rr.err
+	}
+	if n != uint64(c.N) {
+		return nil, fmt.Errorf("bfv: signed vector length %d, want %d", n, c.N)
+	}
+	sk.Signed = make([]int64, n)
+	for i := range sk.Signed {
+		v := rr.u64()
+		if v > 2 {
+			return nil, fmt.Errorf("bfv: non-ternary signed coefficient %d", v)
+		}
+		sk.Signed[i] = int64(v) - 1
+	}
+	if rr.err != nil {
+		return nil, rr.err
+	}
+	return sk, nil
+}
+
+// WritePublicKey serializes pk.
+func (c *Context) WritePublicKey(pk *PublicKey, w io.Writer) error {
+	ww := &wireWriter{w: bufio.NewWriter(w)}
+	c.writeHeader(ww, magicPublicKey)
+	ww.poly(pk.P0)
+	ww.poly(pk.P1)
+	if ww.err != nil {
+		return ww.err
+	}
+	return ww.w.Flush()
+}
+
+// ReadPublicKey deserializes a public key.
+func (c *Context) ReadPublicKey(r io.Reader) (*PublicKey, error) {
+	rr := &wireReader{r: bufio.NewReader(r)}
+	if err := c.readHeader(rr, magicPublicKey); err != nil {
+		return nil, err
+	}
+	pk := &PublicKey{P0: rr.poly(c.RingQ), P1: rr.poly(c.RingQ)}
+	if rr.err != nil {
+		return nil, rr.err
+	}
+	return pk, nil
+}
+
+// WriteKeySet serializes the evaluation keys (relinearization + galois).
+func (c *Context) WriteKeySet(ks *KeySet, w io.Writer) error {
+	ww := &wireWriter{w: bufio.NewWriter(w)}
+	c.writeHeader(ww, magicKeySet)
+	writeSwk := func(s *SwitchingKey) {
+		ww.u64(uint64(len(s.B)))
+		for i := range s.B {
+			ww.poly(s.B[i])
+			ww.poly(s.A[i])
+		}
+	}
+	if ks.Relin != nil {
+		ww.u64(1)
+		writeSwk(&ks.Relin.SwitchingKey)
+	} else {
+		ww.u64(0)
+	}
+	ww.u64(uint64(len(ks.Galois)))
+	for g, gk := range ks.Galois {
+		ww.u64(g)
+		writeSwk(&gk.SwitchingKey)
+	}
+	if ww.err != nil {
+		return ww.err
+	}
+	return ww.w.Flush()
+}
+
+// ReadKeySet deserializes evaluation keys.
+func (c *Context) ReadKeySet(r io.Reader) (*KeySet, error) {
+	rr := &wireReader{r: bufio.NewReader(r)}
+	if err := c.readHeader(rr, magicKeySet); err != nil {
+		return nil, err
+	}
+	readSwk := func() (SwitchingKey, error) {
+		n := rr.u64()
+		if rr.err != nil {
+			return SwitchingKey{}, rr.err
+		}
+		if n != uint64(len(c.Params.Qi)) {
+			return SwitchingKey{}, fmt.Errorf("bfv: switching key with %d components, want %d", n, len(c.Params.Qi))
+		}
+		s := SwitchingKey{B: make([]ring.Poly, n), A: make([]ring.Poly, n)}
+		for i := range s.B {
+			s.B[i] = rr.poly(c.RingQ)
+			s.A[i] = rr.poly(c.RingQ)
+		}
+		return s, rr.err
+	}
+	ks := &KeySet{Galois: map[uint64]*GaloisKey{}}
+	hasRelin := rr.u64()
+	if rr.err != nil {
+		return nil, rr.err
+	}
+	if hasRelin == 1 {
+		swk, err := readSwk()
+		if err != nil {
+			return nil, err
+		}
+		ks.Relin = &RelinearizationKey{swk}
+	}
+	ng := rr.u64()
+	if rr.err != nil {
+		return nil, rr.err
+	}
+	if ng > 1<<16 {
+		return nil, fmt.Errorf("bfv: implausible galois key count %d", ng)
+	}
+	for i := uint64(0); i < ng; i++ {
+		g := rr.u64()
+		swk, err := readSwk()
+		if err != nil {
+			return nil, err
+		}
+		ks.Galois[g] = &GaloisKey{GaloisEl: g, SwitchingKey: swk}
+	}
+	return ks, nil
+}

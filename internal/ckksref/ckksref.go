@@ -1,0 +1,290 @@
+// Package ckksref reproduces the CKKS-side comparison material of the
+// paper: the Δ-sensitivity study of series-expanded non-linear functions
+// (Fig. 1) and the parameter/size accounting of the six solutions in
+// Table 1.
+//
+// A full CKKS implementation is not required (and the paper's Fig. 1 is
+// a numerical-precision statement, not a cryptographic one): the study
+// evaluates Taylor/Chebyshev expansions of ReLU and sigmoid in simulated
+// Δ-bit fixed-point arithmetic — every intermediate rounded to Δ
+// fractional bits with a half-ulp error, exactly the precision floor a
+// CKKS scaling factor of Δ bits imposes — and measures bit accuracy
+// against a 40-bit ground truth.
+package ckksref
+
+import (
+	"math"
+)
+
+// Approx identifies an approximation family.
+type Approx int
+
+const (
+	// Taylor expands around 0 (sigmoid) or uses the smooth
+	// sqrt(x²+ε)-based surrogate (ReLU, which has no Taylor series at 0).
+	Taylor Approx = iota
+	// Chebyshev fits on [-1, 1] by the projection rule.
+	Chebyshev
+)
+
+func (a Approx) String() string {
+	if a == Taylor {
+		return "taylor"
+	}
+	return "chebyshev"
+}
+
+// Fn identifies a target non-linear function on [-1, 1].
+type Fn int
+
+const (
+	// ReLU is max(0, x).
+	ReLU Fn = iota
+	// Sigmoid is 1/(1+e^-x).
+	Sigmoid
+)
+
+func (f Fn) String() string {
+	if f == ReLU {
+		return "relu"
+	}
+	return "sigmoid"
+}
+
+func (f Fn) eval(x float64) float64 {
+	switch f {
+	case ReLU:
+		return math.Max(0, x)
+	default:
+		return 1 / (1 + math.Exp(-x))
+	}
+}
+
+// Coefficients returns the expansion coefficients of f up to the given
+// order (inclusive), over [-1, 1].
+func Coefficients(f Fn, a Approx, order int) []float64 {
+	switch a {
+	case Chebyshev:
+		return chebyshevCoeffs(f, order)
+	default:
+		return taylorCoeffs(f, order)
+	}
+}
+
+// taylorCoeffs: sigmoid has the classical expansion at 0; ReLU uses the
+// smooth surrogate (x + sqrt(x²+ε))/2 expanded in even powers of x
+// (equivalently |x| ≈ sqrt(x²+ε) via the binomial series), the standard
+// "Taylor-style" polynomial treatment of ReLU in the FHE literature.
+func taylorCoeffs(f Fn, order int) []float64 {
+	c := make([]float64, order+1)
+	switch f {
+	case Sigmoid:
+		// sigmoid(x) = 1/2 + x/4 - x³/48 + x⁵/480 - 17x⁷/80640 + ...
+		known := []float64{0.5, 0.25, 0, -1.0 / 48, 0, 1.0 / 480, 0, -17.0 / 80640, 0, 31.0 / 1451520, 0}
+		for i := 0; i <= order && i < len(known); i++ {
+			c[i] = known[i]
+		}
+		// Higher odd terms from the Euler-number recurrence are tiny;
+		// extend with the next asymptotic terms when asked.
+		extra := []float64{-691.0 / 319334400, 0, 5461.0 / 24908083200}
+		for i := len(known); i <= order && i-len(known) < len(extra); i++ {
+			c[i] = extra[i-len(known)]
+		}
+	case ReLU:
+		// relu(x) = (x + |x|)/2, |x| ≈ sqrt(x²+ε) = sqrt(ε)·sqrt(1+x²/ε)…
+		// with ε chosen so the series converges on [-1,1]: use the
+		// binomial expansion of sqrt(u) around u=1 with u = x²:
+		// |x| ≈ Σ binom(1/2, k) (x²-1)^k — expand in powers of x.
+		c[0] = 0
+		if order >= 1 {
+			c[1] = 0.5
+		}
+		abs := absSeriesCoeffs(order)
+		for i := 0; i <= order; i++ {
+			c[i] += 0.5 * abs[i]
+		}
+	}
+	return c
+}
+
+// absSeriesCoeffs expands |x| ≈ sqrt(1+(x²-1)) via the binomial series
+// Σ_k binom(1/2,k)(x²-1)^k truncated at the requested polynomial order,
+// returning monomial coefficients.
+func absSeriesCoeffs(order int) []float64 {
+	c := make([]float64, order+1)
+	kmax := order / 2
+	// binom(1/2, k)
+	b := 1.0
+	for k := 0; k <= kmax; k++ {
+		if k > 0 {
+			b *= (0.5 - float64(k-1)) / float64(k)
+		}
+		// (x²-1)^k expanded: Σ_j C(k,j) x^{2j} (-1)^{k-j}
+		cj := 1.0 // C(k,0)
+		sign := 1.0
+		if k%2 == 1 {
+			sign = -1
+		}
+		for j := 0; j <= k; j++ {
+			if 2*j <= order {
+				c[2*j] += b * cj * sign
+			}
+			cj = cj * float64(k-j) / float64(j+1)
+			sign = -sign
+		}
+	}
+	return c
+}
+
+// chebyshevCoeffs projects f onto Chebyshev polynomials on [-1,1] and
+// converts to monomial coefficients.
+func chebyshevCoeffs(f Fn, order int) []float64 {
+	const m = 512 // quadrature points
+	a := make([]float64, order+1)
+	for k := 0; k <= order; k++ {
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			th := math.Pi * (float64(i) + 0.5) / m
+			sum += f.eval(math.Cos(th)) * math.Cos(float64(k)*th)
+		}
+		a[k] = 2 * sum / m
+	}
+	a[0] /= 2
+	// Convert Σ a_k T_k(x) to monomial form via the T_k recurrence.
+	mono := make([]float64, order+1)
+	tPrev := make([]float64, order+1) // T_0
+	tCur := make([]float64, order+1)  // T_1
+	tPrev[0] = 1
+	if order >= 1 {
+		tCur[1] = 1
+	}
+	addScaled(mono, tPrev, a[0])
+	if order >= 1 {
+		addScaled(mono, tCur, a[1])
+	}
+	for k := 2; k <= order; k++ {
+		tNext := make([]float64, order+1)
+		for i := 0; i < order; i++ {
+			tNext[i+1] += 2 * tCur[i]
+		}
+		for i := range tPrev {
+			tNext[i] -= tPrev[i]
+		}
+		addScaled(mono, tNext, a[k])
+		tPrev, tCur = tCur, tNext
+	}
+	return mono
+}
+
+func addScaled(dst, src []float64, s float64) {
+	for i := range src {
+		dst[i] += s * src[i]
+	}
+}
+
+// roundFixed rounds v to delta fractional bits.
+func roundFixed(v float64, delta int) float64 {
+	s := math.Exp2(float64(delta))
+	return math.Round(v*s) / s
+}
+
+// EtaBits is the log2 magnitude of the CKKS rescaling noise: after a
+// multiplication and rescale by Δ the residual error is e/Δ with
+// |e| ≈ √N·σ·‖s‖-type terms ≈ 2^17 at N = 2^16. This is why small Δ
+// destroys accuracy (Fig. 1) even though the fixed-point grid alone
+// would be sufficient.
+const EtaBits = 17
+
+// multNoise returns a deterministic pseudo-random perturbation of
+// magnitude 2^(EtaBits-delta), seeded by the operation index and operand.
+func multNoise(delta int, seed uint64) float64 {
+	if delta <= 0 {
+		return 0
+	}
+	// xorshift-based uniform in [-1, 1).
+	seed ^= seed << 13
+	seed ^= seed >> 7
+	seed ^= seed << 17
+	u := float64(int64(seed)) / math.MaxInt64 // in (-1, 1)
+	return u * math.Exp2(float64(EtaBits-delta))
+}
+
+// EvalFixed evaluates the polynomial in Δ-bit fixed point: coefficients
+// and every intermediate product/sum are rounded to Δ fractional bits,
+// modelling the precision floor of a CKKS scaling factor of Δ bits.
+// delta ≤ 0 evaluates in full float64 precision (the "plaintext
+// expansion" red line of Fig. 1).
+func EvalFixed(coeffs []float64, x float64, delta int) float64 {
+	if delta <= 0 {
+		// Horner in full precision.
+		acc := 0.0
+		for i := len(coeffs) - 1; i >= 0; i-- {
+			acc = acc*x + coeffs[i]
+		}
+		return acc
+	}
+	xq := roundFixed(x, delta)
+	acc := 0.0
+	seed := math.Float64bits(x) | 1
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = roundFixed(acc*xq, delta) + multNoise(delta, seed+uint64(i)*0x9e3779b97f4a7c15)
+		acc = roundFixed(acc+roundFixed(coeffs[i], delta), delta)
+	}
+	return acc
+}
+
+// BitAccuracy measures -log2 of the mean absolute error of the Δ-bit
+// expansion against the exact function over a grid on [-1, 1], capped at
+// the 40-bit ground-truth floor the paper uses.
+func BitAccuracy(f Fn, a Approx, order, delta int) float64 {
+	coeffs := Coefficients(f, a, order)
+	const pts = 401
+	sum := 0.0
+	for i := 0; i < pts; i++ {
+		x := -1 + 2*float64(i)/(pts-1)
+		got := EvalFixed(coeffs, x, delta)
+		want := f.eval(x)
+		sum += math.Abs(got - want)
+	}
+	mean := sum / pts
+	if mean <= 0 {
+		return 40
+	}
+	b := -math.Log2(mean)
+	if b > 40 {
+		b = 40
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Fig1Point is one sample of the Fig. 1 curves.
+type Fig1Point struct {
+	Fn     Fn
+	Approx Approx
+	Order  int
+	Delta  int // 0 = exact plaintext expansion
+	Bits   float64
+}
+
+// Fig1Curves generates the study: for each function and approximation,
+// orders 1..maxOrder at Δ ∈ {0 (plain), 25, 30, 35, 40}.
+func Fig1Curves(maxOrder int) []Fig1Point {
+	var out []Fig1Point
+	deltas := []int{0, 25, 30, 35, 40}
+	for _, f := range []Fn{ReLU, Sigmoid} {
+		for _, a := range []Approx{Taylor, Chebyshev} {
+			for order := 1; order <= maxOrder; order += 2 {
+				for _, d := range deltas {
+					out = append(out, Fig1Point{
+						Fn: f, Approx: a, Order: order, Delta: d,
+						Bits: BitAccuracy(f, a, order, d),
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package ckksref
+
+import (
+	"math"
+	"testing"
+
+	"athena/internal/qnn"
+)
+
+// Small indirection helpers so the model-curve test reads clearly.
+func makeDigits(n int, seed uint64) *qnn.Dataset { return qnn.SynthDigits(n, seed) }
+func makeMNIST(seed uint64) *qnn.Network         { return qnn.NewMNISTNet(seed) }
+func makeTrainCfg() qnn.TrainConfig {
+	c := qnn.DefaultTrainConfig()
+	c.Epochs = 2
+	return c
+}
+func trainNet(n *qnn.Network, d *qnn.Dataset, c qnn.TrainConfig) { qnn.Train(n, d, c) }
+
+func TestSigmoidTaylorConverges(t *testing.T) {
+	// Near 0 the expansion must be excellent at order 7+.
+	c := taylorCoeffs(Sigmoid, 7)
+	for _, x := range []float64{-0.5, -0.1, 0, 0.2, 0.5} {
+		got := EvalFixed(c, x, 0)
+		want := Sigmoid.eval(x)
+		if math.Abs(got-want) > 2e-4 {
+			t.Fatalf("sigmoid taylor(7) at %v: %v want %v", x, got, want)
+		}
+	}
+}
+
+func TestChebyshevBeatsTaylorForReLU(t *testing.T) {
+	// Chebyshev is the right tool for the non-smooth ReLU on [-1,1].
+	bT := BitAccuracy(ReLU, Taylor, 15, 0)
+	bC := BitAccuracy(ReLU, Chebyshev, 15, 0)
+	if bC <= bT {
+		t.Fatalf("chebyshev relu accuracy %.2f should beat taylor %.2f", bC, bT)
+	}
+}
+
+func TestAccuracyImprovesWithOrder(t *testing.T) {
+	for _, f := range []Fn{ReLU, Sigmoid} {
+		lo := BitAccuracy(f, Chebyshev, 3, 0)
+		hi := BitAccuracy(f, Chebyshev, 25, 0)
+		if hi <= lo {
+			t.Fatalf("%v: order 25 accuracy %.2f not above order 3 %.2f", f, hi, lo)
+		}
+	}
+}
+
+func TestDeltaCapsAccuracy(t *testing.T) {
+	// Fig. 1's core message: at Δ=25 the fixed-point floor destroys
+	// accuracy regardless of expansion order, while Δ=40 tracks the
+	// plaintext expansion; accuracy is monotone-ish in Δ.
+	for _, f := range []Fn{ReLU, Sigmoid} {
+		b25 := BitAccuracy(f, Chebyshev, 27, 25)
+		b30 := BitAccuracy(f, Chebyshev, 27, 30)
+		b40 := BitAccuracy(f, Chebyshev, 27, 40)
+		if b25 >= b40 || b25 > b30+0.5 {
+			t.Fatalf("%v: accuracy not improving with Δ: 25→%.2f 30→%.2f 40→%.2f", f, b25, b30, b40)
+		}
+	}
+	// The paper's headline observations: even Δ=40 leaves a significant
+	// gap to the 40-bit ground truth, and the gap is larger for ReLU.
+	sPlain := BitAccuracy(Sigmoid, Chebyshev, 27, 0)
+	s40 := BitAccuracy(Sigmoid, Chebyshev, 27, 40)
+	if sPlain-s40 < 5 {
+		t.Fatalf("sigmoid Δ=40 gap to ground truth too small: %.2f vs %.2f", s40, sPlain)
+	}
+	pR := BitAccuracy(ReLU, Chebyshev, 31, 0)
+	pS := BitAccuracy(Sigmoid, Chebyshev, 31, 0)
+	if pR >= pS {
+		t.Fatalf("relu plaintext accuracy %.2f should stay below sigmoid %.2f", pR, pS)
+	}
+}
+
+func TestFig1CurvesShape(t *testing.T) {
+	pts := Fig1Curves(9)
+	if len(pts) != 2*2*5*5 {
+		t.Fatalf("unexpected point count %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Bits < 0 || p.Bits > 40 {
+			t.Fatalf("bit accuracy %.2f out of range", p.Bits)
+		}
+	}
+}
+
+func TestTable1Properties(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	athena := rows[5]
+	if !athena.FBS || !athena.Quantized || athena.Degree != 32768 || athena.LogQ != 720 {
+		t.Fatalf("athena row wrong: %+v", athena)
+	}
+	// Paper: Athena ciphertext ≈ 5.6 MB vs CKKS 27–32 MB; keys shrink
+	// 3–6×. Our word-packed formulas must land in those bands.
+	cb := athena.CiphertextBytes()
+	if cb < 5<<20 || cb > 7<<20 {
+		t.Fatalf("athena ciphertext %d bytes, expected ≈6MB", cb)
+	}
+	ckks := rows[3]
+	if ckks.CiphertextBytes() < 20<<20 {
+		t.Fatalf("ckks ciphertext %d bytes, expected ≳20MB", ckks.CiphertextBytes())
+	}
+	cr, kr := SizeRatioVsCKKS()
+	if cr < 3 || cr > 8 {
+		t.Fatalf("cipher ratio %.1f outside the paper's 3–6x band (±)", cr)
+	}
+	if kr < 2 || kr > 10 {
+		t.Fatalf("key ratio %.1f implausible", kr)
+	}
+	for _, r := range rows {
+		if r.String() == "" {
+			t.Fatal("empty row rendering")
+		}
+	}
+}
+
+func TestModelBitAccuracyShape(t *testing.T) {
+	// A small trained model: approximated ReLU must degrade the output
+	// probabilities, more so at low Δ — the Fig. 1 model curves.
+	train := makeDigits(300, 1)
+	net := makeMNIST(2)
+	cfg := makeTrainCfg()
+	trainNet(net, train, cfg)
+
+	b25 := ModelBitAccuracy(net, train, 12, 15, 25)
+	b40 := ModelBitAccuracy(net, train, 12, 15, 40)
+	if b25 > b40+0.5 {
+		t.Fatalf("Δ=25 model accuracy %.2f above Δ=40 %.2f", b25, b40)
+	}
+	// Both are far from the 40-bit ground truth (ReLU approximation error
+	// propagates through the network).
+	if b40 > 30 {
+		t.Fatalf("approximated model suspiciously accurate: %.2f bits", b40)
+	}
+	if b40 < 1 {
+		t.Fatalf("approximated model collapsed: %.2f bits", b40)
+	}
+	// Higher order helps (or at least does not hurt) at high Δ.
+	bLow := ModelBitAccuracy(net, train, 12, 3, 40)
+	if bLow > b40+1 {
+		t.Fatalf("order 3 (%.2f) should not beat order 15 (%.2f)", bLow, b40)
+	}
+}

@@ -1,0 +1,87 @@
+package ckksref
+
+import "fmt"
+
+// Solution is one row of Table 1: a published FHE-CNN configuration with
+// its derived storage footprint.
+type Solution struct {
+	Name      string
+	Scheme    string
+	Quantized bool
+	Degree    int
+	LogQ      int  // ciphertext modulus bits (evaluation)
+	Boot      bool // supports bootstrapping
+	FBS       bool // merged non-linear + bootstrapping (Athena)
+	RotKeys   int  // rotation/galois key count
+	Dataset   string
+
+	// Reported accuracies (cipher / plain) from the respective papers,
+	// carried for the comparison table.
+	AccCipher, AccPlain float64
+	Benchmark           string
+}
+
+// CiphertextBytes returns the ciphertext size 2·N·ceil(logQ/8·word)
+// using packed word storage (8-byte words per limb-equivalent bits).
+func (s Solution) CiphertextBytes() int {
+	words := (s.LogQ + 63) / 64
+	return 2 * s.Degree * words * 8
+}
+
+// KeyBytes estimates the rotation+relinearization key material: each key
+// is an RNS-decomposed switching key of limbs² structure:
+// keys · limbs · 2 · N · limbs · 8 bytes.
+func (s Solution) KeyBytes() int64 {
+	limbs := int64((s.LogQ + 59) / 60)
+	return int64(s.RotKeys+1) * limbs * 2 * int64(s.Degree) * 8
+}
+
+// Table1 returns the six solutions the paper compares. Degrees, moduli,
+// and accuracies are the published values; sizes are derived from the
+// formulas above (EXPERIMENTS.md compares them against the paper's
+// reported sizes).
+func Table1() []Solution {
+	return []Solution{
+		{Name: "CryptoNets", Scheme: "YASHE (LHE)", Degree: 8192, LogQ: 191, RotKeys: 16,
+			Dataset: "MNIST", Benchmark: "CryptoNets", AccCipher: 98.95, AccPlain: 99.0},
+		{Name: "CryptoDL", Scheme: "BGV (LHE)", Degree: 8192, LogQ: 220, RotKeys: 16,
+			Dataset: "MNIST", Benchmark: "CryptoDL", AccCipher: 99.5, AccPlain: 99.7},
+		{Name: "Fast-CryptoNets", Scheme: "BFV (LHE)", Quantized: true, Degree: 8192, LogQ: 219, RotKeys: 16,
+			Dataset: "CIFAR-10", Benchmark: "Fast-CryptoNets", AccCipher: 86.76, AccPlain: 93.10},
+		{Name: "Lee et al.", Scheme: "CKKS (FHE)", Degree: 65536, LogQ: 1450, Boot: true, RotKeys: 34,
+			Dataset: "CIFAR-10", Benchmark: "ResNet-20", AccCipher: 92.43, AccPlain: 92.95},
+		{Name: "Lee et al. (mux)", Scheme: "CKKS (FHE)", Degree: 65536, LogQ: 1501, Boot: true, RotKeys: 34,
+			Dataset: "CIFAR-10", Benchmark: "ResNet-56", AccCipher: 92.80, AccPlain: 93.07},
+		{Name: "Athena (ours)", Scheme: "BFV+FBS (FHE)", Quantized: true, Degree: 32768, LogQ: 720, Boot: true, FBS: true, RotKeys: 48,
+			Dataset: "CIFAR-10", Benchmark: "ResNet-56", AccCipher: 94.65, AccPlain: 94.89},
+	}
+}
+
+// SizeRatioVsCKKS returns how much smaller Athena's ciphertext and key
+// material are than the CKKS rows (the paper claims 3–6×).
+func SizeRatioVsCKKS() (cipherRatio, keyRatio float64) {
+	rows := Table1()
+	athena := rows[len(rows)-1]
+	ckks := rows[3]
+	return float64(ckks.CiphertextBytes()) / float64(athena.CiphertextBytes()),
+		float64(ckks.KeyBytes()) / float64(athena.KeyBytes())
+}
+
+// String renders one row compactly.
+func (s Solution) String() string {
+	return fmt.Sprintf("%-18s %-14s N=%-6d logQ=%-5d cipher=%s keys=%s %s",
+		s.Name, s.Scheme, s.Degree, s.LogQ,
+		humanBytes(int64(s.CiphertextBytes())), humanBytes(s.KeyBytes()), s.Dataset)
+}
+
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,0 +1,129 @@
+package coeffenc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for random layer geometries that fit the ring, encode →
+// multiply → decode equals the direct convolution, for both packing
+// strategies.
+func TestQuickConvEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xc0))
+		s := ConvShape{
+			H:      3 + rng.IntN(6),
+			W:      3 + rng.IntN(6),
+			Cin:    1 + rng.IntN(4),
+			Cout:   1 + rng.IntN(4),
+			K:      1 + 2*rng.IntN(2), // 1 or 3
+			Stride: 1 + rng.IntN(2),
+			Pad:    rng.IntN(2),
+		}
+		if s.K > s.H+2*s.Pad || s.K > s.W+2*s.Pad {
+			return true // degenerate; skip
+		}
+		for _, strat := range []Strategy{AthenaOrder, CheetahOrder} {
+			p, err := NewPlan(s, 4096, strat)
+			if err != nil {
+				return false
+			}
+			m := randTensor3(s.Cin, s.H, s.W, seed+1)
+			k := randTensor4(s.Cout, s.Cin, s.K, seed+2)
+			want := refConv(s, m, k)
+			res := p.Execute(m, k)
+			got := make([][][]int64, s.Cout)
+			for co := range got {
+				got[co] = make([][]int64, s.OutH())
+				for y := range got[co] {
+					got[co][y] = make([]int64, s.OutW())
+				}
+			}
+			for ob := 0; ob < p.OutBatches; ob++ {
+				p.Decode(res[ob], ob, got)
+			}
+			for co := range want {
+				for y := range want[co] {
+					for x := range want[co][y] {
+						if got[co][y][x] != want[co][y][x] {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Athena encoding's valid ratio is never below Cheetah's
+// (the Table 2 claim, generalized over geometries).
+func TestQuickAthenaRatioDominates(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xd0))
+		s := ConvShape{
+			H:      4 + rng.IntN(29),
+			W:      4 + rng.IntN(29),
+			Cin:    1 << rng.IntN(5),
+			Cout:   1 << rng.IntN(6),
+			K:      1 + 2*rng.IntN(2),
+			Stride: 1 + rng.IntN(2),
+			Pad:    rng.IntN(2),
+		}
+		if s.K > s.H+2*s.Pad || s.K > s.W+2*s.Pad {
+			return true
+		}
+		pa, errA := NewPlan(s, 1<<15, AthenaOrder)
+		pc, errC := NewPlan(s, 1<<15, CheetahOrder)
+		if errA != nil || errC != nil {
+			return true // geometry does not fit: nothing to compare
+		}
+		return pa.ValidRatio() >= pc.ValidRatio()-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every valid coefficient index is unique within a result
+// ciphertext and in range, for random geometries.
+func TestQuickValidCoeffsWellFormed(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xe0))
+		s := ConvShape{
+			H:      3 + rng.IntN(10),
+			W:      3 + rng.IntN(10),
+			Cin:    1 + rng.IntN(8),
+			Cout:   1 + rng.IntN(8),
+			K:      1 + 2*rng.IntN(2),
+			Stride: 1 + rng.IntN(2),
+			Pad:    rng.IntN(2),
+		}
+		if s.K > s.H+2*s.Pad || s.K > s.W+2*s.Pad {
+			return true
+		}
+		p, err := NewPlan(s, 8192, AthenaOrder)
+		if err != nil {
+			return true
+		}
+		total := 0
+		for ob := 0; ob < p.OutBatches; ob++ {
+			seen := map[int]bool{}
+			for _, v := range p.ValidCoeffs(ob) {
+				if v.Coeff < 0 || v.Coeff >= p.N || seen[v.Coeff] {
+					return false
+				}
+				seen[v.Coeff] = true
+				total++
+			}
+		}
+		return total == s.Outputs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

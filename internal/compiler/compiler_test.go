@@ -1,0 +1,206 @@
+package compiler
+
+import (
+	"testing"
+
+	"athena/internal/core"
+	"athena/internal/qnn"
+)
+
+func specTrace(t *testing.T, model string, w, a int) *Trace {
+	t.Helper()
+	qn, err := SpecModel(model, w, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Compile(qn, core.FullParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCompileAllBenchmarks(t *testing.T) {
+	for _, m := range qnn.BenchmarkModels {
+		tr := specTrace(t, m, 7, 7)
+		tot := tr.Totals()
+		if tot.PMult == 0 || tot.CMult == 0 || tot.SE == 0 {
+			t.Fatalf("%s: empty trace totals %+v", m, tot)
+		}
+		if err := VerifyTable3(tr); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestTraceScalesWithModelDepth(t *testing.T) {
+	t20 := specTrace(t, "ResNet-20", 7, 7).Totals()
+	t56 := specTrace(t, "ResNet-56", 7, 7).Totals()
+	ratio := float64(t56.CMult) / float64(t20.CMult)
+	// ResNet-56 has ~3x the layers; total FBS work should scale ~2.5-3.2x.
+	if ratio < 2.2 || ratio > 3.5 {
+		t.Fatalf("ResNet-56/ResNet-20 CMult ratio %.2f outside the depth band", ratio)
+	}
+}
+
+func TestLUTSizeTracksQuantization(t *testing.T) {
+	// w6a7 must shrink the FBS tables versus w7a7 (the paper's Athena-w6a7
+	// advantage); w8a8 must grow them (Fig. 12's blow-up).
+	lut := func(w, a int) int64 {
+		tr := specTrace(t, "ResNet-20", w, a)
+		var total int64
+		for _, s := range tr.Steps {
+			if s.Kind == KFBS {
+				total += int64(s.LUTSize)
+			}
+		}
+		return total
+	}
+	l6 := lut(6, 7)
+	l7 := lut(7, 7)
+	l8 := lut(8, 8)
+	if !(l6 < l7 && l7 < l8) {
+		t.Fatalf("LUT totals not ordered: w6a7=%d w7a7=%d w8a8=%d", l6, l7, l8)
+	}
+}
+
+func TestLUTSizeFunction(t *testing.T) {
+	if LUTSize(100, 65537) != 256 {
+		t.Fatalf("LUTSize(100) = %d", LUTSize(100, 65537))
+	}
+	if LUTSize(30000, 65537) != 65536 {
+		t.Fatalf("LUTSize(30000) = %d", LUTSize(30000, 65537))
+	}
+	if LUTSize(1<<30, 65537) != 1<<17 {
+		t.Fatal("LUTSize must cap at 2^17")
+	}
+	if LUTSize(0, 65537) != 16 {
+		t.Fatal("LUTSize must floor at 16")
+	}
+}
+
+func TestCategoriesPresent(t *testing.T) {
+	tr := specTrace(t, "LeNet", 7, 7)
+	cats := tr.TotalsByCategory()
+	for _, c := range []Category{CatLinear, CatActivation, CatPooling, CatSoftmax, CatConvert} {
+		if _, ok := cats[c]; !ok {
+			t.Fatalf("LeNet trace missing category %s", c)
+		}
+	}
+	// LeNet uses max pooling: its pooling bucket must contain FBS work
+	// (the max tree), unlike avg pooling which is mostly LWE adds.
+	if cats[CatPooling].CMult == 0 {
+		t.Fatal("max-pool trace has no FBS CMults")
+	}
+}
+
+func TestConvStepsHaveNoRotations(t *testing.T) {
+	// Table 3's headline: Athena's convolution avoids HRot entirely.
+	tr := specTrace(t, "ResNet-20", 7, 7)
+	for _, s := range tr.Steps {
+		if s.Kind == KLinear && s.Counts.HRot != 0 {
+			t.Fatalf("linear step %s uses rotations", s.Layer)
+		}
+	}
+}
+
+func TestTable3Rows(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 7 {
+		t.Fatalf("Table 3 has %d rows", len(rows))
+	}
+	if rows[3].Solution != "Athena" || rows[3].HRot != "/" {
+		t.Fatalf("athena conv row wrong: %+v", rows[3])
+	}
+}
+
+func TestSpecMaxAcc(t *testing.T) {
+	// Halving weight bits halves the bound; must stay positive and
+	// monotone in fan-in.
+	a := SpecMaxAcc(7, 7, 576)
+	b := SpecMaxAcc(6, 7, 576)
+	if a <= 0 || b <= 0 || a < 2*b-2 || a > 2*b+2 {
+		t.Fatalf("SpecMaxAcc scaling broken: w7=%d w6=%d", a, b)
+	}
+	if SpecMaxAcc(7, 7, 9) >= SpecMaxAcc(7, 7, 576) {
+		t.Fatal("SpecMaxAcc not monotone in fan-in")
+	}
+}
+
+func TestVerifyTable3CatchesViolations(t *testing.T) {
+	// A hand-built trace violating the conv no-rotation rule must fail.
+	tr := &Trace{Params: core.FullParams(), Steps: []Step{
+		{Layer: "bad-conv", Kind: KLinear, Counts: OpCounts{HRot: 5}},
+	}}
+	if err := VerifyTable3(tr); err == nil {
+		t.Fatal("rotation-using conv accepted")
+	}
+	tr = &Trace{Params: core.FullParams(), Steps: []Step{
+		{Layer: "bad-fbs", Kind: KFBS, LUTSize: 256, Counts: OpCounts{CMult: 10000}},
+	}}
+	if err := VerifyTable3(tr); err == nil {
+		t.Fatal("oversized FBS accepted")
+	}
+	tr = &Trace{Params: core.FullParams(), Steps: []Step{
+		{Layer: "bad-s2c", Kind: KS2C, Counts: OpCounts{PMult: 1 << 20}},
+	}}
+	if err := VerifyTable3(tr); err == nil {
+		t.Fatal("oversized S2C accepted")
+	}
+}
+
+func TestCompileRejectsEmptyNetwork(t *testing.T) {
+	if _, err := Compile(&qnn.QNetwork{Name: "empty"}, core.FullParams()); err == nil {
+		t.Fatal("empty network accepted")
+	}
+}
+
+func TestUniformLUTOptionForcesFullTables(t *testing.T) {
+	qn, err := SpecModel("MNIST", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := CompileWithOptions(qn, core.FullParams(), Options{UniformLUT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Steps {
+		if s.Kind == KFBS && s.LUTSize > 2 && s.LUTSize != 65536 {
+			t.Fatalf("uniform option left a %d-entry LUT", s.LUTSize)
+		}
+	}
+}
+
+func TestBatchSizeScalesTrace(t *testing.T) {
+	qn, err := SpecModel("MNIST", 7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Compile(qn, core.FullParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := CompileWithOptions(qn, core.FullParams(), Options{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t4 := one.Totals(), four.Totals()
+	linearPMult := func(tr *Trace) int64 {
+		var v int64
+		for _, s := range tr.Steps {
+			if s.Kind == KLinear {
+				v += s.Counts.PMult
+			}
+		}
+		return v
+	}
+	// Per-image work (linear products, extractions) scales exactly 4x.
+	if linearPMult(four) != 4*linearPMult(one) || t4.SE != 4*t1.SE {
+		t.Fatalf("per-image work did not scale: linear PMult %d->%d SE %d->%d",
+			linearPMult(one), linearPMult(four), t1.SE, t4.SE)
+	}
+	// Shared FBS work scales sub-linearly (packs fill across images).
+	if t4.CMult >= 4*t1.CMult {
+		t.Fatalf("FBS work scaled linearly: CMult %d -> %d", t1.CMult, t4.CMult)
+	}
+}

@@ -1,0 +1,105 @@
+package compiler
+
+import (
+	"fmt"
+	"math"
+
+	"athena/internal/qnn"
+)
+
+// SpecModel builds a QNetwork of the named benchmark architecture with
+// heuristic (untrained) parameters, for tracing and simulation where
+// only shapes, quantization precision, and accumulator ranges matter.
+// The accumulator bound follows a random-walk model calibrated against
+// the trained models' Fig. 4 statistics:
+//
+//	MaxAcc ≈ 0.27 · 2^(w-1) · 2^(a-1) · √(Cin·k²)
+//
+// which puts ResNet layers just under 2^15 at w7a7 (LUT 2^16 = t) and
+// halves per weight bit removed — reproducing the paper's w6a7 LUT
+// shrinkage and the w8a8 blow-up of Fig. 12.
+func SpecModel(name string, wBits, aBits int) (*qnn.QNetwork, error) {
+	net, err := qnn.ModelByName(name, 1)
+	if err != nil {
+		return nil, err
+	}
+	// A minimal calibration set gives the quantizer activation scales;
+	// the heuristic bound then replaces the data-dependent one.
+	var ds *qnn.Dataset
+	if net.InC == 1 {
+		ds = qnn.SynthDigits(4, 2)
+	} else {
+		ds = qnn.SynthCIFAR(4, 2)
+	}
+	cfg := qnn.QuantConfig{WBits: wBits, ABits: aBits, CalibSamples: 2, AccMargin: 1.1}
+	qn, err := qnn.Quantize(net, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range qn.Convs() {
+		c.MaxAcc = SpecMaxAcc(wBits, aBits, c.Shape.MACsPerOutput())
+	}
+	return qn, nil
+}
+
+// SpecMaxAcc is the heuristic accumulator bound for a layer with the
+// given fan-in under w/a quantization.
+func SpecMaxAcc(wBits, aBits, fanIn int) int64 {
+	v := 0.27 * math.Exp2(float64(wBits-1)) * math.Exp2(float64(aBits-1)) * math.Sqrt(float64(fanIn))
+	if v < 16 {
+		v = 16
+	}
+	return int64(v)
+}
+
+// ComplexityRow is one row of Table 3 (asymptotic op counts).
+type ComplexityRow struct {
+	Solution  string
+	Operation string
+	PMult     string
+	CMult     string
+	HRot      string
+}
+
+// Table3 returns the asymptotic comparison of Table 3.
+func Table3() []ComplexityRow {
+	return []ComplexityRow{
+		{"CKKS-based", "Conv", "O(f²C)", "/", "O(f²)+O(C)"},
+		{"CKKS-based", "ReLU", "O(p)", "O(√p)", "/"},
+		{"CKKS-based", "Bootstrap", "O(∛N)+O(r)", "O(√r)", "O(∛N)"},
+		{"Athena", "Conv", "O(C)", "/", "/"},
+		{"Athena", "Packing", "O(C)", "/", "O(C)"},
+		{"Athena", "FBS", "O(t)", "O(√t)", "/"},
+		{"Athena", "S2C", "O(∛N)", "/", "O(∛N)"},
+	}
+}
+
+// VerifyTable3 cross-checks the asymptotic claims against a compiled
+// trace: returns an error naming the first violated bound.
+func VerifyTable3(tr *Trace) error {
+	n := 1 << tr.Params.LogN
+	cbrtN := int64(math.Cbrt(float64(n)) + 0.5)
+	for _, s := range tr.Steps {
+		switch s.Kind {
+		case KLinear:
+			if s.Counts.HRot != 0 {
+				return fmt.Errorf("conv step %q uses rotations", s.Layer)
+			}
+		case KFBS:
+			if s.LUTSize > 1 {
+				bound := 4 * int64(math.Sqrt(float64(s.LUTSize)))
+				if s.Counts.CMult > bound {
+					return fmt.Errorf("FBS step %q: %d CMult exceeds O(√t)=%d", s.Layer, s.Counts.CMult, bound)
+				}
+				if s.Counts.SMult > int64(s.LUTSize) {
+					return fmt.Errorf("FBS step %q: %d SMult exceeds O(t)", s.Layer, s.Counts.SMult)
+				}
+			}
+		case KS2C:
+			if s.Counts.PMult > 4*cbrtN || s.Counts.HRot > 4*cbrtN {
+				return fmt.Errorf("S2C step %q exceeds O(∛N)", s.Layer)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"athena/internal/bfv"
+	"athena/internal/coeffenc"
+	"athena/internal/lwe"
+	"athena/internal/qnn"
+)
+
+// InferBatch runs the same network on B inputs, sharing the functional
+// bootstrapping across the batch: the pending activations of all images
+// are packed together (the FBS slot capacity usually dwarfs one image's
+// layer), so the dominant FBS cost is paid once per ⌈values·B/N⌉ groups
+// instead of once per image. This realizes the throughput side of the
+// paper's "batch processing of precise non-linear functions".
+//
+// Linear layers and conversions still run per image (they are the cheap
+// ~2% of the pipeline); after each shared FBS round the activations are
+// redistributed to their images as LWE values, and each image's next
+// convolution consumes them with an identity (FBS-free) packing pass.
+func (e *Engine) InferBatch(q *qnn.QNetwork, xs []*qnn.IntTensor) ([][]int64, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	if len(q.Blocks) == 0 {
+		return nil, fmt.Errorf("core: empty network")
+	}
+	e.netABits = q.ABits
+	if e.netABits < 2 {
+		e.netABits = 8
+	}
+	states := make([]*inferState, len(xs))
+	for i, x := range xs {
+		st, err := e.encryptInput(q, x)
+		if err != nil {
+			return nil, fmt.Errorf("core: input %d: %w", i, err)
+		}
+		states[i] = st
+	}
+
+	finals := make([]*finalResult, len(xs))
+	for bi, b := range q.Blocks {
+		last := bi == len(q.Blocks)-1
+		seq, ok := b.(qnn.QSeq)
+		if !ok {
+			// Residual blocks fall back to per-image evaluation (their
+			// joins interleave linear and non-linear work image-locally).
+			for i := range states {
+				st, err := e.residualBlock(b.(*qnn.QResidual), states[i])
+				if err != nil {
+					return nil, err
+				}
+				states[i] = st
+			}
+			continue
+		}
+		for oi, op := range seq {
+			lastOp := last && oi == len(seq)-1
+			// Shared materialization: when every image carries the same
+			// pending LUT, apply it across the batch in shared packs.
+			if _, isConv := op.(*qnn.QConv); isConv && states[0].vs != nil && states[0].vs.pending != nil {
+				if err := e.materializeBatch(states); err != nil {
+					return nil, err
+				}
+			}
+			for i := range states {
+				st, err := e.applyOp(op, states[i], lastOp)
+				if err != nil {
+					return nil, err
+				}
+				states[i] = st
+				if lastOp {
+					finals[i] = e.final
+					e.final = nil
+				}
+			}
+		}
+	}
+
+	out := make([][]int64, len(xs))
+	for i := range finals {
+		if finals[i] == nil {
+			return nil, errNoFinal
+		}
+		logits, err := e.DecryptLogits(&EncryptedLogits{model: q.Name, final: finals[i]})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = logits
+	}
+	return out, nil
+}
+
+// materializeBatch applies the (shared) pending LUT of all images'
+// value sets using packs filled across the batch, then replaces each
+// image's valSet with its materialized (identity-pending) values.
+func (e *Engine) materializeBatch(states []*inferState) error {
+	type slot struct {
+		img int
+		key vkey
+	}
+	var order []slot
+	var ordered []lwe.Ciphertext
+	pending := states[0].vs.pending
+	for i, st := range states {
+		if st.vs == nil || st.vs.pending != pending {
+			return fmt.Errorf("core: batch images diverged at materialization")
+		}
+		for _, k := range sortedKeys(st.vs) {
+			order = append(order, slot{img: i, key: k})
+			ordered = append(ordered, st.vs.vals[k])
+		}
+	}
+	results := make([]lwe.Ciphertext, len(ordered))
+	for start := 0; start < len(ordered); start += e.Ctx.N {
+		end := start + e.Ctx.N
+		if end > len(ordered) {
+			end = len(ordered)
+		}
+		validity := make([]bool, end-start)
+		for i := range validity {
+			validity[i] = true
+		}
+		ct, err := e.packFBS(ordered[start:end], pending, e.slotMask(validity))
+		if err != nil {
+			return err
+		}
+		ct, err = e.toCoeffs(ct)
+		if err != nil {
+			return err
+		}
+		m, err := e.extractFlat(ct, end-start)
+		if err != nil {
+			return err
+		}
+		copy(results[start:end], m)
+	}
+	// Redistribute.
+	fresh := make([]map[vkey]lwe.Ciphertext, len(states))
+	for i, st := range states {
+		fresh[i] = make(map[vkey]lwe.Ciphertext, len(st.vs.vals))
+	}
+	for idx, s := range order {
+		fresh[s.img][s.key] = results[idx]
+	}
+	for i, st := range states {
+		states[i] = &inferState{vs: &valSet{
+			C: st.vs.C, H: st.vs.H, W: st.vs.W, vals: fresh[i],
+		}}
+	}
+	return nil
+}
+
+// extractFlat extracts coefficients 0..count-1 of ct as LWE values in
+// positional order.
+func (e *Engine) extractFlat(ct *bfv.Ciphertext, count int) ([]lwe.Ciphertext, error) {
+	entries := make([]coeffenc.ValidEntry, count)
+	for i := range entries {
+		entries[i] = coeffenc.ValidEntry{Coeff: i, Cout: 0, Y: 0, X: i}
+	}
+	m, err := e.extract(ct, entries)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]lwe.Ciphertext, count)
+	for i := 0; i < count; i++ {
+		out[i] = m[vkey{0, 0, i}]
+	}
+	return out, nil
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"athena/internal/bfv"
+	"athena/internal/coeffenc"
+	"athena/internal/fbs"
+	"athena/internal/lwe"
+	"athena/internal/pack"
+	"athena/internal/par"
+	"athena/internal/qnn"
+	"athena/internal/ring"
+)
+
+// Engine holds all key material and compiled transforms for running
+// quantized networks under FHE. In a deployment the secret key and
+// decryptor live with the client and everything else with the server;
+// the engine keeps both sides for end-to-end evaluation.
+type Engine struct {
+	P   Params
+	Ctx *bfv.Context
+
+	sk  *bfv.SecretKey
+	enc *bfv.Encryptor
+	dec *bfv.Decryptor
+	ev  *bfv.Evaluator
+	cod *bfv.Encoder
+
+	lweSK  *lwe.SecretKey    // dimension n secret (client side)
+	ksk    *lwe.KeySwitchKey // ring-degree -> n at qMid
+	packer *pack.Packer
+	s2c    *pack.Transform
+
+	luts  map[*qnn.QConv]*fbs.Evaluator
+	relus map[int]*fbs.Evaluator // post-add ReLU-clamp by ActBits
+	divs  map[int]*fbs.Evaluator // avg-pool divide by k²
+
+	final *finalResult // terminal-layer accumulators awaiting decryption
+
+	tMod ring.Modulus // cached Barrett constants for the LWE arithmetic
+
+	// netABits is the activation bit width of the network currently
+	// being inferred (set by Infer; used to size pooling domains).
+	netABits int
+
+	// Stats accumulates operation counts over Infer calls.
+	Stats OpStats
+}
+
+// OpStats counts homomorphic operations issued by the engine.
+type OpStats struct {
+	PMult, HAdd, CMult, SMult int
+	Packs, FBSCalls, S2CCalls int
+	Extractions, KeySwitches  int
+	LWEAdds                   int
+}
+
+// NewEngine generates all key material for params.
+func NewEngine(p Params) (*Engine, error) {
+	bp, err := p.BFVParameters()
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := bfv.NewContext(bp)
+	if err != nil {
+		return nil, err
+	}
+	if !ctx.Batching() {
+		return nil, fmt.Errorf("core: parameters do not support batching (t=%d, N=%d)", p.T, 1<<p.LogN)
+	}
+	if p.LWEDim > ctx.N/2 || (ctx.N/2)%p.LWEDim != 0 {
+		return nil, fmt.Errorf("core: LWE dimension %d must divide N/2=%d", p.LWEDim, ctx.N/2)
+	}
+	e := &Engine{
+		P:     p,
+		Ctx:   ctx,
+		luts:  make(map[*qnn.QConv]*fbs.Evaluator),
+		relus: make(map[int]*fbs.Evaluator),
+		divs:  make(map[int]*fbs.Evaluator),
+	}
+	e.tMod = ring.NewModulus(p.T)
+	kg := bfv.NewKeyGenerator(ctx, p.Seed)
+	e.sk = kg.GenSecretKey()
+	pk := kg.GenPublicKey(e.sk)
+	e.enc = bfv.NewEncryptor(ctx, pk, p.Seed^0xeac7)
+	e.dec = bfv.NewDecryptor(ctx, e.sk)
+	e.cod = bfv.NewEncoder(ctx)
+
+	// LWE material: the ring secret's coefficient vector is the
+	// extraction-side key; a fresh dimension-n key receives it.
+	e.lweSK = lwe.NewSecretKey(p.LWEDim, p.Seed^0x17e)
+	ringSK := &lwe.SecretKey{S: e.sk.Signed}
+	e.ksk = lwe.NewKeySwitchKey(ringSK, e.lweSK, p.QMid(), p.KSBase, p.Sigma, p.Seed^0x55)
+
+	e.packer, err = pack.NewPacker(ctx, e.enc, e.lweSK)
+	if err != nil {
+		return nil, err
+	}
+	e.s2c, err = pack.CompileTransform(ctx, pack.S2CMatrix(ctx))
+	if err != nil {
+		return nil, err
+	}
+
+	els := append(e.packer.GaloisElements(), e.s2c.GaloisElements()...)
+	keys := kg.GenKeySet(e.sk, els)
+	e.ev = bfv.NewEvaluator(ctx, keys)
+	return e, nil
+}
+
+// vkey identifies one activation value in (channel, y, x) coordinates.
+type vkey struct{ C, Y, X int }
+
+// valSet is the inter-layer state: labeled LWE ciphertexts at modulus t
+// carrying the previous layer's raw accumulators, with that layer's
+// fused LUT still pending.
+type valSet struct {
+	C, H, W int
+	vals    map[vkey]lwe.Ciphertext
+	pending *fbs.Evaluator    // nil = values are already materialized
+	fn      func(int64) int64 // plaintext shadow of pending (nil = identity)
+}
+
+func (e *Engine) zeroLWE() lwe.Ciphertext {
+	return lwe.Ciphertext{A: make([]uint64, e.P.LWEDim), B: 0, Q: e.P.T}
+}
+
+// lutFor compiles (and caches) the FBS evaluator of a conv's fused remap.
+func (e *Engine) lutFor(q *qnn.QConv) (*fbs.Evaluator, error) {
+	if ev, ok := e.luts[q]; ok {
+		return ev, nil
+	}
+	if q.MaxAcc >= int64(e.P.T/2) {
+		return nil, fmt.Errorf("core: %s accumulator bound %d exceeds t/2 = %d", q.OpName(), q.MaxAcc, e.P.T/2)
+	}
+	l := fbs.NewLUT(e.P.T, q.Remap)
+	ev, err := fbs.NewEvaluator(e.Ctx, l)
+	if err != nil {
+		return nil, err
+	}
+	e.luts[q] = ev
+	return ev, nil
+}
+
+func (e *Engine) reluClampFor(actBits int) (*fbs.Evaluator, error) {
+	if ev, ok := e.relus[actBits]; ok {
+		return ev, nil
+	}
+	lim := int64(1)<<(actBits-1) - 1
+	l := fbs.NewLUT(e.P.T, func(x int64) int64 {
+		if x < 0 {
+			return 0
+		}
+		if x > lim {
+			return lim
+		}
+		return x
+	})
+	ev, err := fbs.NewEvaluator(e.Ctx, l)
+	if err != nil {
+		return nil, err
+	}
+	e.relus[actBits] = ev
+	return ev, nil
+}
+
+func (e *Engine) divideFor(kk int) (*fbs.Evaluator, error) {
+	if ev, ok := e.divs[kk]; ok {
+		return ev, nil
+	}
+	l := fbs.NewLUT(e.P.T, func(x int64) int64 { return roundDiv(x, int64(kk)) })
+	ev, err := fbs.NewEvaluator(e.Ctx, l)
+	if err != nil {
+		return nil, err
+	}
+	e.divs[kk] = ev
+	return ev, nil
+}
+
+func roundDiv(a, b int64) int64 {
+	if a >= 0 {
+		return (a + b/2) / b
+	}
+	return -((-a + b/2) / b)
+}
+
+// packFBS packs an ordered list of LWE values, applies the pending LUT
+// (when non-nil), and returns the slot-encoded BFV ciphertext at full Q.
+// mask, when non-nil, holds 1 at slots carrying real values and 0 at
+// structural zeros (padding, unused slots); it is applied after the LUT
+// because tables with LUT(0) ≠ 0 (sigmoid, GELU, biased remaps) would
+// otherwise turn structural zeros into non-zero activations.
+func (e *Engine) packFBS(ordered []lwe.Ciphertext, pending *fbs.Evaluator, mask []int64) (*bfv.Ciphertext, error) {
+	if len(ordered) > e.Ctx.N {
+		return nil, fmt.Errorf("core: %d values exceed %d slots", len(ordered), e.Ctx.N)
+	}
+	ct, err := e.packer.Pack(e.ev, ordered)
+	if err != nil {
+		return nil, err
+	}
+	e.Stats.Packs++
+	if pending != nil {
+		ct, err = pending.Evaluate(e.ev, ct)
+		if err != nil {
+			return nil, err
+		}
+		e.Stats.FBSCalls++
+		e.Stats.CMult += pending.CMults
+		e.Stats.SMult += pending.SMults
+		e.Stats.HAdd += pending.HAdds
+		if mask != nil {
+			pm := e.cod.LiftToMul(e.cod.EncodeSlots(mask))
+			ct = e.ev.MulPlain(ct, pm)
+			e.Stats.PMult++
+		}
+	}
+	return ct, nil
+}
+
+// slotMask builds the structural-zero mask for a group: 1 for the first
+// `valid` of `total` slots (or per the explicit validity slice).
+func (e *Engine) slotMask(validity []bool) []int64 {
+	m := make([]int64, e.Ctx.N)
+	for i, ok := range validity {
+		if ok {
+			m[i] = 1
+		}
+	}
+	return m
+}
+
+// toCoeffs applies S2C: slot i -> coefficient i.
+func (e *Engine) toCoeffs(ct *bfv.Ciphertext) (*bfv.Ciphertext, error) {
+	out, err := e.s2c.Apply(e.ev, ct)
+	if err != nil {
+		return nil, err
+	}
+	e.Stats.S2CCalls++
+	return out, nil
+}
+
+// extract converts valid coefficients of a result ciphertext into
+// dimension-n LWE ciphertexts at modulus t (Steps ②–③).
+func (e *Engine) extract(ct *bfv.Ciphertext, entries []coeffenc.ValidEntry) (map[vkey]lwe.Ciphertext, error) {
+	a, b, err := e.Ctx.SwitchModulus(ct, e.P.QMid())
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(entries))
+	for i, en := range entries {
+		idx[i] = en.Coeff
+	}
+	cts := lwe.SampleExtract(lwe.RLWE{A: a, B: b, Q: e.P.QMid()}, idx)
+	e.Stats.Extractions += len(cts)
+	e.Stats.KeySwitches += len(cts)
+	switched := make([]lwe.Ciphertext, len(cts))
+	par.ForN(len(cts), func(i int) {
+		switched[i] = lwe.ModSwitch(e.ksk.Switch(cts[i]), e.P.T)
+	})
+	out := make(map[vkey]lwe.Ciphertext, len(entries))
+	for i, en := range entries {
+		out[vkey{en.Cout, en.Y, en.X}] = switched[i]
+	}
+	return out, nil
+}
+
+// scaledEvaluator compiles the composition scale·fn (fn = identity when
+// nil) into an FBS evaluator. Pooling runs its trees in a scaled domain
+// so that the extraction noise e_ms, which lands at fixed absolute
+// magnitude, is crushed by the divide folded into the consumer's LUT —
+// the same remap-compression argument as Section 3.3.
+func (e *Engine) scaledEvaluator(fn func(int64) int64, scale int64) (*fbs.Evaluator, error) {
+	l := fbs.NewLUT(e.P.T, func(x int64) int64 {
+		if fn != nil {
+			x = fn(x)
+		}
+		return x * scale
+	})
+	return fbs.NewEvaluator(e.Ctx, l)
+}
+
+// poolScale picks the largest power-of-two domain scale such that
+// maxVal·scale stays below t/2 with slack for accumulated tree noise.
+func (e *Engine) poolScale(maxVal int64) int64 {
+	limit := int64(e.P.T/2) - int64(e.P.T/16)
+	s := int64(1)
+	for maxVal*s*2 <= limit {
+		s *= 2
+	}
+	return s
+}
+
+// materializeScaled applies pending (or identity) composed with a domain
+// scale, returning LWE values carrying value·scale.
+func (e *Engine) materializeScaled(vs *valSet, scale int64) (*valSet, error) {
+	if vs.pending != nil && vs.fn == nil {
+		return nil, fmt.Errorf("core: pending LUT without plaintext shadow")
+	}
+	ev, err := e.scaledEvaluator(vs.fn, scale)
+	if err != nil {
+		return nil, err
+	}
+	scaled := &valSet{C: vs.C, H: vs.H, W: vs.W, vals: vs.vals, pending: ev}
+	out, err := e.forceMaterialize(scaled)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// materialize applies the pending LUT of vs (if any), returning int8
+// activations as LWE values (pack → FBS → S2C → extract).
+func (e *Engine) materialize(vs *valSet) (*valSet, error) {
+	if vs.pending == nil {
+		return vs, nil
+	}
+	return e.forceMaterialize(vs)
+}
+
+func (e *Engine) forceMaterialize(vs *valSet) (*valSet, error) {
+	keys := sortedKeys(vs)
+	out := &valSet{C: vs.C, H: vs.H, W: vs.W, vals: make(map[vkey]lwe.Ciphertext, len(keys))}
+	for start := 0; start < len(keys); start += e.Ctx.N {
+		end := start + e.Ctx.N
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[start:end]
+		ordered := make([]lwe.Ciphertext, len(chunk))
+		validity := make([]bool, len(chunk))
+		for i, k := range chunk {
+			ordered[i] = vs.vals[k]
+			validity[i] = true
+		}
+		ct, err := e.packFBS(ordered, vs.pending, e.slotMask(validity))
+		if err != nil {
+			return nil, err
+		}
+		ct, err = e.toCoeffs(ct)
+		if err != nil {
+			return nil, err
+		}
+		entries := make([]coeffenc.ValidEntry, len(chunk))
+		for i, k := range chunk {
+			entries[i] = coeffenc.ValidEntry{Coeff: i, Cout: k.C, Y: k.Y, X: k.X}
+		}
+		m, err := e.extract(ct, entries)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range m {
+			out.vals[k] = v
+		}
+	}
+	return out, nil
+}
+
+func sortedKeys(vs *valSet) []vkey {
+	keys := make([]vkey, 0, len(vs.vals))
+	for k := range vs.vals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.C != b.C {
+			return a.C < b.C
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	return keys
+}
+
+// convInputs assembles, packs, FBS-processes, and S2C-converts the input
+// ciphertexts of a conv plan from the labeled LWE values of vs.
+func (e *Engine) convInputs(plan *coeffenc.Plan, vs *valSet) ([]*bfv.Ciphertext, error) {
+	s := plan.Shape
+	sub := plan.SubFactor()
+	hw := plan.EH * plan.EW
+
+	// Resolve layer-geometry coordinates to the producing layer's value
+	// keys, handling the implicit flatten when a feature map feeds a
+	// fully-connected layer (Cin = C·H·W, H = W = 1).
+	resolve := func(c, h, w int) (vkey, bool) {
+		if s.Cin == vs.C && s.H == vs.H && s.W == vs.W {
+			return vkey{c, h, w}, true
+		}
+		if s.H == 1 && s.W == 1 && s.Cin == vs.C*vs.H*vs.W {
+			return vkey{c / (vs.H * vs.W), (c / vs.W) % vs.H, c % vs.W}, true
+		}
+		return vkey{}, false
+	}
+	if _, ok := resolve(0, 0, 0); !ok {
+		return nil, fmt.Errorf("core: layer expects %dx%dx%d input but got %dx%dx%d",
+			s.Cin, s.H, s.W, vs.C, vs.H, vs.W)
+	}
+
+	inputs := make([]*bfv.Ciphertext, plan.InBatches)
+	for ib := 0; ib < plan.InBatches; ib++ {
+		ordered := make([]lwe.Ciphertext, plan.CB*hw)
+		validity := make([]bool, plan.CB*hw)
+		for i := range ordered {
+			ordered[i] = e.zeroLWE()
+		}
+		for cl := 0; cl < plan.CB; cl++ {
+			c := ib*plan.CB + cl
+			if c >= s.Cin {
+				break
+			}
+			for eh := 0; eh < plan.EH; eh++ {
+				for ew := 0; ew < plan.EW; ew++ {
+					h := eh*sub - s.Pad
+					w := ew*sub - s.Pad
+					if h < 0 || h >= s.H || w < 0 || w >= s.W {
+						continue
+					}
+					key, _ := resolve(c, h, w)
+					if v, ok := vs.vals[key]; ok {
+						ordered[cl*hw+eh*plan.EW+ew] = v
+						validity[cl*hw+eh*plan.EW+ew] = true
+					}
+				}
+			}
+		}
+		ct, err := e.packFBS(ordered, vs.pending, e.slotMask(validity))
+		if err != nil {
+			return nil, err
+		}
+		ct, err = e.toCoeffs(ct)
+		if err != nil {
+			return nil, err
+		}
+		inputs[ib] = ct
+	}
+	return inputs, nil
+}
+
+// convAccumulate runs Step ① on prepared coefficient-encoded inputs and
+// returns the accumulator ciphertexts (one per output batch).
+func (e *Engine) convAccumulate(q *qnn.QConv, plan *coeffenc.Plan, inputs []*bfv.Ciphertext) []*bfv.Ciphertext {
+	k3d := q.Weights
+	accs := make([]*bfv.Ciphertext, plan.OutBatches)
+	for ob := 0; ob < plan.OutBatches; ob++ {
+		var acc *bfv.Ciphertext
+		for ib := 0; ib < plan.InBatches; ib++ {
+			kv := plan.EncodeKernel(k3d, ib, ob)
+			pm := e.cod.LiftToMul(e.cod.EncodeCoeffs(kv))
+			if acc == nil {
+				acc = e.ev.MulPlain(inputs[ib], pm)
+			} else {
+				e.ev.MulPlainAndAdd(inputs[ib], pm, acc)
+				e.Stats.HAdd++
+			}
+			e.Stats.PMult++
+		}
+		// Bias: added at every valid output coefficient.
+		biasVec := make([]int64, e.Ctx.N)
+		for _, en := range plan.ValidCoeffs(ob) {
+			biasVec[en.Coeff] = q.Bias[en.Cout]
+		}
+		acc = e.ev.AddPlain(acc, e.cod.EncodeCoeffs(biasVec))
+		accs[ob] = acc
+	}
+	return accs
+}
+
+// convLayer runs the full loop for one quantized linear layer, returning
+// the raw accumulators as LWE values with the layer's LUT pending.
+func (e *Engine) convLayer(q *qnn.QConv, vs *valSet) (*valSet, error) {
+	plan, err := coeffenc.NewPlan(q.Shape, e.Ctx.N, coeffenc.AthenaOrder)
+	if err != nil {
+		return nil, err
+	}
+	inputs, err := e.convInputs(plan, vs)
+	if err != nil {
+		return nil, err
+	}
+	accs := e.convAccumulate(q, plan, inputs)
+	out := &valSet{C: q.Shape.Cout, H: q.Shape.OutH(), W: q.Shape.OutW(), vals: make(map[vkey]lwe.Ciphertext)}
+	for ob, acc := range accs {
+		m, err := e.extract(acc, plan.ValidCoeffs(ob))
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range m {
+			out.vals[k] = v
+		}
+	}
+	out.pending, err = e.lutFor(q)
+	if err != nil {
+		return nil, err
+	}
+	out.fn = q.Remap
+	return out, nil
+}
+
+// addLWE returns a+b at modulus t (phase addition under the shared key).
+func (e *Engine) addLWE(a, b lwe.Ciphertext) lwe.Ciphertext {
+	m := e.tMod
+	out := lwe.Ciphertext{A: make([]uint64, len(a.A)), Q: e.P.T}
+	for i := range a.A {
+		out.A[i] = m.Add(a.A[i], b.A[i])
+	}
+	out.B = m.Add(a.B, b.B)
+	return out
+}
+
+// subLWE returns a−b at modulus t.
+func (e *Engine) subLWE(a, b lwe.Ciphertext) lwe.Ciphertext {
+	m := e.tMod
+	out := lwe.Ciphertext{A: make([]uint64, len(a.A)), Q: e.P.T}
+	for i := range a.A {
+		out.A[i] = m.Sub(a.A[i], b.A[i])
+	}
+	out.B = m.Sub(a.B, b.B)
+	return out
+}

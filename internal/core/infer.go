@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"athena/internal/bfv"
+	"athena/internal/coeffenc"
+	"athena/internal/fbs"
+	"athena/internal/lwe"
+	"athena/internal/qnn"
+)
+
+// Infer runs the quantized network on input x (already quantized to the
+// network's integer input encoding) entirely under encryption, and
+// returns the decrypted output logits. It is the convenience wrapper
+// around the three-phase client/server API in session.go.
+func (e *Engine) Infer(q *qnn.QNetwork, x *qnn.IntTensor) ([]int64, error) {
+	if len(q.Blocks) == 0 {
+		return nil, fmt.Errorf("core: empty network")
+	}
+	in, err := e.EncryptInput(q, x)
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.EvaluateEncrypted(q, in)
+	if err != nil {
+		return nil, err
+	}
+	return e.DecryptLogits(out)
+}
+
+// inputState wraps either pre-encrypted conv inputs (first layer) or the
+// usual labeled LWE values.
+type inferState struct {
+	vs *valSet
+	// firstInputs holds the client-encrypted coefficient encodings of
+	// the first linear layer, consumed once.
+	firstInputs []*bfv.Ciphertext
+	firstPlan   *coeffenc.Plan
+}
+
+func (e *Engine) encryptInput(q *qnn.QNetwork, x *qnn.IntTensor) (*inferState, error) {
+	first, err := firstConv(q)
+	if err != nil {
+		return nil, err
+	}
+	if x.C != first.Shape.Cin || x.H != first.Shape.H || x.W != first.Shape.W {
+		return nil, fmt.Errorf("core: input %dx%dx%d does not match first layer %dx%dx%d",
+			x.C, x.H, x.W, first.Shape.Cin, first.Shape.H, first.Shape.W)
+	}
+	plan, err := coeffenc.NewPlan(first.Shape, e.Ctx.N, coeffenc.AthenaOrder)
+	if err != nil {
+		return nil, err
+	}
+	m3 := x.To3D()
+	inputs := make([]*bfv.Ciphertext, plan.InBatches)
+	for ib := 0; ib < plan.InBatches; ib++ {
+		vec := plan.EncodeInput(m3, ib)
+		inputs[ib] = e.enc.Encrypt(e.cod.EncodeCoeffs(vec))
+	}
+	return &inferState{firstInputs: inputs, firstPlan: plan}, nil
+}
+
+func firstConv(q *qnn.QNetwork) (*qnn.QConv, error) {
+	if len(q.Blocks) == 0 {
+		return nil, fmt.Errorf("core: empty network")
+	}
+	seq, ok := q.Blocks[0].(qnn.QSeq)
+	if !ok || len(seq) == 0 {
+		return nil, fmt.Errorf("core: network must start with a QSeq")
+	}
+	c, ok := seq[0].(*qnn.QConv)
+	if !ok {
+		return nil, fmt.Errorf("core: network must start with a linear layer")
+	}
+	return c, nil
+}
+
+// applyOp dispatches one quantized operation.
+func (e *Engine) applyOp(op qnn.QOp, st *inferState, lastOp bool) (*inferState, error) {
+	switch o := op.(type) {
+	case *qnn.QConv:
+		if st.firstInputs != nil {
+			// First layer: inputs are already coefficient-encoded.
+			accs := e.convAccumulate(o, st.firstPlan, st.firstInputs)
+			if lastOp {
+				return &inferState{vs: &valSet{}}, e.stashFinal(o, st.firstPlan, accs)
+			}
+			out := &valSet{C: o.Shape.Cout, H: o.Shape.OutH(), W: o.Shape.OutW(), vals: map[vkey]lwe.Ciphertext{}}
+			for ob, acc := range accs {
+				m, err := e.extract(acc, st.firstPlan.ValidCoeffs(ob))
+				if err != nil {
+					return nil, err
+				}
+				for k, v := range m {
+					out.vals[k] = v
+				}
+			}
+			var err error
+			out.pending, err = e.lutFor(o)
+			if err != nil {
+				return nil, err
+			}
+			out.fn = o.Remap
+			return &inferState{vs: out}, nil
+		}
+		if lastOp {
+			return e.finalConv(o, st)
+		}
+		vs, err := e.convLayer(o, st.vs)
+		if err != nil {
+			return nil, err
+		}
+		return &inferState{vs: vs}, nil
+	case *qnn.QMaxPool:
+		vs, err := e.maxPool(o, st.vs)
+		if err != nil {
+			return nil, err
+		}
+		return &inferState{vs: vs}, nil
+	case *qnn.QAvgPool:
+		vs, err := e.avgPool(o, st.vs)
+		if err != nil {
+			return nil, err
+		}
+		return &inferState{vs: vs}, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported op %T", op)
+	}
+}
+
+// final holds the terminal layer's accumulator ciphertexts for decryption.
+type finalResult struct {
+	conv *qnn.QConv
+	plan *coeffenc.Plan
+	accs []*bfv.Ciphertext
+}
+
+var errNoFinal = fmt.Errorf("core: network did not end in a linear layer")
+
+func (e *Engine) stashFinal(q *qnn.QConv, plan *coeffenc.Plan, accs []*bfv.Ciphertext) error {
+	e.final = &finalResult{conv: q, plan: plan, accs: accs}
+	return nil
+}
+
+// finalConv runs the last linear layer and stashes its accumulators.
+func (e *Engine) finalConv(q *qnn.QConv, st *inferState) (*inferState, error) {
+	plan, err := coeffenc.NewPlan(q.Shape, e.Ctx.N, coeffenc.AthenaOrder)
+	if err != nil {
+		return nil, err
+	}
+	inputs, err := e.convInputs(plan, st.vs)
+	if err != nil {
+		return nil, err
+	}
+	accs := e.convAccumulate(q, plan, inputs)
+	return &inferState{vs: &valSet{}}, e.stashFinal(q, plan, accs)
+}
+
+// residualBlock runs body and shortcut, joins them with an LWE addition,
+// and leaves the post-add ReLU-clamp LUT pending.
+func (e *Engine) residualBlock(r *qnn.QResidual, st *inferState) (*inferState, error) {
+	if st.firstInputs != nil {
+		return nil, fmt.Errorf("core: residual block cannot be the first block")
+	}
+	in, err := e.materialize(st.vs)
+	if err != nil {
+		return nil, err
+	}
+	body := in
+	for _, op := range r.Body {
+		c, ok := op.(*qnn.QConv)
+		if !ok {
+			return nil, fmt.Errorf("core: residual body supports linear layers only, got %T", op)
+		}
+		body, err = e.convLayer(c, body)
+		if err != nil {
+			return nil, err
+		}
+	}
+	body, err = e.materialize(body)
+	if err != nil {
+		return nil, err
+	}
+	short := in
+	for _, op := range r.Shortcut {
+		c, ok := op.(*qnn.QConv)
+		if !ok {
+			return nil, fmt.Errorf("core: residual shortcut supports linear layers only, got %T", op)
+		}
+		short, err = e.convLayer(c, short)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(r.Shortcut) > 0 {
+		short, err = e.materialize(short)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if body.C != short.C || body.H != short.H || body.W != short.W {
+		return nil, fmt.Errorf("core: residual branch shapes differ")
+	}
+	out := &valSet{C: body.C, H: body.H, W: body.W, vals: make(map[vkey]lwe.Ciphertext, len(body.vals))}
+	for k, b := range body.vals {
+		s, ok := short.vals[k]
+		if !ok {
+			return nil, fmt.Errorf("core: residual shortcut missing value %v", k)
+		}
+		out.vals[k] = e.addLWE(b, s)
+		e.Stats.LWEAdds++
+	}
+	joinLUT, err := fbs.NewEvaluator(e.Ctx, fbs.NewLUT(e.P.T, r.JoinRemap))
+	if err != nil {
+		return nil, err
+	}
+	out.pending = joinLUT
+	out.fn = r.JoinRemap
+	return &inferState{vs: out}, nil
+}
+
+// avgPool sums each window with LWE additions in a scaled domain (so
+// the per-value extraction noise is crushed by the divide) and leaves
+// the divide LUT pending.
+func (e *Engine) avgPool(p *qnn.QAvgPool, vs *valSet) (*valSet, error) {
+	aMax := int64(1)<<(e.netABits-1) - 1
+	scale := e.poolScale(aMax * int64(p.K*p.K))
+	in, err := e.materializeScaled(vs, scale)
+	if err != nil {
+		return nil, err
+	}
+	oh, ow := in.H/p.K, in.W/p.K
+	out := &valSet{C: in.C, H: oh, W: ow, vals: make(map[vkey]lwe.Ciphertext)}
+	for c := 0; c < in.C; c++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				acc := e.zeroLWE()
+				for i := 0; i < p.K; i++ {
+					for j := 0; j < p.K; j++ {
+						acc = e.addLWE(acc, in.vals[vkey{c, y*p.K + i, x*p.K + j}])
+						e.Stats.LWEAdds++
+					}
+				}
+				out.vals[vkey{c, y, x}] = acc
+			}
+		}
+	}
+	div := scale * int64(p.K*p.K)
+	out.pending, err = e.divideFor(int(div))
+	if err != nil {
+		return nil, err
+	}
+	out.fn = func(x int64) int64 { return roundDiv(x, div) }
+	return out, nil
+}
+
+// maxPool runs the PEGASUS-style max tree: max(a,b) = b + ReLU(a−b),
+// with each tree level's ReLU batched into as few FBS calls as possible.
+// The tree operates in a scaled domain so the extraction noise of each
+// ReLU round stays far below one activation step; the divide back is
+// left pending for the consumer's LUT.
+func (e *Engine) maxPool(p *qnn.QMaxPool, vs *valSet) (*valSet, error) {
+	aMax := int64(1)<<(e.netABits-1) - 1
+	scale := e.poolScale(aMax)
+	in, err := e.materializeScaled(vs, scale)
+	if err != nil {
+		return nil, err
+	}
+	oh, ow := in.H/p.K, in.W/p.K
+	// Gather each window's candidates.
+	windows := make(map[vkey][]lwe.Ciphertext)
+	for c := 0; c < in.C; c++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				var cands []lwe.Ciphertext
+				for i := 0; i < p.K; i++ {
+					for j := 0; j < p.K; j++ {
+						cands = append(cands, in.vals[vkey{c, y*p.K + i, x*p.K + j}])
+					}
+				}
+				windows[vkey{c, y, x}] = cands
+			}
+		}
+	}
+	relu, err := e.reluFull()
+	if err != nil {
+		return nil, err
+	}
+	for levelHasPairs(windows) {
+		// Collect one (a,b) pair per window for this level.
+		type pend struct {
+			k    vkey
+			b    lwe.Ciphertext
+			rest []lwe.Ciphertext
+		}
+		var pends []pend
+		var diffs []lwe.Ciphertext
+		for _, k := range sortedWindowKeys(windows) {
+			cands := windows[k]
+			if len(cands) < 2 {
+				continue
+			}
+			a, b := cands[0], cands[1]
+			diffs = append(diffs, e.subLWE(a, b))
+			pends = append(pends, pend{k: k, b: b, rest: cands[2:]})
+		}
+		// Batch-ReLU the differences, chunked by slot capacity.
+		relus, err := e.batchLUT(diffs, relu)
+		if err != nil {
+			return nil, err
+		}
+		for i, pd := range pends {
+			m := e.addLWE(pd.b, relus[i]) // max(a,b)
+			e.Stats.LWEAdds++
+			windows[pd.k] = append([]lwe.Ciphertext{m}, pd.rest...)
+		}
+	}
+	out := &valSet{C: in.C, H: oh, W: ow, vals: make(map[vkey]lwe.Ciphertext)}
+	for k, cands := range windows {
+		out.vals[k] = cands[0]
+	}
+	out.pending, err = e.divideFor(int(scale))
+	if err != nil {
+		return nil, err
+	}
+	out.fn = func(x int64) int64 { return roundDiv(x, scale) }
+	return out, nil
+}
+
+func sortedWindowKeys(w map[vkey][]lwe.Ciphertext) []vkey {
+	keys := make([]vkey, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.C != b.C {
+			return a.C < b.C
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	return keys
+}
+
+func levelHasPairs(w map[vkey][]lwe.Ciphertext) bool {
+	for _, c := range w {
+		if len(c) >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// reluFull is the plain ReLU LUT (no clamp change) used by the max tree.
+func (e *Engine) reluFull() (*fbs.Evaluator, error) {
+	return e.reluClampFor(63) // lim = 2^62-1: effectively unclamped ReLU
+}
+
+// batchLUT applies a LUT to a flat list of LWE values via
+// pack→FBS→S2C→extract, preserving order.
+func (e *Engine) batchLUT(vals []lwe.Ciphertext, lut *fbs.Evaluator) ([]lwe.Ciphertext, error) {
+	out := make([]lwe.Ciphertext, len(vals))
+	for start := 0; start < len(vals); start += e.Ctx.N {
+		end := start + e.Ctx.N
+		if end > len(vals) {
+			end = len(vals)
+		}
+		validity := make([]bool, end-start)
+		for i := range validity {
+			validity[i] = true
+		}
+		ct, err := e.packFBS(vals[start:end], lut, e.slotMask(validity))
+		if err != nil {
+			return nil, err
+		}
+		ct, err = e.toCoeffs(ct)
+		if err != nil {
+			return nil, err
+		}
+		entries := make([]coeffenc.ValidEntry, end-start)
+		for i := range entries {
+			entries[i] = coeffenc.ValidEntry{Coeff: i, Cout: 0, Y: 0, X: i}
+		}
+		m, err := e.extract(ct, entries)
+		if err != nil {
+			return nil, err
+		}
+		for i := range entries {
+			out[start+i] = m[vkey{0, 0, i}]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"athena/internal/bfv"
+	"athena/internal/coeffenc"
+	"athena/internal/qnn"
+)
+
+// The three-phase inference API makes the client/server boundary
+// explicit: the client encrypts its input and decrypts the result; the
+// server evaluates the network on ciphertexts only. Engine.Infer remains
+// as the convenience wrapper running all three phases.
+//
+//	enc, _ := engine.EncryptInput(net, x)        // client
+//	out, _ := engine.EvaluateEncrypted(net, enc) // server (no secret key use)
+//	logits, _ := engine.DecryptLogits(out)       // client
+
+// EncryptedInput is the client's ciphertext bundle for one inference:
+// the first linear layer's coefficient-encoded input ciphertexts.
+type EncryptedInput struct {
+	model  string
+	inputs []*bfv.Ciphertext
+	plan   *coeffenc.Plan
+}
+
+// Size returns the ciphertext count of the bundle.
+func (in *EncryptedInput) Size() int { return len(in.inputs) }
+
+// EncryptedLogits is the server's result bundle: the final layer's
+// accumulator ciphertexts plus the plan metadata needed to read them.
+type EncryptedLogits struct {
+	model string
+	final *finalResult
+}
+
+// EncryptInput encodes and encrypts the quantized input for the
+// network's first linear layer (the client-side prologue).
+func (e *Engine) EncryptInput(q *qnn.QNetwork, x *qnn.IntTensor) (*EncryptedInput, error) {
+	st, err := e.encryptInput(q, x)
+	if err != nil {
+		return nil, err
+	}
+	return &EncryptedInput{model: q.Name, inputs: st.firstInputs, plan: st.firstPlan}, nil
+}
+
+// EvaluateEncrypted runs the network on the encrypted input and returns
+// the encrypted logits. Only public material (evaluation keys, packing
+// keys, LWE keyswitching keys) is used.
+func (e *Engine) EvaluateEncrypted(q *qnn.QNetwork, in *EncryptedInput) (*EncryptedLogits, error) {
+	if in.model != q.Name {
+		return nil, fmt.Errorf("core: input encrypted for model %q, evaluating %q", in.model, q.Name)
+	}
+	e.netABits = q.ABits
+	if e.netABits < 2 {
+		e.netABits = 8
+	}
+	state := &inferState{firstInputs: in.inputs, firstPlan: in.plan}
+	var err error
+	for bi, b := range q.Blocks {
+		last := bi == len(q.Blocks)-1
+		switch blk := b.(type) {
+		case qnn.QSeq:
+			for oi, op := range blk {
+				lastOp := last && oi == len(blk)-1
+				state, err = e.applyOp(op, state, lastOp)
+				if err != nil {
+					return nil, err
+				}
+			}
+		case *qnn.QResidual:
+			state, err = e.residualBlock(blk, state)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("core: unsupported block %T", b)
+		}
+	}
+	f := e.final
+	e.final = nil
+	if f == nil {
+		return nil, errNoFinal
+	}
+	return &EncryptedLogits{model: q.Name, final: f}, nil
+}
+
+// DecryptLogits recovers the output logits (the client-side epilogue:
+// decryption plus the final remap in the clear).
+func (e *Engine) DecryptLogits(out *EncryptedLogits) ([]int64, error) {
+	if out == nil || out.final == nil {
+		return nil, errNoFinal
+	}
+	f := out.final
+	s := f.conv.Shape
+	logits := make([]int64, s.Outputs())
+	tm := e.Ctx.TMod
+	for ob, acc := range f.accs {
+		pt := e.dec.Decrypt(acc)
+		for _, en := range f.plan.ValidCoeffs(ob) {
+			v := tm.Centered(pt.Coeffs[en.Coeff])
+			logits[(en.Cout*s.OutH()+en.Y)*s.OutW()+en.X] = f.conv.Remap(v)
+		}
+	}
+	return logits, nil
+}

@@ -1,0 +1,34 @@
+package fbs
+
+import "testing"
+
+func BenchmarkInterpolateFermat(b *testing.B) {
+	l := ReLULUT(65537)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Interpolate()
+	}
+}
+
+func BenchmarkInterpolateNaive(b *testing.B) {
+	l := ReLULUT(12289) // t-1 not a power of two: O(t²) path
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Interpolate()
+	}
+}
+
+func BenchmarkFBSEvaluateT257(b *testing.B) {
+	ctx, enc, _, ev, cod := fbsKit(b, 6, 6, 257)
+	fe, err := NewEvaluator(ctx, ReLULUT(257))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct := enc.Encrypt(cod.EncodeSlots(make([]int64, ctx.N)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fe.Evaluate(ev, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package fbs
+
+import (
+	"fmt"
+	"math"
+
+	"athena/internal/bfv"
+)
+
+// Evaluator evaluates a compiled LUT polynomial on slot-encoded BFV
+// ciphertexts using the Alg. 2 Baby-Step Giant-Step schedule. Powers are
+// built by balanced splitting so the multiplicative depth stays at
+// O(log t) (matching the 17-level CMult budget in Table 4).
+type Evaluator struct {
+	ctx    *bfv.Context
+	cod    *bfv.Encoder
+	coeffs []uint64
+	bs, gs int
+
+	// Operation counters (reset per Evaluate call), used by the
+	// compiler/simulator cross-checks and by tests.
+	CMults, SMults, HAdds int
+}
+
+// NewEvaluator interpolates lut and prepares the evaluation plan. The
+// LUT modulus must equal the context's plaintext modulus.
+func NewEvaluator(ctx *bfv.Context, lut *LUT) (*Evaluator, error) {
+	if lut.T != ctx.Params.T {
+		return nil, fmt.Errorf("fbs: LUT modulus %d != plaintext modulus %d", lut.T, ctx.Params.T)
+	}
+	coeffs := lut.Interpolate()
+	t := int(lut.T)
+	bs := int(math.Ceil(math.Sqrt(float64(t))))
+	gs := (t + bs - 1) / bs
+	return &Evaluator{
+		ctx:    ctx,
+		cod:    bfv.NewEncoder(ctx),
+		coeffs: coeffs,
+		bs:     bs,
+		gs:     gs,
+	}, nil
+}
+
+// Steps reports the (babySteps, giantSteps) split.
+func (e *Evaluator) Steps() (int, int) { return e.bs, e.gs }
+
+// Evaluate applies the LUT to every slot of ct: each slot value v becomes
+// LUT(v). This single call realizes the non-linear activation, the
+// requantization, and the noise refresh semantics of Athena's functional
+// bootstrapping (the noise was already refreshed by packing; FBS keeps
+// the result exact mod t).
+func (e *Evaluator) Evaluate(ev *bfv.Evaluator, ct *bfv.Ciphertext) (*bfv.Ciphertext, error) {
+	e.CMults, e.SMults, e.HAdds = 0, 0, 0
+
+	// Baby powers x^1..x^bs, balanced-split for logarithmic depth.
+	powers := make([]*bfv.Ciphertext, e.bs+1)
+	powers[1] = ct
+	var err error
+	for k := 2; k <= e.bs; k++ {
+		h := k / 2
+		powers[k], err = e.mul(ev, powers[h], powers[k-h])
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Giant powers y^a with y = x^bs.
+	giants := make([]*bfv.Ciphertext, e.gs)
+	if e.gs > 1 {
+		giants[1] = powers[e.bs]
+	}
+	for a := 2; a < e.gs; a++ {
+		h := a / 2
+		giants[a], err = e.mul(ev, giants[h], giants[a-h])
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var res *bfv.Ciphertext
+	for a := 0; a < e.gs; a++ {
+		inner := e.innerSum(ev, powers, a)
+		if a > 0 {
+			if inner == nil {
+				continue
+			}
+			inner, err = e.mul(ev, inner, giants[a])
+			if err != nil {
+				return nil, err
+			}
+		}
+		if inner == nil {
+			continue
+		}
+		if res == nil {
+			res = inner
+		} else {
+			ev.AddInPlace(res, inner)
+			e.HAdds++
+		}
+	}
+	if res == nil {
+		res = e.ctx.NewCiphertext()
+	}
+	return res, nil
+}
+
+// innerSum builds Σ_b c_{a·bs+b}·x^b for one giant step; the b=0 constant
+// enters as a plaintext addition across all slots. Returns nil if every
+// coefficient in the group is zero.
+func (e *Evaluator) innerSum(ev *bfv.Evaluator, powers []*bfv.Ciphertext, a int) *bfv.Ciphertext {
+	t := len(e.coeffs)
+	var acc *bfv.Ciphertext
+	var c0 uint64
+	hasC0 := false
+	for b := 0; b < e.bs; b++ {
+		idx := a*e.bs + b
+		if idx >= t {
+			break
+		}
+		c := e.coeffs[idx]
+		if c == 0 {
+			continue
+		}
+		if b == 0 {
+			c0 = c
+			hasC0 = true
+			continue
+		}
+		term := ev.MulScalar(powers[b], c)
+		e.SMults++
+		if acc == nil {
+			acc = term
+		} else {
+			ev.AddInPlace(acc, term)
+			e.HAdds++
+		}
+	}
+	if hasC0 {
+		vals := make([]int64, e.ctx.N)
+		cv := e.ctx.TMod.Centered(c0)
+		for i := range vals {
+			vals[i] = cv
+		}
+		pt := e.cod.EncodeSlots(vals)
+		if acc == nil {
+			// Constant-only group: embed as a fresh trivial "encryption"
+			// (noise-free plaintext ciphertext).
+			acc = e.trivial(pt)
+		} else {
+			acc = ev.AddPlain(acc, pt)
+		}
+		e.HAdds++
+	}
+	return acc
+}
+
+// trivial returns the noiseless ciphertext (Δ·m, 0).
+func (e *Evaluator) trivial(pt *bfv.Plaintext) *bfv.Ciphertext {
+	ct := e.ctx.NewCiphertext()
+	dm := e.cod.LiftToDelta(pt)
+	dm.CopyTo(ct.C0)
+	return ct
+}
+
+func (e *Evaluator) mul(ev *bfv.Evaluator, a, b *bfv.Ciphertext) (*bfv.Ciphertext, error) {
+	e.CMults++
+	return ev.Mul(a, b)
+}

@@ -1,0 +1,224 @@
+package fbs
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"athena/internal/bfv"
+	"athena/internal/ring"
+)
+
+func TestInterpolatePaperExample(t *testing.T) {
+	// Section 3.2.3: ReLU under t=5 gives FBS(x) = 3x + x² + 2x⁴.
+	l := ReLULUT(5)
+	wantTable := []uint64{0, 1, 2, 0, 0}
+	for k, w := range wantTable {
+		if l.Table[k] != w {
+			t.Fatalf("LUT[%d] = %d want %d", k, l.Table[k], w)
+		}
+	}
+	c := l.Interpolate()
+	want := []uint64{0, 3, 1, 0, 2}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("coefficient %d: got %d want %d", i, c[i], want[i])
+		}
+	}
+}
+
+// evalPoly evaluates the interpolated polynomial at x over Z_t.
+func evalPoly(coeffs []uint64, x uint64, tm ring.Modulus) uint64 {
+	// Horner.
+	var acc uint64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = tm.Add(tm.Mul(acc, x), coeffs[i])
+	}
+	return acc
+}
+
+func TestInterpolationIsExactEverywhere(t *testing.T) {
+	for _, tq := range []uint64{5, 17, 97, 257} {
+		tm := ring.NewModulus(tq)
+		rng := rand.New(rand.NewPCG(tq, 1))
+		l := &LUT{T: tq, Table: make([]uint64, tq)}
+		for k := range l.Table {
+			l.Table[k] = rng.Uint64N(tq)
+		}
+		c := l.Interpolate()
+		for x := uint64(0); x < tq; x++ {
+			if got := evalPoly(c, x, tm); got != l.Table[x] {
+				t.Fatalf("t=%d: FBS(%d)=%d want %d", tq, x, got, l.Table[x])
+			}
+		}
+	}
+}
+
+func TestFFTPathMatchesNaive(t *testing.T) {
+	// 257 is a Fermat prime: both interpolation paths must agree.
+	const tq = 257
+	tm := ring.NewModulus(tq)
+	rng := rand.New(rand.NewPCG(9, 9))
+	l := &LUT{T: tq, Table: make([]uint64, tq)}
+	for k := range l.Table {
+		l.Table[k] = rng.Uint64N(tq)
+	}
+	fft := l.powerSumsFFT(tm)
+	naive := l.powerSumsNaive(tm)
+	for j := range naive {
+		if fft[j] != naive[j] {
+			t.Fatalf("g_%d: FFT %d naive %d", j, fft[j], naive[j])
+		}
+	}
+}
+
+func TestLookupCentered(t *testing.T) {
+	l := ReLULUT(257)
+	cases := map[int64]int64{0: 0, 5: 5, 127: 127, -1: 0, -100: 0}
+	for in, want := range cases {
+		if got := l.Lookup(in); got != want {
+			t.Errorf("ReLU(%d) = %d want %d", in, got, want)
+		}
+	}
+}
+
+func fbsKit(t testing.TB, logN, limbs int, tq uint64) (*bfv.Context, *bfv.Encryptor, *bfv.Decryptor, *bfv.Evaluator, *bfv.Encoder) {
+	t.Helper()
+	primes, err := ring.GenerateNTTPrimes(50, logN, limbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := bfv.NewContext(bfv.Parameters{LogN: logN, Qi: primes, T: tq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := bfv.NewKeyGenerator(ctx, 71)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	keys := kg.GenKeySet(sk, nil)
+	return ctx, bfv.NewEncryptor(ctx, pk, 72), bfv.NewDecryptor(ctx, sk), bfv.NewEvaluator(ctx, keys), bfv.NewEncoder(ctx)
+}
+
+func TestHomomorphicFBSReLU(t *testing.T) {
+	ctx, enc, dec, ev, cod := fbsKit(t, 6, 6, 257)
+	lut := NewLUT(257, func(x int64) int64 {
+		// Fused ReLU + remap by /4 (a miniature Athena activation).
+		y := x
+		if y < 0 {
+			y = 0
+		}
+		return y / 4
+	})
+	fe, err := NewEvaluator(ctx, lut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, ctx.N)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := range vals {
+		vals[i] = int64(rng.Uint64N(257)) - 128
+	}
+	ct := enc.Encrypt(cod.EncodeSlots(vals))
+	out, err := fe.Evaluate(ev, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cod.DecodeSlots(dec.Decrypt(out))
+	for i, v := range vals {
+		if got[i] != lut.Lookup(v) {
+			t.Fatalf("slot %d: FBS(%d)=%d want %d", i, v, got[i], lut.Lookup(v))
+		}
+	}
+	if fe.CMults == 0 || fe.SMults == 0 {
+		t.Fatal("operation counters not recorded")
+	}
+	bs, gs := fe.Steps()
+	if bs*gs < 257 {
+		t.Fatalf("BSGS split %d×%d does not cover the table", bs, gs)
+	}
+	t.Logf("FBS t=257: %d CMult, %d SMult, %d HAdd", fe.CMults, fe.SMults, fe.HAdds)
+}
+
+func TestHomomorphicFBSSigmoidLike(t *testing.T) {
+	// An arbitrary non-polynomial function: the point of FBS is that any
+	// table works, not just ReLU.
+	ctx, enc, dec, ev, cod := fbsKit(t, 5, 6, 257)
+	lut := NewLUT(257, func(x int64) int64 {
+		switch {
+		case x < -32:
+			return 0
+		case x > 32:
+			return 16
+		default:
+			return (x + 32) / 4
+		}
+	})
+	fe, err := NewEvaluator(ctx, lut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, ctx.N)
+	for i := range vals {
+		vals[i] = int64(i*7%257) - 128
+	}
+	ct := enc.Encrypt(cod.EncodeSlots(vals))
+	out, err := fe.Evaluate(ev, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cod.DecodeSlots(dec.Decrypt(out))
+	for i, v := range vals {
+		if got[i] != lut.Lookup(v) {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], lut.Lookup(v))
+		}
+	}
+}
+
+func TestFBSModulusMismatch(t *testing.T) {
+	ctx, _, _, _, _ := fbsKit(t, 5, 3, 257)
+	if _, err := NewEvaluator(ctx, ReLULUT(17)); err == nil {
+		t.Fatal("modulus mismatch accepted")
+	}
+}
+
+func TestHomomorphicFBSFullAthenaT(t *testing.T) {
+	// The full t = 65537 table at reduced ring degree: the exact
+	// Athena-scale FBS (bs = gs = 256, CMult depth ~17) exercised end to
+	// end in software.
+	if testing.Short() {
+		t.Skip("full-t FBS is slow; run without -short")
+	}
+	ctx, enc, dec, ev, cod := fbsKit(t, 5, 10, 65537)
+	scale := 1.0 / 512.0
+	lut := NewLUT(65537, func(x int64) int64 {
+		// w7a7-style fused ReLU+remap: 17-bit MAC -> 7-bit activation.
+		if x < 0 {
+			return 0
+		}
+		y := int64(float64(x)*scale + 0.5)
+		if y > 127 {
+			y = 127
+		}
+		return y
+	})
+	fe, err := NewEvaluator(ctx, lut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, ctx.N)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := range vals {
+		vals[i] = int64(rng.Uint64N(1<<17)) - (1 << 16)
+	}
+	ct := enc.Encrypt(cod.EncodeSlots(vals))
+	out, err := fe.Evaluate(ev, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cod.DecodeSlots(dec.Decrypt(out))
+	for i, v := range vals {
+		if got[i] != lut.Lookup(v) {
+			t.Fatalf("slot %d: FBS(%d)=%d want %d (budget %v)", i, v, got[i], lut.Lookup(v), dec.NoiseBudget(out))
+		}
+	}
+	t.Logf("full-t FBS: %d CMult, %d SMult, %d HAdd", fe.CMults, fe.SMults, fe.HAdds)
+}

@@ -1,0 +1,31 @@
+package fbs
+
+import (
+	"testing"
+
+	"athena/internal/ring"
+)
+
+// FuzzInterpolate: any byte-derived table over Z_257 must interpolate to
+// a polynomial that reproduces it at the probed points.
+func FuzzInterpolate(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 0, 128, 7})
+	const tq = 257
+	tm := ring.NewModulus(tq)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := &LUT{T: tq, Table: make([]uint64, tq)}
+		for k := range l.Table {
+			if len(data) > 0 {
+				l.Table[k] = uint64(data[k%len(data)]) % tq
+			}
+		}
+		c := l.Interpolate()
+		for _, x := range []uint64{0, 1, 128, 200, 256} {
+			if evalPoly(c, x, tm) != l.Table[x] {
+				t.Fatalf("FBS(%d) != LUT(%d)", x, x)
+			}
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package lwe
+
+import "testing"
+
+// FuzzModSwitch: downward modulus switching must keep the phase within
+// the rounding bound for arbitrary ciphertext words.
+func FuzzModSwitch(f *testing.F) {
+	f.Add(uint64(123456), uint64(98765))
+	f.Add(uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, a0, b uint64) {
+		const q1 = uint64(1) << 30
+		const q2 = uint64(65537)
+		ct := Ciphertext{A: []uint64{a0 % q1, (a0 * 3) % q1}, B: b % q1, Q: q1}
+		sw := ModSwitch(ct, q2)
+		if sw.Q != q2 {
+			t.Fatal("modulus not switched")
+		}
+		for _, v := range sw.A {
+			if v >= q2 {
+				t.Fatal("component out of range")
+			}
+		}
+		if sw.B >= q2 {
+			t.Fatal("B out of range")
+		}
+	})
+}

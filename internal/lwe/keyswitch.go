@@ -1,0 +1,91 @@
+package lwe
+
+import (
+	"fmt"
+
+	"athena/internal/ring"
+)
+
+// KeySwitchKey switches LWE ciphertexts from the secret skIn (dimension
+// N, the ring degree after sample extraction) to skOut (dimension n).
+// This realizes the paper's N -> n degree switch (Section 3.2.2, using
+// keyswitching) on extracted samples. Component [j][d] encrypts
+// skIn[j]·base^d under skOut.
+type KeySwitchKey struct {
+	Keys   [][]Ciphertext
+	Base   uint64
+	Digits int
+	Q      uint64
+}
+
+// NewKeySwitchKey generates the switching material at modulus q with the
+// given decomposition base.
+func NewKeySwitchKey(skIn, skOut *SecretKey, q, base uint64, sigma float64, seed uint64) *KeySwitchKey {
+	if base < 2 {
+		panic("lwe: decomposition base must be at least 2")
+	}
+	digits := 0
+	for pw := uint64(1); pw < q; pw *= base {
+		digits++
+		if pw > q/base { // avoid overflow on the last step
+			break
+		}
+	}
+	m := ring.NewModulus(q)
+	smp := newStream(seed)
+	k := &KeySwitchKey{
+		Keys:   make([][]Ciphertext, len(skIn.S)),
+		Base:   base,
+		Digits: digits,
+		Q:      q,
+	}
+	for j, sj := range skIn.S {
+		k.Keys[j] = make([]Ciphertext, digits)
+		pw := uint64(1)
+		for d := 0; d < digits; d++ {
+			msg := m.Mul(m.ReduceInt64(sj), pw)
+			k.Keys[j][d] = Encrypt(skOut, msg, q, sigma, smp)
+			pw = m.Mul(pw, base)
+		}
+	}
+	return k
+}
+
+// Switch converts ct (under skIn) to a ciphertext under skOut. The
+// moduli must match.
+func (k *KeySwitchKey) Switch(ct Ciphertext) Ciphertext {
+	if ct.Q != k.Q {
+		panic(fmt.Sprintf("lwe: keyswitch modulus mismatch %d vs %d", ct.Q, k.Q))
+	}
+	if len(ct.A) != len(k.Keys) {
+		panic(fmt.Sprintf("lwe: keyswitch dimension mismatch %d vs %d", len(ct.A), len(k.Keys)))
+	}
+	m := ring.NewModulus(k.Q)
+	nOut := len(k.Keys[0][0].A)
+	out := Ciphertext{A: make([]uint64, nOut), B: ct.B % k.Q, Q: k.Q}
+	for j, aj := range ct.A {
+		v := aj % k.Q
+		for d := 0; d < k.Digits && v > 0; d++ {
+			dig := v % k.Base
+			v /= k.Base
+			if dig == 0 {
+				continue
+			}
+			key := &k.Keys[j][d]
+			for i := range out.A {
+				out.A[i] = m.Add(out.A[i], m.Mul(dig, key.A[i]))
+			}
+			out.B = m.Add(out.B, m.Mul(dig, key.B))
+		}
+	}
+	return out
+}
+
+// SwitchAll applies Switch to a batch.
+func (k *KeySwitchKey) SwitchAll(cts []Ciphertext) []Ciphertext {
+	out := make([]Ciphertext, len(cts))
+	for i, ct := range cts {
+		out[i] = k.Switch(ct)
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package lwe
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	magicLWE = 0x414c5731 // "ALW1"
+	magicKSK = 0x414b4b31 // "AKK1"
+	wireVer  = 1
+)
+
+func writeU64s(w *bufio.Writer, vs ...uint64) error {
+	var b [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(b[:], v)
+		if _, err := w.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readU64(r *bufio.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteCiphertext serializes one LWE ciphertext.
+func WriteCiphertext(ct Ciphertext, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeU64s(bw, magicLWE, wireVer, ct.Q, uint64(len(ct.A))); err != nil {
+		return err
+	}
+	if err := writeU64s(bw, ct.A...); err != nil {
+		return err
+	}
+	if err := writeU64s(bw, ct.B); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCiphertext deserializes one LWE ciphertext.
+func ReadCiphertext(r io.Reader) (Ciphertext, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]uint64
+	for i := range hdr {
+		v, err := readU64(br)
+		if err != nil {
+			return Ciphertext{}, err
+		}
+		hdr[i] = v
+	}
+	if hdr[0] != magicLWE {
+		return Ciphertext{}, fmt.Errorf("lwe: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != wireVer {
+		return Ciphertext{}, fmt.Errorf("lwe: unsupported version %d", hdr[1])
+	}
+	n := hdr[3]
+	if n > 1<<20 {
+		return Ciphertext{}, fmt.Errorf("lwe: implausible dimension %d", n)
+	}
+	ct := Ciphertext{Q: hdr[2], A: make([]uint64, n)}
+	for i := range ct.A {
+		v, err := readU64(br)
+		if err != nil {
+			return Ciphertext{}, err
+		}
+		ct.A[i] = v
+	}
+	b, err := readU64(br)
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	ct.B = b
+	return ct, nil
+}
+
+// WriteKeySwitchKey serializes the N→n switching material (the largest
+// public object of the conversion pipeline).
+func WriteKeySwitchKey(k *KeySwitchKey, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	nIn := uint64(len(k.Keys))
+	var nOut uint64
+	if nIn > 0 && len(k.Keys[0]) > 0 {
+		nOut = uint64(len(k.Keys[0][0].A))
+	}
+	if err := writeU64s(bw, magicKSK, wireVer, k.Q, k.Base, uint64(k.Digits), nIn, nOut); err != nil {
+		return err
+	}
+	for _, row := range k.Keys {
+		if len(row) != k.Digits {
+			return fmt.Errorf("lwe: ragged keyswitch key")
+		}
+		for _, ct := range row {
+			if err := writeU64s(bw, ct.A...); err != nil {
+				return err
+			}
+			if err := writeU64s(bw, ct.B); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadKeySwitchKey deserializes the switching material.
+func ReadKeySwitchKey(r io.Reader) (*KeySwitchKey, error) {
+	br := bufio.NewReader(r)
+	var hdr [7]uint64
+	for i := range hdr {
+		v, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		hdr[i] = v
+	}
+	if hdr[0] != magicKSK {
+		return nil, fmt.Errorf("lwe: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != wireVer {
+		return nil, fmt.Errorf("lwe: unsupported version %d", hdr[1])
+	}
+	q, base, digits, nIn, nOut := hdr[2], hdr[3], int(hdr[4]), hdr[5], hdr[6]
+	if nIn > 1<<20 || nOut > 1<<20 || digits > 64 {
+		return nil, fmt.Errorf("lwe: implausible keyswitch dimensions")
+	}
+	k := &KeySwitchKey{Q: q, Base: base, Digits: digits, Keys: make([][]Ciphertext, nIn)}
+	for j := range k.Keys {
+		k.Keys[j] = make([]Ciphertext, digits)
+		for d := 0; d < digits; d++ {
+			ct := Ciphertext{Q: q, A: make([]uint64, nOut)}
+			for i := range ct.A {
+				v, err := readU64(br)
+				if err != nil {
+					return nil, err
+				}
+				ct.A[i] = v
+			}
+			b, err := readU64(br)
+			if err != nil {
+				return nil, err
+			}
+			ct.B = b
+			k.Keys[j][d] = ct
+		}
+	}
+	return k, nil
+}

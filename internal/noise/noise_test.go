@@ -1,0 +1,95 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"athena/internal/qnn"
+)
+
+func TestTable4MatchesPaper(t *testing.T) {
+	// Table 4 at the paper's parameters: Linear 37, Packing 43, FBS 558,
+	// S2C 68, Total 706 bits.
+	m := PaperModel()
+	want := map[string]int{"Linear": 37, "Packing": 43, "FBS": 558, "S2C": 68}
+	for _, r := range m.Table4() {
+		if w, ok := want[r.Step]; ok {
+			if r.Bits != w {
+				t.Errorf("%s: %d bits, paper reports %d", r.Step, r.Bits, w)
+			}
+		}
+	}
+	total := m.Total()
+	if total.Bits != 706 {
+		t.Errorf("total %d bits, paper reports 706", total.Bits)
+	}
+	if total.CMult != 17 || total.PMult != 4 || total.SMult != 1 {
+		t.Errorf("depth counts %+v do not match Table 4", total)
+	}
+	if !m.BudgetOK() {
+		t.Error("paper parameters should satisfy the Δ/2 budget")
+	}
+}
+
+func TestBudgetFailsWhenQTooSmall(t *testing.T) {
+	m := PaperModel()
+	m.LogQ = 600
+	if m.BudgetOK() {
+		t.Error("600-bit Q cannot absorb 706 bits of noise")
+	}
+}
+
+func TestEmsSigma(t *testing.T) {
+	// At N=2^15 the secret-key term dominates: sigma ≈ sqrt(2N/36) ≈ 42.7,
+	// i.e. e_ms "typically within about 4 bits" as the paper states
+	// (log2(42.7) ≈ 5.4, with typical draws |e| ≲ 2σ).
+	s := EmsSigma(1<<15, 3.2, 720, 16)
+	if s < 35 || s < 1 || s > 55 {
+		t.Fatalf("e_ms sigma %.1f outside the expected range", s)
+	}
+	// The rounding term must dominate the scaled-noise term entirely.
+	s2 := EmsSigma(1<<15, 0, 720, 16)
+	if math.Abs(s-s2) > 1e-6 {
+		t.Fatalf("scaled noise term should be negligible: %v vs %v", s, s2)
+	}
+}
+
+func TestFig4Stats(t *testing.T) {
+	train := qnn.SynthDigits(200, 3)
+	net := qnn.NewMNISTNet(4)
+	cfg := qnn.DefaultTrainConfig()
+	cfg.Epochs = 2
+	qnn.Train(net, train, cfg)
+	cfg2 := qnn.DefaultQuantConfig()
+	cfg2.AccCap = 30000 // keep every layer inside t/2 at t=65537
+	qnet, err := qnn.Quantize(net, train, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Fig4Stats(qnet, train, 16, 16, 7)
+	if len(stats) != 3 { // conv + 2 dense
+		t.Fatalf("expected 3 linear layers, got %d", len(stats))
+	}
+	for _, s := range stats {
+		if s.MaxAcc <= 0 {
+			t.Fatalf("%s: max accumulator not recorded", s.Name)
+		}
+		// w7a7 accumulators stay within the t=65537 bound (Fig. 4's check).
+		if s.MaxAcc >= 65537/2 {
+			t.Fatalf("%s: accumulator %d exceeds t/2", s.Name, s.MaxAcc)
+		}
+		// Error ratio: a small but nonzero fraction, as in the paper
+		// ("most layers below 6%, max below 11%") — with sigma=16 we
+		// allow a wider band but it must stay a small minority.
+		if s.ErrorRatio < 0 || s.ErrorRatio > 0.25 {
+			t.Fatalf("%s: error ratio %.3f implausible", s.Name, s.ErrorRatio)
+		}
+	}
+	// Zero noise must mean zero errors.
+	clean := Fig4Stats(qnet, train, 8, 0, 7)
+	for _, s := range clean {
+		if s.ErrorRatio != 0 {
+			t.Fatalf("%s: nonzero error ratio with zero noise", s.Name)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package pack
+
+import (
+	"fmt"
+
+	"athena/internal/bfv"
+	"athena/internal/ring"
+)
+
+// Transform is an arbitrary Z_t-linear map on the plaintext ring,
+// compiled into the Galois-sum form  M(m) = Σ_g p_g · σ_g(m)  and
+// evaluated homomorphically with BSGS grouping of the Galois group
+// {±5^k}. Every Z_t-linear map on Z_t[X]/(X^N+1) admits this form
+// because the Galois group acts simply transitively on the N evaluation
+// points (the decomposition in compile() is exact, not approximate).
+type Transform struct {
+	ctx *bfv.Context
+	cod *bfv.Encoder
+
+	babyCount  int
+	giantCount int
+
+	// terms[a][idx] is the plaintext multiplier for giant step a and baby
+	// index idx (idx < 2·babyCount: even = +5^b, odd = -5^b); nil when
+	// the multiplier polynomial is identically zero.
+	terms [][]*bfv.PlaintextMul
+
+	babyEls  []uint64 // galois elements 5^b and (2N-1)·5^b
+	giantEls []uint64 // galois elements 5^(a·B)
+}
+
+// evalDomain captures the plaintext-ring evaluation structure mod t.
+type evalDomain struct {
+	rt    *ring.Ring // plaintext ring (single limb t)
+	tm    ring.Modulus
+	n     int
+	exps  []uint64 // exps[p]: NTT position p evaluates at ζ^exps[p]
+	posOf []int    // inverse of exps over odd exponents (indexed by exponent)
+}
+
+func newEvalDomain(ctx *bfv.Context) (*evalDomain, error) {
+	if !ctx.Batching() {
+		return nil, fmt.Errorf("pack: parameters do not support batching")
+	}
+	rt := ctx.RingT
+	n := rt.N
+	d := &evalDomain{rt: rt, tm: rt.Moduli[0], n: n}
+
+	// Probe the NTT with the monomial X: position p then holds ζ^exps[p].
+	probe := rt.NewPoly()
+	probe.Coeffs[0][1] = 1
+	rt.NTT(probe)
+
+	// Discrete-log table over the 2N-th roots of unity.
+	zeta := ring.RootOfUnity(d.tm.Q, uint64(2*n))
+	dlog := make(map[uint64]int, 2*n)
+	v := uint64(1)
+	for k := 0; k < 2*n; k++ {
+		dlog[v] = k
+		v = d.tm.Mul(v, zeta)
+	}
+	d.exps = make([]uint64, n)
+	d.posOf = make([]int, 2*n)
+	for i := range d.posOf {
+		d.posOf[i] = -1
+	}
+	for p := 0; p < n; p++ {
+		k, ok := dlog[probe.Coeffs[0][p]]
+		if !ok {
+			return nil, fmt.Errorf("pack: NTT position %d does not evaluate at a 2N-th root", p)
+		}
+		d.exps[p] = uint64(k)
+		d.posOf[k] = p
+	}
+	return d, nil
+}
+
+// perm returns the eval-position permutation of σ_g: position i of
+// σ_g(m) holds the value of m at position perm[i].
+func (d *evalDomain) perm(g uint64) []int {
+	twoN := uint64(2 * d.n)
+	out := make([]int, d.n)
+	for i := 0; i < d.n; i++ {
+		out[i] = d.posOf[d.exps[i]*g%twoN]
+	}
+	return out
+}
+
+// CompileTransform builds the homomorphic evaluation plan for the map
+// out = M·in on plaintext coefficient vectors (M is N×N over Z_t,
+// row-major: out[i] = Σ_j M[i][j]·in[j]).
+func CompileTransform(ctx *bfv.Context, m [][]uint64) (*Transform, error) {
+	d, err := newEvalDomain(ctx)
+	if err != nil {
+		return nil, err
+	}
+	n := d.n
+	if len(m) != n {
+		return nil, fmt.Errorf("pack: matrix has %d rows, want %d", len(m), n)
+	}
+	tm := d.tm
+	rt := d.rt
+
+	// T = E·M·E^{-1}, using (i) columns of E·M are NTTs of M's columns
+	// and (ii) E^{-T} = (1/N)·P·E with P the inverse-point pairing, so
+	// each row of T is (1/N)·P·NTT(row of E·M).
+	t := make([][]uint64, n)
+	for i := range t {
+		t[i] = make([]uint64, n)
+		if len(m[i]) != n {
+			return nil, fmt.Errorf("pack: matrix row %d has %d entries, want %d", i, len(m[i]), n)
+		}
+	}
+	col := rt.NewPoly()
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col.Coeffs[0][i] = tm.Reduce(m[i][j])
+		}
+		rt.NTT(col)
+		for i := 0; i < n; i++ {
+			t[i][j] = col.Coeffs[0][i]
+		}
+	}
+	nInv := tm.Inv(uint64(n))
+	twoN := uint64(2 * n)
+	pair := make([]int, n) // position of the inverse evaluation point
+	for i := 0; i < n; i++ {
+		pair[i] = d.posOf[(twoN-d.exps[i])%twoN]
+	}
+	row := rt.NewPoly()
+	scratch := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		copy(row.Coeffs[0], t[i])
+		rt.NTT(row)
+		for k := 0; k < n; k++ {
+			scratch[k] = tm.Mul(row.Coeffs[0][pair[k]], nInv)
+		}
+		copy(t[i], scratch)
+	}
+
+	// Extract the diagonal D_g for every group element g = ε·5^k and
+	// interpolate it back to the multiplier polynomial p_g.
+	cod := bfv.NewEncoder(ctx)
+	half := n / 2
+	bc := BabySteps(half)
+	gc := half / bc
+	tr := &Transform{
+		ctx: ctx, cod: cod,
+		babyCount: bc, giantCount: gc,
+		terms: make([][]*bfv.PlaintextMul, gc),
+	}
+	conj := ring.GaloisElementConjugate(n)
+	for b := 0; b < bc; b++ {
+		g := ring.GaloisElementForRotation(n, b)
+		tr.babyEls = append(tr.babyEls, g, g*conj%twoN)
+	}
+	for a := 0; a < gc; a++ {
+		tr.giantEls = append(tr.giantEls, ring.GaloisElementForRotation(n, a*bc))
+	}
+
+	dg := rt.NewPoly()
+	for a := 0; a < gc; a++ {
+		tr.terms[a] = make([]*bfv.PlaintextMul, 2*bc)
+		gGiantInv := ring.GaloisElementForRotation(n, -a*bc)
+		for b := 0; b < bc; b++ {
+			for e := 0; e < 2; e++ {
+				g := ring.GaloisElementForRotation(n, a*bc+b)
+				if e == 1 {
+					g = g * conj % twoN
+				}
+				pg := d.perm(g)
+				nonzero := false
+				for i := 0; i < n; i++ {
+					v := t[i][pg[i]]
+					dg.Coeffs[0][i] = v
+					if v != 0 {
+						nonzero = true
+					}
+				}
+				if !nonzero {
+					continue
+				}
+				rt.INTT(dg) // p_g coefficients
+				// Giant pre-rotation: p' = σ_{5^{aB}}^{-1}(p_g).
+				pPrime := rt.NewPoly()
+				if a == 0 {
+					dg.CopyTo(pPrime)
+				} else {
+					rt.Automorphism(dg, gGiantInv, pPrime)
+				}
+				pt := ctx.NewPlaintext()
+				copy(pt.Coeffs, pPrime.Coeffs[0])
+				tr.terms[a][2*b+e] = cod.LiftToMul(pt)
+			}
+		}
+	}
+	return tr, nil
+}
+
+// GaloisElements returns every Galois element Apply will use, for key
+// generation (deduplicated, identity excluded).
+func (tr *Transform) GaloisElements() []uint64 {
+	seen := map[uint64]bool{1: true}
+	var out []uint64
+	for _, g := range append(append([]uint64{}, tr.babyEls...), tr.giantEls...) {
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Apply evaluates the transform on ct.
+func (tr *Transform) Apply(ev *bfv.Evaluator, ct *bfv.Ciphertext) (*bfv.Ciphertext, error) {
+	// Baby ciphertexts: σ_{±5^b}(ct).
+	babies := make([]*bfv.Ciphertext, 2*tr.babyCount)
+	for b := 0; b < tr.babyCount; b++ {
+		for e := 0; e < 2; e++ {
+			// Skip baby automorphisms never referenced by any giant step.
+			used := false
+			for a := range tr.terms {
+				if tr.terms[a][2*b+e] != nil {
+					used = true
+					break
+				}
+			}
+			if !used {
+				continue
+			}
+			c, err := ev.Automorphism(ct, tr.babyEls[2*b+e])
+			if err != nil {
+				return nil, err
+			}
+			babies[2*b+e] = c
+		}
+	}
+	var acc *bfv.Ciphertext
+	for a := 0; a < tr.giantCount; a++ {
+		var inner *bfv.Ciphertext
+		for idx, pm := range tr.terms[a] {
+			if pm == nil {
+				continue
+			}
+			if inner == nil {
+				inner = ev.MulPlain(babies[idx], pm)
+			} else {
+				ev.MulPlainAndAdd(babies[idx], pm, inner)
+			}
+		}
+		if inner == nil {
+			continue
+		}
+		if a > 0 {
+			var err error
+			inner, err = ev.Automorphism(inner, tr.giantEls[a])
+			if err != nil {
+				return nil, err
+			}
+		}
+		if acc == nil {
+			acc = inner
+		} else {
+			ev.AddInPlace(acc, inner)
+		}
+	}
+	if acc == nil {
+		// The zero map.
+		return tr.ctx.NewCiphertext(), nil
+	}
+	return acc, nil
+}
+
+// S2CMatrix returns the slot-to-coefficient map: out_coeff[i] = slot_i(in)
+// for all N slots. Composed after FBS it returns the activations to the
+// coefficient encoding the next linear layer consumes.
+func S2CMatrix(ctx *bfv.Context) [][]uint64 {
+	d, err := newEvalDomain(ctx)
+	if err != nil {
+		panic(err)
+	}
+	n := d.n
+	slotIdx := ctx.SlotIndex()
+	// slot_i(m) = NTT(m)[slotIdx[i]] = Σ_j E[slotIdx[i]][j]·m_j.
+	// Materialize E rows by NTT-ing unit vectors... equivalently E[p][j] =
+	// ζ^{exps[p]·j}, which we can compute directly.
+	tm := d.tm
+	zeta := ring.RootOfUnity(tm.Q, uint64(2*n))
+	m := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]uint64, n)
+		base := tm.Pow(zeta, d.exps[slotIdx[i]])
+		v := uint64(1)
+		for j := 0; j < n; j++ {
+			m[i][j] = v
+			v = tm.Mul(v, base)
+		}
+	}
+	return m
+}
+
+// C2SMatrix returns the coefficient-to-slot map (the inverse of
+// S2CMatrix): coefficients of the output equal the plaintext polynomial
+// whose slot i holds in_coeff[i].
+func C2SMatrix(ctx *bfv.Context) [][]uint64 {
+	d, err := newEvalDomain(ctx)
+	if err != nil {
+		panic(err)
+	}
+	n := d.n
+	rt := d.rt
+	slotIdx := ctx.SlotIndex()
+	m := make([][]uint64, n)
+	for i := range m {
+		m[i] = make([]uint64, n)
+	}
+	// Column j of the matrix is INTT(unit at slotIdx[j]).
+	col := rt.NewPoly()
+	for j := 0; j < n; j++ {
+		for i := range col.Coeffs[0] {
+			col.Coeffs[0][i] = 0
+		}
+		col.Coeffs[0][slotIdx[j]] = 1
+		rt.INTT(col)
+		for i := 0; i < n; i++ {
+			m[i][j] = col.Coeffs[0][i]
+		}
+	}
+	return m
+}

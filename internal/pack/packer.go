@@ -1,0 +1,159 @@
+// Package pack implements Step ④ and the slot-to-coefficient bridge of
+// the Athena framework:
+//
+//   - Packer homomorphically decrypts a batch of LWE ciphertexts into the
+//     slots of one fresh BFV ciphertext at full modulus Q. The LWE secret
+//     is encrypted slot-wise under the BFV key (the "packing key"); the
+//     plaintext LWE matrix then multiplies it with a Baby-Step Giant-Step
+//     (BSGS) diagonal product, exactly the ⟨a, s⟩ + b evaluation the
+//     paper describes. Because the output is a fresh encryption under Q,
+//     this step *is* the noise refresh (bootstrapping).
+//
+//   - Transform compiles an arbitrary Z_t-linear map on the plaintext
+//     ring into a sum Σ_g p_g·σ_g over Galois automorphisms, evaluated
+//     homomorphically with BSGS grouping. The slot-to-coefficient (S2C)
+//     and coefficient-to-slot (C2S) transforms are instances.
+package pack
+
+import (
+	"fmt"
+
+	"athena/internal/bfv"
+	"athena/internal/lwe"
+)
+
+// Packer packs LWE ciphertexts (dimension n, modulus t) into BFV slots.
+type Packer struct {
+	ctx *bfv.Context
+	cod *bfv.Encoder
+	n   int
+	bs  int // baby-step count (divides n)
+
+	// babies[b] encrypts the LWE secret replicated across the slots and
+	// pre-rotated by b: slot i holds s[(i%row + b) mod n]. Pre-encrypting
+	// the rotations at key generation removes all baby-step rotations at
+	// run time.
+	babies []*bfv.Ciphertext
+}
+
+// BabySteps picks the BSGS split for dimension n: the largest power of
+// two ≤ √n (so both bs and n/bs divide n).
+func BabySteps(n int) int {
+	bs := 1
+	for bs*bs < n {
+		bs <<= 1
+	}
+	if bs*bs > n {
+		bs >>= 1
+	}
+	return bs
+}
+
+// NewPacker builds a packer for LWE dimension n = len(sk.S). The
+// encryptor must hold the BFV public key; the LWE secret is embedded in
+// the packing keys (encrypted) and not retained.
+func NewPacker(ctx *bfv.Context, enc *bfv.Encryptor, sk *lwe.SecretKey) (*Packer, error) {
+	n := sk.Dim()
+	row := ctx.N / 2
+	if n > row || row%n != 0 {
+		return nil, fmt.Errorf("pack: LWE dimension %d must divide the row size %d", n, row)
+	}
+	cod := bfv.NewEncoder(ctx)
+	bs := BabySteps(n)
+	p := &Packer{ctx: ctx, cod: cod, n: n, bs: bs, babies: make([]*bfv.Ciphertext, bs)}
+	vals := make([]int64, ctx.N)
+	for b := 0; b < bs; b++ {
+		for i := 0; i < ctx.N; i++ {
+			vals[i] = sk.S[(i%row+b)%n]
+		}
+		p.babies[b] = enc.Encrypt(cod.EncodeSlots(vals))
+	}
+	return p, nil
+}
+
+// GaloisElements returns the rotation elements the evaluator needs:
+// multiples of the baby-step count.
+func (p *Packer) GaloisElements() []uint64 {
+	gs := p.n / p.bs
+	rots := make([]int, 0, gs-1)
+	for a := 1; a < gs; a++ {
+		rots = append(rots, a*p.bs)
+	}
+	return bfv.RotationGaloisElements(p.ctx, rots)
+}
+
+// Pack homomorphically decrypts cts into slots 0..len(cts)-1 of one BFV
+// ciphertext. All inputs must have dimension n and modulus t. At most N
+// ciphertexts fit.
+func (p *Packer) Pack(ev *bfv.Evaluator, cts []lwe.Ciphertext) (*bfv.Ciphertext, error) {
+	ctx := p.ctx
+	if len(cts) == 0 || len(cts) > ctx.N {
+		return nil, fmt.Errorf("pack: %d ciphertexts for %d slots", len(cts), ctx.N)
+	}
+	for i := range cts {
+		if len(cts[i].A) != p.n {
+			return nil, fmt.Errorf("pack: ciphertext %d has dimension %d, want %d", i, len(cts[i].A), p.n)
+		}
+		if cts[i].Q != ctx.Params.T {
+			return nil, fmt.Errorf("pack: ciphertext %d has modulus %d, want t=%d", i, cts[i].Q, ctx.Params.T)
+		}
+	}
+	row := ctx.N / 2
+	gs := p.n / p.bs
+
+	// diag(j)[slot i] = A[i][(col(i)+j) mod n], zero beyond len(cts).
+	diag := func(j int) []int64 {
+		d := make([]int64, ctx.N)
+		for i := range cts {
+			d[i] = int64(cts[i].A[(i%row+j)%p.n])
+		}
+		return d
+	}
+	// rotLeftPlain rotates a slot vector v by -k within each row
+	// (the plaintext counterpart of RotateRows(-k)).
+	rotPlain := func(v []int64, k int) []int64 {
+		out := make([]int64, len(v))
+		for i := range v {
+			r, c := i/row, i%row
+			out[i] = v[r*row+((c+k)%row+row)%row]
+		}
+		return out
+	}
+
+	var acc *bfv.Ciphertext
+	for a := 0; a < gs; a++ {
+		var inner *bfv.Ciphertext
+		for b := 0; b < p.bs; b++ {
+			d := diag(a*p.bs + b)
+			if a > 0 {
+				d = rotPlain(d, -a*p.bs)
+			}
+			pm := p.cod.LiftToMul(p.cod.EncodeSlots(d))
+			if inner == nil {
+				inner = ev.MulPlain(p.babies[b], pm)
+			} else {
+				ev.MulPlainAndAdd(p.babies[b], pm, inner)
+			}
+		}
+		if a > 0 {
+			var err error
+			inner, err = ev.RotateRows(inner, a*p.bs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if acc == nil {
+			acc = inner
+		} else {
+			ev.AddInPlace(acc, inner)
+		}
+	}
+
+	// Add the b terms as a plaintext.
+	bs := make([]int64, ctx.N)
+	for i := range cts {
+		bs[i] = int64(cts[i].B)
+	}
+	out := ev.AddPlain(acc, p.cod.EncodeSlots(bs))
+	return out, nil
+}

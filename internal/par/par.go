@@ -1,0 +1,71 @@
+// Package par provides the tiny deterministic fork-join helper the hot
+// paths share: output-indexed loops whose iterations are independent
+// (per-coefficient CRT work, per-extraction keyswitches, per-limb NTTs)
+// run across GOMAXPROCS workers with no ordering effects on results.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForN runs f(i) for i in [0, n), splitting across up to GOMAXPROCS
+// goroutines. f must only write to i-indexed state. When n is small or
+// the process has one CPU the loop runs inline.
+func ForN(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Chunks runs f(start, end) over contiguous ranges covering [0, n),
+// one range per worker — for loops where per-iteration work is tiny and
+// the scheduler overhead of ForN would dominate.
+func Chunks(n int, f func(start, end int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 256 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	size := (n + workers - 1) / workers
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			f(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

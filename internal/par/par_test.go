@@ -1,0 +1,56 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForNCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 1000} {
+		seen := make([]int32, n)
+		ForN(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestChunksCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 1000} {
+		seen := make([]int32, n)
+		Chunks(n, func(s, e int) {
+			for i := s; i < e; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelPathWithMultipleProcs(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	var sum int64
+	ForN(5000, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 5000*4999/2 {
+		t.Fatalf("sum %d", sum)
+	}
+	var sum2 int64
+	Chunks(5000, func(s, e int) {
+		var local int64
+		for i := s; i < e; i++ {
+			local += int64(i)
+		}
+		atomic.AddInt64(&sum2, local)
+	})
+	if sum2 != sum {
+		t.Fatalf("chunks sum %d", sum2)
+	}
+}

@@ -1,0 +1,213 @@
+package qnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"athena/internal/coeffenc"
+)
+
+// JSON model format: a stable, human-inspectable serialization of a
+// quantized network (weights, scales, fused activations, structure).
+// Trained+quantized models can be saved once and shipped to the
+// inference side.
+
+type jsonNetwork struct {
+	Format  string      `json:"format"`
+	Name    string      `json:"name"`
+	InC     int         `json:"in_c"`
+	InH     int         `json:"in_h"`
+	InW     int         `json:"in_w"`
+	WBits   int         `json:"w_bits"`
+	ABits   int         `json:"a_bits"`
+	InScale float64     `json:"in_scale"`
+	Blocks  []jsonBlock `json:"blocks"`
+}
+
+type jsonBlock struct {
+	Kind     string   `json:"kind"` // "seq" or "residual"
+	Ops      []jsonOp `json:"ops,omitempty"`
+	Body     []jsonOp `json:"body,omitempty"`
+	Shortcut []jsonOp `json:"shortcut,omitempty"`
+	ActBits  int      `json:"act_bits,omitempty"`
+	Mult     float64  `json:"multiplier,omitempty"`
+}
+
+type jsonOp struct {
+	Kind string `json:"kind"` // "conv", "maxpool", "avgpool"
+
+	// conv fields
+	Shape      *coeffenc.ConvShape `json:"shape,omitempty"`
+	Weights    [][][][]int64       `json:"weights,omitempty"`
+	Bias       []int64             `json:"bias,omitempty"`
+	Act        string              `json:"act,omitempty"`
+	Multiplier float64             `json:"multiplier,omitempty"`
+	ActBits    int                 `json:"act_bits,omitempty"`
+	IsDense    bool                `json:"is_dense,omitempty"`
+	InScale    float64             `json:"in_scale,omitempty"`
+	WScale     float64             `json:"w_scale,omitempty"`
+	OutScale   float64             `json:"out_scale,omitempty"`
+	MaxAcc     int64               `json:"max_acc,omitempty"`
+
+	// pool fields
+	K int `json:"k,omitempty"`
+}
+
+const jsonFormat = "athena-qnetwork-v1"
+
+var actNames = map[Activation]string{
+	ActNone: "none", ActReLU: "relu", ActSigmoid: "sigmoid", ActGELU: "gelu",
+}
+
+func actByName(s string) (Activation, error) {
+	for a, n := range actNames {
+		if n == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("qnn: unknown activation %q", s)
+}
+
+func opToJSON(op QOp) (jsonOp, error) {
+	switch o := op.(type) {
+	case *QConv:
+		shape := o.Shape
+		return jsonOp{
+			Kind: "conv", Shape: &shape, Weights: o.Weights, Bias: o.Bias,
+			Act: actNames[o.Act], Multiplier: o.Multiplier, ActBits: o.ActBits,
+			IsDense: o.IsDense, InScale: o.InScale, WScale: o.WScale,
+			OutScale: o.OutScale, MaxAcc: o.MaxAcc,
+		}, nil
+	case *QMaxPool:
+		return jsonOp{Kind: "maxpool", K: o.K}, nil
+	case *QAvgPool:
+		return jsonOp{Kind: "avgpool", K: o.K}, nil
+	}
+	return jsonOp{}, fmt.Errorf("qnn: unsupported op %T", op)
+}
+
+func opFromJSON(j jsonOp) (QOp, error) {
+	switch j.Kind {
+	case "conv":
+		if j.Shape == nil {
+			return nil, fmt.Errorf("qnn: conv without shape")
+		}
+		act, err := actByName(j.Act)
+		if err != nil {
+			return nil, err
+		}
+		return &QConv{
+			Shape: *j.Shape, Weights: j.Weights, Bias: j.Bias,
+			Act: act, Multiplier: j.Multiplier, ActBits: j.ActBits,
+			IsDense: j.IsDense, InScale: j.InScale, WScale: j.WScale,
+			OutScale: j.OutScale, MaxAcc: j.MaxAcc,
+		}, nil
+	case "maxpool":
+		return &QMaxPool{K: j.K}, nil
+	case "avgpool":
+		return &QAvgPool{K: j.K}, nil
+	}
+	return nil, fmt.Errorf("qnn: unknown op kind %q", j.Kind)
+}
+
+func opsToJSON(ops QSeq) ([]jsonOp, error) {
+	out := make([]jsonOp, len(ops))
+	for i, op := range ops {
+		j, err := opToJSON(op)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+func opsFromJSON(js []jsonOp) (QSeq, error) {
+	out := make(QSeq, len(js))
+	for i, j := range js {
+		op, err := opFromJSON(j)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = op
+	}
+	return out, nil
+}
+
+// WriteJSON serializes the network.
+func (q *QNetwork) WriteJSON(w io.Writer) error {
+	jn := jsonNetwork{
+		Format: jsonFormat, Name: q.Name,
+		InC: q.InC, InH: q.InH, InW: q.InW,
+		WBits: q.WBits, ABits: q.ABits, InScale: q.InScale,
+	}
+	for _, b := range q.Blocks {
+		switch blk := b.(type) {
+		case QSeq:
+			ops, err := opsToJSON(blk)
+			if err != nil {
+				return err
+			}
+			jn.Blocks = append(jn.Blocks, jsonBlock{Kind: "seq", Ops: ops})
+		case *QResidual:
+			body, err := opsToJSON(blk.Body)
+			if err != nil {
+				return err
+			}
+			short, err := opsToJSON(blk.Shortcut)
+			if err != nil {
+				return err
+			}
+			jn.Blocks = append(jn.Blocks, jsonBlock{
+				Kind: "residual", Body: body, Shortcut: short,
+				ActBits: blk.ActBits, Mult: blk.Multiplier,
+			})
+		default:
+			return fmt.Errorf("qnn: unsupported block %T", b)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jn)
+}
+
+// ReadJSONNetwork deserializes a network written by WriteJSON.
+func ReadJSONNetwork(r io.Reader) (*QNetwork, error) {
+	var jn jsonNetwork
+	if err := json.NewDecoder(r).Decode(&jn); err != nil {
+		return nil, err
+	}
+	if jn.Format != jsonFormat {
+		return nil, fmt.Errorf("qnn: unsupported model format %q", jn.Format)
+	}
+	q := &QNetwork{
+		Name: jn.Name, InC: jn.InC, InH: jn.InH, InW: jn.InW,
+		WBits: jn.WBits, ABits: jn.ABits, InScale: jn.InScale,
+	}
+	for _, b := range jn.Blocks {
+		switch b.Kind {
+		case "seq":
+			ops, err := opsFromJSON(b.Ops)
+			if err != nil {
+				return nil, err
+			}
+			q.Blocks = append(q.Blocks, ops)
+		case "residual":
+			body, err := opsFromJSON(b.Body)
+			if err != nil {
+				return nil, err
+			}
+			short, err := opsFromJSON(b.Shortcut)
+			if err != nil {
+				return nil, err
+			}
+			q.Blocks = append(q.Blocks, &QResidual{
+				Body: body, Shortcut: short, ActBits: b.ActBits, Multiplier: b.Mult,
+			})
+		default:
+			return nil, fmt.Errorf("qnn: unknown block kind %q", b.Kind)
+		}
+	}
+	return q, nil
+}

@@ -1,0 +1,149 @@
+package qnn
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// NewMNISTNet builds the paper's smallest benchmark (one convolution and
+// two fully-connected layers, CryptoNets-style [4]) for 1×28×28 inputs.
+func NewMNISTNet(seed uint64) *Network {
+	rng := rand.New(rand.NewPCG(seed, 0x3a))
+	conv := NewConv2D(5, 1, 5, 2, 1, rng) // 5 maps, 5×5, stride 2 -> 5×13×13
+	fc1 := NewDense(5*13*13, 100, rng)
+	fc2 := NewDense(100, 10, rng)
+	return &Network{
+		Name: "MNIST",
+		InC:  1, InH: 28, InW: 28,
+		Blocks: []Block{Seq{conv, &ReLU{}, fc1, &ReLU{}, fc2}},
+	}
+}
+
+// NewLeNet builds LeNet-5 with ReLU activations (the paper replaces the
+// original squashing functions with ReLU) and two max-pool layers, for
+// 1×28×28 inputs.
+func NewLeNet(seed uint64) *Network {
+	rng := rand.New(rand.NewPCG(seed, 0x1e))
+	return &Network{
+		Name: "LeNet",
+		InC:  1, InH: 28, InW: 28,
+		Blocks: []Block{Seq{
+			NewConv2D(6, 1, 5, 1, 2, rng), // -> 6×28×28
+			&ReLU{},
+			&MaxPool{K: 2},                 // -> 6×14×14
+			NewConv2D(16, 6, 5, 1, 0, rng), // -> 16×10×10
+			&ReLU{},
+			&MaxPool{K: 2}, // -> 16×5×5
+			NewDense(16*5*5, 120, rng),
+			&ReLU{},
+			NewDense(120, 10, rng),
+		}},
+	}
+}
+
+// NewResNet builds a CIFAR-style ResNet for 3×32×32 inputs. depth must
+// be 6n+2 (20 and 56 in the paper). Batch normalization is folded away
+// (identity at initialization), matching an inference-time graph.
+func NewResNet(depth int, seed uint64) (*Network, error) {
+	if (depth-2)%6 != 0 {
+		return nil, fmt.Errorf("qnn: resnet depth %d is not 6n+2", depth)
+	}
+	n := (depth - 2) / 6
+	rng := rand.New(rand.NewPCG(seed, uint64(depth)))
+	blocks := []Block{
+		Seq{NewConv2D(16, 3, 3, 1, 1, rng), &ReLU{}},
+	}
+	widths := []int{16, 32, 64}
+	inC := 16
+	for stage, w := range widths {
+		for b := 0; b < n; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			second := NewConv2D(w, w, 3, 1, 1, rng)
+			// Damp the residual branch strongly (the role the folded
+			// batch-norm scale plays in the trained original): keeps the
+			// trunk close to identity so activation magnitudes stay
+			// stable across the 6n residual additions AND per-layer
+			// quantization error does not compound — an untrained random
+			// trunk has none of the error-absorbing structure
+			// quantization-aware training would give the real model (see
+			// DESIGN.md's dataset/training substitution notes).
+			for i := range second.Weight.W {
+				second.Weight.W[i] *= 0.25
+			}
+			body := Seq{
+				NewConv2D(w, inC, 3, stride, 1, rng),
+				&ReLU{},
+				second,
+			}
+			var shortcut Seq
+			if stride != 1 || inC != w {
+				shortcut = Seq{NewConv2D(w, inC, 1, stride, 0, rng)}
+			}
+			blocks = append(blocks, &Residual{Body: body, Shortcut: shortcut})
+			inC = w
+		}
+	}
+	blocks = append(blocks, Seq{
+		&AvgPool{K: 8}, // 64×8×8 -> 64×1×1
+		NewDense(64, 10, rng),
+	})
+	return &Network{
+		Name: fmt.Sprintf("ResNet-%d", depth),
+		InC:  3, InH: 32, InW: 32,
+		Blocks: blocks,
+	}, nil
+}
+
+// NewDigitNet14 builds a compact digit classifier for 1×14×14 inputs
+// (conv 3×3 stride 2 + ReLU, dense readout): small enough to run fully
+// under encryption at reduced parameters (see examples/mnistcnn).
+func NewDigitNet14(seed uint64) *Network {
+	rng := rand.New(rand.NewPCG(seed, 0x14))
+	return &Network{
+		Name: "DigitNet14",
+		InC:  1, InH: 14, InW: 14,
+		Blocks: []Block{Seq{
+			NewConv2D(4, 1, 3, 2, 1, rng), // -> 4×7×7
+			&ReLU{},
+			NewDense(4*7*7, 10, rng),
+		}},
+	}
+}
+
+// NewShapeNet6 builds a conv→ReLU→maxpool→dense classifier for 1×6×6
+// inputs and 4 classes — the smallest network exercising encrypted max
+// pooling (see examples/lenet).
+func NewShapeNet6(seed uint64) *Network {
+	rng := rand.New(rand.NewPCG(seed, 0x6e))
+	return &Network{
+		Name: "ShapeNet6",
+		InC:  1, InH: 6, InW: 6,
+		Blocks: []Block{Seq{
+			NewConv2D(3, 1, 3, 1, 1, rng), // -> 3×6×6
+			&ReLU{},
+			&MaxPool{K: 2}, // -> 3×3×3
+			NewDense(3*3*3, 4, rng),
+		}},
+	}
+}
+
+// ModelByName builds one of the four paper benchmarks.
+func ModelByName(name string, seed uint64) (*Network, error) {
+	switch name {
+	case "MNIST":
+		return NewMNISTNet(seed), nil
+	case "LeNet":
+		return NewLeNet(seed), nil
+	case "ResNet-20":
+		return NewResNet(20, seed)
+	case "ResNet-56":
+		return NewResNet(56, seed)
+	}
+	return nil, fmt.Errorf("qnn: unknown model %q", name)
+}
+
+// BenchmarkModels lists the paper's four benchmarks in Table 5/6 order.
+var BenchmarkModels = []string{"MNIST", "LeNet", "ResNet-20", "ResNet-56"}

@@ -1,0 +1,98 @@
+package qnn
+
+// Block is a structural unit of a network: a plain layer sequence or a
+// residual block.
+type Block interface {
+	Forward(x *Tensor, train bool) *Tensor
+	Layers() []Layer
+}
+
+// Seq applies layers in order.
+type Seq []Layer
+
+// Forward runs the sequence.
+func (s Seq) Forward(x *Tensor, train bool) *Tensor {
+	for _, l := range s {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Layers returns the contained layers.
+func (s Seq) Layers() []Layer { return s }
+
+// Backward runs the sequence's backward pass in reverse (valid only for
+// pure Seq networks; residual blocks are forward-only in this
+// reproduction, as only the small MNIST/LeNet models are trained by
+// backprop).
+func (s Seq) Backward(grad *Tensor) *Tensor {
+	for i := len(s) - 1; i >= 0; i-- {
+		grad = s[i].Backward(grad)
+	}
+	return grad
+}
+
+// Residual is a pre-activation-free basic ResNet block:
+// out = ReLU(Body(x) + Shortcut(x)); an empty Shortcut is the identity.
+type Residual struct {
+	Body     Seq
+	Shortcut Seq
+}
+
+// Forward runs both branches and the joining ReLU.
+func (r *Residual) Forward(x *Tensor, train bool) *Tensor {
+	b := r.Body.Forward(x, train)
+	s := x
+	if len(r.Shortcut) > 0 {
+		s = r.Shortcut.Forward(x, train)
+	}
+	if !b.SameShape(s) {
+		panic("qnn: residual branch shapes differ: " + b.shapeString() + " vs " + s.shapeString())
+	}
+	out := b.Clone()
+	for i, v := range s.Data {
+		out.Data[i] += v
+		if out.Data[i] < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Layers returns all contained layers (body then shortcut).
+func (r *Residual) Layers() []Layer {
+	return append(append([]Layer{}, r.Body...), r.Shortcut...)
+}
+
+// Network is an ordered list of blocks.
+type Network struct {
+	Name   string
+	InC    int
+	InH    int
+	InW    int
+	Blocks []Block
+}
+
+// Forward runs the whole network.
+func (n *Network) Forward(x *Tensor, train bool) *Tensor {
+	for _, b := range n.Blocks {
+		x = b.Forward(x, train)
+	}
+	return x
+}
+
+// Params collects every trainable parameter.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, b := range n.Blocks {
+		for _, l := range b.Layers() {
+			out = append(out, l.Params()...)
+		}
+	}
+	return out
+}
+
+// Predict returns the argmax class for the input.
+func (n *Network) Predict(x *Tensor) int {
+	return Argmax(n.Forward(x, false).Data)
+}

@@ -1,0 +1,441 @@
+package qnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"athena/internal/coeffenc"
+)
+
+// Activation enumerates the non-linearities an Athena remap LUT fuses.
+type Activation int
+
+const (
+	// ActNone requantizes without a non-linearity.
+	ActNone Activation = iota
+	// ActReLU fuses the rectifier into the remap.
+	ActReLU
+	// ActSigmoid fuses the logistic function (Athena's FBS represents it
+	// exactly as a table — no series approximation).
+	ActSigmoid
+	// ActGELU fuses the Gaussian-error linear unit.
+	ActGELU
+)
+
+// QOp is one integer operation of a quantized network. Every QOp's
+// integer semantics are exactly what the FHE engine computes (up to the
+// e_ms noise), so the plaintext path is the bit-exact reference.
+type QOp interface {
+	Apply(x *IntTensor) *IntTensor
+	OpName() string
+}
+
+// QConv is a quantized convolution (or dense layer) with its fused
+// remap+activation: out = clamp(act(round((conv(x)+bias)·Multiplier))).
+type QConv struct {
+	Shape      coeffenc.ConvShape
+	Weights    [][][][]int64 // [cout][cin][k][k]
+	Bias       []int64       // accumulator scale
+	Act        Activation
+	Multiplier float64 // s_in·s_w/s_out
+	ActBits    int
+	IsDense    bool
+
+	InScale, WScale, OutScale float64
+	MaxAcc                    int64 // calibrated |accumulator| bound (Fig. 4)
+}
+
+// Remap applies the fused requantization+activation to one accumulator
+// value — exactly the function Athena's FBS LUT encodes. For the
+// non-piecewise-linear activations (sigmoid, GELU) the accumulator is
+// dequantized with InScale·WScale, the real function applied, and the
+// result requantized at OutScale: the LUT carries the exact table, not
+// an approximation.
+func (q *QConv) Remap(acc int64) int64 {
+	lim := int64(1)<<(q.ActBits-1) - 1
+	var y int64
+	switch q.Act {
+	case ActSigmoid:
+		v := float64(acc) * q.InScale * q.WScale
+		y = int64(math.Round(sigmoid(v) / q.OutScale))
+		if y < 0 {
+			y = 0
+		}
+	case ActGELU:
+		v := float64(acc) * q.InScale * q.WScale
+		y = int64(math.Round(gelu(v) / q.OutScale))
+		if y < -lim {
+			y = -lim
+		}
+	default:
+		y = int64(math.Round(float64(acc) * q.Multiplier))
+		if q.Act == ActReLU {
+			if y < 0 {
+				y = 0
+			}
+		} else if y < -lim {
+			y = -lim
+		}
+	}
+	if y > lim {
+		y = lim
+	}
+	return y
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+func gelu(v float64) float64 {
+	return 0.5 * v * (1 + math.Tanh(0.7978845608*(v+0.044715*v*v*v)))
+}
+
+// Apply runs the integer convolution and remap.
+func (q *QConv) Apply(x *IntTensor) *IntTensor {
+	s := q.Shape
+	if x.Len() != s.Cin*s.H*s.W {
+		panic(fmt.Sprintf("qnn: %s expects %d×%d×%d input, got %d elements", q.OpName(), s.Cin, s.H, s.W, x.Len()))
+	}
+	out := NewIntTensor(s.Cout, s.OutH(), s.OutW())
+	for co := 0; co < s.Cout; co++ {
+		for y := 0; y < s.OutH(); y++ {
+			for xx := 0; xx < s.OutW(); xx++ {
+				acc := q.Bias[co]
+				for ci := 0; ci < s.Cin; ci++ {
+					for i := 0; i < s.K; i++ {
+						h := y*s.Stride + i - s.Pad
+						if h < 0 || h >= s.H {
+							continue
+						}
+						for j := 0; j < s.K; j++ {
+							w := xx*s.Stride + j - s.Pad
+							if w < 0 || w >= s.W {
+								continue
+							}
+							acc += x.Data[(ci*s.H+h)*s.W+w] * q.Weights[co][ci][i][j]
+						}
+					}
+				}
+				out.Set(co, y, xx, q.Remap(acc))
+			}
+		}
+	}
+	return out
+}
+
+// Accumulate runs the convolution without the remap (used to compare the
+// FHE linear-layer output and for Fig. 4 statistics).
+func (q *QConv) Accumulate(x *IntTensor) *IntTensor {
+	s := q.Shape
+	out := NewIntTensor(s.Cout, s.OutH(), s.OutW())
+	for co := 0; co < s.Cout; co++ {
+		for y := 0; y < s.OutH(); y++ {
+			for xx := 0; xx < s.OutW(); xx++ {
+				acc := q.Bias[co]
+				for ci := 0; ci < s.Cin; ci++ {
+					for i := 0; i < s.K; i++ {
+						h := y*s.Stride + i - s.Pad
+						if h < 0 || h >= s.H {
+							continue
+						}
+						for j := 0; j < s.K; j++ {
+							w := xx*s.Stride + j - s.Pad
+							if w < 0 || w >= s.W {
+								continue
+							}
+							acc += x.Data[(ci*s.H+h)*s.W+w] * q.Weights[co][ci][i][j]
+						}
+					}
+				}
+				out.Set(co, y, xx, acc)
+			}
+		}
+	}
+	return out
+}
+
+// OpName identifies the operation.
+func (q *QConv) OpName() string {
+	if q.IsDense {
+		return fmt.Sprintf("qdense_%d->%d", q.Shape.Cin, q.Shape.Cout)
+	}
+	return fmt.Sprintf("qconv%dx%d_%d->%d", q.Shape.K, q.Shape.K, q.Shape.Cin, q.Shape.Cout)
+}
+
+// QMaxPool is integer max pooling (K×K, stride K); under FHE it runs as a
+// max tree of FBS lookups.
+type QMaxPool struct{ K int }
+
+// Apply takes block maxima.
+func (q *QMaxPool) Apply(x *IntTensor) *IntTensor {
+	oh, ow := x.H/q.K, x.W/q.K
+	out := NewIntTensor(x.C, oh, ow)
+	for c := 0; c < x.C; c++ {
+		for y := 0; y < oh; y++ {
+			for xx := 0; xx < ow; xx++ {
+				best := x.At(c, y*q.K, xx*q.K)
+				for i := 0; i < q.K; i++ {
+					for j := 0; j < q.K; j++ {
+						if v := x.At(c, y*q.K+i, xx*q.K+j); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set(c, y, xx, best)
+			}
+		}
+	}
+	return out
+}
+
+// OpName identifies the operation.
+func (q *QMaxPool) OpName() string { return fmt.Sprintf("qmaxpool%d", q.K) }
+
+// QAvgPool is integer average pooling: the window sum followed by the
+// divide-by-k² LUT (Section 3.2.3's average pooling).
+type QAvgPool struct{ K int }
+
+// Apply sums each window and divides with rounding — the LUT(x) =
+// round(x/k²) function.
+func (q *QAvgPool) Apply(x *IntTensor) *IntTensor {
+	oh, ow := x.H/q.K, x.W/q.K
+	out := NewIntTensor(x.C, oh, ow)
+	div := int64(q.K * q.K)
+	for c := 0; c < x.C; c++ {
+		for y := 0; y < oh; y++ {
+			for xx := 0; xx < ow; xx++ {
+				var acc int64
+				for i := 0; i < q.K; i++ {
+					for j := 0; j < q.K; j++ {
+						acc += x.At(c, y*q.K+i, xx*q.K+j)
+					}
+				}
+				out.Set(c, y, xx, roundDiv(acc, div))
+			}
+		}
+	}
+	return out
+}
+
+func roundDiv(a, b int64) int64 {
+	if a >= 0 {
+		return (a + b/2) / b
+	}
+	return -((-a + b/2) / b)
+}
+
+// OpName identifies the operation.
+func (q *QAvgPool) OpName() string { return fmt.Sprintf("qavgpool%d", q.K) }
+
+// QBlock is a structural unit of a quantized network.
+type QBlock interface {
+	ForwardInt(x *IntTensor) *IntTensor
+	Ops() []QOp
+}
+
+// QSeq applies ops in order.
+type QSeq []QOp
+
+// ForwardInt runs the sequence.
+func (s QSeq) ForwardInt(x *IntTensor) *IntTensor {
+	for _, op := range s {
+		x = op.Apply(x)
+	}
+	return x
+}
+
+// Ops returns the contained operations.
+func (s QSeq) Ops() []QOp { return s }
+
+// QResidual joins a quantized body and shortcut with an integer add and
+// the post-add fused LUT: out = clamp(round(relu(body+shortcut)·Multiplier)).
+// The multiplier requantizes the sum to its own calibrated scale —
+// without it, chains of identity-shortcut blocks drift into the
+// activation clamp.
+type QResidual struct {
+	Body       QSeq
+	Shortcut   QSeq // empty = identity
+	ActBits    int
+	Multiplier float64 // 0 or 1 = no rescale
+}
+
+// joinRemap applies the block's post-add LUT to one summed value.
+func (r *QResidual) JoinRemap(y int64) int64 {
+	if y < 0 {
+		y = 0
+	}
+	if m := r.Multiplier; m != 0 && m != 1 {
+		y = int64(math.Round(float64(y) * m))
+	}
+	lim := int64(1)<<(r.ActBits-1) - 1
+	if y > lim {
+		y = lim
+	}
+	return y
+}
+
+// ForwardInt runs the block.
+func (r *QResidual) ForwardInt(x *IntTensor) *IntTensor {
+	b := r.Body.ForwardInt(x)
+	s := x
+	if len(r.Shortcut) > 0 {
+		s = r.Shortcut.ForwardInt(x)
+	}
+	out := b.Clone()
+	for i, v := range s.Data {
+		out.Data[i] = r.JoinRemap(out.Data[i] + v)
+	}
+	return out
+}
+
+// Ops returns all contained operations (body then shortcut).
+func (r *QResidual) Ops() []QOp {
+	return append(append([]QOp{}, r.Body...), r.Shortcut...)
+}
+
+// QNetwork is a fully quantized network: the exact integer program the
+// Athena framework executes under encryption.
+type QNetwork struct {
+	Name          string
+	InC, InH, InW int
+	WBits, ABits  int
+	InScale       float64
+	Blocks        []QBlock
+}
+
+// QuantizeInput converts a float input tensor to its integer encoding.
+func (q *QNetwork) QuantizeInput(x *Tensor) *IntTensor {
+	out := NewIntTensor(x.C, x.H, x.W)
+	lim := int64(1)<<(q.ABits-1) - 1
+	for i, v := range x.Data {
+		iv := int64(math.Round(v / q.InScale))
+		if iv > lim {
+			iv = lim
+		}
+		if iv < -lim {
+			iv = -lim
+		}
+		out.Data[i] = iv
+	}
+	return out
+}
+
+// ForwardInt runs the integer network and returns the final tensor
+// (logits for classifiers).
+func (q *QNetwork) ForwardInt(x *IntTensor) *IntTensor {
+	for _, b := range q.Blocks {
+		x = b.ForwardInt(x)
+	}
+	return x
+}
+
+// Predict classifies a float input through the quantized pipeline.
+func (q *QNetwork) Predict(x *Tensor) int {
+	return ArgmaxInt(q.ForwardInt(q.QuantizeInput(x)).Data)
+}
+
+// AccuracyInt measures top-1 accuracy of the quantized network.
+func (q *QNetwork) AccuracyInt(ds *Dataset) float64 {
+	correct := make([]int64, len(ds.Samples))
+	parallelFor(len(ds.Samples), func(i int) {
+		if q.Predict(ds.Samples[i].X) == ds.Samples[i].Label {
+			correct[i] = 1
+		}
+	})
+	var sum int64
+	for _, c := range correct {
+		sum += c
+	}
+	return float64(sum) / float64(len(ds.Samples))
+}
+
+// Convs returns every QConv in execution order (body before shortcut for
+// residual blocks), for statistics and trace generation.
+func (q *QNetwork) Convs() []*QConv {
+	var out []*QConv
+	for _, b := range q.Blocks {
+		for _, op := range b.Ops() {
+			if c, ok := op.(*QConv); ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// NoiseModel injects the e_ms rounding noise of the Athena conversion
+// pipeline into the plaintext quantized execution, reproducing ciphertext
+// inference statistics at full dataset scale without paying the full
+// cryptographic cost (the injection point and distribution are validated
+// against the real pipeline in the core package's tests).
+type NoiseModel struct {
+	Sigma float64 // std of e_ms in accumulator units
+	rng   *rand.Rand
+}
+
+// NewNoiseModel creates a deterministic noise source.
+func NewNoiseModel(sigma float64, seed uint64) *NoiseModel {
+	return &NoiseModel{Sigma: sigma, rng: rand.New(rand.NewPCG(seed, 0xe5))}
+}
+
+// Sample draws one noise value.
+func (nm *NoiseModel) Sample() int64 {
+	if nm == nil || nm.Sigma == 0 {
+		return 0
+	}
+	return int64(math.Round(nm.rng.NormFloat64() * nm.Sigma))
+}
+
+// ForwardIntNoisy runs the network injecting e_ms into every linear-layer
+// accumulator before its remap, mirroring where modulus switching adds
+// noise in the real pipeline.
+func (q *QNetwork) ForwardIntNoisy(x *IntTensor, nm *NoiseModel) *IntTensor {
+	for _, b := range q.Blocks {
+		x = forwardBlockNoisy(b, x, nm)
+	}
+	return x
+}
+
+func forwardBlockNoisy(b QBlock, x *IntTensor, nm *NoiseModel) *IntTensor {
+	switch blk := b.(type) {
+	case QSeq:
+		for _, op := range blk {
+			x = applyNoisy(op, x, nm)
+		}
+		return x
+	case *QResidual:
+		body := x
+		for _, op := range blk.Body {
+			body = applyNoisy(op, body, nm)
+		}
+		short := x
+		for _, op := range blk.Shortcut {
+			short = applyNoisy(op, short, nm)
+		}
+		out := body.Clone()
+		for i, v := range short.Data {
+			out.Data[i] = blk.JoinRemap(out.Data[i] + v)
+		}
+		return out
+	default:
+		return b.ForwardInt(x)
+	}
+}
+
+func applyNoisy(op QOp, x *IntTensor, nm *NoiseModel) *IntTensor {
+	c, ok := op.(*QConv)
+	if !ok {
+		return op.Apply(x)
+	}
+	acc := c.Accumulate(x)
+	out := NewIntTensor(acc.C, acc.H, acc.W)
+	for i, v := range acc.Data {
+		out.Data[i] = c.Remap(v + nm.Sample())
+	}
+	return out
+}
+
+// PredictNoisy classifies through the noise-injected pipeline.
+func (q *QNetwork) PredictNoisy(x *Tensor, nm *NoiseModel) int {
+	return ArgmaxInt(q.ForwardIntNoisy(q.QuantizeInput(x), nm).Data)
+}

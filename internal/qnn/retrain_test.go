@@ -1,0 +1,233 @@
+package qnn
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"athena/internal/coeffenc"
+)
+
+func isoQNet() (*QNetwork, *QConv) {
+	trunk := &QConv{
+		Shape:      coeffenc.ConvShape{H: 4, W: 4, Cin: 1, Cout: 1, K: 1, Stride: 1, Pad: 0},
+		Weights:    [][][][]int64{{{{1}}}},
+		Bias:       []int64{0},
+		Act:        ActReLU,
+		Multiplier: 1,
+		ActBits:    7,
+		MaxAcc:     1000,
+	}
+	head := &QConv{
+		Shape:      coeffenc.FCShape(16, 4),
+		Weights:    make([][][][]int64, 4),
+		Bias:       make([]int64, 4),
+		Act:        ActNone,
+		Multiplier: 1,
+		ActBits:    7,
+		IsDense:    true,
+		MaxAcc:     1000,
+	}
+	for o := range head.Weights {
+		head.Weights[o] = make([][][]int64, 16)
+		for i := range head.Weights[o] {
+			head.Weights[o][i] = [][]int64{{0}}
+		}
+	}
+	qn := &QNetwork{Name: "iso", InC: 1, InH: 4, InW: 4, WBits: 7, ABits: 7, InScale: 1,
+		Blocks: []QBlock{QSeq{trunk, head}}}
+	return qn, head
+}
+
+func quadrantTask(n int, seed uint64) *Dataset {
+	rng := rand.New(rand.NewPCG(seed, 2))
+	ds := &Dataset{Classes: 4}
+	for i := 0; i < n; i++ {
+		label := i % 4
+		x := NewTensor(1, 4, 4)
+		oy, ox := (label/2)*2, (label%2)*2
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				x.Set(0, oy+dy, ox+dx, 40+float64(rng.IntN(20)))
+			}
+		}
+		for j := range x.Data {
+			x.Data[j] += float64(rng.IntN(5))
+		}
+		ds.Samples = append(ds.Samples, Sample{X: x, Label: label})
+	}
+	return ds
+}
+
+// RetrainHead must fit a linearly separable task to near-perfect
+// accuracy through an identity trunk.
+func TestRetrainHeadIsolated(t *testing.T) {
+	qn, head := isoQNet()
+	ds := quadrantTask(400, 1)
+	if err := qn.RetrainHead(ds, 6, 0.3, 3); err != nil {
+		t.Fatal(err)
+	}
+	after := qn.AccuracyInt(ds)
+	if after < 0.95 {
+		t.Fatalf("RetrainHead failed a separable task: %.2f", after)
+	}
+	if head.MaxAcc <= 0 || head.MaxAcc >= 32768 {
+		t.Fatalf("head accumulator bound %d implausible", head.MaxAcc)
+	}
+	if head.Multiplier <= 0 {
+		t.Fatalf("head multiplier %v", head.Multiplier)
+	}
+}
+
+func TestRetrainHeadRejectsBadNetworks(t *testing.T) {
+	qn := &QNetwork{Blocks: []QBlock{&QResidual{}}, ABits: 7, WBits: 7}
+	if err := qn.RetrainHead(quadrantTask(8, 1), 1, 0.1, 1); err == nil {
+		t.Fatal("non-QSeq tail accepted")
+	}
+}
+
+// The residual join multiplier must requantize sums (no drift into the
+// clamp) and the plaintext shadows must agree across the three
+// implementations (Apply, noisy path, JoinRemap).
+func TestResidualJoinMultiplier(t *testing.T) {
+	r := &QResidual{ActBits: 7, Multiplier: 0.5}
+	cases := map[int64]int64{-10: 0, 0: 0, 10: 5, 63: 32, 200: 63 /* clamped: 100 > 63 */}
+	for in, want := range cases {
+		if got := r.JoinRemap(in); got != want {
+			t.Errorf("JoinRemap(%d) = %d want %d", in, got, want)
+		}
+	}
+	// Zero/one multiplier = legacy clamp-only behaviour.
+	r2 := &QResidual{ActBits: 4}
+	if r2.JoinRemap(100) != 7 || r2.JoinRemap(-3) != 0 || r2.JoinRemap(5) != 5 {
+		t.Fatal("legacy join behaviour broken")
+	}
+}
+
+// Sigmoid/GELU fusion: quantized inference with fused non-linearities
+// must track the float network.
+func TestSigmoidGELUFusion(t *testing.T) {
+	for _, act := range []Layer{&Sigmoid{}, &GELU{}} {
+		rng := rand.New(rand.NewPCG(5, 6))
+		net := &Network{
+			Name: "act-test", InC: 1, InH: 6, InW: 6,
+			Blocks: []Block{Seq{
+				NewConv2D(3, 1, 3, 1, 1, rng),
+				act,
+				NewDense(3*6*6, 4, rng),
+			}},
+		}
+		ds := quadrant6Task(300, 9)
+		cfg := DefaultTrainConfig()
+		cfg.Epochs = 6
+		Train(net, ds, cfg)
+		accF := Accuracy(net, ds)
+		qn, err := Quantize(net, ds, DefaultQuantConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		accQ := qn.AccuracyInt(ds)
+		if accQ < accF-0.08 {
+			t.Fatalf("%s: quantized %.2f far below float %.2f", act.Name(), accQ, accF)
+		}
+		// The fused op must carry the right activation kind.
+		first := qn.Convs()[0]
+		switch act.(type) {
+		case *Sigmoid:
+			if first.Act != ActSigmoid {
+				t.Fatal("sigmoid not fused")
+			}
+			// Sigmoid outputs are non-negative.
+			if first.Remap(-10000) < 0 {
+				t.Fatal("sigmoid remap negative")
+			}
+		case *GELU:
+			if first.Act != ActGELU {
+				t.Fatal("gelu not fused")
+			}
+		}
+	}
+}
+
+func quadrant6Task(n int, seed uint64) *Dataset {
+	rng := rand.New(rand.NewPCG(seed, 3))
+	ds := &Dataset{Classes: 4}
+	for i := 0; i < n; i++ {
+		label := i % 4
+		x := NewTensor(1, 6, 6)
+		oy, ox := (label/2)*3, (label%2)*3
+		for dy := 0; dy < 3; dy++ {
+			for dx := 0; dx < 3; dx++ {
+				x.Set(0, oy+dy, ox+dx, 0.7+0.3*rng.Float64())
+			}
+		}
+		for j := range x.Data {
+			x.Data[j] += rng.NormFloat64() * 0.05
+		}
+		ds.Samples = append(ds.Samples, Sample{X: x, Label: label})
+	}
+	return ds
+}
+
+func TestGELUBackwardGradientCheck(t *testing.T) {
+	g := &GELU{}
+	x := NewVector(5)
+	copy(x.Data, []float64{-2, -0.5, 0, 0.7, 2.1})
+	out := g.Forward(x, true)
+	grad := NewVector(5)
+	for i := range grad.Data {
+		grad.Data[i] = 1
+	}
+	gin := g.Backward(grad)
+	const eps = 1e-6
+	for i := range x.Data {
+		xp := x.Data[i] + eps
+		xm := x.Data[i] - eps
+		num := (geluF(xp) - geluF(xm)) / (2 * eps)
+		if d := num - gin.Data[i]; d > 1e-4 || d < -1e-4 {
+			t.Fatalf("gelu grad at %v: analytic %v numerical %v", x.Data[i], gin.Data[i], num)
+		}
+	}
+	_ = out
+}
+
+// JSON model serialization must round-trip all structure exactly,
+// including residual blocks and fused activations.
+func TestQNetworkJSONRoundTrip(t *testing.T) {
+	// Build via quantization so scales and calibration fields are real.
+	net, _ := NewResNet(20, 17)
+	ds := SynthCIFAR(6, 18)
+	qc := DefaultQuantConfig()
+	qc.CalibSamples = 4
+	qn, err := Quantize(net, ds, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := qn.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != qn.Name || back.WBits != qn.WBits || back.InScale != qn.InScale {
+		t.Fatal("header changed")
+	}
+	if len(back.Convs()) != len(qn.Convs()) {
+		t.Fatal("conv count changed")
+	}
+	// Integer execution must be identical.
+	x := qn.QuantizeInput(ds.Samples[0].X)
+	a := qn.ForwardInt(x.Clone())
+	b := back.ForwardInt(x.Clone())
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("output %d differs after JSON round trip", i)
+		}
+	}
+	// Bad format must be rejected.
+	if _, err := ReadJSONNetwork(bytes.NewReader([]byte(`{"format":"nope"}`))); err == nil {
+		t.Fatal("wrong format accepted")
+	}
+}

@@ -1,0 +1,250 @@
+package qnn
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+)
+
+// TrainConfig controls SGD training.
+type TrainConfig struct {
+	Epochs    int
+	LR        float64
+	BatchSize int
+	Seed      uint64
+	Momentum  float64
+}
+
+// DefaultTrainConfig returns settings adequate for the small synthetic
+// tasks.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 4, LR: 0.05, BatchSize: 16, Seed: 7, Momentum: 0.9}
+}
+
+// softmaxGrad computes the softmax cross-entropy loss gradient in place
+// and returns the loss.
+func softmaxGrad(logits *Tensor, label int) (*Tensor, float64) {
+	maxv := math.Inf(-1)
+	for _, v := range logits.Data {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	probs := make([]float64, logits.Len())
+	for i, v := range logits.Data {
+		probs[i] = math.Exp(v - maxv)
+		sum += probs[i]
+	}
+	grad := NewVector(logits.Len())
+	for i := range probs {
+		probs[i] /= sum
+		grad.Data[i] = probs[i]
+	}
+	grad.Data[label] -= 1
+	return grad, -math.Log(math.Max(probs[label], 1e-12))
+}
+
+// Train runs SGD with momentum on a pure-Seq network (MNIST-CNN, LeNet).
+// It returns the final-epoch mean loss.
+func Train(net *Network, ds *Dataset, cfg TrainConfig) float64 {
+	seq, ok := net.Blocks[0].(Seq)
+	if len(net.Blocks) != 1 || !ok {
+		panic("qnn: Train supports single-Seq networks only; use TrainReadout for ResNets")
+	}
+	params := net.Params()
+	vel := make([][]float64, len(params))
+	for i, p := range params {
+		vel[i] = make([]float64, len(p.W))
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x7a))
+	order := make([]int, len(ds.Samples))
+	for i := range order {
+		order[i] = i
+	}
+	var lastLoss float64
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for bi := 0; bi < len(order); bi += cfg.BatchSize {
+			end := bi + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, p := range params {
+				for j := range p.G {
+					p.G[j] = 0
+				}
+			}
+			for _, idx := range order[bi:end] {
+				s := ds.Samples[idx]
+				logits := seq.Forward(s.X, true)
+				grad, loss := softmaxGrad(logits, s.Label)
+				total += loss
+				seq.Backward(grad)
+			}
+			scale := cfg.LR / float64(end-bi)
+			for i, p := range params {
+				for j := range p.W {
+					vel[i][j] = cfg.Momentum*vel[i][j] - scale*p.G[j]
+					p.W[j] += vel[i][j]
+				}
+			}
+		}
+		lastLoss = total / float64(len(order))
+	}
+	return lastLoss
+}
+
+// TrainReadout trains only the final Dense layer of a network on frozen
+// features (reservoir-style). This is how the deep ResNets obtain a
+// usable classifier without full backprop training (see DESIGN.md for
+// the substitution rationale). Feature extraction is parallelized.
+func TrainReadout(net *Network, ds *Dataset, cfg TrainConfig) float64 {
+	lastBlock, ok := net.Blocks[len(net.Blocks)-1].(Seq)
+	if !ok || len(lastBlock) == 0 {
+		panic("qnn: TrainReadout needs a trailing Seq block")
+	}
+	dense, ok := lastBlock[len(lastBlock)-1].(*Dense)
+	if !ok {
+		panic("qnn: TrainReadout needs a trailing Dense layer")
+	}
+	// Features = everything before the final Dense.
+	features := make([]*Tensor, len(ds.Samples))
+	forwardToFeatures := func(x *Tensor) *Tensor {
+		for _, b := range net.Blocks[:len(net.Blocks)-1] {
+			x = b.Forward(x, false)
+		}
+		for _, l := range lastBlock[:len(lastBlock)-1] {
+			x = l.Forward(x, false)
+		}
+		return x
+	}
+	parallelFor(len(ds.Samples), func(i int) {
+		features[i] = forwardToFeatures(ds.Samples[i].X)
+	})
+
+	// Standardize each feature dimension (random deep features share a
+	// large common mode that would swamp logistic training). The affine
+	// standardization is folded back into the dense layer afterwards:
+	// w'_j = w_j/σ_j and b' = b − Σ_j w_j·μ_j/σ_j, so the deployed
+	// network is unchanged structurally.
+	dim := features[0].Len()
+	mu := make([]float64, dim)
+	sigma := make([]float64, dim)
+	for _, f := range features {
+		for j, v := range f.Data {
+			mu[j] += v
+			sigma[j] += v * v
+		}
+	}
+	nf := float64(len(features))
+	var sigmaSum float64
+	for j := range mu {
+		mu[j] /= nf
+		sigma[j] = math.Sqrt(math.Max(sigma[j]/nf-mu[j]*mu[j], 0))
+		sigmaSum += sigma[j]
+	}
+	// Floor each dimension's deviation at a fraction of the mean
+	// deviation: near-constant features would otherwise fold back into
+	// extreme dense weights that wreck per-tensor weight quantization.
+	floor := 0.1*sigmaSum/float64(dim) + 1e-8
+	for j := range sigma {
+		if sigma[j] < floor {
+			sigma[j] = floor
+		}
+	}
+	for _, f := range features {
+		for j := range f.Data {
+			f.Data[j] = (f.Data[j] - mu[j]) / sigma[j]
+		}
+	}
+	defer func() {
+		for o := 0; o < dense.Out; o++ {
+			row := dense.Weight.W[o*dense.In : (o+1)*dense.In]
+			for j := range row {
+				dense.Bias.W[o] -= row[j] * mu[j] / sigma[j]
+				row[j] /= sigma[j]
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x8b))
+	order := make([]int, len(ds.Samples))
+	for i := range order {
+		order[i] = i
+	}
+	var lastLoss float64
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for _, idx := range order {
+			f := features[idx]
+			logits := dense.Forward(f, true)
+			grad, loss := softmaxGrad(logits, ds.Samples[idx].Label)
+			total += loss
+			for j := range dense.Weight.G {
+				dense.Weight.G[j] = 0
+			}
+			for j := range dense.Bias.G {
+				dense.Bias.G[j] = 0
+			}
+			dense.Backward(grad)
+			const decay = 1e-3 // keeps the weight spread quantization-friendly
+			for j := range dense.Weight.W {
+				dense.Weight.W[j] -= cfg.LR * (dense.Weight.G[j] + decay*dense.Weight.W[j])
+			}
+			for j := range dense.Bias.W {
+				dense.Bias.W[j] -= cfg.LR * dense.Bias.G[j]
+			}
+		}
+		lastLoss = total / float64(len(order))
+	}
+	return lastLoss
+}
+
+// Accuracy measures top-1 accuracy of the float network (parallelized).
+func Accuracy(net *Network, ds *Dataset) float64 {
+	correct := make([]int64, len(ds.Samples))
+	parallelFor(len(ds.Samples), func(i int) {
+		if net.Predict(ds.Samples[i].X) == ds.Samples[i].Label {
+			correct[i] = 1
+		}
+	})
+	var sum int64
+	for _, c := range correct {
+		sum += c
+	}
+	return float64(sum) / float64(len(ds.Samples))
+}
+
+// parallelFor runs f(i) for i in [0, n) across NumCPU workers.
+func parallelFor(n int, f func(int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"athena/internal/arch"
+	"athena/internal/coeffenc"
+	"athena/internal/compiler"
+	"athena/internal/core"
+	"athena/internal/security"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out, on
+// ResNet-20 w7a7 at full-scale parameters:
+//
+//  1. the Fig. 7 two-region FBS pipeline vs serialized regions,
+//  2. per-layer LUT sizing vs a uniform full-t table,
+//  3. Athena's output-major encoding vs Cheetah's input-major order
+//     (result-ciphertext and extraction pressure),
+//  4. stride subsampling for 1×1 kernels on/off.
+func Ablations() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablations (ResNet-20, w7a7, full-scale parameters)")
+
+	qn, err := compiler.SpecModel("ResNet-20", 7, 7)
+	if err != nil {
+		return "ablations: " + err.Error()
+	}
+	tr, err := compiler.Compile(qn, core.FullParams())
+	if err != nil {
+		return "ablations: " + err.Error()
+	}
+	base := arch.Simulate(tr, arch.AthenaConfig())
+
+	// 1. Region pipeline.
+	serial := arch.AthenaConfig()
+	serial.SerializeFBSRegions = true
+	rs := arch.Simulate(tr, serial)
+	fmt.Fprintf(&b, "  region pipeline (Fig. 7):   %7.1f ms pipelined vs %7.1f ms serialized (%.2fx)\n",
+		base.TimeMS, rs.TimeMS, rs.TimeMS/base.TimeMS)
+
+	// 2. Per-layer LUT sizing.
+	trU, err := compiler.CompileWithOptions(qn, core.FullParams(), compiler.Options{UniformLUT: true})
+	if err != nil {
+		return "ablations: " + err.Error()
+	}
+	ru := arch.Simulate(trU, arch.AthenaConfig())
+	fmt.Fprintf(&b, "  per-layer LUT sizing:       %7.1f ms sized     vs %7.1f ms uniform-t  (%.2fx)\n",
+		base.TimeMS, ru.TimeMS, ru.TimeMS/base.TimeMS)
+
+	// 3. Encoding order: result-ciphertext count feeding conversion.
+	var athenaCTs, cheetahCTs int
+	for _, c := range qn.Convs() {
+		pa, err := coeffenc.NewPlan(c.Shape, 1<<15, coeffenc.AthenaOrder)
+		if err != nil {
+			return "ablations: " + err.Error()
+		}
+		pc, err := coeffenc.NewPlan(c.Shape, 1<<15, coeffenc.CheetahOrder)
+		if err != nil {
+			return "ablations: " + err.Error()
+		}
+		athenaCTs += pa.OutBatches
+		cheetahCTs += pc.OutBatches
+	}
+	fmt.Fprintf(&b, "  encoding order:             %7d result cts (athena) vs %d (cheetah input-major): %.1fx fewer conversions\n",
+		athenaCTs, cheetahCTs, float64(cheetahCTs)/float64(athenaCTs))
+
+	// 4. Stride subsampling on the 1×1 stride-2 projection layers.
+	shape := coeffenc.ConvShape{H: 32, W: 32, Cin: 16, Cout: 32, K: 1, Stride: 2, Pad: 0}
+	pSub, _ := coeffenc.NewPlan(shape, 1<<15, coeffenc.AthenaOrder)  // subsamples
+	pRaw, _ := coeffenc.NewPlan(shape, 1<<15, coeffenc.CheetahOrder) // no subsampling
+	fmt.Fprintf(&b, "  1x1 stride-2 subsampling:   %7.2f%% valid ratio with vs %.2f%% without\n",
+		pSub.ValidRatio()*100, pRaw.ValidRatio()*100)
+	return b.String()
+}
+
+// Security renders the lattice-security estimates behind the paper's
+// ">128 bits" claim.
+func Security() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Security estimates (HE-standard ternary-secret tables)")
+	reports, all := security.Check(security.AthenaInstances())
+	for _, r := range reports {
+		mark := "OK"
+		if !r.Meets128 {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %-24s N=%-6d logQ=%-4.0f -> %6.0f bits [%s]\n",
+			r.Name, r.N, r.LogQ, r.EstimatedBits, mark)
+	}
+	fmt.Fprintf(&b, "  all instances >=128 bits: %v (paper: \"guarantee > 128 bits security\")\n", all)
+	fmt.Fprintln(&b, "  note: the reduced test/demo parameter sets intentionally claim NO security.")
+	return b.String()
+}

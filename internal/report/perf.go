@@ -1,0 +1,326 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"athena/internal/arch"
+	"athena/internal/compiler"
+	"athena/internal/core"
+	"athena/internal/qnn"
+)
+
+// modelResults caches simulator runs across the tables that share them.
+type modelResults struct {
+	w7, w6 map[string]*arch.Result
+}
+
+var (
+	simOnce sync.Once
+	simMR   *modelResults
+	simErr  error
+)
+
+// simulateAll runs (once per process) the 4 benchmarks × 2 quantization
+// modes on the Athena configuration; every perf table shares the cache.
+func simulateAll() (*modelResults, error) {
+	simOnce.Do(func() {
+		mr := &modelResults{w7: map[string]*arch.Result{}, w6: map[string]*arch.Result{}}
+		for _, m := range qnn.BenchmarkModels {
+			r7, err := SimulateModel(m, 7, 7)
+			if err != nil {
+				simErr = err
+				return
+			}
+			r6, err := SimulateModel(m, 6, 7)
+			if err != nil {
+				simErr = err
+				return
+			}
+			mr.w7[m] = r7
+			mr.w6[m] = r6
+		}
+		simMR = mr
+	})
+	return simMR, simErr
+}
+
+// Table6 renders the full-system performance comparison.
+func Table6() string {
+	mr, err := simulateAll()
+	if err != nil {
+		return "table 6: " + err.Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 6: full-system performance (ms)\n")
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, m := range qnn.BenchmarkModels {
+		fmt.Fprintf(&b, " %10s", m)
+	}
+	fmt.Fprintln(&b)
+	for _, bl := range arch.Baselines() {
+		fmt.Fprintf(&b, "%-14s", bl.Name)
+		for _, m := range qnn.BenchmarkModels {
+			t, _ := bl.BaselineRuntime(m)
+			fmt.Fprintf(&b, " %10.1f", t)
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-14s", "Athena-w7a7")
+	for _, m := range qnn.BenchmarkModels {
+		fmt.Fprintf(&b, " %10.1f", mr.w7[m].TimeMS)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "%-14s", "Athena-w6a7")
+	for _, m := range qnn.BenchmarkModels {
+		fmt.Fprintf(&b, " %10.1f", mr.w6[m].TimeMS)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+// Table7 renders the EDP comparison, Fig11 the EDAP comparison.
+func Table7() string { return edpTable(false) }
+
+// Fig11 renders the EDAP comparison.
+func Fig11() string { return edpTable(true) }
+
+func edpTable(area bool) string {
+	mr, err := simulateAll()
+	if err != nil {
+		return "edp: " + err.Error()
+	}
+	title := "Table 7: energy-delay product (J*s)"
+	if area {
+		title = "Fig. 11: energy-delay-area product (J*s*mm2)"
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, m := range qnn.BenchmarkModels {
+		fmt.Fprintf(&b, " %12s", m)
+	}
+	fmt.Fprintln(&b)
+	for _, bl := range arch.Baselines() {
+		fmt.Fprintf(&b, "%-14s", bl.Name)
+		for _, m := range qnn.BenchmarkModels {
+			var v float64
+			if area {
+				v, _ = bl.EDAP(m)
+			} else {
+				v, _ = bl.EDP(m)
+			}
+			fmt.Fprintf(&b, " %12.4g", v)
+		}
+		fmt.Fprintln(&b)
+	}
+	for _, mode := range []string{"Athena-w7a7", "Athena-w6a7"} {
+		fmt.Fprintf(&b, "%-14s", mode)
+		for _, m := range qnn.BenchmarkModels {
+			r := mr.w7[m]
+			if mode == "Athena-w6a7" {
+				r = mr.w6[m]
+			}
+			v := r.EDP
+			if area {
+				v = r.EDAPmm2
+			}
+			fmt.Fprintf(&b, " %12.4g", v)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Fig8 renders the Athena-framework-on-foreign-hardware study.
+func Fig8() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8: Athena framework on existing FHE accelerators (ResNet-20/-56, w7a7)\n")
+	fmt.Fprintf(&b, "%-22s %12s %12s %10s\n", "hardware", "RN20 (ms)", "RN56 (ms)", "MM/MA share")
+	run := func(cfg arch.Config) (r20, r56 *arch.Result, err error) {
+		for _, m := range []string{"ResNet-20", "ResNet-56"} {
+			qn, err := compiler.SpecModel(m, 7, 7)
+			if err != nil {
+				return nil, nil, err
+			}
+			tr, err := compiler.Compile(qn, core.FullParams())
+			if err != nil {
+				return nil, nil, err
+			}
+			res := arch.Simulate(tr, cfg)
+			if m == "ResNet-20" {
+				r20 = res
+			} else {
+				r56 = res
+			}
+		}
+		return r20, r56, nil
+	}
+	a20, a56, err := run(arch.AthenaConfig())
+	if err != nil {
+		return "fig 8: " + err.Error()
+	}
+	fmt.Fprintf(&b, "%-22s %12.1f %12.1f %9.0f%%\n", "Athena accel", a20.TimeMS, a56.TimeMS, a20.MACCycleShare*100)
+	for _, name := range []string{"CraterLake", "SHARP"} {
+		cfg, err := arch.ForeignAthenaConfig(name)
+		if err != nil {
+			return "fig 8: " + err.Error()
+		}
+		f20, f56, err := run(cfg)
+		if err != nil {
+			return "fig 8: " + err.Error()
+		}
+		fmt.Fprintf(&b, "%-22s %12.1f %12.1f %9.0f%%  (%.1fx slower)\n",
+			cfg.Name, f20.TimeMS, f56.TimeMS, f20.MACCycleShare*100, f20.TimeMS/a20.TimeMS)
+	}
+	return b.String()
+}
+
+// Fig9 renders the execution-time breakdown.
+func Fig9() string {
+	mr, err := simulateAll()
+	if err != nil {
+		return "fig 9: " + err.Error()
+	}
+	cats := []compiler.Category{compiler.CatLinear, compiler.CatActivation, compiler.CatPooling, compiler.CatSoftmax, compiler.CatConvert}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 9: execution time breakdown (w7a7, %% of total)\n")
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, c := range cats {
+		fmt.Fprintf(&b, " %10s", c)
+	}
+	fmt.Fprintln(&b)
+	for _, m := range qnn.BenchmarkModels {
+		r := mr.w7[m]
+		fmt.Fprintf(&b, "%-12s", m)
+		for _, c := range cats {
+			fmt.Fprintf(&b, " %9.1f%%", r.TimeByCat[c]/r.TimeMS*100)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Fig10 renders the energy breakdown.
+func Fig10() string {
+	mr, err := simulateAll()
+	if err != nil {
+		return "fig 10: " + err.Error()
+	}
+	units := []string{"HBM", "SPM", "FRU", "NTT", "Automorphism", "SE", "Static"}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 10: energy breakdown (%% of total)\n")
+	fmt.Fprintf(&b, "%-18s", "")
+	for _, u := range units {
+		fmt.Fprintf(&b, " %7s", abbrev(u))
+	}
+	fmt.Fprintf(&b, " %9s\n", "total J")
+	for _, m := range qnn.BenchmarkModels {
+		for _, mode := range []string{"w7a7", "w6a7"} {
+			r := mr.w7[m]
+			if mode == "w6a7" {
+				r = mr.w6[m]
+			}
+			fmt.Fprintf(&b, "%-18s", m+"-"+mode)
+			for _, u := range units {
+				fmt.Fprintf(&b, " %6.1f%%", r.EnergyByUnit[u]/r.EnergyJ*100)
+			}
+			fmt.Fprintf(&b, " %9.3f\n", r.EnergyJ)
+		}
+	}
+	return b.String()
+}
+
+func abbrev(u string) string {
+	if u == "Automorphism" {
+		return "Auto"
+	}
+	return u
+}
+
+// Fig13 renders the lane-sensitivity sweep.
+func Fig13() string {
+	qn, err := compiler.SpecModel("ResNet-20", 7, 7)
+	if err != nil {
+		return "fig 13: " + err.Error()
+	}
+	tr, err := compiler.Compile(qn, core.FullParams())
+	if err != nil {
+		return "fig 13: " + err.Error()
+	}
+	lanes := []int{256, 512, 1024, 2048}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 13: sensitivity to unit lanes (ResNet-20 w7a7, normalized to 2048)\n")
+	fmt.Fprintf(&b, "%-14s %6s %8s %8s %8s %8s\n", "unit", "lanes", "delay", "energy", "EDP", "EDAP")
+	for _, u := range arch.SensitivityUnits {
+		pts, err := arch.LaneSensitivity(tr, u, lanes)
+		if err != nil {
+			return "fig 13: " + err.Error()
+		}
+		for _, p := range pts {
+			fmt.Fprintf(&b, "%-14s %6d %8.3f %8.3f %8.3f %8.3f\n", p.Unit, p.Lanes, p.Delay, p.Energy, p.EDP, p.EDAP)
+		}
+	}
+	return b.String()
+}
+
+// Fig12Perf renders the performance half of the quantization sweep
+// (the accuracy half lives in accuracy.go).
+func Fig12Perf() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 12 (performance): runtime across quantization precision (ms)\n")
+	type pt struct{ w, a int }
+	modes := []pt{{4, 4}, {5, 5}, {6, 6}, {6, 7}, {7, 7}, {8, 8}}
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, m := range modes {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("w%da%d", m.w, m.a))
+	}
+	fmt.Fprintln(&b)
+	for _, model := range qnn.BenchmarkModels {
+		fmt.Fprintf(&b, "%-12s", model)
+		times := make([]float64, len(modes))
+		base := 0.0
+		for i, m := range modes {
+			r, err := SimulateModel(model, m.w, m.a)
+			if err != nil {
+				return "fig 12: " + err.Error()
+			}
+			times[i] = r.TimeMS
+			if m.w == 7 && m.a == 7 {
+				base = r.TimeMS
+			}
+		}
+		for _, tm := range times {
+			fmt.Fprintf(&b, " %9.1f", tm)
+		}
+		fmt.Fprintf(&b, "   (w8a8/w7a7 = %.2fx)\n", times[len(times)-1]/base)
+	}
+	return b.String()
+}
+
+// Throughput renders the batched-inference study: per-image latency and
+// throughput as the batch fills the shared FBS packs (the framework's
+// extension beyond the paper's single-image latency focus).
+func Throughput() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Throughput: batched inference on the Athena accelerator (w7a7)\n")
+	fmt.Fprintf(&b, "%-10s %6s %12s %14s %12s\n", "model", "batch", "total ms", "ms/image", "images/s")
+	for _, model := range []string{"MNIST", "LeNet", "ResNet-20"} {
+		qn, err := compiler.SpecModel(model, 7, 7)
+		if err != nil {
+			return "throughput: " + err.Error()
+		}
+		for _, batch := range []int{1, 4, 16} {
+			tr, err := compiler.CompileWithOptions(qn, core.FullParams(), compiler.Options{BatchSize: batch})
+			if err != nil {
+				return "throughput: " + err.Error()
+			}
+			r := arch.Simulate(tr, arch.AthenaConfig())
+			per := r.TimeMS / float64(batch)
+			fmt.Fprintf(&b, "%-10s %6d %12.1f %14.2f %12.1f\n",
+				model, batch, r.TimeMS, per, 1000/per)
+		}
+	}
+	return b.String()
+}

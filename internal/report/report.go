@@ -1,0 +1,151 @@
+// Package report computes and renders every table and figure of the
+// paper's evaluation section as text. It is shared by cmd/athena-bench
+// and the root-level benchmark harness; EXPERIMENTS.md records the
+// outputs against the paper's values.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"athena/internal/arch"
+	"athena/internal/ckksref"
+	"athena/internal/compiler"
+	"athena/internal/core"
+	"athena/internal/noise"
+)
+
+// Table1 renders the solution-comparison table.
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: solutions for CNN under FHE\n")
+	fmt.Fprintf(&b, "%-18s %-14s %7s %6s %10s %10s %9s %8s\n",
+		"method", "scheme", "degree", "logQ", "cipher", "keys", "dataset", "acc(c/p)")
+	for _, s := range ckksref.Table1() {
+		fmt.Fprintf(&b, "%-18s %-14s %7d %6d %10s %10s %9s %5.2f/%.2f\n",
+			s.Name, s.Scheme, s.Degree, s.LogQ,
+			mb(int64(s.CiphertextBytes())), mb(s.KeyBytes()), s.Dataset, s.AccCipher, s.AccPlain)
+	}
+	cr, kr := ckksref.SizeRatioVsCKKS()
+	fmt.Fprintf(&b, "Athena vs CKKS: ciphertext %.1fx smaller, keys %.1fx smaller (paper: 3-6x)\n", cr, kr)
+	return b.String()
+}
+
+// Fig1 renders the Δ-sensitivity study.
+func Fig1(maxOrder int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 1: bit accuracy of series expansions under Δ-bit fixed point\n")
+	fmt.Fprintf(&b, "%-8s %-10s %6s | %8s %6s %6s %6s %6s\n",
+		"fn", "approx", "order", "plain", "Δ=25", "Δ=30", "Δ=35", "Δ=40")
+	for _, f := range []ckksref.Fn{ckksref.ReLU, ckksref.Sigmoid} {
+		for _, a := range []ckksref.Approx{ckksref.Taylor, ckksref.Chebyshev} {
+			for order := 3; order <= maxOrder; order += 8 {
+				fmt.Fprintf(&b, "%-8s %-10s %6d | %8.2f %6.2f %6.2f %6.2f %6.2f\n",
+					f, a, order,
+					ckksref.BitAccuracy(f, a, order, 0),
+					ckksref.BitAccuracy(f, a, order, 25),
+					ckksref.BitAccuracy(f, a, order, 30),
+					ckksref.BitAccuracy(f, a, order, 35),
+					ckksref.BitAccuracy(f, a, order, 40))
+			}
+		}
+	}
+	return b.String()
+}
+
+// Table2 renders the valid-data-ratio comparison.
+func Table2() string {
+	shapes, athena, cheetah, err := arch.ValidRatioTable(1 << 15)
+	if err != nil {
+		return "table 2: " + err.Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: valid-data ratios at N=2^15\n")
+	fmt.Fprintf(&b, "%-30s %10s %10s\n", "(HW,Cin,Cout,k,stride,pad)", "cheetah", "athena")
+	for i, s := range shapes {
+		fmt.Fprintf(&b, "(%d^2,%d,%d,%d,%d,%d)%*s %9.2f%% %9.2f%%\n",
+			s.H, s.Cin, s.Cout, s.K, s.Stride, s.Pad, 12-len(fmt.Sprint(s.Cin, s.Cout)), "",
+			cheetah[i]*100, athena[i]*100)
+	}
+	return b.String()
+}
+
+// Table3 renders the asymptotic complexity comparison.
+func Table3() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: computational complexity\n")
+	fmt.Fprintf(&b, "%-12s %-10s %-14s %-8s %-14s\n", "solution", "operation", "PMult", "CMult", "HRot")
+	for _, r := range compiler.Table3() {
+		fmt.Fprintf(&b, "%-12s %-10s %-14s %-8s %-14s\n", r.Solution, r.Operation, r.PMult, r.CMult, r.HRot)
+	}
+	return b.String()
+}
+
+// Table4 renders the noise-budget accounting.
+func Table4() string {
+	m := noise.PaperModel()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: noise (bits) per Athena step (N=2^%d, t=2^%d, logQ=%d)\n",
+		m.LogN, m.LogT, m.LogQ)
+	fmt.Fprintf(&b, "%-10s %6s %6s %6s %6s %8s\n", "step", "PMult", "CMult", "SMult", "HAdd", "noise")
+	for _, r := range m.Table4() {
+		fmt.Fprintf(&b, "%-10s %6d %6d %6d %6d %8d\n", r.Step, r.PMult, r.CMult, r.SMult, r.HAdd, r.Bits)
+	}
+	t := m.Total()
+	fmt.Fprintf(&b, "%-10s %6d %6d %6d %6d %8d  (Δ/2 slack: %d bits, budget ok: %v)\n",
+		"Total", t.PMult, t.CMult, t.SMult, t.HAdd, t.Bits, m.BudgetSlackBits(), m.BudgetOK())
+	return b.String()
+}
+
+// Table8 renders the memory comparison.
+func Table8() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 8: memory-related comparison\n")
+	fmt.Fprintf(&b, "%-12s %8s %8s %12s %10s\n", "accelerator", "HBM", "BW", "scratchpad", "spmBW")
+	for _, r := range arch.Table8() {
+		fmt.Fprintf(&b, "%-12s %6.0fGB %5.0fTB/s %10.0fMB %7.0fTB/s\n",
+			r.Accelerator, r.HBMCapGB, r.HBMBWTBs, r.ScratchpadMB, r.ScratchBWTBs)
+	}
+	return b.String()
+}
+
+// Table9 renders the area/power breakdown.
+func Table9() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 9: area and power breakdown (@1GHz, 7nm)\n")
+	fmt.Fprintf(&b, "%-26s %10s %10s\n", "component", "area mm2", "power W")
+	for _, r := range arch.Table9() {
+		fmt.Fprintf(&b, "%-26s %10.2f %10.2f\n", r.Component, r.AreaMM2, r.PowerW)
+	}
+	a, p := arch.TotalAreaPower()
+	fmt.Fprintf(&b, "%-26s %10.2f %10.2f\n", "Sum", a, p)
+	for _, bl := range arch.Baselines() {
+		fmt.Fprintf(&b, "%-26s %10.2f %10s  (%.2fx larger than Athena)\n",
+			bl.Name, bl.AreaMM2, "-", bl.AreaMM2/a)
+	}
+	return b.String()
+}
+
+func mb(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	}
+	return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+}
+
+// SimulateModel compiles and simulates one benchmark at the given
+// quantization mode on the Athena accelerator (full-scale parameters).
+func SimulateModel(model string, w, a int) (*arch.Result, error) {
+	qn, err := compiler.SpecModel(model, w, a)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := compiler.Compile(qn, core.FullParams())
+	if err != nil {
+		return nil, err
+	}
+	return arch.Simulate(tr, arch.AthenaConfig()), nil
+}

@@ -1,0 +1,123 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustContain(t *testing.T, s string, subs ...string) {
+	t.Helper()
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			t.Fatalf("output missing %q:\n%s", sub, s)
+		}
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	s := Table1()
+	mustContain(t, s, "Athena (ours)", "32768", "720", "CKKS")
+	if strings.Contains(s, "error") {
+		t.Fatal("render error")
+	}
+}
+
+func TestFig1Renders(t *testing.T) {
+	s := Fig1(11)
+	mustContain(t, s, "relu", "sigmoid", "taylor", "chebyshev", "Δ=25")
+}
+
+func TestTable2Renders(t *testing.T) {
+	s := Table2()
+	mustContain(t, s, "cheetah", "athena", "50.00%", "3.12%")
+}
+
+func TestTable3Renders(t *testing.T) {
+	mustContain(t, Table3(), "O(√t)", "Athena", "Bootstrap")
+}
+
+func TestTable4Renders(t *testing.T) {
+	s := Table4()
+	mustContain(t, s, "558", "706", "FBS", "budget ok: true")
+}
+
+func TestTable6Renders(t *testing.T) {
+	s := Table6()
+	mustContain(t, s, "CraterLake", "SHARP", "Athena-w7a7", "Athena-w6a7", "ResNet-56")
+}
+
+func TestTable7And11Render(t *testing.T) {
+	mustContain(t, Table7(), "energy-delay product")
+	mustContain(t, Fig11(), "energy-delay-area")
+}
+
+func TestTable8And9Render(t *testing.T) {
+	mustContain(t, Table8(), "Athena", "180")
+	mustContain(t, Table9(), "116.4", "148.1", "FRU")
+}
+
+func TestFig8Renders(t *testing.T) {
+	s := Fig8()
+	mustContain(t, s, "CraterLake+AthenaFW", "SHARP+AthenaFW", "slower")
+}
+
+func TestFig9And10Render(t *testing.T) {
+	mustContain(t, Fig9(), "activation", "pooling", "softmax")
+	mustContain(t, Fig10(), "HBM", "FRU", "total J")
+}
+
+func TestFig12PerfRenders(t *testing.T) {
+	s := Fig12Perf()
+	mustContain(t, s, "w4a4", "w8a8", "ResNet-56", "w8a8/w7a7")
+}
+
+func TestFig13Renders(t *testing.T) {
+	s := Fig13()
+	mustContain(t, s, "NTT", "FRU", "2048", "256")
+}
+
+func TestAblationsRender(t *testing.T) {
+	s := Ablations()
+	mustContain(t, s, "region pipeline", "LUT sizing", "encoding order", "subsampling")
+	if strings.Contains(s, "error") {
+		t.Fatalf("ablation error:\n%s", s)
+	}
+}
+
+func TestSecurityRenders(t *testing.T) {
+	s := Security()
+	mustContain(t, s, "RLWE", "LWE", ">=128 bits: true")
+	if strings.Contains(s, "FAIL") {
+		t.Fatalf("security check failed:\n%s", s)
+	}
+}
+
+func TestSimulateModelErrors(t *testing.T) {
+	if _, err := SimulateModel("NoSuchNet", 7, 7); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestAccuracyStudiesSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model training; run without -short")
+	}
+	cfg := DefaultAccuracyConfig()
+	cfg.TestSamples = 40
+	cfg.TrainDigits = 400
+	cfg.Epochs = 2
+	mustContain(t, Fig4(cfg), "maxAcc", "error ratio")
+	mustContain(t, Fig12Accuracy(cfg), "w4a4", "w7a7")
+	cfg.SkipResNet56 = true
+	cfg.TrainCIFAR = 60
+	s := Table5(cfg)
+	mustContain(t, s, "MNIST", "LeNet", "ResNet-20", "plain-G")
+}
+
+func TestThroughputRenders(t *testing.T) {
+	s := Throughput()
+	mustContain(t, s, "MNIST", "images/s", "16")
+	if strings.Contains(s, "throughput: ") {
+		t.Fatalf("render error:\n%s", s)
+	}
+}

@@ -1,0 +1,78 @@
+package ring
+
+import "fmt"
+
+// An automorphism of Z_q[X]/(X^N+1) is the map X -> X^g for odd g in
+// [1, 2N). Coefficient i moves to position i·g mod 2N, negated when the
+// product lands in [N, 2N). The maps X -> X^5 and X -> X^-1 generate the
+// full Galois group and realize slot rotations and conjugation in the
+// batched plaintext space.
+
+// AutomorphismIndex precomputes, for galois element g, the destination
+// index and sign for each source coefficient: dst[i] is where coefficient
+// i lands and neg[i] reports whether it is negated.
+func AutomorphismIndex(n int, g uint64) (dst []int, neg []bool) {
+	if g%2 == 0 {
+		panic(fmt.Sprintf("ring: even galois element %d", g))
+	}
+	twoN := uint64(2 * n)
+	g %= twoN
+	dst = make([]int, n)
+	neg = make([]bool, n)
+	for i := 0; i < n; i++ {
+		k := (uint64(i) * g) % twoN
+		if k < uint64(n) {
+			dst[i] = int(k)
+		} else {
+			dst[i] = int(k - uint64(n))
+			neg[i] = true
+		}
+	}
+	return dst, neg
+}
+
+// Automorphism applies X -> X^g to a (coefficient domain) and writes the
+// result to out. a and out must not alias.
+func (r *Ring) Automorphism(a Poly, g uint64, out Poly) {
+	dst, neg := AutomorphismIndex(r.N, g)
+	r.AutomorphismWithIndex(a, dst, neg, out)
+}
+
+// AutomorphismWithIndex applies a precomputed automorphism index table.
+// a and out must not alias.
+func (r *Ring) AutomorphismWithIndex(a Poly, dst []int, neg []bool, out Poly) {
+	for i := range a.Coeffs {
+		m := r.Moduli[i]
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			v := ai[j]
+			if neg[j] {
+				v = m.Neg(v)
+			}
+			oi[dst[j]] = v
+		}
+	}
+}
+
+// GaloisGen is the generator used for slot rotations (matches the
+// standard BFV/CKKS convention): X -> X^(5^k) rotates the two slot rows
+// cyclically by k.
+const GaloisGen uint64 = 5
+
+// GaloisElementForRotation returns 5^k mod 2N for a row rotation by k
+// (k may be negative).
+func GaloisElementForRotation(n int, k int) uint64 {
+	twoN := uint64(2 * n)
+	order := n / 2 // order of 5 in Z_2N^* for power-of-two N
+	kk := ((k % order) + order) % order
+	g := uint64(1)
+	base := GaloisGen % twoN
+	for i := 0; i < kk; i++ {
+		g = g * base % twoN
+	}
+	return g
+}
+
+// GaloisElementConjugate returns the element implementing X -> X^-1
+// (slot-row swap / conjugation).
+func GaloisElementConjugate(n int) uint64 { return uint64(2*n) - 1 }

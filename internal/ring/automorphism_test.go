@@ -1,0 +1,104 @@
+package ring
+
+import "testing"
+
+func TestAutomorphismIdentity(t *testing.T) {
+	r := testRing(t, 6, 2)
+	p := randomPoly(r, 3)
+	out := r.NewPoly()
+	r.Automorphism(p, 1, out)
+	if !p.Equal(out) {
+		t.Fatal("X -> X^1 is not the identity")
+	}
+}
+
+func TestAutomorphismComposition(t *testing.T) {
+	// σ_g1 ∘ σ_g2 = σ_{g1·g2 mod 2N}.
+	r := testRing(t, 6, 1)
+	twoN := uint64(2 * r.N)
+	p := randomPoly(r, 4)
+	g1, g2 := uint64(5), uint64(2*r.N-1)
+	t1 := r.NewPoly()
+	t2 := r.NewPoly()
+	r.Automorphism(p, g2, t1)
+	r.Automorphism(t1, g1, t2)
+
+	direct := r.NewPoly()
+	r.Automorphism(p, g1*g2%twoN, direct)
+	if !t2.Equal(direct) {
+		t.Fatal("automorphism composition law violated")
+	}
+}
+
+func TestAutomorphismIsRingHomomorphism(t *testing.T) {
+	// σ(a·b) = σ(a)·σ(b) for negacyclic multiplication.
+	r := testRing(t, 5, 1)
+	a := randomPoly(r, 5)
+	b := randomPoly(r, 6)
+	g := GaloisElementForRotation(r.N, 3)
+
+	prod := r.NewPoly()
+	r.MulPolyNaive(a, b, prod)
+	sigmaProd := r.NewPoly()
+	r.Automorphism(prod, g, sigmaProd)
+
+	sa, sb := r.NewPoly(), r.NewPoly()
+	r.Automorphism(a, g, sa)
+	r.Automorphism(b, g, sb)
+	prodSigma := r.NewPoly()
+	r.MulPolyNaive(sa, sb, prodSigma)
+
+	if !sigmaProd.Equal(prodSigma) {
+		t.Fatal("automorphism is not multiplicative")
+	}
+}
+
+func TestAutomorphismInverse(t *testing.T) {
+	r := testRing(t, 6, 1)
+	p := randomPoly(r, 7)
+	g := GaloisElementForRotation(r.N, 1)
+	gInv := GaloisElementForRotation(r.N, -1)
+	tmp, back := r.NewPoly(), r.NewPoly()
+	r.Automorphism(p, g, tmp)
+	r.Automorphism(tmp, gInv, back)
+	if !p.Equal(back) {
+		t.Fatal("rotation by +1 then -1 is not identity")
+	}
+}
+
+func TestGaloisElements(t *testing.T) {
+	n := 64
+	if g := GaloisElementForRotation(n, 0); g != 1 {
+		t.Fatalf("rotation 0 gave %d", g)
+	}
+	if g := GaloisElementForRotation(n, 1); g != 5 {
+		t.Fatalf("rotation 1 gave %d", g)
+	}
+	// Order of 5 mod 2N is N/2: rotating by N/2 wraps to identity.
+	if g := GaloisElementForRotation(n, n/2); g != 1 {
+		t.Fatalf("rotation N/2 gave %d, want 1", g)
+	}
+	if g := GaloisElementConjugate(n); g != uint64(2*n-1) {
+		t.Fatalf("conjugate element %d", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("even galois element accepted")
+		}
+	}()
+	AutomorphismIndex(n, 4)
+}
+
+func TestAutomorphismPermutationIsBijective(t *testing.T) {
+	n := 128
+	for _, g := range []uint64{5, 25, uint64(2*n - 1), 3} {
+		dst, _ := AutomorphismIndex(n, g)
+		seen := make([]bool, n)
+		for _, d := range dst {
+			if seen[d] {
+				t.Fatalf("g=%d: duplicate destination %d", g, d)
+			}
+			seen[d] = true
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package ring implements arithmetic over the negacyclic polynomial rings
+// Z_q[X]/(X^N+1) that underpin the Athena reproduction: 64-bit modular
+// arithmetic with Barrett and Shoup reductions, NTT-friendly prime
+// generation, forward/inverse negacyclic number-theoretic transforms,
+// Galois automorphisms, and the samplers (uniform, ternary, discrete
+// Gaussian) required by RLWE-style cryptosystems.
+//
+// A Ring holds a chain of word-sized prime moduli; a Poly stores one
+// residue polynomial per prime (the RNS representation). All hot-path
+// arithmetic stays in uint64; exact cross-limb work (CRT reconstruction,
+// scale-and-round) lives in package rns.
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxModulusBits bounds the size of a single RNS prime. Keeping primes at
+// or below 61 bits leaves headroom so that lazy sums of a few products
+// never overflow the 128-bit intermediate in Barrett reduction.
+const MaxModulusBits = 61
+
+// Modulus bundles a prime q with the precomputed constants used by
+// Barrett and Shoup modular reduction.
+type Modulus struct {
+	Q uint64 // the prime modulus
+
+	// brc is floor(2^128 / Q) split into high and low 64-bit words,
+	// used for 128-bit Barrett reduction.
+	brcHi, brcLo uint64
+}
+
+// NewModulus prepares the reduction constants for q. It panics if q is 0,
+// 1, or wider than MaxModulusBits; primality is the caller's concern.
+func NewModulus(q uint64) Modulus {
+	if q < 2 {
+		panic(fmt.Sprintf("ring: modulus %d too small", q))
+	}
+	if bits.Len64(q) > MaxModulusBits {
+		panic(fmt.Sprintf("ring: modulus %d exceeds %d bits", q, MaxModulusBits))
+	}
+	// Compute floor(2^128 / q) via long division of 2^128 by q using
+	// 64-bit limbs: first divide 2^64 by q, then bring down 64 zero bits.
+	hi, r := bits.Div64(1, 0, q) // hi = floor(2^64/q), r = 2^64 mod q
+	lo, _ := bits.Div64(r, 0, q) // lo = floor(r·2^64 / q)
+	return Modulus{Q: q, brcHi: hi, brcLo: lo}
+}
+
+// Add returns a+b mod q for a, b in [0, q).
+func (m Modulus) Add(a, b uint64) uint64 {
+	c := a + b
+	if c >= m.Q {
+		c -= m.Q
+	}
+	return c
+}
+
+// Sub returns a-b mod q for a, b in [0, q).
+func (m Modulus) Sub(a, b uint64) uint64 {
+	c := a - b
+	if a < b {
+		c += m.Q
+	}
+	return c
+}
+
+// Neg returns -a mod q for a in [0, q).
+func (m Modulus) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return m.Q - a
+}
+
+// Reduce maps an arbitrary uint64 into [0, q).
+func (m Modulus) Reduce(a uint64) uint64 {
+	return m.ReduceWide(0, a)
+}
+
+// ReduceWide reduces the 128-bit value hi·2^64+lo into [0, q) using
+// Barrett reduction. It requires hi < q (always true for products of two
+// reduced operands, since (q-1)^2 < q·2^64).
+func (m Modulus) ReduceWide(hi, lo uint64) uint64 {
+	// s ≈ floor(x / q) computed as floor(x · floor(2^128/q) / 2^128).
+	// x·brc is a 256-bit product; only bits [128,192) survive, and they
+	// fit one word because x < q·2^64 implies s < 2^64.
+	ph1, _ := bits.Mul64(lo, m.brcLo)       // contributes only carries
+	ph2hi, ph2lo := bits.Mul64(lo, m.brcHi) // shifted by 64
+	ph3hi, ph3lo := bits.Mul64(hi, m.brcLo) // shifted by 64
+	ph4 := hi * m.brcHi                     // shifted by 128 (low word only)
+	mid, c1 := bits.Add64(ph2lo, ph3lo, 0)  // bits [64,128)
+	_, c2 := bits.Add64(mid, ph1, 0)        // carry out of [64,128)
+	s := ph4 + ph2hi + ph3hi + c1 + c2      // bits [128,192): the quotient estimate
+	r := lo - s*m.Q                         // remainder candidate, exact mod 2^64
+	for r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// Mul returns a·b mod q for a, b in [0, q).
+func (m Modulus) Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return m.ReduceWide(hi, lo)
+}
+
+// ShoupPrecomp returns floor(w·2^64 / q), the Shoup companion word that
+// accelerates repeated multiplications by the fixed operand w.
+func (m Modulus) ShoupPrecomp(w uint64) uint64 {
+	s, _ := bits.Div64(w, 0, m.Q)
+	return s
+}
+
+// MulShoup returns a·w mod q given wShoup = ShoupPrecomp(w). The result
+// may only be trusted when w < q and a < q.
+func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
+	hi, _ := bits.Mul64(a, wShoup)
+	r := a*w - hi*m.Q
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// Pow returns a^e mod q by square-and-multiply.
+func (m Modulus) Pow(a, e uint64) uint64 {
+	r := uint64(1)
+	a %= m.Q
+	for e > 0 {
+		if e&1 == 1 {
+			r = m.Mul(r, a)
+		}
+		a = m.Mul(a, a)
+		e >>= 1
+	}
+	return r
+}
+
+// Inv returns the multiplicative inverse of a mod q. It requires q prime
+// and a nonzero mod q, and panics otherwise.
+func (m Modulus) Inv(a uint64) uint64 {
+	a %= m.Q
+	if a == 0 {
+		panic("ring: inverse of zero")
+	}
+	// Fermat: a^(q-2) mod q.
+	inv := m.Pow(a, m.Q-2)
+	if m.Mul(inv, a) != 1 {
+		panic(fmt.Sprintf("ring: %d has no inverse mod %d (modulus not prime?)", a, m.Q))
+	}
+	return inv
+}
+
+// ReduceInt64 maps a signed value into [0, q), interpreting negative
+// values as their residue.
+func (m Modulus) ReduceInt64(a int64) uint64 {
+	r := a % int64(m.Q)
+	if r < 0 {
+		r += int64(m.Q)
+	}
+	return uint64(r)
+}
+
+// Centered maps a residue in [0, q) to its centered representative in
+// [-q/2, q/2).
+func (m Modulus) Centered(a uint64) int64 {
+	if a >= m.Q/2+m.Q%2 {
+		return int64(a) - int64(m.Q)
+	}
+	return int64(a)
+}

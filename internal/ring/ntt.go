@@ -1,0 +1,103 @@
+package ring
+
+import "math/bits"
+
+// NTTTable holds the precomputed twiddle factors for the negacyclic NTT
+// of length N over one prime modulus. Twiddles are stored in bit-reversed
+// order with Shoup companions, following the standard
+// Cooley-Tukey / Gentleman-Sande formulation (Longa-Naehrig).
+type NTTTable struct {
+	M    Modulus
+	N    int
+	LogN int
+
+	psiFwd      []uint64 // ψ^br(i): forward twiddles, bit-reversed
+	psiFwdShoup []uint64
+	psiInv      []uint64 // ψ^-br(i): inverse twiddles, bit-reversed
+	psiInvShoup []uint64
+	nInv        uint64 // N^-1 mod q
+	nInvShoup   uint64
+}
+
+// NewNTTTable builds the tables for a negacyclic NTT of length N = 2^logN
+// over the prime q, which must satisfy q ≡ 1 (mod 2N).
+func NewNTTTable(q uint64, logN int) *NTTTable {
+	n := 1 << uint(logN)
+	m := NewModulus(q)
+	psi := RootOfUnity(q, uint64(2*n))
+	psiInv := m.Inv(psi)
+
+	t := &NTTTable{
+		M:           m,
+		N:           n,
+		LogN:        logN,
+		psiFwd:      make([]uint64, n),
+		psiFwdShoup: make([]uint64, n),
+		psiInv:      make([]uint64, n),
+		psiInvShoup: make([]uint64, n),
+	}
+	fw, iv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		j := bitrev(uint64(i), logN)
+		t.psiFwd[j] = fw
+		t.psiInv[j] = iv
+		fw = m.Mul(fw, psi)
+		iv = m.Mul(iv, psiInv)
+	}
+	for i := 0; i < n; i++ {
+		t.psiFwdShoup[i] = m.ShoupPrecomp(t.psiFwd[i])
+		t.psiInvShoup[i] = m.ShoupPrecomp(t.psiInv[i])
+	}
+	t.nInv = m.Inv(uint64(n))
+	t.nInvShoup = m.ShoupPrecomp(t.nInv)
+	return t
+}
+
+func bitrev(x uint64, bitLen int) uint64 {
+	return bits.Reverse64(x) >> uint(64-bitLen)
+}
+
+// Forward transforms p (coefficient order) in place into the NTT domain.
+// The output ordering is the standard bit-reversed evaluation order; it is
+// consistent with Inverse and with pointwise multiplication.
+func (t *NTTTable) Forward(p []uint64) {
+	m := t.M
+	n := t.N
+	for length, k := n>>1, 1; length >= 1; length >>= 1 {
+		for start := 0; start < n; start += length << 1 {
+			w := t.psiFwd[k]
+			ws := t.psiFwdShoup[k]
+			k++
+			for i := start; i < start+length; i++ {
+				u := p[i]
+				v := m.MulShoup(p[i+length], w, ws)
+				p[i] = m.Add(u, v)
+				p[i+length] = m.Sub(u, v)
+			}
+		}
+	}
+}
+
+// Inverse transforms p (NTT domain, Forward's output order) in place back
+// to coefficient order, including the 1/N scaling.
+func (t *NTTTable) Inverse(p []uint64) {
+	m := t.M
+	n := t.N
+	k := n - 1
+	for length := 1; length < n; length <<= 1 {
+		for start := n - (length << 1); start >= 0; start -= length << 1 {
+			w := t.psiInv[k]
+			ws := t.psiInvShoup[k]
+			k--
+			for i := start; i < start+length; i++ {
+				u := p[i]
+				v := p[i+length]
+				p[i] = m.Add(u, v)
+				p[i+length] = m.MulShoup(m.Sub(u, v), w, ws)
+			}
+		}
+	}
+	for i := range p {
+		p[i] = m.MulShoup(p[i], t.nInv, t.nInvShoup)
+	}
+}

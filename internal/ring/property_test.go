@@ -1,0 +1,118 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) on the ring's algebraic laws.
+
+func quickCfg(seed uint64) *quick.Config {
+	return &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(int64(seed))),
+	}
+}
+
+func TestQuickModularFieldLaws(t *testing.T) {
+	m := NewModulus(65537)
+	reduce := func(a uint64) uint64 { return a % m.Q }
+
+	commut := func(a, b uint64) bool {
+		a, b = reduce(a), reduce(b)
+		return m.Mul(a, b) == m.Mul(b, a) && m.Add(a, b) == m.Add(b, a)
+	}
+	if err := quick.Check(commut, quickCfg(1)); err != nil {
+		t.Error(err)
+	}
+	assoc := func(a, b, c uint64) bool {
+		a, b, c = reduce(a), reduce(b), reduce(c)
+		return m.Mul(m.Mul(a, b), c) == m.Mul(a, m.Mul(b, c)) &&
+			m.Add(m.Add(a, b), c) == m.Add(a, m.Add(b, c))
+	}
+	if err := quick.Check(assoc, quickCfg(2)); err != nil {
+		t.Error(err)
+	}
+	distrib := func(a, b, c uint64) bool {
+		a, b, c = reduce(a), reduce(b), reduce(c)
+		return m.Mul(a, m.Add(b, c)) == m.Add(m.Mul(a, b), m.Mul(a, c))
+	}
+	if err := quick.Check(distrib, quickCfg(3)); err != nil {
+		t.Error(err)
+	}
+	inverse := func(a uint64) bool {
+		a = reduce(a)
+		if a == 0 {
+			return true
+		}
+		return m.Mul(a, m.Inv(a)) == 1
+	}
+	if err := quick.Check(inverse, quickCfg(4)); err != nil {
+		t.Error(err)
+	}
+	negation := func(a uint64) bool {
+		a = reduce(a)
+		return m.Add(a, m.Neg(a)) == 0 && m.Sub(0, a) == m.Neg(a)
+	}
+	if err := quick.Check(negation, quickCfg(5)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCenteredRoundTrip(t *testing.T) {
+	for _, q := range []uint64{7, 257, 65537} {
+		m := NewModulus(q)
+		f := func(a uint64) bool {
+			a %= q
+			c := m.Centered(a)
+			// Centered value must reduce back to a and lie in [-q/2, q/2).
+			return m.ReduceInt64(c) == a && c >= -int64(q)/2-1 && c <= int64(q)/2
+		}
+		if err := quick.Check(f, quickCfg(q)); err != nil {
+			t.Errorf("q=%d: %v", q, err)
+		}
+	}
+}
+
+func TestQuickNTTIsRingIsomorphism(t *testing.T) {
+	r := testRing(t, 5, 1)
+	// For random polynomial pairs: NTT(a·b) == NTT(a) ⊙ NTT(b).
+	f := func(seedA, seedB uint64) bool {
+		a := randomPoly(r, seedA)
+		b := randomPoly(r, seedB)
+		prod := r.NewPoly()
+		r.MulPolyNaive(a, b, prod)
+		r.NTT(prod)
+
+		r.NTT(a)
+		r.NTT(b)
+		pw := r.NewPoly()
+		r.MulCoeffs(a, b, pw)
+		return prod.Equal(pw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAutomorphismPreservesAddition(t *testing.T) {
+	r := testRing(t, 6, 2)
+	f := func(seedA, seedB uint64, k int8) bool {
+		a := randomPoly(r, seedA)
+		b := randomPoly(r, seedB)
+		g := GaloisElementForRotation(r.N, int(k))
+		sum := r.NewPoly()
+		r.Add(a, b, sum)
+		sa, sb, ss := r.NewPoly(), r.NewPoly(), r.NewPoly()
+		r.Automorphism(a, g, sa)
+		r.Automorphism(b, g, sb)
+		r.Automorphism(sum, g, ss)
+		sum2 := r.NewPoly()
+		r.Add(sa, sb, sum2)
+		return ss.Equal(sum2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

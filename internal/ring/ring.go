@@ -1,0 +1,273 @@
+package ring
+
+import "fmt"
+
+// Ring is the RNS polynomial ring Z_Q[X]/(X^N+1) with Q the product of a
+// chain of word-sized NTT-friendly primes. All per-limb tables are
+// precomputed at construction.
+type Ring struct {
+	N      int
+	LogN   int
+	Moduli []Modulus
+	Tables []*NTTTable
+}
+
+// NewRing builds a ring of degree N = 2^logN over the given prime chain.
+// Every modulus must be prime and ≡ 1 (mod 2N).
+func NewRing(logN int, moduli []uint64) (*Ring, error) {
+	if logN < 1 || logN > 17 {
+		return nil, fmt.Errorf("ring: logN %d out of range", logN)
+	}
+	if len(moduli) == 0 {
+		return nil, fmt.Errorf("ring: empty modulus chain")
+	}
+	n := 1 << uint(logN)
+	r := &Ring{
+		N:      n,
+		LogN:   logN,
+		Moduli: make([]Modulus, len(moduli)),
+		Tables: make([]*NTTTable, len(moduli)),
+	}
+	seen := make(map[uint64]bool, len(moduli))
+	for i, q := range moduli {
+		if seen[q] {
+			return nil, fmt.Errorf("ring: duplicate modulus %d", q)
+		}
+		seen[q] = true
+		if !IsPrime(q) {
+			return nil, fmt.Errorf("ring: modulus %d is not prime", q)
+		}
+		if (q-1)%uint64(2*n) != 0 {
+			return nil, fmt.Errorf("ring: modulus %d is not 1 mod 2N", q)
+		}
+		r.Moduli[i] = NewModulus(q)
+		r.Tables[i] = NewNTTTable(q, logN)
+	}
+	return r, nil
+}
+
+// Level returns the number of RNS limbs.
+func (r *Ring) Level() int { return len(r.Moduli) }
+
+// ModuliValues returns the prime chain as raw uint64s.
+func (r *Ring) ModuliValues() []uint64 {
+	qs := make([]uint64, len(r.Moduli))
+	for i, m := range r.Moduli {
+		qs[i] = m.Q
+	}
+	return qs
+}
+
+// SubRing returns a ring over the first `level` limbs of r, sharing the
+// precomputed tables.
+func (r *Ring) SubRing(level int) *Ring {
+	if level < 1 || level > r.Level() {
+		panic(fmt.Sprintf("ring: invalid sub-ring level %d", level))
+	}
+	return &Ring{N: r.N, LogN: r.LogN, Moduli: r.Moduli[:level], Tables: r.Tables[:level]}
+}
+
+// Poly is an RNS polynomial: Coeffs[i][j] is the j-th coefficient modulo
+// the i-th prime of the owning ring's chain. Whether the polynomial is in
+// coefficient or NTT representation is tracked by the caller (package bfv
+// keeps ciphertext polynomials in NTT form by convention).
+type Poly struct {
+	Coeffs [][]uint64
+}
+
+// NewPoly allocates a zero polynomial with the ring's limb count.
+func (r *Ring) NewPoly() Poly {
+	c := make([][]uint64, r.Level())
+	backing := make([]uint64, r.Level()*r.N)
+	for i := range c {
+		c[i] = backing[i*r.N : (i+1)*r.N : (i+1)*r.N]
+	}
+	return Poly{Coeffs: c}
+}
+
+// Level returns the number of limbs held by p.
+func (p Poly) Level() int { return len(p.Coeffs) }
+
+// CopyTo copies p into dst (same shape required).
+func (p Poly) CopyTo(dst Poly) {
+	for i := range p.Coeffs {
+		copy(dst.Coeffs[i], p.Coeffs[i])
+	}
+}
+
+// Clone returns a deep copy of p.
+func (p Poly) Clone() Poly {
+	c := make([][]uint64, len(p.Coeffs))
+	for i := range p.Coeffs {
+		c[i] = append([]uint64(nil), p.Coeffs[i]...)
+	}
+	return Poly{Coeffs: c}
+}
+
+// Zero resets all limbs of p.
+func (p Poly) Zero() {
+	for i := range p.Coeffs {
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = 0
+		}
+	}
+}
+
+// Equal reports whether p and q hold identical residues.
+func (p Poly) Equal(q Poly) bool {
+	if len(p.Coeffs) != len(q.Coeffs) {
+		return false
+	}
+	for i := range p.Coeffs {
+		if len(p.Coeffs[i]) != len(q.Coeffs[i]) {
+			return false
+		}
+		for j := range p.Coeffs[i] {
+			if p.Coeffs[i][j] != q.Coeffs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NTT transforms p in place, limb by limb, into the NTT domain.
+func (r *Ring) NTT(p Poly) {
+	for i := range p.Coeffs {
+		r.Tables[i].Forward(p.Coeffs[i])
+	}
+}
+
+// INTT transforms p in place back to coefficient representation.
+func (r *Ring) INTT(p Poly) {
+	for i := range p.Coeffs {
+		r.Tables[i].Inverse(p.Coeffs[i])
+	}
+}
+
+// Add sets out = a + b.
+func (r *Ring) Add(a, b, out Poly) {
+	for i := range a.Coeffs {
+		m := r.Moduli[i]
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			oi[j] = m.Add(ai[j], bi[j])
+		}
+	}
+}
+
+// Sub sets out = a - b.
+func (r *Ring) Sub(a, b, out Poly) {
+	for i := range a.Coeffs {
+		m := r.Moduli[i]
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			oi[j] = m.Sub(ai[j], bi[j])
+		}
+	}
+}
+
+// Neg sets out = -a.
+func (r *Ring) Neg(a, out Poly) {
+	for i := range a.Coeffs {
+		m := r.Moduli[i]
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			oi[j] = m.Neg(ai[j])
+		}
+	}
+}
+
+// MulCoeffs sets out = a ⊙ b (pointwise); meaningful when both operands
+// are in the NTT domain, where it realizes negacyclic convolution.
+func (r *Ring) MulCoeffs(a, b, out Poly) {
+	for i := range a.Coeffs {
+		m := r.Moduli[i]
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			oi[j] = m.Mul(ai[j], bi[j])
+		}
+	}
+}
+
+// MulCoeffsAndAdd sets out += a ⊙ b (pointwise multiply-accumulate).
+func (r *Ring) MulCoeffsAndAdd(a, b, out Poly) {
+	for i := range a.Coeffs {
+		m := r.Moduli[i]
+		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			oi[j] = m.Add(oi[j], m.Mul(ai[j], bi[j]))
+		}
+	}
+}
+
+// MulScalar sets out = a · s for a scalar s (applied per limb, reduced).
+func (r *Ring) MulScalar(a Poly, s uint64, out Poly) {
+	for i := range a.Coeffs {
+		m := r.Moduli[i]
+		sv := s % m.Q
+		sh := m.ShoupPrecomp(sv)
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			oi[j] = m.MulShoup(ai[j], sv, sh)
+		}
+	}
+}
+
+// MulScalarRNS multiplies limb i by scalar s[i] (each already reduced mod
+// q_i). Used to apply big-integer constants given in RNS form, e.g. Δ.
+func (r *Ring) MulScalarRNS(a Poly, s []uint64, out Poly) {
+	for i := range a.Coeffs {
+		m := r.Moduli[i]
+		sh := m.ShoupPrecomp(s[i])
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := range ai {
+			oi[j] = m.MulShoup(ai[j], s[i], sh)
+		}
+	}
+}
+
+// MulPolyNaive computes out = a·b mod (X^N+1) by schoolbook negacyclic
+// convolution in the coefficient domain. Quadratic; used by tests as an
+// NTT oracle.
+func (r *Ring) MulPolyNaive(a, b, out Poly) {
+	n := r.N
+	for i := range a.Coeffs {
+		m := r.Moduli[i]
+		ai, bi := a.Coeffs[i], b.Coeffs[i]
+		res := make([]uint64, n)
+		for x := 0; x < n; x++ {
+			if ai[x] == 0 {
+				continue
+			}
+			for y := 0; y < n; y++ {
+				p := m.Mul(ai[x], bi[y])
+				k := x + y
+				if k < n {
+					res[k] = m.Add(res[k], p)
+				} else {
+					res[k-n] = m.Sub(res[k-n], p)
+				}
+			}
+		}
+		copy(out.Coeffs[i], res)
+	}
+}
+
+// SetCoeffsInt64 fills every limb of p from the signed coefficient vector
+// v (length ≤ N), zero-padding the tail. Negative values become residues.
+func (r *Ring) SetCoeffsInt64(v []int64, p Poly) {
+	if len(v) > r.N {
+		panic("ring: coefficient vector longer than N")
+	}
+	for i := range p.Coeffs {
+		m := r.Moduli[i]
+		pi := p.Coeffs[i]
+		for j := range pi {
+			pi[j] = 0
+		}
+		for j, x := range v {
+			pi[j] = m.ReduceInt64(x)
+		}
+	}
+}

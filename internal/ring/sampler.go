@@ -1,0 +1,89 @@
+package ring
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand/v2"
+)
+
+// DefaultSigma is the standard deviation of the RLWE error distribution,
+// matching the value conventional in the FHE literature (and the noise
+// analysis in the Athena paper, Section 3.3).
+const DefaultSigma = 3.2
+
+// Sampler draws ring elements from the distributions RLWE needs. It is
+// deterministic given its seed (ChaCha8 keystream), which keeps tests and
+// experiments reproducible.
+type Sampler struct {
+	r   *Ring
+	src *rand.Rand
+}
+
+// NewSampler creates a sampler over ring r seeded by seed.
+func NewSampler(r *Ring, seed uint64) *Sampler {
+	var key [32]byte
+	binary.LittleEndian.PutUint64(key[:8], seed)
+	binary.LittleEndian.PutUint64(key[8:16], seed^0x9e3779b97f4a7c15)
+	return &Sampler{r: r, src: rand.New(rand.NewChaCha8(key))}
+}
+
+// Uniform fills p with independent uniform residues in each limb.
+func (s *Sampler) Uniform(p Poly) {
+	for i := range p.Coeffs {
+		q := s.r.Moduli[i].Q
+		pi := p.Coeffs[i]
+		for j := range pi {
+			pi[j] = s.src.Uint64N(q)
+		}
+	}
+}
+
+// TernaryDense samples a uniformly random ternary polynomial with
+// coefficients in {-1, 0, 1} (each with probability 1/3) and writes the
+// same underlying integer vector into every limb.
+func (s *Sampler) TernaryDense(p Poly) []int64 {
+	n := len(p.Coeffs[0])
+	v := make([]int64, n)
+	for j := range v {
+		v[j] = int64(s.src.IntN(3)) - 1
+	}
+	s.setSigned(v, p)
+	return v
+}
+
+// Gaussian samples a discrete Gaussian polynomial (rounded continuous
+// Gaussian with standard deviation sigma, truncated at 6 sigma) shared
+// across limbs. It returns the underlying signed vector for noise
+// accounting in tests.
+func (s *Sampler) Gaussian(sigma float64, p Poly) []int64 {
+	n := len(p.Coeffs[0])
+	bound := math.Ceil(6 * sigma)
+	v := make([]int64, n)
+	for j := range v {
+		for {
+			x := s.src.NormFloat64() * sigma
+			if math.Abs(x) <= bound {
+				v[j] = int64(math.Round(x))
+				break
+			}
+		}
+	}
+	s.setSigned(v, p)
+	return v
+}
+
+// UniformInt returns a uniform value in [0, bound).
+func (s *Sampler) UniformInt(bound uint64) uint64 { return s.src.Uint64N(bound) }
+
+// NormFloat64 exposes a standard normal draw from the sampler's stream.
+func (s *Sampler) NormFloat64() float64 { return s.src.NormFloat64() }
+
+func (s *Sampler) setSigned(v []int64, p Poly) {
+	for i := range p.Coeffs {
+		m := s.r.Moduli[i]
+		pi := p.Coeffs[i]
+		for j, x := range v {
+			pi[j] = m.ReduceInt64(x)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package ring
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSamplerDeterminism(t *testing.T) {
+	r := testRing(t, 8, 2)
+	a := r.NewPoly()
+	b := r.NewPoly()
+	NewSampler(r, 99).Uniform(a)
+	NewSampler(r, 99).Uniform(b)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different polynomials")
+	}
+	c := r.NewPoly()
+	NewSampler(r, 100).Uniform(c)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical polynomials")
+	}
+}
+
+func TestTernaryDense(t *testing.T) {
+	r := testRing(t, 10, 1)
+	s := NewSampler(r, 7)
+	p := r.NewPoly()
+	v := s.TernaryDense(p)
+	counts := map[int64]int{}
+	for j, x := range v {
+		if x < -1 || x > 1 {
+			t.Fatalf("coefficient %d out of {-1,0,1}: %d", j, x)
+		}
+		counts[x]++
+		want := r.Moduli[0].ReduceInt64(x)
+		if p.Coeffs[0][j] != want {
+			t.Fatalf("residue mismatch at %d", j)
+		}
+	}
+	n := float64(r.N)
+	for _, k := range []int64{-1, 0, 1} {
+		frac := float64(counts[k]) / n
+		if frac < 0.25 || frac > 0.42 {
+			t.Fatalf("ternary value %d frequency %.3f far from 1/3", k, frac)
+		}
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := testRing(t, 12, 1)
+	s := NewSampler(r, 8)
+	p := r.NewPoly()
+	v := s.Gaussian(DefaultSigma, p)
+	var sum, sumSq float64
+	maxAbs := 0.0
+	for _, x := range v {
+		f := float64(x)
+		sum += f
+		sumSq += f * f
+		if math.Abs(f) > maxAbs {
+			maxAbs = math.Abs(f)
+		}
+	}
+	n := float64(len(v))
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.3 {
+		t.Fatalf("gaussian mean %.3f too far from 0", mean)
+	}
+	if std < 2.5 || std > 4.0 {
+		t.Fatalf("gaussian std %.3f far from %.1f", std, DefaultSigma)
+	}
+	if maxAbs > 6*DefaultSigma+1 {
+		t.Fatalf("gaussian tail beyond truncation: %.1f", maxAbs)
+	}
+}
+
+func TestUniformIsWellSpread(t *testing.T) {
+	r := testRing(t, 12, 1)
+	p := r.NewPoly()
+	NewSampler(r, 13).Uniform(p)
+	q := float64(r.Moduli[0].Q)
+	var sum float64
+	for _, x := range p.Coeffs[0] {
+		if x >= r.Moduli[0].Q {
+			t.Fatal("uniform sample out of range")
+		}
+		sum += float64(x)
+	}
+	mean := sum / float64(r.N)
+	if mean < 0.45*q || mean > 0.55*q {
+		t.Fatalf("uniform mean %.3g not near q/2=%.3g", mean, q/2)
+	}
+}

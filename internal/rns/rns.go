@@ -1,0 +1,248 @@
+// Package rns provides the exact cross-limb arithmetic that complements
+// the word-sized RNS representation in package ring: CRT reconstruction
+// to big integers, reduction back to residues, basis extension, the
+// scale-and-round operations at the heart of BFV multiplication and
+// decryption, and the CRT digit decomposition used by keyswitching.
+//
+// Everything here is exact big.Int arithmetic. It trades speed for
+// correctness on the cold paths (decryption, modulus switching, the
+// tensor-product rescale); the hot paths stay in package ring.
+package rns
+
+import (
+	"fmt"
+	"math/big"
+
+	"athena/internal/par"
+	"athena/internal/ring"
+)
+
+// Basis is a CRT basis: a set of pairwise-coprime word-sized primes with
+// the precomputed constants for reconstruction and decomposition.
+type Basis struct {
+	Moduli []ring.Modulus
+	Q      *big.Int   // product of all moduli
+	QHalf  *big.Int   // floor(Q/2)
+	QiHat  []*big.Int // Q / q_i
+	// QiHatInv[i] = (Q/q_i)^-1 mod q_i.
+	QiHatInv []uint64
+}
+
+// NewBasis builds a basis from the given moduli (need not be sorted; must
+// be pairwise coprime, which holds for distinct primes).
+func NewBasis(moduli []uint64) *Basis {
+	if len(moduli) == 0 {
+		panic("rns: empty basis")
+	}
+	b := &Basis{
+		Moduli:   make([]ring.Modulus, len(moduli)),
+		Q:        big.NewInt(1),
+		QiHat:    make([]*big.Int, len(moduli)),
+		QiHatInv: make([]uint64, len(moduli)),
+	}
+	for i, q := range moduli {
+		b.Moduli[i] = ring.NewModulus(q)
+		b.Q.Mul(b.Q, new(big.Int).SetUint64(q))
+	}
+	b.QHalf = new(big.Int).Rsh(b.Q, 1)
+	for i, q := range moduli {
+		b.QiHat[i] = new(big.Int).Div(b.Q, new(big.Int).SetUint64(q))
+		hatMod := new(big.Int).Mod(b.QiHat[i], new(big.Int).SetUint64(q)).Uint64()
+		b.QiHatInv[i] = b.Moduli[i].Inv(hatMod)
+	}
+	return b
+}
+
+// Values returns the raw moduli.
+func (b *Basis) Values() []uint64 {
+	qs := make([]uint64, len(b.Moduli))
+	for i, m := range b.Moduli {
+		qs[i] = m.Q
+	}
+	return qs
+}
+
+// Len returns the number of limbs.
+func (b *Basis) Len() int { return len(b.Moduli) }
+
+// Reconstruct converts residues (one per limb) to the unique value in
+// [0, Q). The result is written into out, which is returned.
+func (b *Basis) Reconstruct(residues []uint64, out *big.Int) *big.Int {
+	if len(residues) != len(b.Moduli) {
+		panic(fmt.Sprintf("rns: %d residues for %d-limb basis", len(residues), len(b.Moduli)))
+	}
+	out.SetUint64(0)
+	var term big.Int
+	for i, x := range residues {
+		// v += ((x · QiHatInv_i) mod q_i) · QiHat_i
+		c := b.Moduli[i].Mul(x, b.QiHatInv[i])
+		term.SetUint64(c)
+		term.Mul(&term, b.QiHat[i])
+		out.Add(out, &term)
+	}
+	return out.Mod(out, b.Q)
+}
+
+// ReconstructCentered is Reconstruct followed by centering into
+// [-Q/2, Q/2).
+func (b *Basis) ReconstructCentered(residues []uint64, out *big.Int) *big.Int {
+	b.Reconstruct(residues, out)
+	if out.Cmp(b.QHalf) > 0 {
+		out.Sub(out, b.Q)
+	}
+	return out
+}
+
+// Reduce writes v mod q_i into out[i] for every limb. v may be negative.
+func (b *Basis) Reduce(v *big.Int, out []uint64) {
+	var r big.Int
+	var q big.Int
+	for i, m := range b.Moduli {
+		q.SetUint64(m.Q)
+		r.Mod(v, &q) // Go's Mod is Euclidean: result in [0, q)
+		out[i] = r.Uint64()
+	}
+}
+
+// at gathers the i-th coefficient's residues from a poly into scratch.
+func at(p ring.Poly, j int, scratch []uint64) []uint64 {
+	for i := range p.Coeffs {
+		scratch[i] = p.Coeffs[i][j]
+	}
+	return scratch
+}
+
+// ReconstructPoly maps every coefficient of p (coefficient domain) to its
+// centered big-integer value.
+func (b *Basis) ReconstructPoly(p ring.Poly) []*big.Int {
+	n := len(p.Coeffs[0])
+	out := make([]*big.Int, n)
+	scratch := make([]uint64, b.Len())
+	for j := 0; j < n; j++ {
+		out[j] = b.ReconstructCentered(at(p, j, scratch), new(big.Int))
+	}
+	return out
+}
+
+// ReducePoly writes the values v into a polynomial over the basis,
+// coefficient j receiving v[j] mod q_i in limb i. len(v) may be shorter
+// than the polynomial; remaining coefficients are zeroed.
+func (b *Basis) ReducePoly(v []*big.Int, p ring.Poly) {
+	n := len(p.Coeffs[0])
+	scratch := make([]uint64, b.Len())
+	for j := 0; j < n; j++ {
+		if j < len(v) {
+			b.Reduce(v[j], scratch)
+			for i := range p.Coeffs {
+				p.Coeffs[i][j] = scratch[i]
+			}
+		} else {
+			for i := range p.Coeffs {
+				p.Coeffs[i][j] = 0
+			}
+		}
+	}
+}
+
+// ExtendPoly exactly extends src (over basis b, coefficient domain) into
+// dst (over basis target), interpreting each coefficient as its centered
+// representative. Used to move tensor-product operands into a larger
+// basis with no wraparound. Coefficients are processed in parallel.
+func (b *Basis) ExtendPoly(src ring.Poly, target *Basis, dst ring.Poly) {
+	n := len(src.Coeffs[0])
+	par.Chunks(n, func(start, end int) {
+		scratch := make([]uint64, b.Len())
+		outScratch := make([]uint64, target.Len())
+		var v big.Int
+		for j := start; j < end; j++ {
+			b.ReconstructCentered(at(src, j, scratch), &v)
+			target.Reduce(&v, outScratch)
+			for i := range dst.Coeffs {
+				dst.Coeffs[i][j] = outScratch[i]
+			}
+		}
+	})
+}
+
+// roundDiv returns round(num/den) for den > 0, rounding halves away from
+// zero for non-negative num and toward zero for negative (i.e. standard
+// floor((2·num+den)/(2·den)) rounding).
+func roundDiv(num, den *big.Int) *big.Int {
+	out := new(big.Int).Lsh(num, 1)
+	out.Add(out, den)
+	den2 := new(big.Int).Lsh(den, 1)
+	out.Div(out, den2) // Euclidean floor division
+	return out
+}
+
+// ScaleAndRound computes round(scaleNum · v / scaleDen) for each centered
+// coefficient of p (over basis b), then reduces the result into out over
+// basis target. This is the BFV "multiply by t/Q and round" primitive.
+// Coefficients are processed in parallel.
+func (b *Basis) ScaleAndRound(p ring.Poly, scaleNum, scaleDen *big.Int, target *Basis, out ring.Poly) {
+	n := len(p.Coeffs[0])
+	par.Chunks(n, func(start, end int) {
+		scratch := make([]uint64, b.Len())
+		outScratch := make([]uint64, target.Len())
+		var v big.Int
+		for j := start; j < end; j++ {
+			b.ReconstructCentered(at(p, j, scratch), &v)
+			v.Mul(&v, scaleNum)
+			r := roundDiv(&v, scaleDen)
+			target.Reduce(r, outScratch)
+			for i := range out.Coeffs {
+				out.Coeffs[i][j] = outScratch[i]
+			}
+		}
+	})
+}
+
+// ScaleAndRoundToUint computes round(scaleNum·v/scaleDen) mod outMod for
+// each centered coefficient of p, writing word-sized results. Used for
+// decryption (scale t/Q, reduce mod t) and modulus switching to a single
+// word-sized modulus.
+func (b *Basis) ScaleAndRoundToUint(p ring.Poly, scaleNum, scaleDen *big.Int, outMod uint64, out []uint64) {
+	n := len(p.Coeffs[0])
+	om := new(big.Int).SetUint64(outMod)
+	par.Chunks(n, func(start, end int) {
+		scratch := make([]uint64, b.Len())
+		var v big.Int
+		for j := start; j < end; j++ {
+			b.ReconstructCentered(at(p, j, scratch), &v)
+			v.Mul(&v, scaleNum)
+			r := roundDiv(&v, scaleDen)
+			r.Mod(r, om)
+			out[j] = r.Uint64()
+		}
+	})
+}
+
+// DecomposeDigits performs the CRT digit decomposition used by RNS
+// keyswitching: digit i is the word-sized polynomial
+// d_i = [p · QiHatInv_i]_{q_i}, spread across all limbs of the basis so it
+// can multiply a key component. p must be in the coefficient domain; the
+// digits are returned in the coefficient domain.
+func (b *Basis) DecomposeDigits(p ring.Poly, allocate func() ring.Poly) []ring.Poly {
+	digits := make([]ring.Poly, b.Len())
+	for i := range b.Moduli {
+		d := allocate()
+		mi := b.Moduli[i]
+		src := p.Coeffs[i]
+		for j, x := range src {
+			small := mi.Mul(x, b.QiHatInv[i])
+			for l := range d.Coeffs {
+				d.Coeffs[l][j] = b.Moduli[l].Reduce(small)
+			}
+		}
+		digits[i] = d
+	}
+	return digits
+}
+
+// ScalarMod returns v mod q_i for every limb, for a big scalar v (e.g.
+// Δ = floor(Q/t)).
+func (b *Basis) ScalarMod(v *big.Int) []uint64 {
+	out := make([]uint64, b.Len())
+	b.Reduce(v, out)
+	return out
+}

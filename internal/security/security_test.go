@@ -1,0 +1,89 @@
+package security
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableRowsExact(t *testing.T) {
+	for _, r := range heStdTernary {
+		got, err := MaxLogQ(r.n, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r.max128 {
+			t.Fatalf("n=%d: MaxLogQ=%v want %v", r.n, got, r.max128)
+		}
+	}
+}
+
+func TestInterpolationMonotone(t *testing.T) {
+	prev := 0.0
+	for n := 1024; n <= 32768; n += 512 {
+		v, err := MaxLogQ(n, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("MaxLogQ not monotone at n=%d: %v < %v", n, v, prev)
+		}
+		prev = v
+	}
+	// Higher security levels admit smaller moduli.
+	a, _ := MaxLogQ(8192, 128)
+	b, _ := MaxLogQ(8192, 192)
+	c, _ := MaxLogQ(8192, 256)
+	if !(a > b && b > c) {
+		t.Fatalf("levels not ordered: %v %v %v", a, b, c)
+	}
+	if _, err := MaxLogQ(8192, 100); err == nil {
+		t.Fatal("unsupported level accepted")
+	}
+	if _, err := MaxLogQ(-1, 128); err == nil {
+		t.Fatal("negative dimension accepted")
+	}
+}
+
+func TestLevelBehaviour(t *testing.T) {
+	// Exactly at the standard line: 128 bits.
+	if l := Level(32768, 881); math.Abs(l-128) > 1e-9 {
+		t.Fatalf("level at the line: %v", l)
+	}
+	// Smaller modulus -> more security; larger -> less.
+	if Level(32768, 440) <= Level(32768, 881) {
+		t.Fatal("halving q must increase security")
+	}
+	if Level(32768, 1762) >= 128 {
+		t.Fatal("doubling q must break 128")
+	}
+	if !math.IsInf(Level(1024, 0), 1) {
+		t.Fatal("zero modulus should be infinitely secure")
+	}
+}
+
+func TestAthenaParametersMeet128(t *testing.T) {
+	// The paper's claim: N=2^15/logQ=720 and n=2048/q≈2^28 both exceed
+	// 128-bit security.
+	reports, all := Check(AthenaInstances())
+	if !all {
+		t.Fatalf("athena instances do not all clear 128 bits: %+v", reports)
+	}
+	for _, r := range reports {
+		if r.EstimatedBits < 128 {
+			t.Fatalf("%s: %.0f bits", r.Name, r.EstimatedBits)
+		}
+	}
+	// RLWE at 720 bits against the 881-bit line: ~157 bits.
+	if reports[0].EstimatedBits < 140 || reports[0].EstimatedBits > 180 {
+		t.Fatalf("RLWE estimate %.0f outside the expected band", reports[0].EstimatedBits)
+	}
+}
+
+func TestTestScaleParametersAreInsecure(t *testing.T) {
+	// The reduced test parameters must NOT claim security — that is the
+	// documented trade.
+	reports, all := Check([]Instance{{Name: "test", N: 128, LogQ: 300}})
+	if all || reports[0].Meets128 {
+		t.Fatal("test-scale parameters should not clear 128 bits")
+	}
+}
