@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test check lint vet race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+lint:
+	$(GO) run ./cmd/athena-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: compile, vet, FHE-aware static analysis, then
+# the full suite under the race detector.
+check: build vet lint race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

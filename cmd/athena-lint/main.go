@@ -1,0 +1,120 @@
+// Command athena-lint runs the FHE-aware static-analysis suite over the
+// module: modguard, cryptorand, parsafe, and panicfree-wire (see
+// internal/lint). It is the gate every PR runs:
+//
+//	go run ./cmd/athena-lint ./...
+//	go run ./cmd/athena-lint -list
+//	go run ./cmd/athena-lint -passes modguard,parsafe ./internal/lwe/...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Findings
+// are suppressed in source with `//lint:allow <pass> <reason>`; the
+// reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"athena/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the available passes and exit")
+	passNames := flag.String("passes", "", "comma-separated subset of passes to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, p := range lint.AllPasses() {
+			fmt.Printf("%-16s %s\n", p.Name(), p.Doc())
+		}
+		return
+	}
+
+	passes := lint.AllPasses()
+	if *passNames != "" {
+		passes = passes[:0]
+		for _, name := range strings.Split(*passNames, ",") {
+			p := lint.PassByName(strings.TrimSpace(name))
+			if p == nil {
+				fmt.Fprintf(os.Stderr, "athena-lint: unknown pass %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			passes = append(passes, p)
+		}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "athena-lint:", err)
+		os.Exit(2)
+	}
+	prog, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "athena-lint:", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(prog, passes)
+	findings = filterByPatterns(findings, root, flag.Args())
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "athena-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterByPatterns keeps findings under the directories named by
+// go-style package patterns ("./...", "./internal/lwe", ...). With no
+// patterns (or "./..."), everything is kept.
+func filterByPatterns(findings []lint.Finding, root string, patterns []string) []lint.Finding {
+	var prefixes []string
+	for _, pat := range patterns {
+		pat = strings.TrimSuffix(pat, "...")
+		pat = strings.TrimSuffix(pat, "/")
+		if pat == "." || pat == "./" || pat == "" {
+			return findings
+		}
+		prefixes = append(prefixes, filepath.Join(root, filepath.FromSlash(pat)))
+	}
+	if len(prefixes) == 0 {
+		return findings
+	}
+	var kept []lint.Finding
+	for _, f := range findings {
+		for _, p := range prefixes {
+			if strings.HasPrefix(f.Pos.Filename, p) {
+				kept = append(kept, f)
+				break
+			}
+		}
+	}
+	return kept
+}

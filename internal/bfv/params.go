@@ -108,8 +108,9 @@ func NewContext(p Parameters) (*Context, error) {
 	}
 	c.BasisQB = rns.NewBasis(qb)
 
-	// Batching requires t ≡ 1 (mod 2N) so Z_t[X]/(X^N+1) splits fully.
-	if (p.T-1)%uint64(2*c.N) == 0 {
+	// Batching requires t ≡ 1 (mod 2N) so Z_t[X]/(X^N+1) splits fully;
+	// 2N is a power of two, so the congruence is a mask test.
+	if (p.T-1)&uint64(2*c.N-1) == 0 {
 		c.batching = true
 		rt, err := ring.NewRing(p.LogN, []uint64{p.T})
 		if err != nil {
@@ -134,7 +135,7 @@ func buildSlotIndex(n, logN int) []int {
 		index2 := (m - pos - 1) >> 1
 		idx[i] = int(bitrev(index1, logN))
 		idx[i|rowSize] = int(bitrev(index2, logN))
-		pos = pos * ring.GaloisGen % m
+		pos = ring.GaloisCompose(n, pos, ring.GaloisGen)
 	}
 	return idx
 }

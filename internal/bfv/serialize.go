@@ -99,6 +99,16 @@ func (r *wireReader) poly(rq *ring.Ring) ring.Poly {
 			r.err = fmt.Errorf("bfv: wire limb has %d coeffs, want %d", len(limb), rq.N)
 			return ring.Poly{}
 		}
+		// Residues at or above q_i break the Barrett/Shoup preconditions
+		// downstream and silently corrupt NTT limbs; reject them here,
+		// at the trust boundary.
+		q := rq.Moduli[i].Q
+		for j, c := range limb {
+			if c >= q {
+				r.err = fmt.Errorf("bfv: wire coefficient %d of limb %d is %d, outside [0, %d)", j, i, c, q)
+				return ring.Poly{}
+			}
+		}
 		copy(p.Coeffs[i], limb)
 	}
 	return p

@@ -1,0 +1,144 @@
+package bfv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// malformedKit builds a small context and a serialized ciphertext blob
+// for corruption tests. Byte layout (all little-endian u64): header is
+// magic, version, logN, limbs, t at offsets 0..32; then per polynomial a
+// limb count at 40, the first limb's length at 48, and its first
+// coefficient at 56.
+func malformedBlob(tb testing.TB) (*Context, []byte) {
+	tb.Helper()
+	k := newTestKit(tb, 5, 3, nil)
+	vals := randVals(k.ctx.N, 900, 61)
+	ct := k.enc.Encrypt(k.cod.EncodeCoeffs(vals))
+	var buf bytes.Buffer
+	if err := k.ctx.WriteCiphertext(ct, &buf); err != nil {
+		tb.Fatal(err)
+	}
+	return k.ctx, buf.Bytes()
+}
+
+// checkWireInvariants asserts that a successfully decoded ciphertext has
+// every residue inside its limb's modulus range.
+func checkWireInvariants(t *testing.T, ctx *Context, ct *Ciphertext) {
+	t.Helper()
+	for _, p := range []struct {
+		name string
+		c    [][]uint64
+	}{{"c0", ct.C0.Coeffs}, {"c1", ct.C1.Coeffs}} {
+		for i, limb := range p.c {
+			q := ctx.RingQ.Moduli[i].Q
+			for j, c := range limb {
+				if c >= q {
+					t.Fatalf("decoded %s limb %d coeff %d is %d, outside [0, %d)", p.name, i, j, c, q)
+				}
+			}
+		}
+	}
+}
+
+// Every proper prefix of a valid blob must be rejected with an error.
+func TestBFVWireTruncation(t *testing.T) {
+	ctx, blob := malformedBlob(t)
+	// Sweeping all ~2·N·limbs·8 prefixes re-parses the header each time;
+	// step through word boundaries plus a ragged tail to keep it fast.
+	for l := 0; l < len(blob); l += 7 {
+		if _, err := ctx.ReadCiphertext(bytes.NewReader(blob[:l])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", l, len(blob))
+		}
+	}
+	if _, err := ctx.ReadCiphertext(bytes.NewReader(blob[:len(blob)-1])); err == nil {
+		t.Fatal("blob short one byte accepted")
+	}
+}
+
+// Single-bit corruption must yield an error or a ciphertext whose
+// residues are still in range — never a panic, never an out-of-range limb.
+func TestBFVWireBitFlips(t *testing.T) {
+	ctx, blob := malformedBlob(t)
+	// Flip one bit per byte over the header and the start of the payload,
+	// then sample the remainder; exhaustive 8×len(blob) decoding of a
+	// multi-KB blob is fuzzing's job (FuzzBFVReadCiphertext below).
+	for off := 0; off < len(blob); off++ {
+		if off > 128 && off%17 != 0 {
+			continue
+		}
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 1 << (off % 8)
+		ct, err := ctx.ReadCiphertext(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		checkWireInvariants(t, ctx, ct)
+	}
+}
+
+// An out-of-range residue in the payload must be rejected at the trust
+// boundary rather than silently corrupting downstream NTT arithmetic.
+func TestBFVWireRejectsOutOfRangeCoefficient(t *testing.T) {
+	ctx, blob := malformedBlob(t)
+	mut := append([]byte(nil), blob...)
+	// First coefficient of the first limb lives at offset 56.
+	binary.LittleEndian.PutUint64(mut[56:], ^uint64(0))
+	if _, err := ctx.ReadCiphertext(bytes.NewReader(mut)); err == nil {
+		t.Fatal("all-ones coefficient accepted")
+	}
+	// Exactly q is also out of range ([0, q) is half-open).
+	mut2 := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint64(mut2[56:], ctx.RingQ.Moduli[0].Q)
+	if _, err := ctx.ReadCiphertext(bytes.NewReader(mut2)); err == nil {
+		t.Fatal("coefficient equal to q accepted")
+	}
+	// q-1 stays in range, so only the patched word may trigger a failure.
+	mut3 := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint64(mut3[56:], ctx.RingQ.Moduli[0].Q-1)
+	if ct, err := ctx.ReadCiphertext(bytes.NewReader(mut3)); err != nil {
+		t.Fatalf("in-range coefficient rejected: %v", err)
+	} else {
+		checkWireInvariants(t, ctx, ct)
+	}
+}
+
+// A limb-count word that disagrees with the context must fail before any
+// allocation proportional to the wire value.
+func TestBFVWireRejectsBadLimbStructure(t *testing.T) {
+	ctx, blob := malformedBlob(t)
+	patch := func(off int, v uint64) []byte {
+		mut := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint64(mut[off:], v)
+		return mut
+	}
+	cases := map[string][]byte{
+		"zero limbs":      patch(40, 0),
+		"huge limb count": patch(40, 1<<40),
+		"zero limb len":   patch(48, 0),
+		"huge limb len":   patch(48, 1<<40),
+	}
+	for name, mut := range cases {
+		if _, err := ctx.ReadCiphertext(bytes.NewReader(mut)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// FuzzBFVReadCiphertext: arbitrary bytes must decode to an error or an
+// in-range ciphertext — never a panic.
+func FuzzBFVReadCiphertext(f *testing.F) {
+	ctx, blob := malformedBlob(f)
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:40])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ct, err := ctx.ReadCiphertext(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		checkWireInvariants(t, ctx, ct)
+	})
+}

@@ -138,7 +138,7 @@ func fftInPlace(x []uint64, omega uint64, tm ring.Modulus) {
 	}
 	for s := uint(1); s <= logN; s++ {
 		m := uint64(1) << s
-		wm := tm.Pow(omega, n/m)
+		wm := tm.Pow(omega, n>>s) // n/m for power-of-two m = 1<<s
 		for start := uint64(0); start < n; start += m {
 			w := uint64(1)
 			for j := uint64(0); j < m/2; j++ {

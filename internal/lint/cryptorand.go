@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CryptoRand forbids math/rand (v1 and v2) in the packages that touch
+// key or noise material: a PRNG whose stream an attacker can predict
+// from a handful of outputs voids every LWE hardness assumption in the
+// stack. The single approved source is the seeded ChaCha8 keystream in
+// internal/ring (which carries its own explained lint:allow), plus
+// crypto/rand for seed entropy.
+//
+// Training-side packages (internal/qnn) and test files are deliberately
+// out of scope: deterministic math/rand is legitimate scaffolding there.
+// Flagging the import spec is sufficient to cover every call: Go
+// requires the import in each file that names the package.
+type CryptoRand struct{}
+
+// cryptoPackages are the module-relative package paths holding secret or
+// noise material.
+var cryptoPackages = map[string]bool{
+	"internal/ring":     true,
+	"internal/lwe":      true,
+	"internal/bfv":      true,
+	"internal/noise":    true,
+	"internal/security": true,
+}
+
+// Name implements Pass.
+func (*CryptoRand) Name() string { return "cryptorand" }
+
+// Doc implements Pass.
+func (*CryptoRand) Doc() string {
+	return "math/rand imports in crypto packages (ring, lwe, bfv, noise, security)"
+}
+
+// Run implements Pass.
+func (c *CryptoRand) Run(prog *Program) []Finding {
+	var findings []Finding
+	for _, pkg := range prog.Packages {
+		if !cryptoPackages[relPkgPath(prog, pkg)] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, spec := range file.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if path != "math/rand" && path != "math/rand/v2" {
+					continue
+				}
+				findings = append(findings, Finding{
+					Pass: "cryptorand",
+					Pos:  prog.Fset.Position(spec.Pos()),
+					Message: fmt.Sprintf(
+						"%s imported in crypto package %s: secret/noise sampling must use the ring sampler (seeded ChaCha8) or crypto/rand",
+						path, relPkgPath(prog, pkg)),
+				})
+			}
+		}
+	}
+	return findings
+}

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCryptoRandFixture(t *testing.T) {
+	checkPassAgainstMarkers(t, &CryptoRand{})
+}
+
+// The raw pass (before the allowlist) must flag both the lwe violation
+// and the bfv import that carries an explained allow — proving the
+// suppression happens in the pipeline, not in the pass.
+func TestCryptoRandRawFindings(t *testing.T) {
+	prog := fixture(t)
+	files := map[string]bool{}
+	for _, f := range (&CryptoRand{}).Run(prog) {
+		files[filepath.Base(f.Pos.Filename)] = true
+		if !strings.Contains(f.Message, "math/rand") {
+			t.Errorf("finding does not name the import: %s", f)
+		}
+	}
+	for _, want := range []string{"lwe.go", "bfv.go"} {
+		if !files[want] {
+			t.Errorf("raw pass did not flag %s", want)
+		}
+	}
+	if files["qnn.go"] {
+		t.Error("training-side qnn package flagged: scope leak")
+	}
+	if files["noise.go"] {
+		t.Error("crypto/rand flagged: only math/rand is forbidden")
+	}
+}

@@ -1,0 +1,194 @@
+// Package lint implements athena-lint, the FHE-aware static-analysis
+// suite guarding the invariants the Go compiler cannot see:
+//
+//   - modguard: modular arithmetic on ring-coefficient uint64s must go
+//     through the Barrett/Shoup helpers in internal/ring — a raw `%` or
+//     an unchecked multiply silently corrupts NTT limbs.
+//   - cryptorand: secret/noise sampling in crypto packages must never
+//     touch math/rand; the seeded ChaCha8 core in internal/ring is the
+//     single approved keystream.
+//   - parsafe: closures handed to par.ForN / par.Chunks may only write
+//     index-derived state; anything else is a data race the scheduler
+//     hides most days.
+//   - panicfree-wire: no panic may be reachable from the wire
+//     deserialization entry points — a malicious ciphertext must yield
+//     an error, not a crash.
+//
+// Everything is built on the standard library only (go/ast, go/parser,
+// go/types); go.mod stays bare. Findings can be suppressed in source
+// with an explained comment:
+//
+//	//lint:allow <pass> <reason>
+//
+// either at the end of the offending line or on its own line directly
+// above it. The reason is mandatory: a bare suppression is itself
+// reported as a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a pass.
+type Finding struct {
+	Pass    string
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Pass, f.Message)
+}
+
+// Pass is one analyzer. Run inspects the whole program so that
+// cross-package passes (panicfree-wire's call-graph walk) share the same
+// interface as per-package ones.
+type Pass interface {
+	Name() string
+	Doc() string
+	Run(prog *Program) []Finding
+}
+
+// AllPasses returns the suite in reporting order.
+func AllPasses() []Pass {
+	return []Pass{
+		&ModGuard{},
+		&CryptoRand{},
+		&ParSafe{},
+		NewPanicFreeWire(),
+	}
+}
+
+// PassByName returns the named pass, or nil.
+func PassByName(name string) Pass {
+	for _, p := range AllPasses() {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// allow is one parsed //lint:allow directive.
+type allow struct {
+	pass   string
+	reason string
+	pos    token.Position
+}
+
+// collectAllows parses every //lint:allow comment in the program.
+// The returned map is keyed by filename then line. Malformed directives
+// (missing pass or reason) are returned as findings so they fail the
+// gate instead of silently suppressing nothing.
+func collectAllows(prog *Program) (map[string]map[int][]allow, []Finding) {
+	allows := map[string]map[int][]allow{}
+	var bad []Finding
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "lint:allow") {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+					fields := strings.SplitN(rest, " ", 2)
+					if len(fields) == 0 || fields[0] == "" {
+						bad = append(bad, Finding{Pass: "allowlist", Pos: pos,
+							Message: "lint:allow directive missing pass name"})
+						continue
+					}
+					pass, reason := fields[0], ""
+					if len(fields) == 2 {
+						reason = strings.TrimSpace(fields[1])
+					}
+					if PassByName(pass) == nil {
+						bad = append(bad, Finding{Pass: "allowlist", Pos: pos,
+							Message: fmt.Sprintf("lint:allow names unknown pass %q", pass)})
+						continue
+					}
+					if reason == "" {
+						bad = append(bad, Finding{Pass: "allowlist", Pos: pos,
+							Message: fmt.Sprintf("lint:allow %s has no reason; unexplained suppressions are forbidden", pass)})
+						continue
+					}
+					byLine := allows[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]allow{}
+						allows[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], allow{pass: pass, reason: reason, pos: pos})
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// suppressed reports whether finding f is covered by an allow directive
+// on the same line or the line directly above.
+func suppressed(allows map[string]map[int][]allow, f Finding) bool {
+	byLine := allows[f.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, a := range byLine[line] {
+			if a.pass == f.Pass {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run executes the passes over prog, applies the allowlist, and returns
+// the surviving findings sorted by position.
+func Run(prog *Program, passes []Pass) []Finding {
+	allows, bad := collectAllows(prog)
+	findings := bad
+	for _, p := range passes {
+		for _, f := range p.Run(prog) {
+			if !suppressed(allows, f) {
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Pass < findings[j].Pass
+	})
+	return findings
+}
+
+// relPkgPath returns pkg's import path relative to the module root
+// ("internal/ring", "cmd/athena-lint", or "" for the root package).
+func relPkgPath(prog *Program, pkg *Package) string {
+	if pkg.PkgPath == prog.ModulePath {
+		return ""
+	}
+	return strings.TrimPrefix(pkg.PkgPath, prog.ModulePath+"/")
+}
+
+// exprIdents appends every identifier appearing in e to dst.
+func exprIdents(e ast.Expr, dst []*ast.Ident) []*ast.Ident {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			dst = append(dst, id)
+		}
+		return true
+	})
+	return dst
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	PkgPath string // full import path ("athena/internal/ring")
+	Dir     string // absolute directory
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Program is the loaded module: every non-test package, type-checked in
+// dependency order against a shared FileSet.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Root       string // absolute module root (directory holding go.mod)
+	Packages   []*Package
+	ByPath     map[string]*Package
+}
+
+// LoadModule parses and type-checks every non-test package under root,
+// which must contain a go.mod. Standard-library imports are resolved
+// from source (no export data needed), module-internal imports from the
+// packages being loaded; external module dependencies are unsupported —
+// by design, since the repo's go.mod stays bare.
+func LoadModule(root string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	prog := &Program{Fset: fset, ModulePath: modPath, Root: root, ByPath: map[string]*Package{}}
+
+	// Discover and parse every package directory.
+	parsed := map[string]*Package{} // pkgPath -> package with Files set
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		files, perr := parseDir(fset, path)
+		if perr != nil {
+			return perr
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		parsed[pkgPath] = &Package{PkgPath: pkgPath, Dir: path, Files: files}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Type-check in topological order of module-internal imports.
+	order, err := topoOrder(parsed, modPath)
+	if err != nil {
+		return nil, err
+	}
+	srcImporter := importer.ForCompiler(fset, "source", nil)
+	done := map[string]*types.Package{}
+	imp := &chainImporter{std: srcImporter, module: done}
+	for _, pkgPath := range order {
+		pkg := parsed[pkgPath]
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, cerr := conf.Check(pkgPath, fset, pkg.Files, info)
+		if cerr != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, cerr)
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+		done[pkgPath] = tpkg
+		prog.Packages = append(prog.Packages, pkg)
+		prog.ByPath[pkgPath] = pkg
+	}
+	return prog, nil
+}
+
+// parseDir parses the non-test buildable .go files directly in dir.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, perr := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, perr
+		}
+		if ignoredByBuildTag(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ignoredByBuildTag reports whether the file opts out of the build
+// entirely (//go:build ignore); richer constraint evaluation is not
+// needed for this repo.
+func ignoredByBuildTag(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == "go:build ignore" || strings.HasPrefix(text, "+build ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// moduleImports returns pkg's imports that live inside the module.
+func moduleImports(pkg *Package, modPath string) []string {
+	seen := map[string]bool{}
+	var deps []string
+	for _, f := range pkg.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if (path == modPath || strings.HasPrefix(path, modPath+"/")) && !seen[path] {
+				seen[path] = true
+				deps = append(deps, path)
+			}
+		}
+	}
+	sort.Strings(deps)
+	return deps
+}
+
+// topoOrder sorts the parsed packages so every package follows its
+// module-internal dependencies.
+func topoOrder(parsed map[string]*Package, modPath string) ([]string, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		finished  = 2
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case finished:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = visiting
+		pkg, ok := parsed[path]
+		if !ok {
+			return fmt.Errorf("lint: package %s imported but not found in module", path)
+		}
+		for _, dep := range moduleImports(pkg, modPath) {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = finished
+		order = append(order, path)
+		return nil
+	}
+	var roots []string
+	for path := range parsed {
+		roots = append(roots, path)
+	}
+	sort.Strings(roots)
+	for _, path := range roots {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// chainImporter resolves module-internal packages from the in-progress
+// load and everything else (the standard library) from source.
+type chainImporter struct {
+	std    types.Importer
+	module map[string]*types.Package
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.module[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w (athena-lint must run from the module root)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ModGuard flags raw `%`, `/`, and overflow-prone `*` on uint64 operands
+// in the packages that carry ring coefficients. Modular arithmetic must
+// go through the Barrett/Shoup helpers on ring.Modulus (Add, Sub, Mul,
+// Reduce, ReduceWide, MulShoup) or through math/bits wide primitives; a
+// raw `%` applies no Barrett precondition checks, and a raw `*` on two
+// 61-bit residues overflows uint64 and silently corrupts NTT limbs.
+//
+// Scope: every non-test file of a package that imports internal/ring,
+// plus internal/rns (exact cross-limb arithmetic), excluding
+// internal/ring itself — that package *is* the approved helper set.
+// Expressions where either operand is a compile-time constant are
+// exempt: `x / 2` or `i % 8` is length math, not modular reduction.
+type ModGuard struct{}
+
+// Name implements Pass.
+func (*ModGuard) Name() string { return "modguard" }
+
+// Doc implements Pass.
+func (*ModGuard) Doc() string {
+	return "raw %, / and overflow-prone * on ring-coefficient uint64s outside internal/ring's helpers"
+}
+
+// Run implements Pass.
+func (m *ModGuard) Run(prog *Program) []Finding {
+	var findings []Finding
+	for _, pkg := range prog.Packages {
+		if !m.inScope(prog, pkg) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.BinaryExpr:
+					if f, ok := m.checkBinary(prog, pkg, e); ok {
+						findings = append(findings, f)
+					}
+				case *ast.AssignStmt:
+					if f, ok := m.checkAssignOp(prog, pkg, e); ok {
+						findings = append(findings, f)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// inScope reports whether pkg handles ring coefficients.
+func (m *ModGuard) inScope(prog *Program, pkg *Package) bool {
+	rel := relPkgPath(prog, pkg)
+	if rel == "internal/ring" {
+		return false // the helper package itself
+	}
+	if rel == "internal/rns" {
+		return true
+	}
+	for _, p := range moduleImports(pkg, prog.ModulePath) {
+		if p == prog.ModulePath+"/internal/ring" {
+			return true
+		}
+	}
+	return false
+}
+
+var modguardOps = map[token.Token]string{
+	token.REM: "%",
+	token.QUO: "/",
+	token.MUL: "*",
+}
+
+func (m *ModGuard) checkBinary(prog *Program, pkg *Package, e *ast.BinaryExpr) (Finding, bool) {
+	op, watched := modguardOps[e.Op]
+	if !watched {
+		return Finding{}, false
+	}
+	if !m.hotUint64(pkg, e.X) || !m.hotUint64(pkg, e.Y) {
+		return Finding{}, false
+	}
+	return m.finding(prog, e.OpPos, op), true
+}
+
+func (m *ModGuard) checkAssignOp(prog *Program, pkg *Package, a *ast.AssignStmt) (Finding, bool) {
+	var op string
+	switch a.Tok {
+	case token.REM_ASSIGN:
+		op = "%="
+	case token.QUO_ASSIGN:
+		op = "/="
+	case token.MUL_ASSIGN:
+		op = "*="
+	default:
+		return Finding{}, false
+	}
+	if len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+		return Finding{}, false
+	}
+	if !m.hotUint64(pkg, a.Lhs[0]) || !m.hotUint64(pkg, a.Rhs[0]) {
+		return Finding{}, false
+	}
+	return m.finding(prog, a.TokPos, op), true
+}
+
+// hotUint64 reports whether e is a non-constant expression of underlying
+// type uint64 — the shape of a ring coefficient.
+func (m *ModGuard) hotUint64(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false // unknown or compile-time constant
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint64
+}
+
+func (m *ModGuard) finding(prog *Program, pos token.Pos, op string) Finding {
+	var hint string
+	switch op {
+	case "%", "%=":
+		hint = "use ring.Modulus.Reduce/ReduceWide (Barrett) instead of raw %"
+	case "/", "/=":
+		hint = "use bits.Div64 or a ring.Modulus helper instead of raw /"
+	default:
+		hint = "use ring.Modulus.Mul/MulShoup or bits.Mul64 — a raw * on 61-bit residues overflows uint64"
+	}
+	return Finding{
+		Pass:    "modguard",
+		Pos:     prog.Fset.Position(pos),
+		Message: fmt.Sprintf("raw %s on uint64 ring-coefficient operands: %s", op, hint),
+	}
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestModGuardFixture(t *testing.T) {
+	checkPassAgainstMarkers(t, &ModGuard{})
+}
+
+func TestModGuardMessagesNameTheFix(t *testing.T) {
+	prog := fixture(t)
+	byOp := map[string]string{
+		"%": "Reduce", "/": "Div64", "*": "overflows",
+	}
+	for _, f := range (&ModGuard{}).Run(prog) {
+		named := false
+		for _, hint := range byOp {
+			if strings.Contains(f.Message, hint) {
+				named = true
+			}
+		}
+		if !named {
+			t.Errorf("finding lacks a fix hint: %s", f)
+		}
+	}
+}
+
+func TestModGuardScope(t *testing.T) {
+	prog := fixture(t)
+	for _, f := range (&ModGuard{}).Run(prog) {
+		if base := filepath.Base(f.Pos.Filename); base != "modfix.go" {
+			t.Errorf("finding outside the modfix fixture: %s", f)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParSafeFixture(t *testing.T) {
+	checkPassAgainstMarkers(t, &ParSafe{})
+}
+
+// Each violation kind must be described precisely so the fix is obvious
+// from the message alone.
+func TestParSafeMessagesClassifyWrites(t *testing.T) {
+	prog := fixture(t)
+	wantKinds := []string{
+		`captured variable "sum"`,
+		`captured map "seen"`,
+		`captured slice "out" at a shared`,
+		`captured variable "first"`,
+		`field of captured variable "a"`,
+		`captured pointer "p"`,
+		`captured variable "count"`,
+	}
+	findings := (&ParSafe{}).Run(prog)
+	for _, kind := range wantKinds {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f.Message, kind) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no parsafe finding mentioning %s", kind)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package allowdemo holds malformed lint:allow directives. Each one must
+// surface as an "allowlist" finding instead of silently suppressing
+// nothing; the test asserts them by message, not by marker.
+package allowdemo
+
+//lint:allow
+var missingPass = 1
+
+//lint:allow nosuchpass this pass does not exist
+var unknownPass = 2
+
+//lint:allow modguard
+var missingReason = 3

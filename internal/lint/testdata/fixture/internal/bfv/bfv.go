@@ -1,0 +1,8 @@
+// Package bfv is a fixture crypto package whose math/rand/v2 import
+// carries an explained allow, mirroring the production keystream core.
+package bfv
+
+import mrand "math/rand/v2" //lint:allow cryptorand fixture mirrors the approved seeded keystream core
+
+// Jitter returns a value from the allowed generator.
+func Jitter() uint64 { return mrand.Uint64() }

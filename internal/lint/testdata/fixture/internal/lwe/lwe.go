@@ -1,0 +1,9 @@
+// Package lwe is a fixture crypto package that wrongly draws noise from
+// a predictable stream.
+package lwe
+
+import "math/rand" // want cryptorand
+
+// BadNoise is exactly the bug cryptorand exists to catch: noise material
+// from a seedable, predictable generator.
+func BadNoise() int64 { return rand.Int63n(7) - 3 }

@@ -1,0 +1,16 @@
+// Package par is a sequential stub of the production fork-join helpers,
+// signature-compatible so the parsafe fixtures type-check.
+package par
+
+// ForN runs f(i) for every i in [0, n) — concurrently, in production.
+func ForN(n int, f func(i int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+// Chunks splits [0, n) into ranges and runs f on each — concurrently, in
+// production.
+func Chunks(n int, f func(start, end int)) {
+	f(0, n)
+}

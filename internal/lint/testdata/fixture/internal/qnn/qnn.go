@@ -1,0 +1,8 @@
+// Package qnn is training-side scaffolding: math/rand is deliberately
+// out of cryptorand's scope here.
+package qnn
+
+import "math/rand"
+
+// Shuffle returns a pseudo-random permutation for batch ordering.
+func Shuffle(n int) []int { return rand.Perm(n) }

@@ -1,0 +1,23 @@
+// Package ring is a miniature stand-in for the production modulus
+// helpers. It exists only so the lint fixtures type-check; modguard
+// exempts this package by path, exactly as it exempts the real one.
+package ring
+
+// Modulus mirrors the production Barrett helper surface.
+type Modulus struct{ Q uint64 }
+
+// Reduce maps a into [0, Q). Raw % is fine here: internal/ring is the
+// approved helper set.
+func (m Modulus) Reduce(a uint64) uint64 { return a % m.Q }
+
+// Mul returns a·b mod Q (overflow-oblivious stub).
+func (m Modulus) Mul(a, b uint64) uint64 { return (a * b) % m.Q }
+
+// Add returns a+b mod Q.
+func (m Modulus) Add(a, b uint64) uint64 { return (a + b) % m.Q }
+
+// Explode panics. The panicfree fixture calls it from a wire entry point
+// to prove the call-graph walk crosses package boundaries.
+func Explode() {
+	panic("ring: explode") // want panicfree-wire
+}

@@ -1,0 +1,58 @@
+// Package modfix seeds modguard violations next to their fixed forms.
+// Lines tagged "// want modguard" must be flagged; everything else must
+// stay silent.
+package modfix
+
+import (
+	"math/bits"
+
+	"fixture/internal/ring"
+)
+
+// Violations: raw modular arithmetic on non-constant uint64 operands.
+
+func badMod(a, q uint64) uint64 { return a % q } // want modguard
+
+func badDiv(a, q uint64) uint64 { return a / q } // want modguard
+
+func badMul(a, b uint64) uint64 { return a * b } // want modguard
+
+func badAssign(a, q uint64) uint64 {
+	a %= q // want modguard
+	return a
+}
+
+func badMulAssign(a, b uint64) uint64 {
+	a *= b // want modguard
+	return a
+}
+
+// Fixed forms: the approved helpers and wide primitives.
+
+func goodReduce(m ring.Modulus, a uint64) uint64 { return m.Reduce(a) }
+
+func goodMul(m ring.Modulus, a, b uint64) uint64 { return m.Mul(a, b) }
+
+func goodDiv(a, q uint64) uint64 {
+	d, _ := bits.Div64(0, a, q)
+	return d
+}
+
+func goodWideMul(a, b uint64) (uint64, uint64) { return bits.Mul64(a, b) }
+
+// Constant operands are length math, not modular reduction: exempt.
+func goodConst(a uint64) uint64 { return a % 8 }
+
+// Non-uint64 arithmetic is out of scope: exempt.
+func goodInt(a, b int) int { return a * b }
+
+// An explained allow suppresses the finding on its line.
+func allowedMod(a, q uint64) uint64 {
+	return a % q //lint:allow modguard fixture demonstrates an explained suppression
+}
+
+// An allow on the line above also covers the finding.
+func allowedAbove(a, q uint64) uint64 {
+	//lint:allow modguard fixture demonstrates a line-above suppression
+	return a / q
+}

@@ -1,0 +1,101 @@
+// Package parfix seeds parsafe violations next to their safe forms.
+// Lines tagged "// want parsafe" must be flagged; everything else must
+// stay silent.
+package parfix
+
+import "fixture/internal/par"
+
+// Violations: shared-state writes that are not index-derived.
+
+func badScalar(n int, xs []uint64) uint64 {
+	var sum uint64
+	par.ForN(n, func(i int) {
+		sum += xs[i] // want parsafe
+	})
+	return sum
+}
+
+func badMap(n int) map[int]bool {
+	seen := map[int]bool{}
+	par.ForN(n, func(i int) {
+		seen[i] = true // want parsafe
+	})
+	return seen
+}
+
+func badSharedSlot(n int, out []uint64) {
+	par.ForN(n, func(i int) {
+		out[0] = uint64(i) // want parsafe
+	})
+}
+
+func badChunks(n int, xs []uint64) uint64 {
+	first := uint64(0)
+	par.Chunks(n, func(start, end int) {
+		first = xs[start] // want parsafe
+	})
+	return first
+}
+
+type acc struct{ total uint64 }
+
+func badField(n int, xs []uint64, a *acc) {
+	par.ForN(n, func(i int) {
+		a.total += xs[i] // want parsafe
+	})
+}
+
+func badPointer(n int, p *uint64) {
+	par.ForN(n, func(i int) {
+		*p = uint64(i) // want parsafe
+	})
+}
+
+func badIncDec(n int) int {
+	count := 0
+	par.ForN(n, func(i int) {
+		count++ // want parsafe
+	})
+	return count
+}
+
+// Safe forms: index-derived writes, closure-local state, per-worker
+// accumulation merged after the join.
+
+func goodIndexed(n int, xs, out []uint64) {
+	par.ForN(n, func(i int) {
+		tmp := xs[i]
+		tmp++
+		out[i] = tmp
+	})
+}
+
+func goodChunks(n int, xs, partial []uint64) uint64 {
+	par.Chunks(n, func(start, end int) {
+		var s uint64
+		for i := start; i < end; i++ {
+			s += xs[i]
+		}
+		partial[start] = s
+	})
+	var total uint64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+func goodFieldOfIndexed(n int, rows []acc) {
+	par.ForN(n, func(i int) {
+		rows[i].total = uint64(i)
+	})
+}
+
+// An explained allow suppresses the finding on its line.
+func allowedLatch(n int) bool {
+	hit := false
+	par.ForN(n, func(i int) {
+		hit = true //lint:allow parsafe fixture demonstrates an explained suppression
+	})
+	return hit
+}

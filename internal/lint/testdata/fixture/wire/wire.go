@@ -1,0 +1,54 @@
+// Package wire seeds panicfree-wire fixtures: Read* functions in this
+// file are the configured entry points. Panics tagged
+// "// want panicfree-wire" are reachable from an entry point; the rest
+// must stay silent.
+package wire
+
+import (
+	"errors"
+
+	"fixture/internal/ring"
+)
+
+// ReadDirect panics at the entry point itself.
+func ReadDirect(b []byte) uint64 {
+	if len(b) < 8 {
+		panic("wire: short buffer") // want panicfree-wire
+	}
+	return uint64(b[0])
+}
+
+// ReadTransitive reaches a panic two hops down the call graph.
+func ReadTransitive(b []byte) (uint64, error) {
+	return parseHeader(b)
+}
+
+func parseHeader(b []byte) (uint64, error) {
+	return checkMagic(b), nil
+}
+
+func checkMagic(b []byte) uint64 {
+	if len(b) == 0 {
+		panic("wire: empty buffer") // want panicfree-wire
+	}
+	return uint64(b[0])
+}
+
+// ReadCross reaches a panic in another package.
+func ReadCross(b []byte) error {
+	ring.Explode()
+	return nil
+}
+
+// ReadGood is the fixed form: malformed input surfaces as an error.
+func ReadGood(b []byte) (uint64, error) {
+	if len(b) < 8 {
+		return 0, errors.New("wire: short buffer")
+	}
+	return uint64(b[0]), nil
+}
+
+// NotAnEntry panics, but nothing on the wire path calls it: silent.
+func NotAnEntry() {
+	panic("wire: unreachable from deserialization")
+}

@@ -2,6 +2,7 @@ package lwe
 
 import (
 	"fmt"
+	"math/bits"
 
 	"athena/internal/ring"
 )
@@ -25,11 +26,13 @@ func NewKeySwitchKey(skIn, skOut *SecretKey, q, base uint64, sigma float64, seed
 		panic("lwe: decomposition base must be at least 2")
 	}
 	digits := 0
-	for pw := uint64(1); pw < q; pw *= base {
+	for pw := uint64(1); pw < q; {
 		digits++
-		if pw > q/base { // avoid overflow on the last step
+		hi, lo := bits.Mul64(pw, base)
+		if hi != 0 { // next power overflows uint64, so it already covers q
 			break
 		}
+		pw = lo
 	}
 	m := ring.NewModulus(q)
 	smp := newStream(seed)
@@ -62,12 +65,14 @@ func (k *KeySwitchKey) Switch(ct Ciphertext) Ciphertext {
 	}
 	m := ring.NewModulus(k.Q)
 	nOut := len(k.Keys[0][0].A)
-	out := Ciphertext{A: make([]uint64, nOut), B: ct.B % k.Q, Q: k.Q}
+	out := Ciphertext{A: make([]uint64, nOut), B: m.Reduce(ct.B), Q: k.Q}
 	for j, aj := range ct.A {
-		v := aj % k.Q
+		v := m.Reduce(aj)
 		for d := 0; d < k.Digits && v > 0; d++ {
-			dig := v % k.Base
-			v /= k.Base
+			// Radix decomposition: one Div64 yields digit and quotient
+			// (k.Base ≥ 2 is enforced at key generation).
+			var dig uint64
+			v, dig = bits.Div64(0, v, k.Base)
 			if dig == 0 {
 				continue
 			}

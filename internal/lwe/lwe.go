@@ -48,13 +48,13 @@ func (sk *SecretKey) Decrypt(ct Ciphertext) uint64 {
 		panic(fmt.Sprintf("lwe: dimension mismatch %d vs %d", len(ct.A), len(sk.S)))
 	}
 	m := ring.NewModulus(ct.Q)
-	acc := ct.B % ct.Q
+	acc := m.Reduce(ct.B)
 	for i, a := range ct.A {
 		s := sk.S[i]
 		if s == 0 {
 			continue
 		}
-		av := a % ct.Q
+		av := m.Reduce(a)
 		if s > 0 {
 			acc = m.Add(acc, av)
 		} else {
@@ -139,15 +139,23 @@ func ModSwitch(ct Ciphertext, q2 uint64) Ciphertext {
 }
 
 // scaleRound computes round(x·q2/q1) mod q2 using 128-bit arithmetic.
-// It requires q2 ≤ q1 (Athena only ever switches downward).
+// It requires q2 ≤ q1 (Athena only ever switches downward). q1 may
+// exceed the 61-bit ring.Modulus bound, so the reductions go through
+// bits.Div64 rather than Barrett helpers.
 func scaleRound(x, q1, q2 uint64) uint64 {
 	if q2 > q1 {
 		panic("lwe: modulus switch must go to a smaller modulus")
 	}
-	hi, lo := bits.Mul64(x%q1, q2)
+	_, xr := bits.Div64(0, x, q1) // x mod q1
+	hi, lo := bits.Mul64(xr, q2)
 	// round(v/q1) = floor((v + q1/2) / q1)
 	lo2, carry := bits.Add64(lo, q1/2, 0)
 	hi += carry
 	q, _ := bits.Div64(hi, lo2, q1)
-	return q % q2
+	// xr < q1 implies q = round(xr·q2/q1) ≤ q2: one conditional
+	// subtraction wraps the boundary case to 0.
+	if q >= q2 {
+		q -= q2
+	}
+	return q
 }

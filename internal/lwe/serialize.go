@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"athena/internal/ring"
 )
 
 const (
@@ -68,17 +70,29 @@ func ReadCiphertext(r io.Reader) (Ciphertext, error) {
 	if n > 1<<20 {
 		return Ciphertext{}, fmt.Errorf("lwe: implausible dimension %d", n)
 	}
+	// Validate the modulus up front: every consumer builds reduction
+	// constants from Q, and a wire-supplied Q of 0 or 2^63 must fail
+	// here with an error rather than panic downstream.
+	if _, err := ring.TryNewModulus(hdr[2]); err != nil {
+		return Ciphertext{}, fmt.Errorf("lwe: wire modulus rejected: %w", err)
+	}
 	ct := Ciphertext{Q: hdr[2], A: make([]uint64, n)}
 	for i := range ct.A {
 		v, err := readU64(br)
 		if err != nil {
 			return Ciphertext{}, err
 		}
+		if v >= ct.Q {
+			return Ciphertext{}, fmt.Errorf("lwe: wire mask coefficient %d is %d, outside [0, %d)", i, v, ct.Q)
+		}
 		ct.A[i] = v
 	}
 	b, err := readU64(br)
 	if err != nil {
 		return Ciphertext{}, err
+	}
+	if b >= ct.Q {
+		return Ciphertext{}, fmt.Errorf("lwe: wire body %d outside [0, %d)", b, ct.Q)
 	}
 	ct.B = b
 	return ct, nil
@@ -130,8 +144,14 @@ func ReadKeySwitchKey(r io.Reader) (*KeySwitchKey, error) {
 		return nil, fmt.Errorf("lwe: unsupported version %d", hdr[1])
 	}
 	q, base, digits, nIn, nOut := hdr[2], hdr[3], int(hdr[4]), hdr[5], hdr[6]
-	if nIn > 1<<20 || nOut > 1<<20 || digits > 64 {
+	if nIn > 1<<20 || nOut > 1<<20 || digits < 1 || digits > 64 {
 		return nil, fmt.Errorf("lwe: implausible keyswitch dimensions")
+	}
+	if _, err := ring.TryNewModulus(q); err != nil {
+		return nil, fmt.Errorf("lwe: wire modulus rejected: %w", err)
+	}
+	if base < 2 {
+		return nil, fmt.Errorf("lwe: wire decomposition base %d must be at least 2", base)
 	}
 	k := &KeySwitchKey{Q: q, Base: base, Digits: digits, Keys: make([][]Ciphertext, nIn)}
 	for j := range k.Keys {
@@ -143,11 +163,17 @@ func ReadKeySwitchKey(r io.Reader) (*KeySwitchKey, error) {
 				if err != nil {
 					return nil, err
 				}
+				if v >= q {
+					return nil, fmt.Errorf("lwe: wire keyswitch coefficient outside [0, %d)", q)
+				}
 				ct.A[i] = v
 			}
 			b, err := readU64(br)
 			if err != nil {
 				return nil, err
+			}
+			if b >= q {
+				return nil, fmt.Errorf("lwe: wire keyswitch body outside [0, %d)", q)
 			}
 			ct.B = b
 			k.Keys[j][d] = ct

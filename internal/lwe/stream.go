@@ -1,39 +1,22 @@
 package lwe
 
-import (
-	"encoding/binary"
-	"math"
-	"math/rand/v2"
-)
+import "athena/internal/ring"
 
-// Stream is a deterministic randomness source for LWE operations,
-// mirroring ring.Sampler but free of any ring dependency.
+// streamTweak keeps lwe-derived streams disjoint from ring-sampler
+// streams sharing the same master seed (and preserves the historical
+// wire/test vectors, which were keyed this way).
+const streamTweak = 0xc2b2ae3d27d4eb4f
+
+// Stream is the deterministic randomness source for LWE operations: a
+// thin view over the module's single approved ChaCha8 keystream in
+// internal/ring (see athena-lint's cryptorand pass).
 type Stream struct {
-	src *rand.Rand
+	*ring.Keystream
 }
 
 func newStream(seed uint64) *Stream {
-	var key [32]byte
-	binary.LittleEndian.PutUint64(key[:8], seed)
-	binary.LittleEndian.PutUint64(key[8:16], seed^0xc2b2ae3d27d4eb4f)
-	return &Stream{src: rand.New(rand.NewChaCha8(key))}
+	return &Stream{Keystream: ring.NewKeystreamTweaked(seed, streamTweak)}
 }
 
 // NewStream creates a seeded stream.
 func NewStream(seed uint64) *Stream { return newStream(seed) }
-
-// Uint64N returns a uniform value in [0, n).
-func (s *Stream) Uint64N(n uint64) uint64 { return s.src.Uint64N(n) }
-
-// IntN returns a uniform int in [0, n).
-func (s *Stream) IntN(n int) int { return s.src.IntN(n) }
-
-// Gaussian returns a rounded Gaussian draw truncated at 6 sigma.
-func (s *Stream) Gaussian(sigma float64) int64 {
-	for {
-		x := s.src.NormFloat64() * sigma
-		if math.Abs(x) <= 6*sigma+1 {
-			return int64(math.Round(x))
-		}
-	}
-}

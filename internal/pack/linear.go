@@ -78,10 +78,9 @@ func newEvalDomain(ctx *bfv.Context) (*evalDomain, error) {
 // perm returns the eval-position permutation of σ_g: position i of
 // σ_g(m) holds the value of m at position perm[i].
 func (d *evalDomain) perm(g uint64) []int {
-	twoN := uint64(2 * d.n)
 	out := make([]int, d.n)
 	for i := 0; i < d.n; i++ {
-		out[i] = d.posOf[d.exps[i]*g%twoN]
+		out[i] = d.posOf[ring.GaloisCompose(d.n, d.exps[i], g)]
 	}
 	return out
 }
@@ -125,7 +124,7 @@ func CompileTransform(ctx *bfv.Context, m [][]uint64) (*Transform, error) {
 	twoN := uint64(2 * n)
 	pair := make([]int, n) // position of the inverse evaluation point
 	for i := 0; i < n; i++ {
-		pair[i] = d.posOf[(twoN-d.exps[i])%twoN]
+		pair[i] = d.posOf[(twoN-d.exps[i])&(twoN-1)] // 2N is a power of two
 	}
 	row := rt.NewPoly()
 	scratch := make([]uint64, n)
@@ -152,7 +151,7 @@ func CompileTransform(ctx *bfv.Context, m [][]uint64) (*Transform, error) {
 	conj := ring.GaloisElementConjugate(n)
 	for b := 0; b < bc; b++ {
 		g := ring.GaloisElementForRotation(n, b)
-		tr.babyEls = append(tr.babyEls, g, g*conj%twoN)
+		tr.babyEls = append(tr.babyEls, g, ring.GaloisCompose(n, g, conj))
 	}
 	for a := 0; a < gc; a++ {
 		tr.giantEls = append(tr.giantEls, ring.GaloisElementForRotation(n, a*bc))
@@ -166,7 +165,7 @@ func CompileTransform(ctx *bfv.Context, m [][]uint64) (*Transform, error) {
 			for e := 0; e < 2; e++ {
 				g := ring.GaloisElementForRotation(n, a*bc+b)
 				if e == 1 {
-					g = g * conj % twoN
+					g = ring.GaloisCompose(n, g, conj)
 				}
 				pg := d.perm(g)
 				nonzero := false

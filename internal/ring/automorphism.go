@@ -76,3 +76,11 @@ func GaloisElementForRotation(n int, k int) uint64 {
 // GaloisElementConjugate returns the element implementing X -> X^-1
 // (slot-row swap / conjugation).
 func GaloisElementConjugate(n int) uint64 { return uint64(2*n) - 1 }
+
+// GaloisCompose returns a·b mod 2N, the composition of two Galois
+// elements over a ring of power-of-two degree n. Operands must already
+// be reduced mod 2N; the product then fits uint64 with room to spare
+// (2N ≤ 2^18), so the masked multiply is exact.
+func GaloisCompose(n int, a, b uint64) uint64 {
+	return (a * b) & (uint64(2*n) - 1)
+}

@@ -31,20 +31,33 @@ type Modulus struct {
 	brcHi, brcLo uint64
 }
 
-// NewModulus prepares the reduction constants for q. It panics if q is 0,
-// 1, or wider than MaxModulusBits; primality is the caller's concern.
-func NewModulus(q uint64) Modulus {
+// TryNewModulus prepares the reduction constants for q, rejecting q
+// outside [2, 2^MaxModulusBits); primality is the caller's concern. This
+// is the entry point for moduli read from untrusted wire bytes, where an
+// out-of-range value must surface as an error, not a panic.
+func TryNewModulus(q uint64) (Modulus, error) {
 	if q < 2 {
-		panic(fmt.Sprintf("ring: modulus %d too small", q))
+		return Modulus{}, fmt.Errorf("ring: modulus %d too small", q)
 	}
 	if bits.Len64(q) > MaxModulusBits {
-		panic(fmt.Sprintf("ring: modulus %d exceeds %d bits", q, MaxModulusBits))
+		return Modulus{}, fmt.Errorf("ring: modulus %d exceeds %d bits", q, MaxModulusBits)
 	}
 	// Compute floor(2^128 / q) via long division of 2^128 by q using
 	// 64-bit limbs: first divide 2^64 by q, then bring down 64 zero bits.
 	hi, r := bits.Div64(1, 0, q) // hi = floor(2^64/q), r = 2^64 mod q
 	lo, _ := bits.Div64(r, 0, q) // lo = floor(r·2^64 / q)
-	return Modulus{Q: q, brcHi: hi, brcLo: lo}
+	return Modulus{Q: q, brcHi: hi, brcLo: lo}, nil
+}
+
+// NewModulus is TryNewModulus for trusted, statically chosen parameters:
+// it panics on an out-of-range q. Wire-decoding paths must use
+// TryNewModulus instead (enforced by athena-lint's panicfree-wire pass).
+func NewModulus(q uint64) Modulus {
+	m, err := TryNewModulus(q)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
 }
 
 // Add returns a+b mod q for a, b in [0, q).

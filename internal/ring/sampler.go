@@ -1,9 +1,16 @@
 package ring
 
 import (
+	"crypto/rand"
 	"encoding/binary"
 	"math"
-	"math/rand/v2"
+
+	// The ChaCha8 generator below is the module's single approved
+	// deterministic keystream: cryptographically strong, reproducible
+	// under a fixed seed for tests and experiments. Every other crypto
+	// package must draw through Keystream/Sampler instead of importing
+	// math/rand itself (enforced by athena-lint's cryptorand pass).
+	mrand "math/rand/v2" //lint:allow cryptorand seeded ChaCha8 keystream is the approved CSPRNG core all samplers route through
 )
 
 // DefaultSigma is the standard deviation of the RLWE error distribution,
@@ -11,20 +18,74 @@ import (
 // analysis in the Athena paper, Section 3.3).
 const DefaultSigma = 3.2
 
+// keystreamTweak separates the ring sampler's key schedule from other
+// consumers deriving streams from the same seed.
+const keystreamTweak = 0x9e3779b97f4a7c15
+
+// Keystream is a deterministic ChaCha8 random stream. It is the
+// randomness core shared by every sampler in the module: given the same
+// (seed, tweak) it replays the same stream, which keeps tests and
+// experiments reproducible while remaining cryptographically strong.
+type Keystream struct {
+	src *mrand.Rand
+}
+
+// NewKeystream creates a stream keyed by seed with the ring tweak.
+func NewKeystream(seed uint64) *Keystream {
+	return NewKeystreamTweaked(seed, keystreamTweak)
+}
+
+// NewKeystreamTweaked creates a stream keyed by seed XOR-folded with a
+// caller-chosen tweak, so independent subsystems can derive disjoint
+// streams from one master seed.
+func NewKeystreamTweaked(seed, tweak uint64) *Keystream {
+	var key [32]byte
+	binary.LittleEndian.PutUint64(key[:8], seed)
+	binary.LittleEndian.PutUint64(key[8:16], seed^tweak)
+	return &Keystream{src: mrand.New(mrand.NewChaCha8(key))}
+}
+
+// Uint64N returns a uniform value in [0, n).
+func (k *Keystream) Uint64N(n uint64) uint64 { return k.src.Uint64N(n) }
+
+// IntN returns a uniform int in [0, n).
+func (k *Keystream) IntN(n int) int { return k.src.IntN(n) }
+
+// NormFloat64 returns a standard normal draw.
+func (k *Keystream) NormFloat64() float64 { return k.src.NormFloat64() }
+
+// Gaussian returns a rounded Gaussian draw with standard deviation
+// sigma, truncated by rejection just past 6 sigma.
+func (k *Keystream) Gaussian(sigma float64) int64 {
+	for {
+		x := k.src.NormFloat64() * sigma
+		if math.Abs(x) <= 6*sigma+1 {
+			return int64(math.Round(x))
+		}
+	}
+}
+
+// RandomSeed returns a fresh seed from the operating system's CSPRNG,
+// for production key generation where reproducibility is not wanted.
+func RandomSeed() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
 // Sampler draws ring elements from the distributions RLWE needs. It is
 // deterministic given its seed (ChaCha8 keystream), which keeps tests and
 // experiments reproducible.
 type Sampler struct {
-	r   *Ring
-	src *rand.Rand
+	r *Ring
+	*Keystream
 }
 
 // NewSampler creates a sampler over ring r seeded by seed.
 func NewSampler(r *Ring, seed uint64) *Sampler {
-	var key [32]byte
-	binary.LittleEndian.PutUint64(key[:8], seed)
-	binary.LittleEndian.PutUint64(key[8:16], seed^0x9e3779b97f4a7c15)
-	return &Sampler{r: r, src: rand.New(rand.NewChaCha8(key))}
+	return &Sampler{r: r, Keystream: NewKeystream(seed)}
 }
 
 // Uniform fills p with independent uniform residues in each limb.
@@ -74,9 +135,6 @@ func (s *Sampler) Gaussian(sigma float64, p Poly) []int64 {
 
 // UniformInt returns a uniform value in [0, bound).
 func (s *Sampler) UniformInt(bound uint64) uint64 { return s.src.Uint64N(bound) }
-
-// NormFloat64 exposes a standard normal draw from the sampler's stream.
-func (s *Sampler) NormFloat64() float64 { return s.src.NormFloat64() }
 
 func (s *Sampler) setSigned(v []int64, p Poly) {
 	for i := range p.Coeffs {
