@@ -7,6 +7,12 @@
 //	athena-bench                 # tables 1-4, 6-9, figs 1, 8-13 (perf)
 //	athena-bench -accuracy       # adds table 5, fig 4, fig 12 (accuracy)
 //	athena-bench -only table6    # a single experiment
+//	athena-bench -json BENCH_kernels.json   # kernel microbenchmarks
+//
+// -json runs the hot-path kernel microbenchmarks (NTT, PMult, CMult,
+// keyswitch, pack, FBS, end-to-end inference) and writes them to the
+// given path as JSON keyed by kernel name with fields ns_op, allocs_op
+// and bytes_op (see README for the schema); nothing else runs.
 package main
 
 import (
@@ -23,7 +29,17 @@ func main() {
 	samples := flag.Int("samples", 200, "test samples per model for the accuracy studies")
 	skip56 := flag.Bool("skip-resnet56", false, "skip ResNet-56 in the accuracy studies")
 	only := flag.String("only", "", "run a single experiment (e.g. table6, fig9)")
+	jsonPath := flag.String("json", "", "run the kernel microbenchmarks and write them to this path as JSON")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := report.WriteKernelBenchmarks(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "kernel benchmarks: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote kernel benchmarks to %s\n", *jsonPath)
+		return
+	}
 
 	cfg := report.DefaultAccuracyConfig()
 	cfg.TestSamples = *samples
@@ -53,6 +69,7 @@ func main() {
 		{"fig12perf", false, report.Fig12Perf},
 		{"fig12acc", true, func() string { return report.Fig12Accuracy(cfg) }},
 		{"fig13", false, report.Fig13},
+		{"kernels", true, report.Kernels},
 		{"ablations", false, report.Ablations},
 		{"throughput", false, report.Throughput},
 		{"security", false, report.Security},

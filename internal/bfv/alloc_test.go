@@ -1,0 +1,26 @@
+package bfv
+
+import "testing"
+
+// Steady-state evaluator operations must be allocation-free: the engine
+// issues them per diagonal, per FBS term, and per limb, so any per-call
+// allocation multiplies into GC pressure at inference time. These tests
+// enforce the scratch-arena contract with the allocation accountant.
+func TestEvaluatorSteadyStateZeroAllocs(t *testing.T) {
+	k := newTestKit(t, 7, 4, []int{1})
+	vals := randVals(k.ctx.N, 10, 5)
+	a := k.enc.Encrypt(k.cod.EncodeSlots(vals))
+	b := k.enc.Encrypt(k.cod.EncodeSlots(vals))
+	pm := k.cod.LiftToMul(k.cod.EncodeSlots(vals))
+	acc := k.enc.Encrypt(k.cod.EncodeSlots(vals))
+
+	if n := testing.AllocsPerRun(100, func() { k.ev.AddInPlace(a, b) }); n != 0 {
+		t.Fatalf("AddInPlace allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { k.ev.MulPlainAndAdd(a, pm, acc) }); n != 0 {
+		t.Fatalf("MulPlainAndAdd allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { k.ev.MulScalarAndAdd(a, 3, acc) }); n != 0 {
+		t.Fatalf("MulScalarAndAdd allocates %v times per run, want 0", n)
+	}
+}

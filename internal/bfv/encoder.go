@@ -17,6 +17,10 @@ import (
 //     The slot layout is two rows of N/2; X -> X^5 rotates the rows.
 type Encoder struct {
 	ctx *Context
+	// slotTmp is the reusable RingT staging polynomial behind the *Into
+	// encode paths; its laziness keeps coefficient-only encoders free.
+	// Encoders holding scratch are single-goroutine state.
+	slotTmp ring.Poly
 }
 
 // NewEncoder creates an encoder over ctx.
@@ -50,6 +54,14 @@ func (e *Encoder) DecodeCoeffs(pt *Plaintext) []int64 {
 // EncodeSlots places vals into the first len(vals) slots (row-major over
 // the two rows of N/2). Requires batching support.
 func (e *Encoder) EncodeSlots(vals []int64) *Plaintext {
+	pt := e.ctx.NewPlaintext()
+	e.EncodeSlotsInto(vals, pt)
+	return pt
+}
+
+// EncodeSlotsInto is EncodeSlots writing into a caller-provided plaintext,
+// reusing the encoder's staging buffer (zero allocations at steady state).
+func (e *Encoder) EncodeSlotsInto(vals []int64, pt *Plaintext) {
 	ctx := e.ctx
 	if !ctx.batching {
 		panic("bfv: parameters do not support batching (t != 1 mod 2N)")
@@ -57,14 +69,19 @@ func (e *Encoder) EncodeSlots(vals []int64) *Plaintext {
 	if len(vals) > ctx.N {
 		panic(fmt.Sprintf("bfv: %d values exceed N=%d slots", len(vals), ctx.N))
 	}
-	pt := ctx.NewPlaintext()
-	tmp := ctx.RingT.NewPoly()
+	if e.slotTmp.Level() == 0 {
+		e.slotTmp = ctx.RingT.NewPoly()
+	}
+	tmp := e.slotTmp
+	row := tmp.Coeffs[0]
+	for i := range row {
+		row[i] = 0
+	}
 	for i, v := range vals {
-		tmp.Coeffs[0][ctx.slotIdx[i]] = e.reduceT(v)
+		row[ctx.slotIdx[i]] = e.reduceT(v)
 	}
 	ctx.RingT.INTT(tmp)
-	copy(pt.Coeffs, tmp.Coeffs[0])
-	return pt
+	copy(pt.Coeffs, row)
 }
 
 // DecodeSlots returns all N slot values of pt, centered.
@@ -86,8 +103,16 @@ func (e *Encoder) DecodeSlots(pt *Plaintext) []int64 {
 // LiftToMul pre-lifts a plaintext into the ciphertext ring NTT domain
 // using centered representatives, for use with MulPlain.
 func (e *Encoder) LiftToMul(pt *Plaintext) *PlaintextMul {
+	pm := &PlaintextMul{Value: e.ctx.RingQ.NewPoly()}
+	e.LiftToMulInto(pt, pm)
+	return pm
+}
+
+// LiftToMulInto is LiftToMul writing into a caller-provided PlaintextMul
+// (pm.Value must be allocated over RingQ), for scratch reuse.
+func (e *Encoder) LiftToMulInto(pt *Plaintext, pm *PlaintextMul) {
 	ctx := e.ctx
-	p := ctx.RingQ.NewPoly()
+	p := pm.Value
 	for i := range ctx.RingQ.Moduli {
 		m := ctx.RingQ.Moduli[i]
 		pi := p.Coeffs[i]
@@ -96,14 +121,20 @@ func (e *Encoder) LiftToMul(pt *Plaintext) *PlaintextMul {
 		}
 	}
 	ctx.RingQ.NTT(p)
-	return &PlaintextMul{Value: p}
 }
 
 // LiftToDelta lifts a plaintext to Δ·m in the ciphertext ring NTT domain
 // (the additive embedding used at encryption and for plain addition).
 func (e *Encoder) LiftToDelta(pt *Plaintext) ring.Poly {
+	p := e.ctx.RingQ.NewPoly()
+	e.LiftToDeltaInto(pt, p)
+	return p
+}
+
+// LiftToDeltaInto is LiftToDelta writing into a caller-provided polynomial,
+// so steady-state callers can reuse a scratch buffer.
+func (e *Encoder) LiftToDeltaInto(pt *Plaintext, p ring.Poly) {
 	ctx := e.ctx
-	p := ctx.RingQ.NewPoly()
 	for i := range ctx.RingQ.Moduli {
 		m := ctx.RingQ.Moduli[i]
 		d := ctx.DeltaQi[i]
@@ -114,5 +145,4 @@ func (e *Encoder) LiftToDelta(pt *Plaintext) ring.Poly {
 		}
 	}
 	ctx.RingQ.NTT(p)
-	return p
 }

@@ -6,19 +6,100 @@ import (
 	"athena/internal/ring"
 )
 
-// Evaluator performs homomorphic operations. It holds only precomputed
-// immutable state plus the key set, so a single Evaluator may be shared
-// across goroutines for read-only operation graphs (each call allocates
-// its own temporaries).
+// Evaluator performs homomorphic operations. It owns a scratch arena of
+// reusable polynomial temporaries (lazily allocated, retained across
+// calls), so steady-state operations allocate only their results. That
+// makes an Evaluator single-goroutine state: to fan out across
+// goroutines, give each its own ShallowCopy, which shares the immutable
+// context and keys but not the scratch.
 type Evaluator struct {
 	ctx  *Context
 	keys *KeySet
+	sc   *evalScratch
+}
+
+// evalScratch holds the reusable temporaries behind Mul, Automorphism,
+// keyswitching, and plain addition. Everything is lazily allocated on
+// first use and sized by the owning context, so an evaluator used only
+// for cheap operations never pays for the tensor-product arena.
+type evalScratch struct {
+	// tensor: coefficient-domain staging over Q, extended operands and
+	// accumulators over QB, and the degree-2 output term over Q.
+	cq  ring.Poly
+	eqb [4]ring.Poly
+	tqb [3]ring.Poly
+	d2  ring.Poly
+	// keyswitch: the current digit and the two accumulators.
+	digit    ring.Poly
+	ks0, ks1 ring.Poly
+	// automorphism: coefficient-domain inputs and permuted outputs.
+	aq [4]ring.Poly
+	// plain addition: the Δ·m lift.
+	dm ring.Poly
+	// cached automorphism permutation tables, keyed by Galois element.
+	autoIdx map[uint64]*autoTable
+
+	enc *Encoder
+}
+
+type autoTable struct {
+	dst []int
+	neg []bool
 }
 
 // NewEvaluator creates an evaluator. keys may be nil when only key-free
 // operations (add, plain/scalar multiply) are needed.
 func NewEvaluator(ctx *Context, keys *KeySet) *Evaluator {
-	return &Evaluator{ctx: ctx, keys: keys}
+	return &Evaluator{ctx: ctx, keys: keys, sc: &evalScratch{}}
+}
+
+// ShallowCopy returns an evaluator sharing ev's context and keys but
+// owning a fresh scratch arena, for use from another goroutine.
+func (ev *Evaluator) ShallowCopy() *Evaluator {
+	return &Evaluator{ctx: ev.ctx, keys: ev.keys, sc: &evalScratch{}}
+}
+
+// tensorScratch returns the arena polynomials used by tensor, allocating
+// them on first use.
+func (ev *Evaluator) tensorScratch() *evalScratch {
+	sc := ev.sc
+	if sc.cq.Level() == 0 {
+		sc.cq = ev.ctx.RingQ.NewPoly()
+		for i := range sc.eqb {
+			sc.eqb[i] = ev.ctx.RingQB.NewPoly()
+		}
+		for i := range sc.tqb {
+			sc.tqb[i] = ev.ctx.RingQB.NewPoly()
+		}
+		sc.d2 = ev.ctx.RingQ.NewPoly()
+	}
+	return sc
+}
+
+// ksScratch returns the keyswitch arena, allocating it on first use.
+func (ev *Evaluator) ksScratch() *evalScratch {
+	sc := ev.sc
+	if sc.digit.Level() == 0 {
+		sc.digit = ev.ctx.RingQ.NewPoly()
+		sc.ks0 = ev.ctx.RingQ.NewPoly()
+		sc.ks1 = ev.ctx.RingQ.NewPoly()
+	}
+	return sc
+}
+
+// autoIndex returns the cached permutation table for Galois element g.
+func (ev *Evaluator) autoIndex(g uint64) *autoTable {
+	sc := ev.sc
+	if sc.autoIdx == nil {
+		sc.autoIdx = make(map[uint64]*autoTable)
+	}
+	t := sc.autoIdx[g]
+	if t == nil {
+		dst, neg := ring.AutomorphismIndex(ev.ctx.N, g)
+		t = &autoTable{dst: dst, neg: neg}
+		sc.autoIdx[g] = t
+	}
+	return t
 }
 
 // Add returns a + b.
@@ -53,10 +134,14 @@ func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
 
 // AddPlain returns ct + pt (the plaintext is embedded as Δ·m).
 func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
-	enc := NewEncoder(ev.ctx)
-	dm := enc.LiftToDelta(pt)
+	sc := ev.sc
+	if sc.enc == nil {
+		sc.enc = NewEncoder(ev.ctx)
+		sc.dm = ev.ctx.RingQ.NewPoly()
+	}
+	sc.enc.LiftToDeltaInto(pt, sc.dm)
 	out := ct.Clone()
-	ev.ctx.RingQ.Add(out.C0, dm, out.C0)
+	ev.ctx.RingQ.Add(out.C0, sc.dm, out.C0)
 	return out
 }
 
@@ -86,12 +171,25 @@ func (ev *Evaluator) MulScalar(ct *Ciphertext, k uint64) *Ciphertext {
 		m := rq.Moduli[i]
 		kv := m.ReduceInt64(c)
 		sh := m.ShoupPrecomp(kv)
-		for j := range ct.C0.Coeffs[i] {
-			out.C0.Coeffs[i][j] = m.MulShoup(ct.C0.Coeffs[i][j], kv, sh)
-			out.C1.Coeffs[i][j] = m.MulShoup(ct.C1.Coeffs[i][j], kv, sh)
-		}
+		m.MulShoupVec(ct.C0.Coeffs[i], kv, sh, out.C0.Coeffs[i])
+		m.MulShoupVec(ct.C1.Coeffs[i], kv, sh, out.C1.Coeffs[i])
 	}
 	return out
+}
+
+// MulScalarAndAdd sets acc += ct · k for the scalar k ∈ Z_t (centered, as
+// in MulScalar) without allocating — the fused kernel behind FBS inner
+// sums that would otherwise build a product ciphertext per term.
+func (ev *Evaluator) MulScalarAndAdd(ct *Ciphertext, k uint64, acc *Ciphertext) {
+	c := ev.ctx.TMod.Centered(ev.ctx.TMod.Reduce(k))
+	rq := ev.ctx.RingQ
+	for i := range rq.Moduli {
+		m := rq.Moduli[i]
+		kv := m.ReduceInt64(c)
+		sh := m.ShoupPrecomp(kv)
+		m.MulShoupAddVec(ct.C0.Coeffs[i], kv, sh, acc.C0.Coeffs[i])
+		m.MulShoupAddVec(ct.C1.Coeffs[i], kv, sh, acc.C1.Coeffs[i])
+	}
 }
 
 // Mul returns the relinearized product a·b (CMult): RNS tensor product in
@@ -113,28 +211,32 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 // tensor computes the scaled tensor product: three polynomials
 // (d0, d1, d2) over Q with d0, d1 in the NTT domain and d2 in the
 // coefficient domain, such that d0 + d1·s + d2·s² ≈ Δ·m_a·m_b.
+// d0 and d1 are freshly allocated (they escape into the product
+// ciphertext); d2 and all intermediates live in the evaluator scratch and
+// are only valid until the next tensor call.
 func (ev *Evaluator) tensor(a, b *Ciphertext) (d0, d1, d2 ring.Poly) {
 	ctx := ev.ctx
 	rq, rqb := ctx.RingQ, ctx.RingQB
+	sc := ev.tensorScratch()
 
 	// Move operands to the coefficient domain, extend to basis QB.
-	ext := func(p ring.Poly) ring.Poly {
-		c := p.Clone()
+	ext := func(p ring.Poly, e ring.Poly) {
+		c := sc.cq
+		p.CopyTo(c)
 		rq.INTT(c)
-		e := rqb.NewPoly()
 		ctx.BasisQ.ExtendPoly(c, ctx.BasisQB, e)
 		rqb.NTT(e)
-		return e
 	}
-	a0, a1 := ext(a.C0), ext(a.C1)
-	b0, b1 := ext(b.C0), ext(b.C1)
+	a0, a1, b0, b1 := sc.eqb[0], sc.eqb[1], sc.eqb[2], sc.eqb[3]
+	ext(a.C0, a0)
+	ext(a.C1, a1)
+	ext(b.C0, b0)
+	ext(b.C1, b1)
 
-	t0 := rqb.NewPoly()
+	t0, t1, t2 := sc.tqb[0], sc.tqb[1], sc.tqb[2]
 	rqb.MulCoeffs(a0, b0, t0)
-	t1 := rqb.NewPoly()
 	rqb.MulCoeffs(a0, b1, t1)
 	rqb.MulCoeffsAndAdd(a1, b0, t1)
-	t2 := rqb.NewPoly()
 	rqb.MulCoeffs(a1, b1, t2)
 	rqb.INTT(t0)
 	rqb.INTT(t1)
@@ -143,7 +245,7 @@ func (ev *Evaluator) tensor(a, b *Ciphertext) (d0, d1, d2 ring.Poly) {
 	// Scale each by t/Q and round, landing back in basis Q.
 	d0 = rq.NewPoly()
 	d1 = rq.NewPoly()
-	d2 = rq.NewPoly()
+	d2 = sc.d2
 	ctx.BasisQB.ScaleAndRound(t0, ctx.TBig, ctx.QBig, ctx.BasisQ, d0)
 	ctx.BasisQB.ScaleAndRound(t1, ctx.TBig, ctx.QBig, ctx.BasisQ, d1)
 	ctx.BasisQB.ScaleAndRound(t2, ctx.TBig, ctx.QBig, ctx.BasisQ, d2)
@@ -154,17 +256,23 @@ func (ev *Evaluator) tensor(a, b *Ciphertext) (d0, d1, d2 ring.Poly) {
 
 // keySwitchCoeff applies a switching key to a coefficient-domain
 // polynomial p, returning the NTT-domain pair (ks0, ks1) with
-// ks0 + ks1·s ≈ p·target.
+// ks0 + ks1·s ≈ p·target. The returned polynomials are evaluator scratch:
+// callers must consume them before the next keyswitching call.
 func (ev *Evaluator) keySwitchCoeff(p ring.Poly, swk *SwitchingKey) (ring.Poly, ring.Poly) {
 	ctx := ev.ctx
 	rq := ctx.RingQ
-	digits := ctx.BasisQ.DecomposeDigits(p, rq.NewPoly)
-	ks0 := rq.NewPoly()
-	ks1 := rq.NewPoly()
-	for i, d := range digits {
+	sc := ev.ksScratch()
+	d, ks0, ks1 := sc.digit, sc.ks0, sc.ks1
+	for i := 0; i < ctx.BasisQ.Len(); i++ {
+		ctx.BasisQ.DecomposeDigitInto(p, i, d)
 		rq.NTT(d)
-		rq.MulCoeffsAndAdd(d, swk.B[i], ks0)
-		rq.MulCoeffsAndAdd(d, swk.A[i], ks1)
+		if i == 0 {
+			rq.MulCoeffs(d, swk.B[i], ks0)
+			rq.MulCoeffs(d, swk.A[i], ks1)
+		} else {
+			rq.MulCoeffsAndAdd(d, swk.B[i], ks0)
+			rq.MulCoeffsAndAdd(d, swk.A[i], ks1)
+		}
 	}
 	return ks0, ks1
 }
@@ -185,15 +293,20 @@ func (ev *Evaluator) Automorphism(ct *Ciphertext, g uint64) (*Ciphertext, error)
 	ctx := ev.ctx
 	rq := ctx.RingQ
 
-	c0 := ct.C0.Clone()
-	c1 := ct.C1.Clone()
+	sc := ev.sc
+	if sc.aq[0].Level() == 0 {
+		for i := range sc.aq {
+			sc.aq[i] = rq.NewPoly()
+		}
+	}
+	c0, c1, p0, p1 := sc.aq[0], sc.aq[1], sc.aq[2], sc.aq[3]
+	ct.C0.CopyTo(c0)
+	ct.C1.CopyTo(c1)
 	rq.INTT(c0)
 	rq.INTT(c1)
-	p0 := rq.NewPoly()
-	p1 := rq.NewPoly()
-	dst, neg := ring.AutomorphismIndex(ctx.N, g)
-	rq.AutomorphismWithIndex(c0, dst, neg, p0)
-	rq.AutomorphismWithIndex(c1, dst, neg, p1)
+	t := ev.autoIndex(g)
+	rq.AutomorphismWithIndex(c0, t.dst, t.neg, p0)
+	rq.AutomorphismWithIndex(c1, t.dst, t.neg, p1)
 
 	// φ(ct) decrypts under φ(s); switch the C1 part back to s.
 	ks0, ks1 := ev.keySwitchCoeff(p1, &gk.SwitchingKey)

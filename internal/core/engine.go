@@ -103,7 +103,7 @@ func NewEngine(p Params) (*Engine, error) {
 		return nil, err
 	}
 
-	els := append(e.packer.GaloisElements(), e.s2c.GaloisElements()...)
+	els := pack.DedupGalois(e.packer.GaloisElements(), e.s2c.GaloisElements())
 	keys := kg.GenKeySet(e.sk, els)
 	e.ev = bfv.NewEvaluator(ctx, keys)
 	return e, nil

@@ -126,12 +126,11 @@ func (e *Evaluator) innerSum(ev *bfv.Evaluator, powers []*bfv.Ciphertext, a int)
 			hasC0 = true
 			continue
 		}
-		term := ev.MulScalar(powers[b], c)
 		e.SMults++
 		if acc == nil {
-			acc = term
+			acc = ev.MulScalar(powers[b], c)
 		} else {
-			ev.AddInPlace(acc, term)
+			ev.MulScalarAndAdd(powers[b], c, acc)
 			e.HAdds++
 		}
 	}

@@ -7,11 +7,11 @@ import (
 	"strings"
 )
 
-// ParSafe checks the closures handed to par.ForN and par.Chunks. Those
-// helpers run the closure concurrently from several goroutines, so the
-// fork-join determinism contract is: a closure may only write state
-// derived from its own iteration index. The pass flags, inside such
-// closures:
+// ParSafe checks the closures handed to par.ForN, par.ForWork, and
+// par.Chunks. Those helpers run the closure concurrently from several
+// goroutines, so the fork-join determinism contract is: a closure may
+// only write state derived from its own iteration index. The pass
+// flags, inside such closures:
 //
 //   - assignments (incl. op-assign, ++/--) to captured variables:
 //     `sum += x`, `s = append(s, v)` — classic fan-in races;
@@ -30,7 +30,7 @@ func (*ParSafe) Name() string { return "parsafe" }
 
 // Doc implements Pass.
 func (*ParSafe) Doc() string {
-	return "non-index-derived shared-state writes inside par.ForN / par.Chunks closures"
+	return "non-index-derived shared-state writes inside par.ForN / par.ForWork / par.Chunks closures"
 }
 
 // Run implements Pass.
@@ -47,7 +47,9 @@ func (p *ParSafe) Run(prog *Program) []Finding {
 				if fn == "" || len(call.Args) < 2 {
 					return true
 				}
-				lit, ok := call.Args[1].(*ast.FuncLit)
+				// The worker closure is the last argument (ForWork
+				// takes an itemCost between n and the closure).
+				lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
 				if !ok {
 					return true
 				}
@@ -59,8 +61,8 @@ func (p *ParSafe) Run(prog *Program) []Finding {
 	return findings
 }
 
-// parCallee returns "ForN" or "Chunks" when call targets the par
-// package's helpers, else "".
+// parCallee returns "ForN", "ForWork", or "Chunks" when call targets
+// the par package's helpers, else "".
 func parCallee(pkg *Package, call *ast.CallExpr) string {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -75,7 +77,7 @@ func parCallee(pkg *Package, call *ast.CallExpr) string {
 	if path != "par" && !strings.HasSuffix(path, "/par") {
 		return ""
 	}
-	if fn.Name() == "ForN" || fn.Name() == "Chunks" {
+	if fn.Name() == "ForN" || fn.Name() == "ForWork" || fn.Name() == "Chunks" {
 		return fn.Name()
 	}
 	return ""

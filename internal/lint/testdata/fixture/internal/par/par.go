@@ -9,6 +9,15 @@ func ForN(n int, f func(i int)) {
 	}
 }
 
+// ForWork runs f(i) for every i in [0, n), sized by a per-item cost
+// estimate — concurrently, in production.
+func ForWork(n, itemCost int, f func(i int)) {
+	_ = itemCost
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
 // Chunks splits [0, n) into ranges and runs f on each — concurrently, in
 // production.
 func Chunks(n int, f func(start, end int)) {

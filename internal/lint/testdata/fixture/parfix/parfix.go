@@ -37,6 +37,22 @@ func badChunks(n int, xs []uint64) uint64 {
 	return first
 }
 
+func badForWork(n int, xs []uint64) uint64 {
+	var hi uint64
+	par.ForWork(n, 1<<12, func(i int) {
+		if xs[i] > hi {
+			hi = xs[i] // want parsafe
+		}
+	})
+	return hi
+}
+
+func goodForWork(n int, xs, out []uint64) {
+	par.ForWork(n, 1<<12, func(i int) {
+		out[i] = xs[i] * 3
+	})
+}
+
 type acc struct{ total uint64 }
 
 func badField(n int, xs []uint64, a *acc) {

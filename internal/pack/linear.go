@@ -27,6 +27,26 @@ type Transform struct {
 
 	babyEls  []uint64 // galois elements 5^b and (2N-1)·5^b
 	giantEls []uint64 // galois elements 5^(a·B)
+
+	// usedBaby[idx] reports whether any giant step references baby index
+	// idx, hoisted out of Apply so the per-call scan over terms disappears.
+	usedBaby []bool
+}
+
+// DedupGalois merges Galois element lists into one, dropping duplicates
+// and the identity; the shared helper behind key-generation element sets.
+func DedupGalois(lists ...[]uint64) []uint64 {
+	seen := map[uint64]bool{1: true}
+	var out []uint64
+	for _, l := range lists {
+		for _, g := range l {
+			if !seen[g] {
+				seen[g] = true
+				out = append(out, g)
+			}
+		}
+	}
+	return out
 }
 
 // evalDomain captures the plaintext-ring evaluation structure mod t.
@@ -158,6 +178,9 @@ func CompileTransform(ctx *bfv.Context, m [][]uint64) (*Transform, error) {
 	}
 
 	dg := rt.NewPoly()
+	pPrime := rt.NewPoly()
+	pt := ctx.NewPlaintext()
+	tr.usedBaby = make([]bool, 2*bc)
 	for a := 0; a < gc; a++ {
 		tr.terms[a] = make([]*bfv.PlaintextMul, 2*bc)
 		gGiantInv := ring.GaloisElementForRotation(n, -a*bc)
@@ -181,15 +204,14 @@ func CompileTransform(ctx *bfv.Context, m [][]uint64) (*Transform, error) {
 				}
 				rt.INTT(dg) // p_g coefficients
 				// Giant pre-rotation: p' = σ_{5^{aB}}^{-1}(p_g).
-				pPrime := rt.NewPoly()
 				if a == 0 {
 					dg.CopyTo(pPrime)
 				} else {
 					rt.Automorphism(dg, gGiantInv, pPrime)
 				}
-				pt := ctx.NewPlaintext()
 				copy(pt.Coeffs, pPrime.Coeffs[0])
 				tr.terms[a][2*b+e] = cod.LiftToMul(pt)
+				tr.usedBaby[2*b+e] = true
 			}
 		}
 	}
@@ -199,40 +221,23 @@ func CompileTransform(ctx *bfv.Context, m [][]uint64) (*Transform, error) {
 // GaloisElements returns every Galois element Apply will use, for key
 // generation (deduplicated, identity excluded).
 func (tr *Transform) GaloisElements() []uint64 {
-	seen := map[uint64]bool{1: true}
-	var out []uint64
-	for _, g := range append(append([]uint64{}, tr.babyEls...), tr.giantEls...) {
-		if !seen[g] {
-			seen[g] = true
-			out = append(out, g)
-		}
-	}
-	return out
+	return DedupGalois(tr.babyEls, tr.giantEls)
 }
 
 // Apply evaluates the transform on ct.
 func (tr *Transform) Apply(ev *bfv.Evaluator, ct *bfv.Ciphertext) (*bfv.Ciphertext, error) {
 	// Baby ciphertexts: σ_{±5^b}(ct).
 	babies := make([]*bfv.Ciphertext, 2*tr.babyCount)
-	for b := 0; b < tr.babyCount; b++ {
-		for e := 0; e < 2; e++ {
-			// Skip baby automorphisms never referenced by any giant step.
-			used := false
-			for a := range tr.terms {
-				if tr.terms[a][2*b+e] != nil {
-					used = true
-					break
-				}
-			}
-			if !used {
-				continue
-			}
-			c, err := ev.Automorphism(ct, tr.babyEls[2*b+e])
-			if err != nil {
-				return nil, err
-			}
-			babies[2*b+e] = c
+	for idx := range babies {
+		// Skip baby automorphisms never referenced by any giant step.
+		if !tr.usedBaby[idx] {
+			continue
 		}
+		c, err := ev.Automorphism(ct, tr.babyEls[idx])
+		if err != nil {
+			return nil, err
+		}
+		babies[idx] = c
 	}
 	var acc *bfv.Ciphertext
 	for a := 0; a < tr.giantCount; a++ {

@@ -34,6 +34,17 @@ type Packer struct {
 	// the rotations at key generation removes all baby-step rotations at
 	// run time.
 	babies []*bfv.Ciphertext
+
+	// rotIdx[a][i] is the slot feeding slot i after the giant-step
+	// pre-rotation by -a·bs, computed once at construction so each Pack
+	// call builds its diagonals with a single gather instead of re-deriving
+	// the row/column permutation per element.
+	rotIdx [][]int
+	// Per-call scratch: the diagonal value vector and its encoded/lifted
+	// forms. Reused across (a, b) iterations and across Pack calls.
+	dScratch []int64
+	pt       *bfv.Plaintext
+	pm       *bfv.PlaintextMul
 }
 
 // BabySteps picks the BSGS split for dimension n: the largest power of
@@ -68,6 +79,19 @@ func NewPacker(ctx *bfv.Context, enc *bfv.Encryptor, sk *lwe.SecretKey) (*Packer
 		}
 		p.babies[b] = enc.Encrypt(cod.EncodeSlots(vals))
 	}
+	gs := n / bs
+	p.rotIdx = make([][]int, gs)
+	for a := 0; a < gs; a++ {
+		idx := make([]int, ctx.N)
+		for i := range idx {
+			r, c := i/row, i%row
+			idx[i] = r*row + ((c-a*bs)%row+row)%row
+		}
+		p.rotIdx[a] = idx
+	}
+	p.dScratch = make([]int64, ctx.N)
+	p.pt = ctx.NewPlaintext()
+	p.pm = &bfv.PlaintextMul{Value: ctx.RingQ.NewPoly()}
 	return p, nil
 }
 
@@ -101,38 +125,31 @@ func (p *Packer) Pack(ev *bfv.Evaluator, cts []lwe.Ciphertext) (*bfv.Ciphertext,
 	row := ctx.N / 2
 	gs := p.n / p.bs
 
-	// diag(j)[slot i] = A[i][(col(i)+j) mod n], zero beyond len(cts).
-	diag := func(j int) []int64 {
-		d := make([]int64, ctx.N)
-		for i := range cts {
-			d[i] = int64(cts[i].A[(i%row+j)%p.n])
-		}
-		return d
-	}
-	// rotLeftPlain rotates a slot vector v by -k within each row
-	// (the plaintext counterpart of RotateRows(-k)).
-	rotPlain := func(v []int64, k int) []int64 {
-		out := make([]int64, len(v))
-		for i := range v {
-			r, c := i/row, i%row
-			out[i] = v[r*row+((c+k)%row+row)%row]
-		}
-		return out
-	}
-
+	// The plaintext multiplier for giant step a, baby step b is the matrix
+	// diagonal diag(a·bs+b)[i] = A[i][(col(i)+a·bs+b) mod n] pre-rotated by
+	// -a·bs; composing both permutations through the cached rotIdx table
+	// reduces it to one gather per slot.
+	d := p.dScratch
 	var acc *bfv.Ciphertext
 	for a := 0; a < gs; a++ {
+		src := p.rotIdx[a]
 		var inner *bfv.Ciphertext
 		for b := 0; b < p.bs; b++ {
-			d := diag(a*p.bs + b)
-			if a > 0 {
-				d = rotPlain(d, -a*p.bs)
+			j := a*p.bs + b
+			for i := range d {
+				s := src[i]
+				if s < len(cts) {
+					d[i] = int64(cts[s].A[(s%row+j)%p.n])
+				} else {
+					d[i] = 0
+				}
 			}
-			pm := p.cod.LiftToMul(p.cod.EncodeSlots(d))
+			p.cod.EncodeSlotsInto(d, p.pt)
+			p.cod.LiftToMulInto(p.pt, p.pm)
 			if inner == nil {
-				inner = ev.MulPlain(p.babies[b], pm)
+				inner = ev.MulPlain(p.babies[b], p.pm)
 			} else {
-				ev.MulPlainAndAdd(p.babies[b], pm, inner)
+				ev.MulPlainAndAdd(p.babies[b], p.pm, inner)
 			}
 		}
 		if a > 0 {
@@ -149,11 +166,14 @@ func (p *Packer) Pack(ev *bfv.Evaluator, cts []lwe.Ciphertext) (*bfv.Ciphertext,
 		}
 	}
 
-	// Add the b terms as a plaintext.
-	bs := make([]int64, ctx.N)
-	for i := range cts {
-		bs[i] = int64(cts[i].B)
+	// Add the b terms as a plaintext, reusing the diagonal scratch.
+	for i := range d {
+		d[i] = 0
 	}
-	out := ev.AddPlain(acc, p.cod.EncodeSlots(bs))
+	for i := range cts {
+		d[i] = int64(cts[i].B)
+	}
+	p.cod.EncodeSlotsInto(d, p.pt)
+	out := ev.AddPlain(acc, p.pt)
 	return out, nil
 }

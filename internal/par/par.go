@@ -2,6 +2,12 @@
 // paths share: output-indexed loops whose iterations are independent
 // (per-coefficient CRT work, per-extraction keyswitches, per-limb NTTs)
 // run across GOMAXPROCS workers with no ordering effects on results.
+//
+// All three helpers apply a grain-size floor: goroutines are only
+// spawned when every worker receives enough work to amortize the
+// scheduling overhead (roughly a microsecond per goroutine). Small
+// loops — and every loop on a single-CPU machine — run inline, so
+// callers never pay fork-join cost at test scale.
 package par
 
 import (
@@ -10,15 +16,30 @@ import (
 	"sync/atomic"
 )
 
+// Grain floors: the minimum number of iterations a worker must receive
+// before ForN / Chunks will fan out. ForN dispatches indices through an
+// atomic counter (one CAS per iteration), so it needs coarser items
+// than Chunks, which hands each worker one contiguous range.
+const (
+	forNGrain   = 64
+	chunksGrain = 256
+)
+
+// minWorkPerWorker is the approximate per-goroutine operation floor for
+// ForWork: with fewer total "cost units" than this per worker, the
+// ~1-2µs goroutine spawn/join overhead exceeds the parallel win.
+const minWorkPerWorker = 1 << 15
+
 // ForN runs f(i) for i in [0, n), splitting across up to GOMAXPROCS
-// goroutines. f must only write to i-indexed state. When n is small or
-// the process has one CPU the loop runs inline.
+// goroutines. f must only write to i-indexed state. The worker count is
+// capped so each worker gets at least forNGrain iterations; when that
+// leaves one worker (small n, or a single CPU) the loop runs inline.
 func ForN(n int, f func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if max := n / forNGrain; workers > max {
+		workers = max
 	}
-	if workers <= 1 || n < 64 {
+	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			f(i)
 		}
@@ -44,13 +65,14 @@ func ForN(n int, f func(i int)) {
 
 // Chunks runs f(start, end) over contiguous ranges covering [0, n),
 // one range per worker — for loops where per-iteration work is tiny and
-// the scheduler overhead of ForN would dominate.
+// the scheduler overhead of ForN would dominate. The worker count is
+// capped so each range holds at least chunksGrain iterations.
 func Chunks(n int, f func(start, end int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if max := n / chunksGrain; workers > max {
+		workers = max
 	}
-	if workers <= 1 || n < 256 {
+	if workers <= 1 {
 		f(0, n)
 		return
 	}
@@ -66,6 +88,71 @@ func Chunks(n int, f func(start, end int)) {
 			defer wg.Done()
 			f(s, e)
 		}(start, end)
+	}
+	wg.Wait()
+}
+
+// WorthForWork reports whether ForWork would fan out across more than
+// one goroutine for the given loop shape. Hot paths that must stay
+// allocation-free check it first: constructing the closure for ForWork
+// heap-allocates (the func value escapes into worker goroutines), so a
+// caller can keep a closure-free serial loop for the inline case and
+// only build the closure when parallelism will actually be used.
+func WorthForWork(n, itemCost int) bool {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers > 1 && itemCost > 0 {
+		if max := n * itemCost / minWorkPerWorker; workers > max {
+			workers = max
+		}
+	}
+	return workers > 1
+}
+
+// ForWork runs f(i) for i in [0, n) like ForN, but sizes the worker
+// pool by the caller's estimate of the per-iteration cost instead of by
+// n alone. It is the entry point for loops with few but heavy
+// iterations — per-limb NTTs, per-digit keyswitch accumulation — where
+// ForN's iteration-count grain would always run inline. itemCost is an
+// approximate operation count per iteration (e.g. N·logN for one NTT
+// limb); parallelism kicks in only when n·itemCost exceeds
+// minWorkPerWorker per worker, so tiny test-scale calls (N=2^10, two or
+// three limbs) stay inline and pay no scheduling overhead.
+//
+// The same determinism contract as ForN applies: f must only write
+// i-indexed state.
+func ForWork(n, itemCost int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers > 1 && itemCost > 0 {
+		if max := n * itemCost / minWorkPerWorker; workers > max {
+			workers = max
+		}
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
 	}
 	wg.Wait()
 }

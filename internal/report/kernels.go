@@ -1,0 +1,255 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"testing"
+
+	"athena/internal/bfv"
+	"athena/internal/coeffenc"
+	"athena/internal/core"
+	"athena/internal/fbs"
+	"athena/internal/lwe"
+	"athena/internal/pack"
+	"athena/internal/qnn"
+	"athena/internal/ring"
+)
+
+// KernelResult is one row of the kernel benchmark report: the schema of
+// BENCH_kernels.json is  name -> {ns_op, allocs_op, bytes_op}.
+type KernelResult struct {
+	NsOp     int64 `json:"ns_op"`
+	AllocsOp int64 `json:"allocs_op"`
+	BytesOp  int64 `json:"bytes_op"`
+}
+
+// kernelNTTRing builds the ring used by the standalone NTT kernel rows: a
+// representative single-limb transform at N = 2^12 (the pipeline kernels
+// below run at the full test-scale parameter set).
+func kernelNTTRing() (*ring.Ring, error) {
+	primes, err := ring.GenerateNTTPrimes(50, 12, 1)
+	if err != nil {
+		return nil, err
+	}
+	return ring.NewRing(12, primes)
+}
+
+// KernelBenchmarks measures the hot kernels the paper's Section 5
+// microbenchmarks track — NTT forward/inverse, plaintext and ciphertext
+// multiplication, keyswitching (as a slot rotation), LWE packing, one
+// FBS evaluation, and an end-to-end tiny-CNN inference — all at the
+// test-scale parameter set (NTT rows at N=2^12). Results are keyed by
+// kernel name; deterministic inputs make runs comparable over time.
+func KernelBenchmarks() (map[string]KernelResult, error) {
+	out := map[string]KernelResult{}
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		out[name] = KernelResult{
+			NsOp:     r.NsPerOp(),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+		}
+	}
+
+	// Standalone NTT rows.
+	nttRing, err := kernelNTTRing()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(42, 42))
+	p := nttRing.NewPoly()
+	for j := range p.Coeffs[0] {
+		p.Coeffs[0][j] = nttRing.Moduli[0].Reduce(rng.Uint64())
+	}
+	record("ntt_forward", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nttRing.Tables[0].Forward(p.Coeffs[0])
+		}
+	})
+	record("ntt_inverse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nttRing.Tables[0].Inverse(p.Coeffs[0])
+		}
+	})
+
+	// Pipeline kernels at the test-scale engine parameters.
+	cp := core.TestParams()
+	bp, err := cp.BFVParameters()
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := bfv.NewContext(bp)
+	if err != nil {
+		return nil, err
+	}
+	kg := bfv.NewKeyGenerator(ctx, cp.Seed)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	enc := bfv.NewEncryptor(ctx, pk, cp.Seed^0xbe4c)
+	cod := bfv.NewEncoder(ctx)
+
+	lweSK := lwe.NewSecretKey(cp.LWEDim, cp.Seed^0x17e)
+	packer, err := pack.NewPacker(ctx, enc, lweSK)
+	if err != nil {
+		return nil, err
+	}
+	keys := kg.GenKeySet(sk, packer.GaloisElements())
+	ev := bfv.NewEvaluator(ctx, keys)
+
+	vals := make([]int64, ctx.N)
+	for i := range vals {
+		vals[i] = int64(rng.IntN(int(cp.T)))
+	}
+	ct := enc.Encrypt(cod.EncodeSlots(vals))
+	ct2 := enc.Encrypt(cod.EncodeSlots(vals))
+	pm := cod.LiftToMul(cod.EncodeSlots(vals))
+	acc := enc.Encrypt(cod.EncodeSlots(vals))
+
+	record("pmult", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev.MulPlainAndAdd(ct, pm, acc)
+		}
+	})
+	record("cmult", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Mul(ct, ct2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rotEl := packer.GaloisElements()[0]
+	record("keyswitch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Automorphism(ct, rotEl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	smp := lwe.NewStream(cp.Seed ^ 0xacc)
+	cts := make([]lwe.Ciphertext, ctx.N)
+	for i := range cts {
+		cts[i] = lwe.Encrypt(lweSK, uint64(rng.IntN(int(cp.T))), cp.T, cp.Sigma, smp)
+	}
+	var packed *bfv.Ciphertext
+	record("pack", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			packed, err = packer.Pack(ev, cts)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	relu, err := fbs.NewEvaluator(ctx, fbs.NewLUT(cp.T, func(x int64) int64 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}))
+	if err != nil {
+		return nil, err
+	}
+	record("fbs_eval", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := relu.Evaluate(ev, packed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	eng, err := core.NewEngine(cp)
+	if err != nil {
+		return nil, err
+	}
+	net := kernelTinyNet()
+	x := qnn.NewIntTensor(1, 6, 6)
+	for i := range x.Data {
+		x.Data[i] = int64(rng.IntN(8))
+	}
+	record("infer_e2e", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Infer(net, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return out, nil
+}
+
+// kernelTinyNet mirrors the tiny conv→conv→dense network of the root
+// end-to-end benchmark, with deterministic weights.
+func kernelTinyNet() *qnn.QNetwork {
+	rng := rand.New(rand.NewPCG(99, 99))
+	mk := func(shape coeffenc.ConvShape, act qnn.Activation, mult float64) *qnn.QConv {
+		w := make([][][][]int64, shape.Cout)
+		for co := range w {
+			w[co] = make([][][]int64, shape.Cin)
+			for ci := range w[co] {
+				w[co][ci] = make([][]int64, shape.K)
+				for i := range w[co][ci] {
+					w[co][ci][i] = make([]int64, shape.K)
+					for j := range w[co][ci][i] {
+						w[co][ci][i][j] = int64(rng.IntN(3)) - 1
+					}
+				}
+			}
+		}
+		return &qnn.QConv{Shape: shape, Weights: w, Bias: make([]int64, shape.Cout),
+			Act: act, Multiplier: mult, ActBits: 4, MaxAcc: 120}
+	}
+	return &qnn.QNetwork{
+		Name: "kernel-bench", InC: 1, InH: 6, InW: 6, WBits: 2, ABits: 4, InScale: 1,
+		Blocks: []qnn.QBlock{qnn.QSeq{
+			mk(coeffenc.ConvShape{H: 6, W: 6, Cin: 1, Cout: 2, K: 3, Stride: 1, Pad: 1}, qnn.ActReLU, 1.0/16),
+			mk(coeffenc.ConvShape{H: 6, W: 6, Cin: 2, Cout: 2, K: 3, Stride: 1, Pad: 1}, qnn.ActReLU, 1.0/16),
+			mk(coeffenc.FCShape(2*6*6, 4), qnn.ActNone, 1.0/8),
+		}},
+	}
+}
+
+// WriteKernelBenchmarks runs KernelBenchmarks and writes the JSON report
+// to path (the BENCH_kernels.json artifact).
+func WriteKernelBenchmarks(path string) error {
+	res, err := KernelBenchmarks()
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// Kernels renders the kernel benchmark table as text (the -only kernels
+// experiment of athena-bench).
+func Kernels() string {
+	res, err := KernelBenchmarks()
+	if err != nil {
+		return "kernels: " + err.Error()
+	}
+	names := make([]string, 0, len(res))
+	for n := range res {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("Kernel microbenchmarks (test scale; NTT at N=2^12)\n%-14s %14s %12s %14s\n", "kernel", "ns/op", "allocs/op", "B/op")
+	for _, n := range names {
+		r := res[n]
+		s += fmt.Sprintf("%-14s %14d %12d %14d\n", n, r.NsOp, r.AllocsOp, r.BytesOp)
+	}
+	return s
+}

@@ -1,0 +1,19 @@
+package ring
+
+import "testing"
+
+// The transforms are leaf kernels: they must never allocate, or the
+// per-limb call volume of the evaluator would turn into GC pressure.
+func TestNTTZeroAllocs(t *testing.T) {
+	tab := NewNTTTable(557057, 10) // 2^10-friendly prime
+	p := make([]uint64, tab.N)
+	for i := range p {
+		p[i] = uint64(i*i+1) % tab.M.Q
+	}
+	if n := testing.AllocsPerRun(100, func() { tab.Forward(p) }); n != 0 {
+		t.Fatalf("Forward allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { tab.Inverse(p) }); n != 0 {
+		t.Fatalf("Inverse allocates %v times per run, want 0", n)
+	}
+}

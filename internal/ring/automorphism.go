@@ -19,8 +19,10 @@ func AutomorphismIndex(n int, g uint64) (dst []int, neg []bool) {
 	g %= twoN
 	dst = make([]int, n)
 	neg = make([]bool, n)
+	// n is a power of two, so mod 2N is a mask.
+	mask := twoN - 1
 	for i := 0; i < n; i++ {
-		k := (uint64(i) * g) % twoN
+		k := (uint64(i) * g) & mask
 		if k < uint64(n) {
 			dst[i] = int(k)
 		} else {

@@ -1,0 +1,51 @@
+package ring
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestLimbParallelismDeterministic sweeps GOMAXPROCS over the limb-
+// parallel entry points (NTT, INTT, pointwise multiply/accumulate) on a
+// ring large enough to clear the par.ForWork grain floor, and checks the
+// results are bit-identical to the single-CPU run. Limbs are independent,
+// so any divergence means a worker wrote outside its index.
+func TestLimbParallelismDeterministic(t *testing.T) {
+	r := testRing(t, 12, 6) // 6 limbs × 4096·12 ops clears the fan-out floor
+	a := randomPoly(r, 11)
+	b := randomPoly(r, 22)
+
+	type result struct{ ntt, intt, mul, mulAdd Poly }
+	run := func() result {
+		var res result
+		res.ntt = a.Clone()
+		r.NTT(res.ntt)
+		res.intt = a.Clone()
+		r.INTT(res.intt)
+		res.mul = r.NewPoly()
+		r.MulCoeffs(a, b, res.mul)
+		res.mulAdd = b.Clone()
+		r.MulCoeffsAndAdd(a, b, res.mulAdd)
+		return res
+	}
+
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	want := run()
+	for _, procs := range []int{2, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(procs)
+		got := run()
+		if !got.ntt.Equal(want.ntt) {
+			t.Fatalf("GOMAXPROCS=%d: NTT diverged from serial run", procs)
+		}
+		if !got.intt.Equal(want.intt) {
+			t.Fatalf("GOMAXPROCS=%d: INTT diverged from serial run", procs)
+		}
+		if !got.mul.Equal(want.mul) {
+			t.Fatalf("GOMAXPROCS=%d: MulCoeffs diverged from serial run", procs)
+		}
+		if !got.mulAdd.Equal(want.mulAdd) {
+			t.Fatalf("GOMAXPROCS=%d: MulCoeffsAndAdd diverged from serial run", procs)
+		}
+	}
+}

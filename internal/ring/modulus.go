@@ -125,8 +125,12 @@ func (m Modulus) ShoupPrecomp(w uint64) uint64 {
 	return s
 }
 
-// MulShoup returns a·w mod q given wShoup = ShoupPrecomp(w). The result
-// may only be trusted when w < q and a < q.
+// MulShoup returns a·w mod q given wShoup = ShoupPrecomp(w). Requires
+// w < q; a may be ANY uint64 (in particular a lazy representative in
+// [0, 4q)): with s = floor(w·2^64/q) the quotient estimate
+// floor(a·s/2^64) is off by at most one from floor(a·w/q), so the
+// remainder candidate lands in [0, 2q) and one conditional subtraction
+// yields the exact canonical residue.
 func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
 	hi, _ := bits.Mul64(a, wShoup)
 	r := a*w - hi*m.Q
@@ -134,6 +138,40 @@ func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
 		r -= m.Q
 	}
 	return r
+}
+
+// MulShoupLazy is MulShoup without the final conditional subtraction:
+// the result is congruent to a·w mod q but lies in [0, 2q). Requires
+// w < q; a may be any uint64. This is the butterfly workhorse of the
+// lazy-reduction NTT (Longa–Naehrig): skipping the data-dependent
+// subtraction removes the branch from the innermost loop.
+func (m Modulus) MulShoupLazy(a, w, wShoup uint64) uint64 {
+	hi, _ := bits.Mul64(a, wShoup)
+	return a*w - hi*m.Q
+}
+
+// AddLazy returns a+b with no reduction. The caller is responsible for
+// the headroom invariant: with q ≤ 2^MaxModulusBits, sums of two lazy
+// values in [0, 2q) stay below 2^63 and never wrap.
+func (m Modulus) AddLazy(a, b uint64) uint64 { return a + b }
+
+// SubLazy2Q returns a−b+2q, the lazy subtraction for operands in
+// [0, 2q): the +2q offset keeps the result non-negative (in [0, 4q))
+// without a data-dependent branch.
+func (m Modulus) SubLazy2Q(a, b uint64) uint64 { return a + 2*m.Q - b }
+
+// Reduce2Q folds a value in [0, 2q) into [0, q), branchlessly.
+func (m Modulus) Reduce2Q(a uint64) uint64 {
+	c := a - m.Q
+	return c + (m.Q & uint64(int64(c)>>63))
+}
+
+// Reduce4Q folds a value in [0, 4q) into [0, q).
+func (m Modulus) Reduce4Q(a uint64) uint64 {
+	c := a - 2*m.Q
+	a = c + ((2 * m.Q) & uint64(int64(c)>>63))
+	c = a - m.Q
+	return c + (m.Q & uint64(int64(c)>>63))
 }
 
 // Pow returns a^e mod q by square-and-multiply.

@@ -1,6 +1,10 @@
 package ring
 
-import "fmt"
+import (
+	"fmt"
+
+	"athena/internal/par"
+)
 
 // Ring is the RNS polynomial ring Z_Q[X]/(X^N+1) with Q the product of a
 // chain of word-sized NTT-friendly primes. All per-limb tables are
@@ -131,74 +135,86 @@ func (p Poly) Equal(q Poly) bool {
 	return true
 }
 
-// NTT transforms p in place, limb by limb, into the NTT domain.
+// NTT transforms p in place, limb by limb, into the NTT domain. Limbs are
+// independent, so they fan out across CPUs when the total transform work
+// is large enough to amortize the fork-join (see par.ForWork).
 func (r *Ring) NTT(p Poly) {
-	for i := range p.Coeffs {
-		r.Tables[i].Forward(p.Coeffs[i])
+	tables := r.Tables
+	coeffs := p.Coeffs
+	if !par.WorthForWork(len(coeffs), r.N*r.LogN) {
+		for i := range coeffs {
+			tables[i].Forward(coeffs[i])
+		}
+		return
 	}
+	par.ForWork(len(coeffs), r.N*r.LogN, func(i int) {
+		tables[i].Forward(coeffs[i])
+	})
 }
 
 // INTT transforms p in place back to coefficient representation.
 func (r *Ring) INTT(p Poly) {
-	for i := range p.Coeffs {
-		r.Tables[i].Inverse(p.Coeffs[i])
+	tables := r.Tables
+	coeffs := p.Coeffs
+	if !par.WorthForWork(len(coeffs), r.N*r.LogN) {
+		for i := range coeffs {
+			tables[i].Inverse(coeffs[i])
+		}
+		return
 	}
+	par.ForWork(len(coeffs), r.N*r.LogN, func(i int) {
+		tables[i].Inverse(coeffs[i])
+	})
 }
 
 // Add sets out = a + b.
 func (r *Ring) Add(a, b, out Poly) {
 	for i := range a.Coeffs {
-		m := r.Moduli[i]
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range ai {
-			oi[j] = m.Add(ai[j], bi[j])
-		}
+		r.Moduli[i].AddVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 	}
 }
 
 // Sub sets out = a - b.
 func (r *Ring) Sub(a, b, out Poly) {
 	for i := range a.Coeffs {
-		m := r.Moduli[i]
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range ai {
-			oi[j] = m.Sub(ai[j], bi[j])
-		}
+		r.Moduli[i].SubVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 	}
 }
 
 // Neg sets out = -a.
 func (r *Ring) Neg(a, out Poly) {
 	for i := range a.Coeffs {
-		m := r.Moduli[i]
-		ai, oi := a.Coeffs[i], out.Coeffs[i]
-		for j := range ai {
-			oi[j] = m.Neg(ai[j])
-		}
+		r.Moduli[i].NegVec(a.Coeffs[i], out.Coeffs[i])
 	}
 }
 
 // MulCoeffs sets out = a ⊙ b (pointwise); meaningful when both operands
 // are in the NTT domain, where it realizes negacyclic convolution.
 func (r *Ring) MulCoeffs(a, b, out Poly) {
-	for i := range a.Coeffs {
-		m := r.Moduli[i]
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range ai {
-			oi[j] = m.Mul(ai[j], bi[j])
+	moduli := r.Moduli
+	if !par.WorthForWork(len(a.Coeffs), r.N) {
+		for i := range a.Coeffs {
+			moduli[i].MulVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
+		return
 	}
+	par.ForWork(len(a.Coeffs), r.N, func(i int) {
+		moduli[i].MulVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
+	})
 }
 
 // MulCoeffsAndAdd sets out += a ⊙ b (pointwise multiply-accumulate).
 func (r *Ring) MulCoeffsAndAdd(a, b, out Poly) {
-	for i := range a.Coeffs {
-		m := r.Moduli[i]
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range ai {
-			oi[j] = m.Add(oi[j], m.Mul(ai[j], bi[j]))
+	moduli := r.Moduli
+	if !par.WorthForWork(len(a.Coeffs), r.N) {
+		for i := range a.Coeffs {
+			moduli[i].MulAddVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 		}
+		return
 	}
+	par.ForWork(len(a.Coeffs), r.N, func(i int) {
+		moduli[i].MulAddVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
+	})
 }
 
 // MulScalar sets out = a · s for a scalar s (applied per limb, reduced).
@@ -207,10 +223,19 @@ func (r *Ring) MulScalar(a Poly, s uint64, out Poly) {
 		m := r.Moduli[i]
 		sv := s % m.Q
 		sh := m.ShoupPrecomp(sv)
-		ai, oi := a.Coeffs[i], out.Coeffs[i]
-		for j := range ai {
-			oi[j] = m.MulShoup(ai[j], sv, sh)
-		}
+		m.MulShoupVec(a.Coeffs[i], sv, sh, out.Coeffs[i])
+	}
+}
+
+// MulScalarAndAdd sets out += a · s for a scalar s (applied per limb,
+// reduced) — the fused form innerSum-style accumulation wants, avoiding a
+// temporary product polynomial.
+func (r *Ring) MulScalarAndAdd(a Poly, s uint64, out Poly) {
+	for i := range a.Coeffs {
+		m := r.Moduli[i]
+		sv := s % m.Q
+		sh := m.ShoupPrecomp(sv)
+		m.MulShoupAddVec(a.Coeffs[i], sv, sh, out.Coeffs[i])
 	}
 }
 
@@ -220,10 +245,7 @@ func (r *Ring) MulScalarRNS(a Poly, s []uint64, out Poly) {
 	for i := range a.Coeffs {
 		m := r.Moduli[i]
 		sh := m.ShoupPrecomp(s[i])
-		ai, oi := a.Coeffs[i], out.Coeffs[i]
-		for j := range ai {
-			oi[j] = m.MulShoup(ai[j], s[i], sh)
-		}
+		m.MulShoupVec(a.Coeffs[i], s[i], sh, out.Coeffs[i])
 	}
 }
 

@@ -1,0 +1,191 @@
+package ring
+
+import "math/bits"
+
+// Vector kernels over one RNS limb. These are the flat inner loops behind
+// Ring's polynomial operations: each takes equal-length slices, reslices
+// them to a common length up front so the compiler can drop the per-element
+// bounds checks, and keeps the whole element computation inline (no
+// per-element method-call boundary). All canonical-output kernels are
+// bit-identical to mapping the corresponding scalar Modulus method over
+// the slices; the lazy variants document their extended output ranges.
+
+// AddVec sets out[i] = a[i] + b[i] mod q for canonical inputs.
+func (m Modulus) AddVec(a, b, out []uint64) {
+	q := m.Q
+	b = b[:len(a)]
+	out = out[:len(a)]
+	for i := range a {
+		c := a[i] + b[i]
+		if c >= q {
+			c -= q
+		}
+		out[i] = c
+	}
+}
+
+// AddLazyVec sets out[i] = a[i] + b[i] with no reduction. The caller owns
+// the headroom invariant (see Modulus.AddLazy).
+func (m Modulus) AddLazyVec(a, b, out []uint64) {
+	b = b[:len(a)]
+	out = out[:len(a)]
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+}
+
+// SubVec sets out[i] = a[i] - b[i] mod q for canonical inputs.
+func (m Modulus) SubVec(a, b, out []uint64) {
+	q := m.Q
+	b = b[:len(a)]
+	out = out[:len(a)]
+	for i := range a {
+		c := a[i] + q - b[i]
+		if c >= q {
+			c -= q
+		}
+		out[i] = c
+	}
+}
+
+// NegVec sets out[i] = -a[i] mod q for canonical inputs.
+func (m Modulus) NegVec(a, out []uint64) {
+	q := m.Q
+	out = out[:len(a)]
+	for i := range a {
+		c := q - a[i]
+		if a[i] == 0 {
+			c = 0
+		}
+		out[i] = c
+	}
+}
+
+// Reduce2QVec folds values in [0, 2q) back to canonical [0, q).
+func (m Modulus) Reduce2QVec(a, out []uint64) {
+	q := m.Q
+	out = out[:len(a)]
+	for i := range a {
+		c := a[i]
+		if c >= q {
+			c -= q
+		}
+		out[i] = c
+	}
+}
+
+// ReduceVec maps arbitrary uint64 values into [0, q) via Barrett
+// reduction, the vector form of Modulus.Reduce.
+func (m Modulus) ReduceVec(a, out []uint64) {
+	q := m.Q
+	brcHi, brcLo := m.brcHi, m.brcLo
+	out = out[:len(a)]
+	for i := range a {
+		lo := a[i]
+		ph1, _ := bits.Mul64(lo, brcLo)
+		ph2hi, ph2lo := bits.Mul64(lo, brcHi)
+		_, c2 := bits.Add64(ph2lo, ph1, 0)
+		s := ph2hi + c2
+		r := lo - s*q
+		for r >= q {
+			r -= q
+		}
+		out[i] = r
+	}
+}
+
+// MulVec sets out[i] = a[i]·b[i] mod q via Barrett reduction, for
+// canonical inputs.
+func (m Modulus) MulVec(a, b, out []uint64) {
+	q := m.Q
+	brcHi, brcLo := m.brcHi, m.brcLo
+	b = b[:len(a)]
+	out = out[:len(a)]
+	for i := range a {
+		hi, lo := bits.Mul64(a[i], b[i])
+		ph1, _ := bits.Mul64(lo, brcLo)
+		ph2hi, ph2lo := bits.Mul64(lo, brcHi)
+		ph3hi, ph3lo := bits.Mul64(hi, brcLo)
+		ph4 := hi * brcHi
+		mid, c1 := bits.Add64(ph2lo, ph3lo, 0)
+		_, c2 := bits.Add64(mid, ph1, 0)
+		s := ph4 + ph2hi + ph3hi + c1 + c2
+		r := lo - s*q
+		for r >= q {
+			r -= q
+		}
+		out[i] = r
+	}
+}
+
+// MulAddVec sets out[i] = out[i] + a[i]·b[i] mod q, for canonical inputs.
+func (m Modulus) MulAddVec(a, b, out []uint64) {
+	q := m.Q
+	brcHi, brcLo := m.brcHi, m.brcLo
+	b = b[:len(a)]
+	out = out[:len(a)]
+	for i := range a {
+		hi, lo := bits.Mul64(a[i], b[i])
+		ph1, _ := bits.Mul64(lo, brcLo)
+		ph2hi, ph2lo := bits.Mul64(lo, brcHi)
+		ph3hi, ph3lo := bits.Mul64(hi, brcLo)
+		ph4 := hi * brcHi
+		mid, c1 := bits.Add64(ph2lo, ph3lo, 0)
+		_, c2 := bits.Add64(mid, ph1, 0)
+		s := ph4 + ph2hi + ph3hi + c1 + c2
+		r := lo - s*q
+		for r >= q {
+			r -= q
+		}
+		c := out[i] + r
+		if c >= q {
+			c -= q
+		}
+		out[i] = c
+	}
+}
+
+// MulShoupVec sets out[i] = a[i]·w mod q given the Shoup companion of the
+// fixed operand w < q; a may hold any uint64 values (see Modulus.MulShoup).
+func (m Modulus) MulShoupVec(a []uint64, w, wShoup uint64, out []uint64) {
+	q := m.Q
+	out = out[:len(a)]
+	for i := range a {
+		hi, _ := bits.Mul64(a[i], wShoup)
+		r := a[i]*w - hi*q
+		if r >= q {
+			r -= q
+		}
+		out[i] = r
+	}
+}
+
+// MulShoupLazyVec is MulShoupVec without the final conditional
+// subtraction: outputs lie in [0, 2q).
+func (m Modulus) MulShoupLazyVec(a []uint64, w, wShoup uint64, out []uint64) {
+	q := m.Q
+	out = out[:len(a)]
+	for i := range a {
+		hi, _ := bits.Mul64(a[i], wShoup)
+		out[i] = a[i]*w - hi*q
+	}
+}
+
+// MulShoupAddVec sets out[i] = out[i] + a[i]·w mod q for canonical out and
+// w < q: the fused kernel behind scalar multiply-accumulate.
+func (m Modulus) MulShoupAddVec(a []uint64, w, wShoup uint64, out []uint64) {
+	q := m.Q
+	out = out[:len(a)]
+	for i := range a {
+		hi, _ := bits.Mul64(a[i], wShoup)
+		r := a[i]*w - hi*q
+		if r >= q {
+			r -= q
+		}
+		c := out[i] + r
+		if c >= q {
+			c -= q
+		}
+		out[i] = c
+	}
+}

@@ -12,6 +12,7 @@ package rns
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 
 	"athena/internal/par"
 	"athena/internal/ring"
@@ -26,6 +27,9 @@ type Basis struct {
 	QiHat  []*big.Int // Q / q_i
 	// QiHatInv[i] = (Q/q_i)^-1 mod q_i.
 	QiHatInv []uint64
+	// qiHatInvShoup[i] is the Shoup companion of QiHatInv[i] mod q_i,
+	// precomputed for the digit-decomposition hot path.
+	qiHatInvShoup []uint64
 }
 
 // NewBasis builds a basis from the given moduli (need not be sorted; must
@@ -35,10 +39,11 @@ func NewBasis(moduli []uint64) *Basis {
 		panic("rns: empty basis")
 	}
 	b := &Basis{
-		Moduli:   make([]ring.Modulus, len(moduli)),
-		Q:        big.NewInt(1),
-		QiHat:    make([]*big.Int, len(moduli)),
-		QiHatInv: make([]uint64, len(moduli)),
+		Moduli:        make([]ring.Modulus, len(moduli)),
+		Q:             big.NewInt(1),
+		QiHat:         make([]*big.Int, len(moduli)),
+		QiHatInv:      make([]uint64, len(moduli)),
+		qiHatInvShoup: make([]uint64, len(moduli)),
 	}
 	for i, q := range moduli {
 		b.Moduli[i] = ring.NewModulus(q)
@@ -49,6 +54,7 @@ func NewBasis(moduli []uint64) *Basis {
 		b.QiHat[i] = new(big.Int).Div(b.Q, new(big.Int).SetUint64(q))
 		hatMod := new(big.Int).Mod(b.QiHat[i], new(big.Int).SetUint64(q)).Uint64()
 		b.QiHatInv[i] = b.Moduli[i].Inv(hatMod)
+		b.qiHatInvShoup[i] = b.Moduli[i].ShoupPrecomp(b.QiHatInv[i])
 	}
 	return b
 }
@@ -75,12 +81,17 @@ func (b *Basis) Reconstruct(residues []uint64, out *big.Int) *big.Int {
 	var term big.Int
 	for i, x := range residues {
 		// v += ((x · QiHatInv_i) mod q_i) · QiHat_i
-		c := b.Moduli[i].Mul(x, b.QiHatInv[i])
+		c := b.Moduli[i].MulShoup(x, b.QiHatInv[i], b.qiHatInvShoup[i])
 		term.SetUint64(c)
 		term.Mul(&term, b.QiHat[i])
 		out.Add(out, &term)
 	}
-	return out.Mod(out, b.Q)
+	// The sum is < L·Q (each term is < q_i·QiHat_i = Q), so at most L-1
+	// cheap subtractions replace a full big-integer division.
+	for out.Cmp(b.Q) >= 0 {
+		out.Sub(out, b.Q)
+	}
+	return out
 }
 
 // ReconstructCentered is Reconstruct followed by centering into
@@ -93,8 +104,33 @@ func (b *Basis) ReconstructCentered(residues []uint64, out *big.Int) *big.Int {
 	return out
 }
 
+// wordIs64 selects the fast word-wise reduction path: big.Word matches
+// uint64 on 64-bit targets, so v.Bits() can feed Barrett directly.
+const wordIs64 = bits.UintSize == 64
+
+// reduceBig returns v mod q in [0, q), including for negative v, by
+// Horner evaluation of v's words in base 2^64 under Barrett reduction —
+// no big.Int division, no allocation.
+func reduceBig(m ring.Modulus, v *big.Int) uint64 {
+	var r uint64
+	words := v.Bits()
+	for w := len(words) - 1; w >= 0; w-- {
+		r = m.ReduceWide(r, uint64(words[w]))
+	}
+	if r != 0 && v.Sign() < 0 {
+		r = m.Q - r
+	}
+	return r
+}
+
 // Reduce writes v mod q_i into out[i] for every limb. v may be negative.
 func (b *Basis) Reduce(v *big.Int, out []uint64) {
+	if wordIs64 {
+		for i, m := range b.Moduli {
+			out[i] = reduceBig(m, v)
+		}
+		return
+	}
 	var r big.Int
 	var q big.Int
 	for i, m := range b.Moduli {
@@ -168,11 +204,18 @@ func (b *Basis) ExtendPoly(src ring.Poly, target *Basis, dst ring.Poly) {
 // zero for non-negative num and toward zero for negative (i.e. standard
 // floor((2·num+den)/(2·den)) rounding).
 func roundDiv(num, den *big.Int) *big.Int {
-	out := new(big.Int).Lsh(num, 1)
-	out.Add(out, den)
-	den2 := new(big.Int).Lsh(den, 1)
-	out.Div(out, den2) // Euclidean floor division
+	out := new(big.Int)
+	roundDivInto(out, num, den, new(big.Int).Lsh(den, 1))
 	return out
+}
+
+// roundDivInto is roundDiv with the output and the doubled denominator
+// supplied by the caller, so per-coefficient loops reuse their scratch
+// instead of allocating two big.Ints per division.
+func roundDivInto(out, num, den, den2 *big.Int) {
+	out.Lsh(num, 1)
+	out.Add(out, den)
+	out.Div(out, den2) // Euclidean floor division
 }
 
 // ScaleAndRound computes round(scaleNum · v / scaleDen) for each centered
@@ -181,15 +224,16 @@ func roundDiv(num, den *big.Int) *big.Int {
 // Coefficients are processed in parallel.
 func (b *Basis) ScaleAndRound(p ring.Poly, scaleNum, scaleDen *big.Int, target *Basis, out ring.Poly) {
 	n := len(p.Coeffs[0])
+	den2 := new(big.Int).Lsh(scaleDen, 1) // shared, read-only across workers
 	par.Chunks(n, func(start, end int) {
 		scratch := make([]uint64, b.Len())
 		outScratch := make([]uint64, target.Len())
-		var v big.Int
+		var v, r big.Int
 		for j := start; j < end; j++ {
 			b.ReconstructCentered(at(p, j, scratch), &v)
 			v.Mul(&v, scaleNum)
-			r := roundDiv(&v, scaleDen)
-			target.Reduce(r, outScratch)
+			roundDivInto(&r, &v, scaleDen, den2)
+			target.Reduce(&r, outScratch)
 			for i := range out.Coeffs {
 				out.Coeffs[i][j] = outScratch[i]
 			}
@@ -203,16 +247,23 @@ func (b *Basis) ScaleAndRound(p ring.Poly, scaleNum, scaleDen *big.Int, target *
 // word-sized modulus.
 func (b *Basis) ScaleAndRoundToUint(p ring.Poly, scaleNum, scaleDen *big.Int, outMod uint64, out []uint64) {
 	n := len(p.Coeffs[0])
-	om := new(big.Int).SetUint64(outMod)
+	om, omErr := ring.TryNewModulus(outMod)
+	useFast := wordIs64 && omErr == nil
+	omBig := new(big.Int).SetUint64(outMod)
+	den2 := new(big.Int).Lsh(scaleDen, 1) // shared, read-only across workers
 	par.Chunks(n, func(start, end int) {
 		scratch := make([]uint64, b.Len())
-		var v big.Int
+		var v, r big.Int
 		for j := start; j < end; j++ {
 			b.ReconstructCentered(at(p, j, scratch), &v)
 			v.Mul(&v, scaleNum)
-			r := roundDiv(&v, scaleDen)
-			r.Mod(r, om)
-			out[j] = r.Uint64()
+			roundDivInto(&r, &v, scaleDen, den2)
+			if useFast {
+				out[j] = reduceBig(om, &r)
+			} else {
+				r.Mod(&r, omBig)
+				out[j] = r.Uint64()
+			}
 		}
 	})
 }
@@ -226,17 +277,34 @@ func (b *Basis) DecomposeDigits(p ring.Poly, allocate func() ring.Poly) []ring.P
 	digits := make([]ring.Poly, b.Len())
 	for i := range b.Moduli {
 		d := allocate()
-		mi := b.Moduli[i]
-		src := p.Coeffs[i]
-		for j, x := range src {
-			small := mi.Mul(x, b.QiHatInv[i])
-			for l := range d.Coeffs {
-				d.Coeffs[l][j] = b.Moduli[l].Reduce(small)
-			}
-		}
+		b.DecomposeDigitInto(p, i, d)
 		digits[i] = d
 	}
 	return digits
+}
+
+// DecomposeDigitInto computes digit i of the CRT decomposition of p into
+// the caller-provided polynomial d (as many limbs as the basis, each of
+// p's coefficient count) — the allocation-free core of DecomposeDigits.
+// The digit value [p_i · QiHatInv_i]_{q_i} is computed once per
+// coefficient into d's own i-th limb, then spread to the other limbs: a
+// limb with q_l ≥ q_i takes a plain copy (the value is already reduced),
+// smaller limbs take one vectorized Barrett pass.
+func (b *Basis) DecomposeDigitInto(p ring.Poly, i int, d ring.Poly) {
+	mi := b.Moduli[i]
+	small := d.Coeffs[i] // digit mod q_i is the digit value itself
+	mi.MulShoupVec(p.Coeffs[i], b.QiHatInv[i], b.qiHatInvShoup[i], small)
+	for l := range d.Coeffs {
+		if l == i {
+			continue
+		}
+		ml := b.Moduli[l]
+		if ml.Q >= mi.Q {
+			copy(d.Coeffs[l], small)
+		} else {
+			ml.ReduceVec(small, d.Coeffs[l])
+		}
+	}
 }
 
 // ScalarMod returns v mod q_i for every limb, for a big scalar v (e.g.
