@@ -8,11 +8,15 @@
 //	athena-bench -accuracy       # adds table 5, fig 4, fig 12 (accuracy)
 //	athena-bench -only table6    # a single experiment
 //	athena-bench -json BENCH_kernels.json   # kernel microbenchmarks
+//	athena-bench -compare BENCH_kernels.json -tol 0.25   # regression gate
 //
 // -json runs the hot-path kernel microbenchmarks (NTT, PMult, CMult,
-// keyswitch, pack, FBS, end-to-end inference) and writes them to the
-// given path as JSON keyed by kernel name with fields ns_op, allocs_op
-// and bytes_op (see README for the schema); nothing else runs.
+// keyswitch, pack, FBS, end-to-end inference at GOMAXPROCS 1/2/4/8) and
+// writes them to the given path as JSON keyed by kernel name with
+// fields ns_op, allocs_op and bytes_op (see README for the schema);
+// nothing else runs. -compare re-runs the same microbenchmarks and
+// exits non-zero if any kernel's ns/op regressed beyond -tol against
+// the baseline file (the CI bench-regression gate).
 package main
 
 import (
@@ -30,7 +34,30 @@ func main() {
 	skip56 := flag.Bool("skip-resnet56", false, "skip ResNet-56 in the accuracy studies")
 	only := flag.String("only", "", "run a single experiment (e.g. table6, fig9)")
 	jsonPath := flag.String("json", "", "run the kernel microbenchmarks and write them to this path as JSON")
+	comparePath := flag.String("compare", "", "re-run the kernel microbenchmarks and compare against this baseline JSON; exit 1 on regression")
+	tol := flag.Float64("tol", 0.25, "fractional ns/op growth tolerated by -compare before failing")
 	flag.Parse()
+
+	if *comparePath != "" {
+		base, err := report.ReadKernelBenchmarks(*comparePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "baseline: %v\n", err)
+			os.Exit(1)
+		}
+		cur, err := report.KernelBenchmarks()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kernel benchmarks: %v\n", err)
+			os.Exit(1)
+		}
+		table, flagged := report.CompareKernelBenchmarks(base, cur, *tol)
+		fmt.Print(table)
+		if len(flagged) > 0 {
+			fmt.Fprintf(os.Stderr, "kernels regressed beyond +%.0f%%: %s\n", *tol*100, strings.Join(flagged, ", "))
+			os.Exit(1)
+		}
+		fmt.Println("no kernel regressions")
+		return
+	}
 
 	if *jsonPath != "" {
 		if err := report.WriteKernelBenchmarks(*jsonPath); err != nil {

@@ -6,6 +6,7 @@ import (
 	"athena/internal/bfv"
 	"athena/internal/coeffenc"
 	"athena/internal/lwe"
+	"athena/internal/par"
 	"athena/internal/qnn"
 )
 
@@ -16,10 +17,12 @@ import (
 // instead of once per image. This realizes the throughput side of the
 // paper's "batch processing of precise non-linear functions".
 //
-// Linear layers and conversions still run per image (they are the cheap
-// ~2% of the pipeline); after each shared FBS round the activations are
-// redistributed to their images as LWE values, and each image's next
-// convolution consumes them with an identity (FBS-free) packing pass.
+// Linear layers and conversions run per image between the shared FBS
+// barriers, fanned out across the engine's worker lanes (each image's
+// state is independent there); after each shared FBS round the
+// activations are redistributed to their images as LWE values, and each
+// image's next convolution consumes them with an identity (FBS-free)
+// packing pass.
 func (e *Engine) InferBatch(q *qnn.QNetwork, xs []*qnn.IntTensor) ([][]int64, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("core: empty batch")
@@ -27,10 +30,13 @@ func (e *Engine) InferBatch(q *qnn.QNetwork, xs []*qnn.IntTensor) ([][]int64, er
 	if len(q.Blocks) == 0 {
 		return nil, fmt.Errorf("core: empty network")
 	}
+	defer e.flushStats()
 	e.netABits = q.ABits
 	if e.netABits < 2 {
 		e.netABits = 8
 	}
+	// Encryption stays serial: it consumes the engine's PRNG stream, and
+	// the ciphertext bytes must not depend on scheduling.
 	states := make([]*inferState, len(xs))
 	for i, x := range xs {
 		st, err := e.encryptInput(q, x)
@@ -40,19 +46,27 @@ func (e *Engine) InferBatch(q *qnn.QNetwork, xs []*qnn.IntTensor) ([][]int64, er
 		states[i] = st
 	}
 
-	finals := make([]*finalResult, len(xs))
+	// Per-image work fans out across the worker group; every image is a
+	// heavy item (at least one linear layer), so no cost floor applies.
+	imgOpts := par.Options{MinGrain: 1}
 	for bi, b := range q.Blocks {
 		last := bi == len(q.Blocks)-1
 		seq, ok := b.(qnn.QSeq)
 		if !ok {
 			// Residual blocks fall back to per-image evaluation (their
 			// joins interleave linear and non-linear work image-locally).
-			for i := range states {
-				st, err := e.residualBlock(b.(*qnn.QResidual), states[i])
+			r := b.(*qnn.QResidual)
+			errs := make([]error, len(states))
+			e.w0.forEach(len(states), imgOpts, func(ln *evalWorker, i int) {
+				st, err := ln.residualBlock(r, states[i])
 				if err != nil {
-					return nil, err
+					errs[i] = err
+					return
 				}
 				states[i] = st
+			})
+			if err := firstErr(errs); err != nil {
+				return nil, err
 			}
 			continue
 		}
@@ -60,31 +74,34 @@ func (e *Engine) InferBatch(q *qnn.QNetwork, xs []*qnn.IntTensor) ([][]int64, er
 			lastOp := last && oi == len(seq)-1
 			// Shared materialization: when every image carries the same
 			// pending LUT, apply it across the batch in shared packs.
+			// This is the batch's FBS barrier; the per-image loop below
+			// resumes fan-out once it completes.
 			if _, isConv := op.(*qnn.QConv); isConv && states[0].vs != nil && states[0].vs.pending != nil {
-				if err := e.materializeBatch(states); err != nil {
+				if err := e.w0.materializeBatch(states); err != nil {
 					return nil, err
 				}
 			}
-			for i := range states {
-				st, err := e.applyOp(op, states[i], lastOp)
+			errs := make([]error, len(states))
+			e.w0.forEach(len(states), imgOpts, func(ln *evalWorker, i int) {
+				st, err := ln.applyOp(op, states[i], lastOp)
 				if err != nil {
-					return nil, err
+					errs[i] = err
+					return
 				}
 				states[i] = st
-				if lastOp {
-					finals[i] = e.final
-					e.final = nil
-				}
+			})
+			if err := firstErr(errs); err != nil {
+				return nil, err
 			}
 		}
 	}
 
 	out := make([][]int64, len(xs))
-	for i := range finals {
-		if finals[i] == nil {
+	for i := range states {
+		if states[i] == nil || states[i].final == nil {
 			return nil, errNoFinal
 		}
-		logits, err := e.DecryptLogits(&EncryptedLogits{model: q.Name, final: finals[i]})
+		logits, err := e.DecryptLogits(&EncryptedLogits{model: q.Name, final: states[i].final})
 		if err != nil {
 			return nil, err
 		}
@@ -95,8 +112,12 @@ func (e *Engine) InferBatch(q *qnn.QNetwork, xs []*qnn.IntTensor) ([][]int64, er
 
 // materializeBatch applies the (shared) pending LUT of all images'
 // value sets using packs filled across the batch, then replaces each
-// image's valSet with its materialized (identity-pending) values.
-func (e *Engine) materializeBatch(states []*inferState) error {
+// image's valSet with its materialized (identity-pending) values. The
+// slot-capacity chunks are independent bootstrapping rounds and fan out
+// across worker lanes; the slot order is fixed by (image, sorted key),
+// so the redistribution is scheduling-independent.
+func (wk *evalWorker) materializeBatch(states []*inferState) error {
+	e := wk.e
 	type slot struct {
 		img int
 		key vkey
@@ -114,8 +135,12 @@ func (e *Engine) materializeBatch(states []*inferState) error {
 		}
 	}
 	results := make([]lwe.Ciphertext, len(ordered))
-	for start := 0; start < len(ordered); start += e.Ctx.N {
-		end := start + e.Ctx.N
+	n := e.Ctx.N
+	chunks := (len(ordered) + n - 1) / n
+	errs := make([]error, chunks)
+	wk.forEach(chunks, par.Options{MinGrain: 1}, func(ln *evalWorker, ci int) {
+		start := ci * n
+		end := start + n
 		if end > len(ordered) {
 			end = len(ordered)
 		}
@@ -123,19 +148,25 @@ func (e *Engine) materializeBatch(states []*inferState) error {
 		for i := range validity {
 			validity[i] = true
 		}
-		ct, err := e.packFBS(ordered[start:end], pending, e.slotMask(validity))
+		ct, err := ln.packFBS(ordered[start:end], pending, e.slotMask(validity))
 		if err != nil {
-			return err
+			errs[ci] = err
+			return
 		}
-		ct, err = e.toCoeffs(ct)
+		ct, err = ln.toCoeffs(ct)
 		if err != nil {
-			return err
+			errs[ci] = err
+			return
 		}
-		m, err := e.extractFlat(ct, end-start)
+		m, err := ln.extractFlat(ct, end-start)
 		if err != nil {
-			return err
+			errs[ci] = err
+			return
 		}
 		copy(results[start:end], m)
+	})
+	if err := firstErr(errs); err != nil {
+		return err
 	}
 	// Redistribute.
 	fresh := make([]map[vkey]lwe.Ciphertext, len(states))
@@ -155,12 +186,12 @@ func (e *Engine) materializeBatch(states []*inferState) error {
 
 // extractFlat extracts coefficients 0..count-1 of ct as LWE values in
 // positional order.
-func (e *Engine) extractFlat(ct *bfv.Ciphertext, count int) ([]lwe.Ciphertext, error) {
+func (wk *evalWorker) extractFlat(ct *bfv.Ciphertext, count int) ([]lwe.Ciphertext, error) {
 	entries := make([]coeffenc.ValidEntry, count)
 	for i := range entries {
 		entries[i] = coeffenc.ValidEntry{Coeff: i, Cout: 0, Y: 0, X: i}
 	}
-	m, err := e.extract(ct, entries)
+	m, err := wk.extract(ct, entries)
 	if err != nil {
 		return nil, err
 	}

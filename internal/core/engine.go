@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"athena/internal/bfv"
 	"athena/internal/coeffenc"
@@ -37,7 +38,14 @@ type Engine struct {
 	relus map[int]*fbs.Evaluator // post-add ReLU-clamp by ActBits
 	divs  map[int]*fbs.Evaluator // avg-pool divide by k²
 
-	final *finalResult // terminal-layer accumulators awaiting decryption
+	// lutMu guards the three LUT caches above: pooled lanes compile and
+	// look up evaluators concurrently during batched inference.
+	lutMu sync.Mutex
+
+	// w0 is the top-level evaluation worker (wrapping e.ev); lanes holds
+	// the ShallowCopy'd workers the operator-level fan-outs run on.
+	w0    *evalWorker
+	lanes *par.Pool[*evalWorker]
 
 	tMod ring.Modulus // cached Barrett constants for the LWE arithmetic
 
@@ -106,6 +114,10 @@ func NewEngine(p Params) (*Engine, error) {
 	els := pack.DedupGalois(e.packer.GaloisElements(), e.s2c.GaloisElements())
 	keys := kg.GenKeySet(e.sk, els)
 	e.ev = bfv.NewEvaluator(ctx, keys)
+	e.w0 = e.newWorker(e.ev, e.cod, true)
+	e.lanes = par.NewPool(func() *evalWorker {
+		return e.newWorker(e.ev.ShallowCopy(), bfv.NewEncoder(ctx), false)
+	})
 	return e, nil
 }
 
@@ -128,6 +140,8 @@ func (e *Engine) zeroLWE() lwe.Ciphertext {
 
 // lutFor compiles (and caches) the FBS evaluator of a conv's fused remap.
 func (e *Engine) lutFor(q *qnn.QConv) (*fbs.Evaluator, error) {
+	e.lutMu.Lock()
+	defer e.lutMu.Unlock()
 	if ev, ok := e.luts[q]; ok {
 		return ev, nil
 	}
@@ -144,6 +158,8 @@ func (e *Engine) lutFor(q *qnn.QConv) (*fbs.Evaluator, error) {
 }
 
 func (e *Engine) reluClampFor(actBits int) (*fbs.Evaluator, error) {
+	e.lutMu.Lock()
+	defer e.lutMu.Unlock()
 	if ev, ok := e.relus[actBits]; ok {
 		return ev, nil
 	}
@@ -166,6 +182,8 @@ func (e *Engine) reluClampFor(actBits int) (*fbs.Evaluator, error) {
 }
 
 func (e *Engine) divideFor(kk int) (*fbs.Evaluator, error) {
+	e.lutMu.Lock()
+	defer e.lutMu.Unlock()
 	if ev, ok := e.divs[kk]; ok {
 		return ev, nil
 	}
@@ -191,28 +209,30 @@ func roundDiv(a, b int64) int64 {
 // structural zeros (padding, unused slots); it is applied after the LUT
 // because tables with LUT(0) ≠ 0 (sigmoid, GELU, biased remaps) would
 // otherwise turn structural zeros into non-zero activations.
-func (e *Engine) packFBS(ordered []lwe.Ciphertext, pending *fbs.Evaluator, mask []int64) (*bfv.Ciphertext, error) {
+func (wk *evalWorker) packFBS(ordered []lwe.Ciphertext, pending *fbs.Evaluator, mask []int64) (*bfv.Ciphertext, error) {
+	e := wk.e
 	if len(ordered) > e.Ctx.N {
 		return nil, fmt.Errorf("core: %d values exceed %d slots", len(ordered), e.Ctx.N)
 	}
-	ct, err := e.packer.Pack(e.ev, ordered)
+	ct, err := e.packer.PackWith(wk.ev, wk.packSc, ordered)
 	if err != nil {
 		return nil, err
 	}
-	e.Stats.Packs++
+	wk.stats.Packs++
 	if pending != nil {
-		ct, err = pending.Evaluate(e.ev, ct)
+		fe := wk.fbsFor(pending)
+		ct, err = fe.Evaluate(wk.ev, ct)
 		if err != nil {
 			return nil, err
 		}
-		e.Stats.FBSCalls++
-		e.Stats.CMult += pending.CMults
-		e.Stats.SMult += pending.SMults
-		e.Stats.HAdd += pending.HAdds
+		wk.stats.FBSCalls++
+		wk.stats.CMult += fe.CMults
+		wk.stats.SMult += fe.SMults
+		wk.stats.HAdd += fe.HAdds
 		if mask != nil {
-			pm := e.cod.LiftToMul(e.cod.EncodeSlots(mask))
-			ct = e.ev.MulPlain(ct, pm)
-			e.Stats.PMult++
+			pm := wk.cod.LiftToMul(wk.cod.EncodeSlots(mask))
+			ct = wk.ev.MulPlain(ct, pm)
+			wk.stats.PMult++
 		}
 	}
 	return ct, nil
@@ -231,18 +251,19 @@ func (e *Engine) slotMask(validity []bool) []int64 {
 }
 
 // toCoeffs applies S2C: slot i -> coefficient i.
-func (e *Engine) toCoeffs(ct *bfv.Ciphertext) (*bfv.Ciphertext, error) {
-	out, err := e.s2c.Apply(e.ev, ct)
+func (wk *evalWorker) toCoeffs(ct *bfv.Ciphertext) (*bfv.Ciphertext, error) {
+	out, err := wk.e.s2c.Apply(wk.ev, ct)
 	if err != nil {
 		return nil, err
 	}
-	e.Stats.S2CCalls++
+	wk.stats.S2CCalls++
 	return out, nil
 }
 
 // extract converts valid coefficients of a result ciphertext into
 // dimension-n LWE ciphertexts at modulus t (Steps ②–③).
-func (e *Engine) extract(ct *bfv.Ciphertext, entries []coeffenc.ValidEntry) (map[vkey]lwe.Ciphertext, error) {
+func (wk *evalWorker) extract(ct *bfv.Ciphertext, entries []coeffenc.ValidEntry) (map[vkey]lwe.Ciphertext, error) {
+	e := wk.e
 	a, b, err := e.Ctx.SwitchModulus(ct, e.P.QMid())
 	if err != nil {
 		return nil, err
@@ -252,11 +273,15 @@ func (e *Engine) extract(ct *bfv.Ciphertext, entries []coeffenc.ValidEntry) (map
 		idx[i] = en.Coeff
 	}
 	cts := lwe.SampleExtract(lwe.RLWE{A: a, B: b, Q: e.P.QMid()}, idx)
-	e.Stats.Extractions += len(cts)
-	e.Stats.KeySwitches += len(cts)
+	wk.stats.Extractions += len(cts)
+	wk.stats.KeySwitches += len(cts)
 	switched := make([]lwe.Ciphertext, len(cts))
-	par.ForN(len(cts), func(i int) {
-		switched[i] = lwe.ModSwitch(e.ksk.Switch(cts[i]), e.P.T)
+	// One dimension switch costs N·digits AXPYs of length n; making the
+	// cost explicit lets tiny extractions stay inline while layer-sized
+	// ones fan out across per-lane Switchers.
+	cost := e.Ctx.N * e.ksk.Digits * e.P.LWEDim
+	wk.forEach(len(cts), par.Options{MinGrain: 1, ItemCost: cost}, func(ln *evalWorker, i int) {
+		switched[i] = lwe.ModSwitch(ln.sw.Switch(cts[i]), e.P.T)
 	})
 	out := make(map[vkey]lwe.Ciphertext, len(entries))
 	for i, en := range entries {
@@ -293,16 +318,16 @@ func (e *Engine) poolScale(maxVal int64) int64 {
 
 // materializeScaled applies pending (or identity) composed with a domain
 // scale, returning LWE values carrying value·scale.
-func (e *Engine) materializeScaled(vs *valSet, scale int64) (*valSet, error) {
+func (wk *evalWorker) materializeScaled(vs *valSet, scale int64) (*valSet, error) {
 	if vs.pending != nil && vs.fn == nil {
 		return nil, fmt.Errorf("core: pending LUT without plaintext shadow")
 	}
-	ev, err := e.scaledEvaluator(vs.fn, scale)
+	ev, err := wk.e.scaledEvaluator(vs.fn, scale)
 	if err != nil {
 		return nil, err
 	}
 	scaled := &valSet{C: vs.C, H: vs.H, W: vs.W, vals: vs.vals, pending: ev}
-	out, err := e.forceMaterialize(scaled)
+	out, err := wk.forceMaterialize(scaled)
 	if err != nil {
 		return nil, err
 	}
@@ -311,18 +336,28 @@ func (e *Engine) materializeScaled(vs *valSet, scale int64) (*valSet, error) {
 
 // materialize applies the pending LUT of vs (if any), returning int8
 // activations as LWE values (pack → FBS → S2C → extract).
-func (e *Engine) materialize(vs *valSet) (*valSet, error) {
+func (wk *evalWorker) materialize(vs *valSet) (*valSet, error) {
 	if vs.pending == nil {
 		return vs, nil
 	}
-	return e.forceMaterialize(vs)
+	return wk.forceMaterialize(vs)
 }
 
-func (e *Engine) forceMaterialize(vs *valSet) (*valSet, error) {
+// forceMaterialize runs pack → FBS → S2C → extract over the value set in
+// slot-capacity chunks. Each chunk is a full bootstrapping round, so the
+// chunks fan out across worker lanes; the chunk→key assignment is fixed
+// by the sorted key order and the per-chunk maps are merged afterwards,
+// keeping the result independent of scheduling.
+func (wk *evalWorker) forceMaterialize(vs *valSet) (*valSet, error) {
+	e := wk.e
 	keys := sortedKeys(vs)
-	out := &valSet{C: vs.C, H: vs.H, W: vs.W, vals: make(map[vkey]lwe.Ciphertext, len(keys))}
-	for start := 0; start < len(keys); start += e.Ctx.N {
-		end := start + e.Ctx.N
+	n := e.Ctx.N
+	chunks := (len(keys) + n - 1) / n
+	maps := make([]map[vkey]lwe.Ciphertext, chunks)
+	errs := make([]error, chunks)
+	wk.forEach(chunks, par.Options{MinGrain: 1}, func(ln *evalWorker, ci int) {
+		start := ci * n
+		end := start + n
 		if end > len(keys) {
 			end = len(keys)
 		}
@@ -333,22 +368,27 @@ func (e *Engine) forceMaterialize(vs *valSet) (*valSet, error) {
 			ordered[i] = vs.vals[k]
 			validity[i] = true
 		}
-		ct, err := e.packFBS(ordered, vs.pending, e.slotMask(validity))
+		ct, err := ln.packFBS(ordered, vs.pending, e.slotMask(validity))
 		if err != nil {
-			return nil, err
+			errs[ci] = err
+			return
 		}
-		ct, err = e.toCoeffs(ct)
+		ct, err = ln.toCoeffs(ct)
 		if err != nil {
-			return nil, err
+			errs[ci] = err
+			return
 		}
 		entries := make([]coeffenc.ValidEntry, len(chunk))
 		for i, k := range chunk {
 			entries[i] = coeffenc.ValidEntry{Coeff: i, Cout: k.C, Y: k.Y, X: k.X}
 		}
-		m, err := e.extract(ct, entries)
-		if err != nil {
-			return nil, err
-		}
+		maps[ci], errs[ci] = ln.extract(ct, entries)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	out := &valSet{C: vs.C, H: vs.H, W: vs.W, vals: make(map[vkey]lwe.Ciphertext, len(keys))}
+	for _, m := range maps {
 		for k, v := range m {
 			out.vals[k] = v
 		}
@@ -375,8 +415,11 @@ func sortedKeys(vs *valSet) []vkey {
 }
 
 // convInputs assembles, packs, FBS-processes, and S2C-converts the input
-// ciphertexts of a conv plan from the labeled LWE values of vs.
-func (e *Engine) convInputs(plan *coeffenc.Plan, vs *valSet) ([]*bfv.Ciphertext, error) {
+// ciphertexts of a conv plan from the labeled LWE values of vs. The
+// input batches are independent bootstrapping rounds, so they fan out
+// across worker lanes (the value map is only read).
+func (wk *evalWorker) convInputs(plan *coeffenc.Plan, vs *valSet) ([]*bfv.Ciphertext, error) {
+	e := wk.e
 	s := plan.Shape
 	sub := plan.SubFactor()
 	hw := plan.EH * plan.EW
@@ -399,7 +442,8 @@ func (e *Engine) convInputs(plan *coeffenc.Plan, vs *valSet) ([]*bfv.Ciphertext,
 	}
 
 	inputs := make([]*bfv.Ciphertext, plan.InBatches)
-	for ib := 0; ib < plan.InBatches; ib++ {
+	errs := make([]error, plan.InBatches)
+	wk.forEach(plan.InBatches, par.Options{MinGrain: 1}, func(ln *evalWorker, ib int) {
 		ordered := make([]lwe.Ciphertext, plan.CB*hw)
 		validity := make([]bool, plan.CB*hw)
 		for i := range ordered {
@@ -425,63 +469,75 @@ func (e *Engine) convInputs(plan *coeffenc.Plan, vs *valSet) ([]*bfv.Ciphertext,
 				}
 			}
 		}
-		ct, err := e.packFBS(ordered, vs.pending, e.slotMask(validity))
+		ct, err := ln.packFBS(ordered, vs.pending, e.slotMask(validity))
 		if err != nil {
-			return nil, err
+			errs[ib] = err
+			return
 		}
-		ct, err = e.toCoeffs(ct)
+		ct, err = ln.toCoeffs(ct)
 		if err != nil {
-			return nil, err
+			errs[ib] = err
+			return
 		}
 		inputs[ib] = ct
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return inputs, nil
 }
 
 // convAccumulate runs Step ① on prepared coefficient-encoded inputs and
-// returns the accumulator ciphertexts (one per output batch).
-func (e *Engine) convAccumulate(q *qnn.QConv, plan *coeffenc.Plan, inputs []*bfv.Ciphertext) []*bfv.Ciphertext {
+// returns the accumulator ciphertexts (one per output batch). Output
+// batches are independent (each reads the shared inputs and writes its
+// own accumulator), so they fan out across worker lanes.
+func (wk *evalWorker) convAccumulate(q *qnn.QConv, plan *coeffenc.Plan, inputs []*bfv.Ciphertext) []*bfv.Ciphertext {
+	e := wk.e
 	k3d := q.Weights
 	accs := make([]*bfv.Ciphertext, plan.OutBatches)
-	for ob := 0; ob < plan.OutBatches; ob++ {
+	// One output batch costs InBatches plaintext products (2·limbs·N
+	// word multiplies each) plus the kernel encodes.
+	cost := plan.InBatches * 2 * len(e.Ctx.Params.Qi) * e.Ctx.N
+	wk.forEach(plan.OutBatches, par.Options{MinGrain: 1, ItemCost: cost}, func(ln *evalWorker, ob int) {
 		var acc *bfv.Ciphertext
 		for ib := 0; ib < plan.InBatches; ib++ {
 			kv := plan.EncodeKernel(k3d, ib, ob)
-			pm := e.cod.LiftToMul(e.cod.EncodeCoeffs(kv))
+			pm := ln.cod.LiftToMul(ln.cod.EncodeCoeffs(kv))
 			if acc == nil {
-				acc = e.ev.MulPlain(inputs[ib], pm)
+				acc = ln.ev.MulPlain(inputs[ib], pm)
 			} else {
-				e.ev.MulPlainAndAdd(inputs[ib], pm, acc)
-				e.Stats.HAdd++
+				ln.ev.MulPlainAndAdd(inputs[ib], pm, acc)
+				ln.stats.HAdd++
 			}
-			e.Stats.PMult++
+			ln.stats.PMult++
 		}
 		// Bias: added at every valid output coefficient.
 		biasVec := make([]int64, e.Ctx.N)
 		for _, en := range plan.ValidCoeffs(ob) {
 			biasVec[en.Coeff] = q.Bias[en.Cout]
 		}
-		acc = e.ev.AddPlain(acc, e.cod.EncodeCoeffs(biasVec))
+		acc = ln.ev.AddPlain(acc, ln.cod.EncodeCoeffs(biasVec))
 		accs[ob] = acc
-	}
+	})
 	return accs
 }
 
 // convLayer runs the full loop for one quantized linear layer, returning
 // the raw accumulators as LWE values with the layer's LUT pending.
-func (e *Engine) convLayer(q *qnn.QConv, vs *valSet) (*valSet, error) {
+func (wk *evalWorker) convLayer(q *qnn.QConv, vs *valSet) (*valSet, error) {
+	e := wk.e
 	plan, err := coeffenc.NewPlan(q.Shape, e.Ctx.N, coeffenc.AthenaOrder)
 	if err != nil {
 		return nil, err
 	}
-	inputs, err := e.convInputs(plan, vs)
+	inputs, err := wk.convInputs(plan, vs)
 	if err != nil {
 		return nil, err
 	}
-	accs := e.convAccumulate(q, plan, inputs)
+	accs := wk.convAccumulate(q, plan, inputs)
 	out := &valSet{C: q.Shape.Cout, H: q.Shape.OutH(), W: q.Shape.OutW(), vals: make(map[vkey]lwe.Ciphertext)}
 	for ob, acc := range accs {
-		m, err := e.extract(acc, plan.ValidCoeffs(ob))
+		m, err := wk.extract(acc, plan.ValidCoeffs(ob))
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ import (
 	"athena/internal/coeffenc"
 	"athena/internal/fbs"
 	"athena/internal/lwe"
+	"athena/internal/par"
 	"athena/internal/qnn"
 )
 
@@ -38,6 +39,11 @@ type inferState struct {
 	// the first linear layer, consumed once.
 	firstInputs []*bfv.Ciphertext
 	firstPlan   *coeffenc.Plan
+
+	// final carries the terminal layer's accumulators once the last op
+	// has run. Keeping it in the per-inference state (rather than on the
+	// engine) lets batched images evaluate concurrently.
+	final *finalResult
 }
 
 func (e *Engine) encryptInput(q *qnn.QNetwork, x *qnn.IntTensor) (*inferState, error) {
@@ -78,18 +84,19 @@ func firstConv(q *qnn.QNetwork) (*qnn.QConv, error) {
 }
 
 // applyOp dispatches one quantized operation.
-func (e *Engine) applyOp(op qnn.QOp, st *inferState, lastOp bool) (*inferState, error) {
+func (wk *evalWorker) applyOp(op qnn.QOp, st *inferState, lastOp bool) (*inferState, error) {
+	e := wk.e
 	switch o := op.(type) {
 	case *qnn.QConv:
 		if st.firstInputs != nil {
 			// First layer: inputs are already coefficient-encoded.
-			accs := e.convAccumulate(o, st.firstPlan, st.firstInputs)
+			accs := wk.convAccumulate(o, st.firstPlan, st.firstInputs)
 			if lastOp {
-				return &inferState{vs: &valSet{}}, e.stashFinal(o, st.firstPlan, accs)
+				return &inferState{vs: &valSet{}, final: &finalResult{conv: o, plan: st.firstPlan, accs: accs}}, nil
 			}
 			out := &valSet{C: o.Shape.Cout, H: o.Shape.OutH(), W: o.Shape.OutW(), vals: map[vkey]lwe.Ciphertext{}}
 			for ob, acc := range accs {
-				m, err := e.extract(acc, st.firstPlan.ValidCoeffs(ob))
+				m, err := wk.extract(acc, st.firstPlan.ValidCoeffs(ob))
 				if err != nil {
 					return nil, err
 				}
@@ -106,21 +113,21 @@ func (e *Engine) applyOp(op qnn.QOp, st *inferState, lastOp bool) (*inferState, 
 			return &inferState{vs: out}, nil
 		}
 		if lastOp {
-			return e.finalConv(o, st)
+			return wk.finalConv(o, st)
 		}
-		vs, err := e.convLayer(o, st.vs)
+		vs, err := wk.convLayer(o, st.vs)
 		if err != nil {
 			return nil, err
 		}
 		return &inferState{vs: vs}, nil
 	case *qnn.QMaxPool:
-		vs, err := e.maxPool(o, st.vs)
+		vs, err := wk.maxPool(o, st.vs)
 		if err != nil {
 			return nil, err
 		}
 		return &inferState{vs: vs}, nil
 	case *qnn.QAvgPool:
-		vs, err := e.avgPool(o, st.vs)
+		vs, err := wk.avgPool(o, st.vs)
 		if err != nil {
 			return nil, err
 		}
@@ -130,7 +137,8 @@ func (e *Engine) applyOp(op qnn.QOp, st *inferState, lastOp bool) (*inferState, 
 	}
 }
 
-// final holds the terminal layer's accumulator ciphertexts for decryption.
+// finalResult holds the terminal layer's accumulator ciphertexts for
+// decryption.
 type finalResult struct {
 	conv *qnn.QConv
 	plan *coeffenc.Plan
@@ -139,32 +147,29 @@ type finalResult struct {
 
 var errNoFinal = fmt.Errorf("core: network did not end in a linear layer")
 
-func (e *Engine) stashFinal(q *qnn.QConv, plan *coeffenc.Plan, accs []*bfv.Ciphertext) error {
-	e.final = &finalResult{conv: q, plan: plan, accs: accs}
-	return nil
-}
-
-// finalConv runs the last linear layer and stashes its accumulators.
-func (e *Engine) finalConv(q *qnn.QConv, st *inferState) (*inferState, error) {
-	plan, err := coeffenc.NewPlan(q.Shape, e.Ctx.N, coeffenc.AthenaOrder)
+// finalConv runs the last linear layer and carries its accumulators in
+// the returned state.
+func (wk *evalWorker) finalConv(q *qnn.QConv, st *inferState) (*inferState, error) {
+	plan, err := coeffenc.NewPlan(q.Shape, wk.e.Ctx.N, coeffenc.AthenaOrder)
 	if err != nil {
 		return nil, err
 	}
-	inputs, err := e.convInputs(plan, st.vs)
+	inputs, err := wk.convInputs(plan, st.vs)
 	if err != nil {
 		return nil, err
 	}
-	accs := e.convAccumulate(q, plan, inputs)
-	return &inferState{vs: &valSet{}}, e.stashFinal(q, plan, accs)
+	accs := wk.convAccumulate(q, plan, inputs)
+	return &inferState{vs: &valSet{}, final: &finalResult{conv: q, plan: plan, accs: accs}}, nil
 }
 
 // residualBlock runs body and shortcut, joins them with an LWE addition,
 // and leaves the post-add ReLU-clamp LUT pending.
-func (e *Engine) residualBlock(r *qnn.QResidual, st *inferState) (*inferState, error) {
+func (wk *evalWorker) residualBlock(r *qnn.QResidual, st *inferState) (*inferState, error) {
+	e := wk.e
 	if st.firstInputs != nil {
 		return nil, fmt.Errorf("core: residual block cannot be the first block")
 	}
-	in, err := e.materialize(st.vs)
+	in, err := wk.materialize(st.vs)
 	if err != nil {
 		return nil, err
 	}
@@ -174,12 +179,12 @@ func (e *Engine) residualBlock(r *qnn.QResidual, st *inferState) (*inferState, e
 		if !ok {
 			return nil, fmt.Errorf("core: residual body supports linear layers only, got %T", op)
 		}
-		body, err = e.convLayer(c, body)
+		body, err = wk.convLayer(c, body)
 		if err != nil {
 			return nil, err
 		}
 	}
-	body, err = e.materialize(body)
+	body, err = wk.materialize(body)
 	if err != nil {
 		return nil, err
 	}
@@ -189,13 +194,13 @@ func (e *Engine) residualBlock(r *qnn.QResidual, st *inferState) (*inferState, e
 		if !ok {
 			return nil, fmt.Errorf("core: residual shortcut supports linear layers only, got %T", op)
 		}
-		short, err = e.convLayer(c, short)
+		short, err = wk.convLayer(c, short)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if len(r.Shortcut) > 0 {
-		short, err = e.materialize(short)
+		short, err = wk.materialize(short)
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +215,7 @@ func (e *Engine) residualBlock(r *qnn.QResidual, st *inferState) (*inferState, e
 			return nil, fmt.Errorf("core: residual shortcut missing value %v", k)
 		}
 		out.vals[k] = e.addLWE(b, s)
-		e.Stats.LWEAdds++
+		wk.stats.LWEAdds++
 	}
 	joinLUT, err := fbs.NewEvaluator(e.Ctx, fbs.NewLUT(e.P.T, r.JoinRemap))
 	if err != nil {
@@ -224,10 +229,11 @@ func (e *Engine) residualBlock(r *qnn.QResidual, st *inferState) (*inferState, e
 // avgPool sums each window with LWE additions in a scaled domain (so
 // the per-value extraction noise is crushed by the divide) and leaves
 // the divide LUT pending.
-func (e *Engine) avgPool(p *qnn.QAvgPool, vs *valSet) (*valSet, error) {
+func (wk *evalWorker) avgPool(p *qnn.QAvgPool, vs *valSet) (*valSet, error) {
+	e := wk.e
 	aMax := int64(1)<<(e.netABits-1) - 1
 	scale := e.poolScale(aMax * int64(p.K*p.K))
-	in, err := e.materializeScaled(vs, scale)
+	in, err := wk.materializeScaled(vs, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -240,7 +246,7 @@ func (e *Engine) avgPool(p *qnn.QAvgPool, vs *valSet) (*valSet, error) {
 				for i := 0; i < p.K; i++ {
 					for j := 0; j < p.K; j++ {
 						acc = e.addLWE(acc, in.vals[vkey{c, y*p.K + i, x*p.K + j}])
-						e.Stats.LWEAdds++
+						wk.stats.LWEAdds++
 					}
 				}
 				out.vals[vkey{c, y, x}] = acc
@@ -261,10 +267,11 @@ func (e *Engine) avgPool(p *qnn.QAvgPool, vs *valSet) (*valSet, error) {
 // The tree operates in a scaled domain so the extraction noise of each
 // ReLU round stays far below one activation step; the divide back is
 // left pending for the consumer's LUT.
-func (e *Engine) maxPool(p *qnn.QMaxPool, vs *valSet) (*valSet, error) {
+func (wk *evalWorker) maxPool(p *qnn.QMaxPool, vs *valSet) (*valSet, error) {
+	e := wk.e
 	aMax := int64(1)<<(e.netABits-1) - 1
 	scale := e.poolScale(aMax)
-	in, err := e.materializeScaled(vs, scale)
+	in, err := wk.materializeScaled(vs, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -307,13 +314,13 @@ func (e *Engine) maxPool(p *qnn.QMaxPool, vs *valSet) (*valSet, error) {
 			pends = append(pends, pend{k: k, b: b, rest: cands[2:]})
 		}
 		// Batch-ReLU the differences, chunked by slot capacity.
-		relus, err := e.batchLUT(diffs, relu)
+		relus, err := wk.batchLUT(diffs, relu)
 		if err != nil {
 			return nil, err
 		}
 		for i, pd := range pends {
 			m := e.addLWE(pd.b, relus[i]) // max(a,b)
-			e.Stats.LWEAdds++
+			wk.stats.LWEAdds++
 			windows[pd.k] = append([]lwe.Ciphertext{m}, pd.rest...)
 		}
 	}
@@ -362,11 +369,18 @@ func (e *Engine) reluFull() (*fbs.Evaluator, error) {
 }
 
 // batchLUT applies a LUT to a flat list of LWE values via
-// pack→FBS→S2C→extract, preserving order.
-func (e *Engine) batchLUT(vals []lwe.Ciphertext, lut *fbs.Evaluator) ([]lwe.Ciphertext, error) {
+// pack→FBS→S2C→extract, preserving order. The slot-capacity chunks are
+// independent bootstrapping rounds and fan out across worker lanes;
+// each chunk writes only its own out[start:end] window.
+func (wk *evalWorker) batchLUT(vals []lwe.Ciphertext, lut *fbs.Evaluator) ([]lwe.Ciphertext, error) {
+	e := wk.e
+	n := e.Ctx.N
 	out := make([]lwe.Ciphertext, len(vals))
-	for start := 0; start < len(vals); start += e.Ctx.N {
-		end := start + e.Ctx.N
+	chunks := (len(vals) + n - 1) / n
+	errs := make([]error, chunks)
+	wk.forEach(chunks, par.Options{MinGrain: 1}, func(ln *evalWorker, ci int) {
+		start := ci * n
+		end := start + n
 		if end > len(vals) {
 			end = len(vals)
 		}
@@ -374,25 +388,25 @@ func (e *Engine) batchLUT(vals []lwe.Ciphertext, lut *fbs.Evaluator) ([]lwe.Ciph
 		for i := range validity {
 			validity[i] = true
 		}
-		ct, err := e.packFBS(vals[start:end], lut, e.slotMask(validity))
+		ct, err := ln.packFBS(vals[start:end], lut, e.slotMask(validity))
 		if err != nil {
-			return nil, err
+			errs[ci] = err
+			return
 		}
-		ct, err = e.toCoeffs(ct)
+		ct, err = ln.toCoeffs(ct)
 		if err != nil {
-			return nil, err
+			errs[ci] = err
+			return
 		}
-		entries := make([]coeffenc.ValidEntry, end-start)
-		for i := range entries {
-			entries[i] = coeffenc.ValidEntry{Coeff: i, Cout: 0, Y: 0, X: i}
-		}
-		m, err := e.extract(ct, entries)
+		flat, err := ln.extractFlat(ct, end-start)
 		if err != nil {
-			return nil, err
+			errs[ci] = err
+			return
 		}
-		for i := range entries {
-			out[start+i] = m[vkey{0, 0, i}]
-		}
+		copy(out[start:end], flat)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

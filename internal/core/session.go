@@ -52,6 +52,7 @@ func (e *Engine) EvaluateEncrypted(q *qnn.QNetwork, in *EncryptedInput) (*Encryp
 	if in.model != q.Name {
 		return nil, fmt.Errorf("core: input encrypted for model %q, evaluating %q", in.model, q.Name)
 	}
+	defer e.flushStats()
 	e.netABits = q.ABits
 	if e.netABits < 2 {
 		e.netABits = 8
@@ -64,13 +65,13 @@ func (e *Engine) EvaluateEncrypted(q *qnn.QNetwork, in *EncryptedInput) (*Encryp
 		case qnn.QSeq:
 			for oi, op := range blk {
 				lastOp := last && oi == len(blk)-1
-				state, err = e.applyOp(op, state, lastOp)
+				state, err = e.w0.applyOp(op, state, lastOp)
 				if err != nil {
 					return nil, err
 				}
 			}
 		case *qnn.QResidual:
-			state, err = e.residualBlock(blk, state)
+			state, err = e.w0.residualBlock(blk, state)
 			if err != nil {
 				return nil, err
 			}
@@ -78,12 +79,10 @@ func (e *Engine) EvaluateEncrypted(q *qnn.QNetwork, in *EncryptedInput) (*Encryp
 			return nil, fmt.Errorf("core: unsupported block %T", b)
 		}
 	}
-	f := e.final
-	e.final = nil
-	if f == nil {
+	if state == nil || state.final == nil {
 		return nil, errNoFinal
 	}
-	return &EncryptedLogits{model: q.Name, final: f}, nil
+	return &EncryptedLogits{model: q.Name, final: state.final}, nil
 }
 
 // DecryptLogits recovers the output logits (the client-side epilogue:

@@ -89,12 +89,17 @@ func (e *Engine) SoftmaxEncrypted(logits []int64, cfg SoftmaxConfig) ([]float64,
 		in[i] = ct
 	}
 
+	// The softmax pipeline runs on the engine's top-level worker; its
+	// pack/FBS stages fan out internally.
+	w0 := e.w0
+	defer e.flushStats()
+
 	// Step ①: exp LUT over the packed logits, then back to LWE.
 	expLUT, err := fbs.NewEvaluator(e.Ctx, fbs.NewLUT(e.P.T, expFn))
 	if err != nil {
 		return nil, err
 	}
-	exps, err := e.batchLUT(in, expLUT)
+	exps, err := w0.batchLUT(in, expLUT)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +109,7 @@ func (e *Engine) SoftmaxEncrypted(logits []int64, cfg SoftmaxConfig) ([]float64,
 	sum := e.zeroLWE()
 	for _, ct := range exps {
 		sum = e.addLWE(sum, ct)
-		e.Stats.LWEAdds++
+		w0.stats.LWEAdds++
 	}
 	sums := make([]lwe.Ciphertext, cfg.Classes)
 	for i := range sums {
@@ -118,21 +123,21 @@ func (e *Engine) SoftmaxEncrypted(logits []int64, cfg SoftmaxConfig) ([]float64,
 	for i := range maskV {
 		maskV[i] = true
 	}
-	invCT, err := e.packFBS(sums, invLUT, e.slotMask(maskV))
+	invCT, err := w0.packFBS(sums, invLUT, e.slotMask(maskV))
 	if err != nil {
 		return nil, err
 	}
-	expCT, err := e.packFBS(exps, nil, nil)
+	expCT, err := w0.packFBS(exps, nil, nil)
 	if err != nil {
 		return nil, err
 	}
 
 	// Step ③: CMult — prob_i · InvScale ≈ exp_i · round(InvScale/sum).
-	prodCT, err := e.ev.Mul(expCT, invCT)
+	prodCT, err := w0.ev.Mul(expCT, invCT)
 	if err != nil {
 		return nil, err
 	}
-	e.Stats.CMult++
+	w0.stats.CMult++
 
 	pt := e.dec.Decrypt(prodCT)
 	cod := e.cod

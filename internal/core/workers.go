@@ -1,0 +1,109 @@
+package core
+
+import (
+	"athena/internal/bfv"
+	"athena/internal/fbs"
+	"athena/internal/lwe"
+	"athena/internal/pack"
+	"athena/internal/par"
+)
+
+// evalWorker bundles the single-goroutine state one evaluation thread
+// needs to run any stage of the five-step pipeline: an evaluator (its
+// scratch arena makes it single-caller), an encoder, packer staging, a
+// dimension-switch handle, and local operation counters. The engine owns
+// one top-level worker (w0, wrapping the engine's own evaluator) plus a
+// pool of ShallowCopy'd lanes that the operator-level fan-outs run on.
+type evalWorker struct {
+	e      *Engine
+	ev     *bfv.Evaluator
+	cod    *bfv.Encoder
+	packSc *pack.Scratch
+	sw     *lwe.Switcher
+
+	// stats accumulates this worker's operation counts; flushStats folds
+	// them into Engine.Stats at the end of every public entry point.
+	stats OpStats
+
+	// canFork marks the top-level worker: only it may fan work across
+	// the engine pool. Pooled lanes run nested operator loops serially,
+	// so two lanes can never collide on the same worker slot.
+	canFork bool
+}
+
+func (e *Engine) newWorker(ev *bfv.Evaluator, cod *bfv.Encoder, canFork bool) *evalWorker {
+	return &evalWorker{
+		e:       e,
+		ev:      ev,
+		cod:     cod,
+		packSc:  e.packer.NewScratch(),
+		sw:      e.ksk.NewSwitcher(),
+		canFork: canFork,
+	}
+}
+
+// forEach runs f over [0, n), fanning across the engine's worker lanes
+// when wk is the top-level worker and o judges the fan-out worthwhile.
+// On a pooled lane — or when o selects one worker — it degrades to the
+// serial loop on wk itself. Work is split into the fixed par.Partition
+// blocks and f must only write i-indexed state, so results are
+// bit-identical at any GOMAXPROCS.
+func (wk *evalWorker) forEach(n int, o par.Options, f func(ln *evalWorker, i int)) {
+	if !wk.canFork || o.Workers(n) <= 1 {
+		for i := 0; i < n; i++ {
+			f(wk, i)
+		}
+		return
+	}
+	lanes := wk.e.lanes
+	par.ForEach(n, o, func(w, i int) { f(lanes.Get(w), i) })
+}
+
+// fbsFor resolves a canonical FBS evaluator to the instance this worker
+// may evaluate with. The top-level worker is the only caller of the
+// canonical object, so it uses it directly (preserving its lane pool
+// across calls); pooled lanes take a fresh ShallowCopy, because the
+// canonical may be shared across concurrently-evaluated images. The
+// canonical pointer keeps its identity everywhere else (valSet.pending,
+// the engine LUT caches); clones live only for one packFBS call.
+func (wk *evalWorker) fbsFor(canonical *fbs.Evaluator) *fbs.Evaluator {
+	if canonical == nil || wk.canFork {
+		return canonical
+	}
+	return canonical.ShallowCopy()
+}
+
+// add accumulates o into s and resets o.
+func (s *OpStats) add(o *OpStats) {
+	s.PMult += o.PMult
+	s.HAdd += o.HAdd
+	s.CMult += o.CMult
+	s.SMult += o.SMult
+	s.Packs += o.Packs
+	s.FBSCalls += o.FBSCalls
+	s.S2CCalls += o.S2CCalls
+	s.Extractions += o.Extractions
+	s.KeySwitches += o.KeySwitches
+	s.LWEAdds += o.LWEAdds
+	*o = OpStats{}
+}
+
+// flushStats folds the per-worker operation counters into e.Stats. The
+// counters are integer sums, so the totals are independent of how the
+// work was partitioned; flushing at the end of every public entry point
+// keeps the externally visible accumulation order fixed.
+func (e *Engine) flushStats() {
+	e.Stats.add(&e.w0.stats)
+	e.lanes.Each(func(ln *evalWorker) { e.Stats.add(&ln.stats) })
+}
+
+// firstErr returns the lowest-indexed error of a fan-out, so the
+// reported failure does not depend on scheduling.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -5,12 +5,20 @@ import (
 	"math"
 
 	"athena/internal/bfv"
+	"athena/internal/par"
 )
 
 // Evaluator evaluates a compiled LUT polynomial on slot-encoded BFV
 // ciphertexts using the Alg. 2 Baby-Step Giant-Step schedule. Powers are
 // built by balanced splitting so the multiplicative depth stays at
 // O(log t) (matching the 17-level CMult budget in Table 4).
+//
+// An Evaluator is single-goroutine state (it owns an encoder scratch and
+// the operation counters); concurrent callers hold a ShallowCopy each.
+// Within one Evaluate call the giant-step block sums of the
+// Paterson–Stockmeyer schedule fan out across worker lanes — each lane a
+// ShallowCopy of the caller's bfv.Evaluator — and are combined in giant-
+// step order, so the result is bit-identical at any GOMAXPROCS.
 type Evaluator struct {
 	ctx    *bfv.Context
 	cod    *bfv.Encoder
@@ -20,6 +28,20 @@ type Evaluator struct {
 	// Operation counters (reset per Evaluate call), used by the
 	// compiler/simulator cross-checks and by tests.
 	CMults, SMults, HAdds int
+
+	// Giant-step fan-out lanes, built lazily against the bfv.Evaluator
+	// passed to Evaluate and reused while it stays the same.
+	laneBase *bfv.Evaluator
+	lanes    *par.Pool[*fbsLane]
+}
+
+// fbsLane is one worker of the giant-step fan-out: a ShallowCopy'd
+// evaluator (own scratch arena), an encoder, and local op counters that
+// merge into the Evaluator's after the loop.
+type fbsLane struct {
+	ev         *bfv.Evaluator
+	cod        *bfv.Encoder
+	cm, sm, ha int
 }
 
 // NewEvaluator interpolates lut and prepares the evaluation plan. The
@@ -41,8 +63,33 @@ func NewEvaluator(ctx *bfv.Context, lut *LUT) (*Evaluator, error) {
 	}, nil
 }
 
+// ShallowCopy returns an evaluator sharing the compiled (immutable) LUT
+// plan but owning fresh encoder scratch, counters, and fan-out lanes,
+// for use from another goroutine.
+func (e *Evaluator) ShallowCopy() *Evaluator {
+	return &Evaluator{
+		ctx:    e.ctx,
+		cod:    bfv.NewEncoder(e.ctx),
+		coeffs: e.coeffs,
+		bs:     e.bs,
+		gs:     e.gs,
+	}
+}
+
 // Steps reports the (babySteps, giantSteps) split.
 func (e *Evaluator) Steps() (int, int) { return e.bs, e.gs }
+
+// lanePool returns the fan-out lane pool, (re)building it when the base
+// evaluator changed since the last Evaluate.
+func (e *Evaluator) lanePool(ev *bfv.Evaluator) *par.Pool[*fbsLane] {
+	if e.lanes == nil || e.laneBase != ev {
+		e.laneBase = ev
+		e.lanes = par.NewPool(func() *fbsLane {
+			return &fbsLane{ev: ev.ShallowCopy(), cod: bfv.NewEncoder(e.ctx)}
+		})
+	}
+	return e.lanes
+}
 
 // Evaluate applies the LUT to every slot of ct: each slot value v becomes
 // LUT(v). This single call realizes the non-linear activation, the
@@ -52,7 +99,8 @@ func (e *Evaluator) Steps() (int, int) { return e.bs, e.gs }
 func (e *Evaluator) Evaluate(ev *bfv.Evaluator, ct *bfv.Ciphertext) (*bfv.Ciphertext, error) {
 	e.CMults, e.SMults, e.HAdds = 0, 0, 0
 
-	// Baby powers x^1..x^bs, balanced-split for logarithmic depth.
+	// Baby powers x^1..x^bs, balanced-split for logarithmic depth. The
+	// ladder is inherently sequential (each level consumes earlier ones).
 	powers := make([]*bfv.Ciphertext, e.bs+1)
 	powers[1] = ct
 	var err error
@@ -76,25 +124,40 @@ func (e *Evaluator) Evaluate(ev *bfv.Evaluator, ct *bfv.Ciphertext) (*bfv.Cipher
 		}
 	}
 
+	// Giant-step block sums Σ_b c_{a·bs+b}·x^b (· y^a): independent across
+	// a once the power ladders exist — each costs ~bs scalar products plus
+	// one CMult (milliseconds), so every step is worth a worker. Lanes
+	// write only inners[a]; the combine below runs in giant-step order.
+	inners := make([]*bfv.Ciphertext, e.gs)
+	errs := make([]error, e.gs)
+	pool := e.lanePool(ev)
+	par.ForEach(e.gs, par.Options{MinGrain: 1}, func(w, a int) {
+		ln := pool.Get(w)
+		inner := e.innerSum(ln, powers, a)
+		if inner != nil && a > 0 {
+			ln.cm++
+			inner, errs[a] = ln.ev.Mul(inner, giants[a])
+		}
+		inners[a] = inner
+	})
+	pool.Each(func(ln *fbsLane) {
+		e.CMults += ln.cm
+		e.SMults += ln.sm
+		e.HAdds += ln.ha
+		ln.cm, ln.sm, ln.ha = 0, 0, 0
+	})
 	var res *bfv.Ciphertext
 	for a := 0; a < e.gs; a++ {
-		inner := e.innerSum(ev, powers, a)
-		if a > 0 {
-			if inner == nil {
-				continue
-			}
-			inner, err = e.mul(ev, inner, giants[a])
-			if err != nil {
-				return nil, err
-			}
+		if errs[a] != nil {
+			return nil, errs[a]
 		}
-		if inner == nil {
+		if inners[a] == nil {
 			continue
 		}
 		if res == nil {
-			res = inner
+			res = inners[a]
 		} else {
-			ev.AddInPlace(res, inner)
+			ev.AddInPlace(res, inners[a])
 			e.HAdds++
 		}
 	}
@@ -104,10 +167,10 @@ func (e *Evaluator) Evaluate(ev *bfv.Evaluator, ct *bfv.Ciphertext) (*bfv.Cipher
 	return res, nil
 }
 
-// innerSum builds Σ_b c_{a·bs+b}·x^b for one giant step; the b=0 constant
-// enters as a plaintext addition across all slots. Returns nil if every
-// coefficient in the group is zero.
-func (e *Evaluator) innerSum(ev *bfv.Evaluator, powers []*bfv.Ciphertext, a int) *bfv.Ciphertext {
+// innerSum builds Σ_b c_{a·bs+b}·x^b for one giant step on lane ln; the
+// b=0 constant enters as a plaintext addition across all slots. Returns
+// nil if every coefficient in the group is zero.
+func (e *Evaluator) innerSum(ln *fbsLane, powers []*bfv.Ciphertext, a int) *bfv.Ciphertext {
 	t := len(e.coeffs)
 	var acc *bfv.Ciphertext
 	var c0 uint64
@@ -126,12 +189,12 @@ func (e *Evaluator) innerSum(ev *bfv.Evaluator, powers []*bfv.Ciphertext, a int)
 			hasC0 = true
 			continue
 		}
-		e.SMults++
+		ln.sm++
 		if acc == nil {
-			acc = ev.MulScalar(powers[b], c)
+			acc = ln.ev.MulScalar(powers[b], c)
 		} else {
-			ev.MulScalarAndAdd(powers[b], c, acc)
-			e.HAdds++
+			ln.ev.MulScalarAndAdd(powers[b], c, acc)
+			ln.ha++
 		}
 	}
 	if hasC0 {
@@ -140,23 +203,23 @@ func (e *Evaluator) innerSum(ev *bfv.Evaluator, powers []*bfv.Ciphertext, a int)
 		for i := range vals {
 			vals[i] = cv
 		}
-		pt := e.cod.EncodeSlots(vals)
+		pt := ln.cod.EncodeSlots(vals)
 		if acc == nil {
 			// Constant-only group: embed as a fresh trivial "encryption"
 			// (noise-free plaintext ciphertext).
-			acc = e.trivial(pt)
+			acc = e.trivial(ln, pt)
 		} else {
-			acc = ev.AddPlain(acc, pt)
+			acc = ln.ev.AddPlain(acc, pt)
 		}
-		e.HAdds++
+		ln.ha++
 	}
 	return acc
 }
 
 // trivial returns the noiseless ciphertext (Δ·m, 0).
-func (e *Evaluator) trivial(pt *bfv.Plaintext) *bfv.Ciphertext {
+func (e *Evaluator) trivial(ln *fbsLane, pt *bfv.Plaintext) *bfv.Ciphertext {
 	ct := e.ctx.NewCiphertext()
-	dm := e.cod.LiftToDelta(pt)
+	dm := ln.cod.LiftToDelta(pt)
 	dm.CopyTo(ct.C0)
 	return ct
 }

@@ -1,0 +1,132 @@
+package fbs
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"testing"
+
+	"athena/internal/bfv"
+)
+
+// serializeCT flattens a ciphertext's coefficient words for bit-identity
+// comparison.
+func serializeCT(t *testing.T, ct *bfv.Ciphertext) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, poly := range [][][]uint64{ct.C0.Coeffs, ct.C1.Coeffs} {
+		for _, limb := range poly {
+			for _, v := range limb {
+				buf.WriteByte(byte(v))
+				buf.WriteByte(byte(v >> 8))
+				buf.WriteByte(byte(v >> 16))
+				buf.WriteByte(byte(v >> 24))
+				buf.WriteByte(byte(v >> 32))
+				buf.WriteByte(byte(v >> 40))
+				buf.WriteByte(byte(v >> 48))
+				buf.WriteByte(byte(v >> 56))
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestEvaluateBitIdenticalAcrossGOMAXPROCS pins the determinism contract
+// of the parallel giant-step schedule: the output ciphertext is
+// bit-identical whether the block sums run inline or across workers.
+func TestEvaluateBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	ctx, enc, _, ev, cod := fbsKit(t, 5, 4, 257)
+	lut := NewLUT(257, func(x int64) int64 {
+		if x < 0 {
+			return -x / 2
+		}
+		return x / 3
+	})
+	vals := make([]int64, ctx.N)
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := range vals {
+		vals[i] = int64(rng.Uint64N(257)) - 128
+	}
+	ct := enc.Encrypt(cod.EncodeSlots(vals))
+
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	var want []byte
+	var wantCM, wantSM, wantHA int
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		fe, err := NewEvaluator(ctx, lut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := fe.Evaluate(ev.ShallowCopy(), ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob := serializeCT(t, out)
+		if want == nil {
+			want, wantCM, wantSM, wantHA = blob, fe.CMults, fe.SMults, fe.HAdds
+			continue
+		}
+		if !bytes.Equal(blob, want) {
+			t.Fatalf("GOMAXPROCS=%d: FBS output differs from serial result", procs)
+		}
+		if fe.CMults != wantCM || fe.SMults != wantSM || fe.HAdds != wantHA {
+			t.Fatalf("GOMAXPROCS=%d: op counters (%d,%d,%d) differ from serial (%d,%d,%d)",
+				procs, fe.CMults, fe.SMults, fe.HAdds, wantCM, wantSM, wantHA)
+		}
+	}
+}
+
+// TestShallowCopyConcurrentEvaluate checks ShallowCopy'd evaluators can
+// run concurrently against ShallowCopy'd bfv evaluators and agree with
+// the single-goroutine result.
+func TestShallowCopyConcurrentEvaluate(t *testing.T) {
+	ctx, enc, _, ev, cod := fbsKit(t, 5, 4, 257)
+	lut := ReLULUT(257)
+	fe, err := NewEvaluator(ctx, lut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	cts := make([]*bfv.Ciphertext, n)
+	want := make([][]byte, n)
+	for i := range cts {
+		vals := make([]int64, ctx.N)
+		for j := range vals {
+			vals[j] = int64((i*131 + j*7) % 257)
+		}
+		cts[i] = enc.Encrypt(cod.EncodeSlots(vals))
+		out, err := fe.Evaluate(ev, cts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = serializeCT(t, out)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	got := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clone := fe.ShallowCopy()
+			out, err := clone.Evaluate(ev.ShallowCopy(), cts[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = serializeCT(t, out)
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("ciphertext %d: concurrent ShallowCopy result differs", i)
+		}
+	}
+}

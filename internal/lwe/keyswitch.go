@@ -55,15 +55,37 @@ func NewKeySwitchKey(skIn, skOut *SecretKey, q, base uint64, sigma float64, seed
 }
 
 // Switch converts ct (under skIn) to a ciphertext under skOut. The
-// moduli must match.
+// moduli must match. Each call rederives the Barrett constants of Q;
+// loops over many extractions should hold a Switcher instead.
 func (k *KeySwitchKey) Switch(ct Ciphertext) Ciphertext {
+	return k.NewSwitcher().Switch(ct)
+}
+
+// Switcher is the per-worker handle for applying a KeySwitchKey in
+// parallel extraction loops: it caches the Barrett constants of the
+// switching modulus (which Switch would otherwise rederive per
+// ciphertext). The underlying key material is read-only, so any number
+// of Switchers over one key may run concurrently.
+type Switcher struct {
+	k *KeySwitchKey
+	m ring.Modulus
+}
+
+// NewSwitcher returns a reusable dimension-switch worker over k.
+func (k *KeySwitchKey) NewSwitcher() *Switcher {
+	return &Switcher{k: k, m: ring.NewModulus(k.Q)}
+}
+
+// Switch converts ct (under skIn) to a ciphertext under skOut.
+func (s *Switcher) Switch(ct Ciphertext) Ciphertext {
+	k := s.k
 	if ct.Q != k.Q {
 		panic(fmt.Sprintf("lwe: keyswitch modulus mismatch %d vs %d", ct.Q, k.Q))
 	}
 	if len(ct.A) != len(k.Keys) {
 		panic(fmt.Sprintf("lwe: keyswitch dimension mismatch %d vs %d", len(ct.A), len(k.Keys)))
 	}
-	m := ring.NewModulus(k.Q)
+	m := s.m
 	nOut := len(k.Keys[0][0].A)
 	out := Ciphertext{A: make([]uint64, nOut), B: m.Reduce(ct.B), Q: k.Q}
 	for j, aj := range ct.A {
@@ -86,11 +108,12 @@ func (k *KeySwitchKey) Switch(ct Ciphertext) Ciphertext {
 	return out
 }
 
-// SwitchAll applies Switch to a batch.
+// SwitchAll applies Switch to a batch, sharing one Switcher.
 func (k *KeySwitchKey) SwitchAll(cts []Ciphertext) []Ciphertext {
+	s := k.NewSwitcher()
 	out := make([]Ciphertext, len(cts))
 	for i, ct := range cts {
-		out[i] = k.Switch(ct)
+		out[i] = s.Switch(ct)
 	}
 	return out
 }

@@ -2,6 +2,8 @@ package lwe
 
 import (
 	"bytes"
+	"slices"
+	"sync"
 	"testing"
 
 	"athena/internal/bfv"
@@ -282,5 +284,44 @@ func TestKeySwitchKeySerialization(t *testing.T) {
 	b := skOut.Decrypt(back.Switch(ct))
 	if a != b {
 		t.Fatalf("switch results differ: %d vs %d", a, b)
+	}
+}
+
+// TestSwitcherMatchesSwitch checks the cached-modulus Switcher produces
+// bit-identical ciphertexts to the one-shot Switch path, including when
+// several Switchers over the same key run concurrently (the parallel
+// extraction shape).
+func TestSwitcherMatchesSwitch(t *testing.T) {
+	skIn := NewSecretKey(64, 81)
+	skOut := NewSecretKey(16, 82)
+	const q = uint64(1) << 30
+	k := NewKeySwitchKey(skIn, skOut, q, 1<<6, 3.2, 83)
+
+	smp := NewStream(84)
+	const n = 24
+	cts := make([]Ciphertext, n)
+	want := make([]Ciphertext, n)
+	for i := range cts {
+		cts[i] = Encrypt(skIn, uint64(i)*(q/65537), q, 3.2, smp)
+		want[i] = k.Switch(cts[i])
+	}
+
+	got := make([]Ciphertext, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sw := k.NewSwitcher()
+			for i := w; i < n; i += 4 {
+				got[i] = sw.Switch(cts[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range got {
+		if got[i].B != want[i].B || !slices.Equal(got[i].A, want[i].A) {
+			t.Fatalf("ciphertext %d: Switcher result differs from Switch", i)
+		}
 	}
 }

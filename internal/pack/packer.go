@@ -20,12 +20,15 @@ import (
 
 	"athena/internal/bfv"
 	"athena/internal/lwe"
+	"athena/internal/par"
 )
 
 // Packer packs LWE ciphertexts (dimension n, modulus t) into BFV slots.
+// The key material (babies, rotIdx) is immutable after construction;
+// per-call staging lives in a Scratch, so concurrent Pack calls are safe
+// as long as each caller holds its own Scratch (see PackWith).
 type Packer struct {
 	ctx *bfv.Context
-	cod *bfv.Encoder
 	n   int
 	bs  int // baby-step count (divides n)
 
@@ -40,11 +43,67 @@ type Packer struct {
 	// call builds its diagonals with a single gather instead of re-deriving
 	// the row/column permutation per element.
 	rotIdx [][]int
-	// Per-call scratch: the diagonal value vector and its encoded/lifted
-	// forms. Reused across (a, b) iterations and across Pack calls.
-	dScratch []int64
-	pt       *bfv.Plaintext
-	pm       *bfv.PlaintextMul
+
+	// sc is the default Scratch behind the single-caller Pack API.
+	sc *Scratch
+}
+
+// Scratch holds the per-call staging of one Pack caller: the diagonal
+// value vector with its encoded/lifted forms, an encoder (whose staging
+// buffer makes it single-goroutine state), and the lazily-built worker
+// lanes for the giant-step fan-out. Distinct Scratches over one Packer
+// may run concurrently; a single Scratch may not.
+type Scratch struct {
+	p   *Packer
+	cod *bfv.Encoder
+	d   []int64
+	pt  *bfv.Plaintext
+	pm  *bfv.PlaintextMul
+
+	// Giant-step fan-out lanes, keyed to the evaluator passed to
+	// PackWith and reused while it stays the same.
+	base  *bfv.Evaluator
+	lanes *par.Pool[*packLane]
+}
+
+// packLane is one worker of the giant-step fan-out: a ShallowCopy'd
+// evaluator plus its own diagonal staging buffers.
+type packLane struct {
+	ev  *bfv.Evaluator
+	cod *bfv.Encoder
+	d   []int64
+	pt  *bfv.Plaintext
+	pm  *bfv.PlaintextMul
+}
+
+// NewScratch returns staging state for one concurrent Pack caller.
+func (p *Packer) NewScratch() *Scratch {
+	return &Scratch{
+		p:   p,
+		cod: bfv.NewEncoder(p.ctx),
+		d:   make([]int64, p.ctx.N),
+		pt:  p.ctx.NewPlaintext(),
+		pm:  &bfv.PlaintextMul{Value: p.ctx.RingQ.NewPoly()},
+	}
+}
+
+// lanePool returns the fan-out lanes for ev, rebuilding them when the
+// base evaluator changes.
+func (sc *Scratch) lanePool(ev *bfv.Evaluator) *par.Pool[*packLane] {
+	if sc.lanes == nil || sc.base != ev {
+		sc.base = ev
+		p := sc.p
+		sc.lanes = par.NewPool(func() *packLane {
+			return &packLane{
+				ev:  ev.ShallowCopy(),
+				cod: bfv.NewEncoder(p.ctx),
+				d:   make([]int64, p.ctx.N),
+				pt:  p.ctx.NewPlaintext(),
+				pm:  &bfv.PlaintextMul{Value: p.ctx.RingQ.NewPoly()},
+			}
+		})
+	}
+	return sc.lanes
 }
 
 // BabySteps picks the BSGS split for dimension n: the largest power of
@@ -71,7 +130,7 @@ func NewPacker(ctx *bfv.Context, enc *bfv.Encryptor, sk *lwe.SecretKey) (*Packer
 	}
 	cod := bfv.NewEncoder(ctx)
 	bs := BabySteps(n)
-	p := &Packer{ctx: ctx, cod: cod, n: n, bs: bs, babies: make([]*bfv.Ciphertext, bs)}
+	p := &Packer{ctx: ctx, n: n, bs: bs, babies: make([]*bfv.Ciphertext, bs)}
 	vals := make([]int64, ctx.N)
 	for b := 0; b < bs; b++ {
 		for i := 0; i < ctx.N; i++ {
@@ -89,9 +148,7 @@ func NewPacker(ctx *bfv.Context, enc *bfv.Encryptor, sk *lwe.SecretKey) (*Packer
 		}
 		p.rotIdx[a] = idx
 	}
-	p.dScratch = make([]int64, ctx.N)
-	p.pt = ctx.NewPlaintext()
-	p.pm = &bfv.PlaintextMul{Value: ctx.RingQ.NewPoly()}
+	p.sc = p.NewScratch()
 	return p, nil
 }
 
@@ -108,8 +165,20 @@ func (p *Packer) GaloisElements() []uint64 {
 
 // Pack homomorphically decrypts cts into slots 0..len(cts)-1 of one BFV
 // ciphertext. All inputs must have dimension n and modulus t. At most N
-// ciphertexts fit.
+// ciphertexts fit. Pack uses the packer's default scratch and is
+// therefore single-caller state; concurrent callers use PackWith with a
+// Scratch each.
 func (p *Packer) Pack(ev *bfv.Evaluator, cts []lwe.Ciphertext) (*bfv.Ciphertext, error) {
+	return p.PackWith(ev, p.sc, cts)
+}
+
+// PackWith is Pack with caller-owned staging: distinct Scratches over
+// one Packer may run concurrently (the key material is read-only). The
+// BSGS giant steps fan out across worker lanes — each a ShallowCopy of
+// ev with its own diagonal staging — and the partial products are
+// combined in giant-step order, so the output is bit-identical at any
+// GOMAXPROCS.
+func (p *Packer) PackWith(ev *bfv.Evaluator, sc *Scratch, cts []lwe.Ciphertext) (*bfv.Ciphertext, error) {
 	ctx := p.ctx
 	if len(cts) == 0 || len(cts) > ctx.N {
 		return nil, fmt.Errorf("pack: %d ciphertexts for %d slots", len(cts), ctx.N)
@@ -122,58 +191,89 @@ func (p *Packer) Pack(ev *bfv.Evaluator, cts []lwe.Ciphertext) (*bfv.Ciphertext,
 			return nil, fmt.Errorf("pack: ciphertext %d has modulus %d, want t=%d", i, cts[i].Q, ctx.Params.T)
 		}
 	}
-	row := ctx.N / 2
 	gs := p.n / p.bs
 
-	// The plaintext multiplier for giant step a, baby step b is the matrix
-	// diagonal diag(a·bs+b)[i] = A[i][(col(i)+a·bs+b) mod n] pre-rotated by
-	// -a·bs; composing both permutations through the cached rotIdx table
-	// reduces it to one gather per slot.
-	d := p.dScratch
+	// One giant step costs bs diagonal gathers + encodes + plaintext
+	// products plus one rotation — always worth a worker; MinGrain 1 lets
+	// the fan-out engage even at gs of a few.
+	opts := par.Options{MinGrain: 1}
 	var acc *bfv.Ciphertext
-	for a := 0; a < gs; a++ {
-		src := p.rotIdx[a]
-		var inner *bfv.Ciphertext
-		for b := 0; b < p.bs; b++ {
-			j := a*p.bs + b
-			for i := range d {
-				s := src[i]
-				if s < len(cts) {
-					d[i] = int64(cts[s].A[(s%row+j)%p.n])
-				} else {
-					d[i] = 0
-				}
-			}
-			p.cod.EncodeSlotsInto(d, p.pt)
-			p.cod.LiftToMulInto(p.pt, p.pm)
-			if inner == nil {
-				inner = ev.MulPlain(p.babies[b], p.pm)
-			} else {
-				ev.MulPlainAndAdd(p.babies[b], p.pm, inner)
-			}
-		}
-		if a > 0 {
-			var err error
-			inner, err = ev.RotateRows(inner, a*p.bs)
+	if opts.Workers(gs) <= 1 {
+		// Serial path: reuse the caller scratch across all (a, b).
+		for a := 0; a < gs; a++ {
+			inner, err := p.giantStep(ev, sc.cod, sc.d, sc.pt, sc.pm, cts, a)
 			if err != nil {
 				return nil, err
 			}
+			if acc == nil {
+				acc = inner
+			} else {
+				ev.AddInPlace(acc, inner)
+			}
 		}
-		if acc == nil {
-			acc = inner
-		} else {
-			ev.AddInPlace(acc, inner)
+	} else {
+		inners := make([]*bfv.Ciphertext, gs)
+		errs := make([]error, gs)
+		pool := sc.lanePool(ev)
+		par.ForEach(gs, opts, func(w, a int) {
+			ln := pool.Get(w)
+			inners[a], errs[a] = p.giantStep(ln.ev, ln.cod, ln.d, ln.pt, ln.pm, cts, a)
+		})
+		for a := 0; a < gs; a++ {
+			if errs[a] != nil {
+				return nil, errs[a]
+			}
+			if acc == nil {
+				acc = inners[a]
+			} else {
+				ev.AddInPlace(acc, inners[a])
+			}
 		}
 	}
 
 	// Add the b terms as a plaintext, reusing the diagonal scratch.
+	d := sc.d
 	for i := range d {
 		d[i] = 0
 	}
 	for i := range cts {
 		d[i] = int64(cts[i].B)
 	}
-	p.cod.EncodeSlotsInto(d, p.pt)
-	out := ev.AddPlain(acc, p.pt)
+	sc.cod.EncodeSlotsInto(d, sc.pt)
+	out := ev.AddPlain(acc, sc.pt)
 	return out, nil
+}
+
+// giantStep computes giant step a of the BSGS product: the baby-step
+// inner sum Σ_b babies[b]·diag(a·bs+b), pre-rotated by a·bs. The
+// plaintext multiplier for giant step a, baby step b is the matrix
+// diagonal diag(a·bs+b)[i] = A[i][(col(i)+a·bs+b) mod n] pre-rotated by
+// -a·bs; composing both permutations through the cached rotIdx table
+// reduces it to one gather per slot.
+func (p *Packer) giantStep(ev *bfv.Evaluator, cod *bfv.Encoder, d []int64, pt *bfv.Plaintext, pm *bfv.PlaintextMul, cts []lwe.Ciphertext, a int) (*bfv.Ciphertext, error) {
+	row := p.ctx.N / 2
+	src := p.rotIdx[a]
+	var inner *bfv.Ciphertext
+	for b := 0; b < p.bs; b++ {
+		j := a*p.bs + b
+		for i := range d {
+			s := src[i]
+			if s < len(cts) {
+				d[i] = int64(cts[s].A[(s%row+j)%p.n])
+			} else {
+				d[i] = 0
+			}
+		}
+		cod.EncodeSlotsInto(d, pt)
+		cod.LiftToMulInto(pt, pm)
+		if inner == nil {
+			inner = ev.MulPlain(p.babies[b], pm)
+		} else {
+			ev.MulPlainAndAdd(p.babies[b], pm, inner)
+		}
+	}
+	if a > 0 {
+		return ev.RotateRows(inner, a*p.bs)
+	}
+	return inner, nil
 }

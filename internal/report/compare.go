@@ -1,0 +1,69 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ReadKernelBenchmarks loads a BENCH_kernels.json baseline written by
+// WriteKernelBenchmarks.
+func ReadKernelBenchmarks(path string) (map[string]KernelResult, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]KernelResult
+	if err := json.Unmarshal(blob, &out); err != nil {
+		return nil, fmt.Errorf("report: %s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("report: %s: empty baseline", path)
+	}
+	return out, nil
+}
+
+// CompareKernelBenchmarks renders a regression report of cur against
+// base. Rows whose ns/op grew by more than tol (fractional: 0.25 means
+// +25%) are flagged and returned by name. Rows present in only one of
+// the two sets are reported as new/missing but never flagged — adding a
+// kernel must not fail the gate, and a renamed kernel shows up as one
+// "missing" plus one "new" row for a human to resolve by re-baselining.
+func CompareKernelBenchmarks(base, cur map[string]KernelResult, tol float64) (string, []string) {
+	names := make([]string, 0, len(base)+len(cur))
+	seen := map[string]bool{}
+	for n := range base {
+		seen[n] = true
+		names = append(names, n)
+	}
+	for n := range cur {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var flagged []string
+	s := fmt.Sprintf("Kernel regression check (tolerance +%.0f%%)\n%-24s %14s %14s %12s\n",
+		tol*100, "kernel", "base ns/op", "ns/op", "delta")
+	for _, n := range names {
+		b, inBase := base[n]
+		c, inCur := cur[n]
+		switch {
+		case !inBase:
+			s += fmt.Sprintf("%-24s %14s %14d %12s\n", n, "-", c.NsOp, "new")
+		case !inCur:
+			s += fmt.Sprintf("%-24s %14d %14s %12s\n", n, b.NsOp, "-", "missing")
+		default:
+			ratio := float64(c.NsOp)/float64(b.NsOp) - 1
+			status := fmt.Sprintf("%+.1f%%", ratio*100)
+			if ratio > tol {
+				status += " !!"
+				flagged = append(flagged, n)
+			}
+			s += fmt.Sprintf("%-24s %14d %14d %12s\n", n, b.NsOp, c.NsOp, status)
+		}
+	}
+	return s, flagged
+}

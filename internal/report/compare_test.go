@@ -1,0 +1,54 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareKernelBenchmarksFlagsRegressions(t *testing.T) {
+	base := map[string]KernelResult{
+		"ntt_forward": {NsOp: 1000},
+		"pack":        {NsOp: 2000},
+		"gone":        {NsOp: 5},
+	}
+	cur := map[string]KernelResult{
+		"ntt_forward": {NsOp: 1200}, // +20%: inside a 25% tolerance
+		"pack":        {NsOp: 2600}, // +30%: regression
+		"fresh":       {NsOp: 7},    // new row: reported, never flagged
+	}
+	table, flagged := CompareKernelBenchmarks(base, cur, 0.25)
+	if len(flagged) != 1 || flagged[0] != "pack" {
+		t.Fatalf("flagged = %v, want [pack]", flagged)
+	}
+	for _, want := range []string{"+20.0%", "+30.0% !!", "new", "missing"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+
+	// Tightening the tolerance flags the +20% row too.
+	_, flagged = CompareKernelBenchmarks(base, cur, 0.1)
+	if len(flagged) != 2 {
+		t.Fatalf("flagged at tol=0.1: %v, want 2 rows", flagged)
+	}
+}
+
+func TestReadKernelBenchmarksRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	blob := `{"pack": {"ns_op": 42, "allocs_op": 1, "bytes_op": 64}}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadKernelBenchmarks(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["pack"].NsOp != 42 || got["pack"].BytesOp != 64 {
+		t.Fatalf("round trip: %+v", got["pack"])
+	}
+	if _, err := ReadKernelBenchmarks(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing baseline should error")
+	}
+}

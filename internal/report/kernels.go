@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -185,6 +186,24 @@ func KernelBenchmarks() (map[string]KernelResult, error) {
 			}
 		}
 	})
+
+	// Operator-level multicore rows: the same end-to-end inference with
+	// the worker count pinned to p. On machines with fewer than p cores
+	// the rows saturate at the hardware parallelism — compare them
+	// against the host's nproc when reading scaling numbers.
+	for _, procs := range []int{1, 2, 4, 8} {
+		procs := procs
+		record(fmt.Sprintf("EncryptedInference/p=%d", procs), func(b *testing.B) {
+			old := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(old)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Infer(net, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 	return out, nil
 }
 
