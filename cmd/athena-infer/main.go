@@ -5,6 +5,13 @@
 //
 //	athena-infer            # conv→conv→FC chain
 //	athena-infer -pool max  # adds an encrypted max-pooling layer
+//
+// With -connect, the inference instead runs against a remote
+// athena-serve instance: the client keeps its secret key, uploads only
+// the public evaluation material, and ships/receives ciphertexts over
+// the frame protocol.
+//
+//	athena-infer -connect 127.0.0.1:7700
 package main
 
 import (
@@ -15,6 +22,8 @@ import (
 	"os"
 
 	"athena"
+	"athena/internal/serve"
+	serveclient "athena/internal/serve/client"
 )
 
 func tinyConv(shape athena.ConvShape, act athena.Activation, mult float64, seed uint64) *athena.QConv {
@@ -43,11 +52,42 @@ func tinyConv(shape athena.ConvShape, act athena.Activation, mult float64, seed 
 	}
 }
 
+// runRemote drives a remote athena-serve instance hosting the built-in
+// wire-demo model: upload evaluation keys, stream n encrypted requests,
+// decrypt and check each reply against the plaintext reference.
+func runRemote(addr string, eng *athena.Engine, seed uint64, n int) {
+	net := serve.DemoNet()
+	c, err := serveclient.Dial(addr, eng, serveclient.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Println("uploading evaluation keys...")
+	id, err := c.OpenSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session %s\n", id)
+	for i := 0; i < n; i++ {
+		x := serve.DemoInput(seed + uint64(i))
+		got, err := c.Infer(net, x, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("request %d: encrypted logits %v  (plaintext %v)\n", i, got, net.ForwardInt(x).Data)
+	}
+	if snap, err := c.Stats(); err == nil {
+		fmt.Printf("server: %d batches, mean batch size %.2f\n", snap.Batches, snap.MeanBatchSize)
+	}
+}
+
 func main() {
 	pool := flag.String("pool", "none", "pooling layer: none, max, avg")
 	seed := flag.Uint64("seed", 42, "input seed")
 	load := flag.String("load", "", "run a saved model (JSON from QNetwork.WriteJSON) instead of the built-in demo")
 	preset := flag.String("preset", "test", "engine parameters: test (N=128,t=257) or medium (N=2048,t=65537); saved models generally need medium")
+	connect := flag.String("connect", "", "run against a remote athena-serve at this address instead of locally")
+	count := flag.Int("n", 1, "with -connect: number of requests to stream")
 	flag.Parse()
 
 	params := athena.TestParams()
@@ -62,6 +102,11 @@ func main() {
 	eng, err := athena.NewEngine(params)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *connect != "" {
+		runRemote(*connect, eng, *seed, *count)
+		return
 	}
 
 	var net *athena.QNetwork

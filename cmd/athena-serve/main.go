@@ -1,0 +1,110 @@
+// Command athena-serve runs the Athena inference server: clients
+// upload their public evaluation keys once (sessions are
+// content-addressed and survive reconnects), then stream encrypted
+// inference requests; the server coalesces concurrent requests into
+// shared functional-bootstrapping batches and answers with encrypted
+// logits it cannot read.
+//
+//	athena-serve                         # demo model, test parameters
+//	athena-serve -addr :7700 -admin :7701
+//	athena-serve -preset medium -model model.json
+//
+// SIGINT/SIGTERM drains gracefully: queued and in-flight requests
+// complete, new ones are rejected with DRAINING, then the process
+// exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"athena/internal/core"
+	"athena/internal/qnn"
+	"athena/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "inference listen address")
+	admin := flag.String("admin", "", "admin HTTP listen address serving GET /metrics (empty = disabled)")
+	preset := flag.String("preset", "test", "engine parameters: test (N=128,t=257) or medium (N=2048,t=65537)")
+	modelPath := flag.String("model", "", "serve a saved model (JSON from QNetwork.WriteJSON) instead of the built-in wire-demo")
+	maxBatch := flag.Int("max-batch", 16, "flush a batch at this many requests")
+	maxWait := flag.Duration("max-wait", 25*time.Millisecond, "flush a non-full batch this long after its first request")
+	queue := flag.Int("queue", 64, "admission queue bound; beyond it requests get BUSY")
+	executors := flag.Int("executors", 2, "concurrent batch evaluators")
+	memCap := flag.Int64("mem-cap", 0, "session key-material cap in bytes (0 = 1 GiB)")
+	flag.Parse()
+
+	params := core.TestParams()
+	switch *preset {
+	case "test":
+	case "medium":
+		params = core.MediumParams()
+	default:
+		log.Fatalf("unknown preset %q", *preset)
+	}
+
+	models := map[string]*qnn.QNetwork{}
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, err := qnn.ReadJSONNetwork(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		models[q.Name] = q
+		fmt.Printf("serving model %q (%dx%dx%d input)\n", q.Name, q.InC, q.InH, q.InW)
+	} else {
+		demo := serve.DemoNet()
+		models[demo.Name] = demo
+		fmt.Printf("serving built-in model %q\n", demo.Name)
+	}
+
+	srv, err := serve.NewServer(serve.Config{
+		Params:      params,
+		Models:      models,
+		MaxBatch:    *maxBatch,
+		MaxWait:     *maxWait,
+		MaxQueue:    *queue,
+		Executors:   *executors,
+		MemCapBytes: *memCap,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *admin != "" {
+		go func() {
+			fmt.Printf("admin /metrics on http://%s/metrics\n", *admin)
+			if err := http.ListenAndServe(*admin, srv.AdminHandler()); err != nil {
+				log.Printf("admin listener: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("\n%v: draining (in-flight requests will complete)...\n", s)
+		srv.Shutdown()
+	}()
+
+	fmt.Printf("athena-serve listening on %s (preset %s, max-batch %d, max-wait %v, queue %d)\n",
+		*addr, *preset, *maxBatch, *maxWait, *queue)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+	snap := srv.Metrics()
+	fmt.Printf("drained: %d requests completed in %d batches (mean batch %.2f), %d sessions opened\n",
+		snap.Requests.Completed, snap.Batches, snap.MeanBatchSize, snap.Sessions.Opened)
+}

@@ -1,12 +1,13 @@
-// clientserver: the Athena inference protocol over a real TCP socket.
+// clientserver: the Athena serving stack over a real TCP socket.
 //
-// A server goroutine holds the evaluation side; the client encrypts its
-// input, ships it over the wire, and decrypts the returned encrypted
-// logits. The exchange uses the repository's binary wire formats — the
-// same bytes a cross-machine deployment would move. (Both sides derive
-// their key material from a shared seed here; in a real deployment the
-// client generates keys and ships only the public/evaluation material,
-// which has its own serialization — see cmd/athena-keygen.)
+// A serve.Server hosts the demo model; the client generates its own
+// keys, uploads only the public evaluation material (the secret key
+// never leaves the client), and streams several encrypted inference
+// requests concurrently. The server's dynamic batcher coalesces them
+// into shared functional-bootstrapping rounds — watch the mean batch
+// size in the final stats line. The bytes on the wire are the
+// repository's real formats: core.WriteEvalKeys for the session open,
+// core.WriteEncryptedInput / WriteEncryptedLogits inside each frame.
 //
 //	go run ./examples/clientserver
 package main
@@ -14,114 +15,78 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand/v2"
 	"net"
+	"sync"
+	"time"
 
-	"athena"
+	"athena/internal/core"
+	"athena/internal/qnn"
+	"athena/internal/serve"
+	"athena/internal/serve/client"
 )
 
-func buildNet() *athena.QNetwork {
-	rng := rand.New(rand.NewPCG(7, 8))
-	mk := func(shape athena.ConvShape, act athena.Activation, mult float64) *athena.QConv {
-		w := make([][][][]int64, shape.Cout)
-		for co := range w {
-			w[co] = make([][][]int64, shape.Cin)
-			for ci := range w[co] {
-				w[co][ci] = make([][]int64, shape.K)
-				for i := range w[co][ci] {
-					w[co][ci][i] = make([]int64, shape.K)
-					for j := range w[co][ci][i] {
-						w[co][ci][i][j] = int64(rng.IntN(3)) - 1
-					}
-				}
-			}
-		}
-		return &athena.QConv{Shape: shape, Weights: w, Bias: make([]int64, shape.Cout),
-			Act: act, Multiplier: mult, ActBits: 4, MaxAcc: 120, IsDense: shape.H == 1}
-	}
-	return &athena.QNetwork{
-		Name: "wire-demo", InC: 1, InH: 6, InW: 6, WBits: 2, ABits: 4, InScale: 1,
-		Blocks: []athena.QBlock{athena.QSeq{
-			mk(athena.ConvShape{H: 6, W: 6, Cin: 1, Cout: 2, K: 3, Stride: 1, Pad: 1}, athena.ActReLU, 1.0/8),
-			mk(athena.FCShape(2*6*6, 4), athena.ActNone, 1.0/4),
-		}},
-	}
-}
-
 func main() {
-	params := athena.TestParams()
-	net1 := buildNet()
+	params := core.TestParams()
+	model := serve.DemoNet()
 
-	fmt.Println("== Athena inference over TCP ==")
-	fmt.Println("deriving key material (shared seed)...")
-	serverEng, err := athena.NewEngine(params)
+	fmt.Println("== Athena inference service over TCP ==")
+	srv, err := serve.NewServer(serve.Config{
+		Params:  params,
+		Models:  map[string]*qnn.QNetwork{model.Name: model},
+		MaxWait: 200 * time.Millisecond, // generous: let the burst coalesce
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	clientEng, err := athena.NewEngine(params)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ln.Close()
+	go srv.Serve(ln)
 	fmt.Println("server listening on", ln.Addr())
 
-	done := make(chan error, 1)
-	go func() { // the server: sees only ciphertexts
-		conn, err := ln.Accept()
-		if err != nil {
-			done <- err
-			return
-		}
-		defer conn.Close()
-		in, err := serverEng.ReadEncryptedInput(net1, conn)
-		if err != nil {
-			done <- err
-			return
-		}
-		fmt.Printf("server: received %d input ciphertext(s), evaluating...\n", in.Size())
-		out, err := serverEng.EvaluateEncrypted(net1, in)
-		if err != nil {
-			done <- err
-			return
-		}
-		done <- serverEng.WriteEncryptedLogits(out, conn)
-	}()
+	// The client generates its own keys and uploads only the public
+	// evaluation bundle; the server never sees sk.
+	fmt.Println("client: generating keys (BFV + LWE keyswitch + packing)...")
+	eng, err := core.NewEngine(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := client.Dial(ln.Addr().String(), eng, client.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	id, err := c.OpenSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: session %s (content-addressed: same keys → same session)\n", id)
 
-	// The client: encrypts, sends, receives, decrypts.
-	conn, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		log.Fatal(err)
+	// Fire a concurrent burst; the batcher folds it into few shared-FBS
+	// evaluation rounds.
+	const burst = 4
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			x := serve.DemoInput(uint64(9 + i))
+			logits, err := c.Infer(model, x, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("request %d: decrypted logits %v  (plaintext %v)\n",
+				i, logits, model.ForwardInt(x).Data)
+		}(i)
 	}
-	defer conn.Close()
+	wg.Wait()
 
-	rng := rand.New(rand.NewPCG(9, 10))
-	x := athena.NewIntTensor(1, 6, 6)
-	for i := range x.Data {
-		x.Data[i] = int64(rng.IntN(8))
-	}
-	in, err := clientEng.EncryptInput(net1, x)
+	snap, err := c.Stats()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := clientEng.WriteEncryptedInput(in, conn); err != nil {
-		log.Fatal(err)
-	}
-	out, err := clientEng.ReadEncryptedLogits(net1, conn)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := <-done; err != nil {
-		log.Fatal(err)
-	}
-	logits, err := clientEng.DecryptLogits(out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("client: decrypted logits  %v\n", logits)
-	fmt.Printf("plaintext reference       %v\n", net1.ForwardInt(x).Data)
+	fmt.Printf("server: %d requests in %d batches — mean batch size %.2f, %d FBS calls\n",
+		snap.Requests.Completed, snap.Batches, snap.MeanBatchSize, snap.Ops.FBSCalls)
+	srv.Shutdown()
 }

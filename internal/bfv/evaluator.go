@@ -53,6 +53,9 @@ func NewEvaluator(ctx *Context, keys *KeySet) *Evaluator {
 	return &Evaluator{ctx: ctx, keys: keys, sc: &evalScratch{}}
 }
 
+// Keys returns the evaluator's key set (read-only; shared, not copied).
+func (ev *Evaluator) Keys() *KeySet { return ev.keys }
+
 // ShallowCopy returns an evaluator sharing ev's context and keys but
 // owning a fresh scratch arena, for use from another goroutine.
 func (ev *Evaluator) ShallowCopy() *Evaluator {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 
 	"athena/internal/ring"
 )
@@ -253,10 +254,18 @@ func (c *Context) WriteKeySet(ks *KeySet, w io.Writer) error {
 	} else {
 		ww.u64(0)
 	}
+	// Sorted element order keeps the encoding deterministic, so equal
+	// key sets serialize to equal bytes (content-addressed session IDs
+	// in the serving layer depend on this).
+	els := make([]uint64, 0, len(ks.Galois))
+	for g := range ks.Galois {
+		els = append(els, g)
+	}
+	sort.Slice(els, func(i, j int) bool { return els[i] < els[j] })
 	ww.u64(uint64(len(ks.Galois)))
-	for g, gk := range ks.Galois {
+	for _, g := range els {
 		ww.u64(g)
-		writeSwk(&gk.SwitchingKey)
+		writeSwk(&ks.Galois[g].SwitchingKey)
 	}
 	if ww.err != nil {
 		return ww.err

@@ -30,11 +30,6 @@ func (e *Engine) InferBatch(q *qnn.QNetwork, xs []*qnn.IntTensor) ([][]int64, er
 	if len(q.Blocks) == 0 {
 		return nil, fmt.Errorf("core: empty network")
 	}
-	defer e.flushStats()
-	e.netABits = q.ABits
-	if e.netABits < 2 {
-		e.netABits = 8
-	}
 	// Encryption stays serial: it consumes the engine's PRNG stream, and
 	// the ciphertext bytes must not depend on scheduling.
 	states := make([]*inferState, len(xs))
@@ -45,55 +40,8 @@ func (e *Engine) InferBatch(q *qnn.QNetwork, xs []*qnn.IntTensor) ([][]int64, er
 		}
 		states[i] = st
 	}
-
-	// Per-image work fans out across the worker group; every image is a
-	// heavy item (at least one linear layer), so no cost floor applies.
-	imgOpts := par.Options{MinGrain: 1}
-	for bi, b := range q.Blocks {
-		last := bi == len(q.Blocks)-1
-		seq, ok := b.(qnn.QSeq)
-		if !ok {
-			// Residual blocks fall back to per-image evaluation (their
-			// joins interleave linear and non-linear work image-locally).
-			r := b.(*qnn.QResidual)
-			errs := make([]error, len(states))
-			e.w0.forEach(len(states), imgOpts, func(ln *evalWorker, i int) {
-				st, err := ln.residualBlock(r, states[i])
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				states[i] = st
-			})
-			if err := firstErr(errs); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		for oi, op := range seq {
-			lastOp := last && oi == len(seq)-1
-			// Shared materialization: when every image carries the same
-			// pending LUT, apply it across the batch in shared packs.
-			// This is the batch's FBS barrier; the per-image loop below
-			// resumes fan-out once it completes.
-			if _, isConv := op.(*qnn.QConv); isConv && states[0].vs != nil && states[0].vs.pending != nil {
-				if err := e.w0.materializeBatch(states); err != nil {
-					return nil, err
-				}
-			}
-			errs := make([]error, len(states))
-			e.w0.forEach(len(states), imgOpts, func(ln *evalWorker, i int) {
-				st, err := ln.applyOp(op, states[i], lastOp)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				states[i] = st
-			})
-			if err := firstErr(errs); err != nil {
-				return nil, err
-			}
-		}
+	if err := e.evaluateStates(q, states); err != nil {
+		return nil, err
 	}
 
 	out := make([][]int64, len(xs))
@@ -108,6 +56,104 @@ func (e *Engine) InferBatch(q *qnn.QNetwork, xs []*qnn.IntTensor) ([][]int64, er
 		out[i] = logits
 	}
 	return out, nil
+}
+
+// EvaluateEncryptedBatch is the server-side batching entry point: it
+// runs the network over a batch of independently encrypted inputs
+// (all under this engine's keys), sharing the functional-bootstrapping
+// rounds across the batch exactly as InferBatch does, and returns one
+// encrypted logits bundle per input, in order. Only public evaluation
+// material is used, so it works on evaluation-only engines.
+func (e *Engine) EvaluateEncryptedBatch(q *qnn.QNetwork, ins []*EncryptedInput) ([]*EncryptedLogits, error) {
+	if len(ins) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	states := make([]*inferState, len(ins))
+	for i, in := range ins {
+		if in == nil {
+			return nil, fmt.Errorf("core: input %d is nil", i)
+		}
+		if in.model != q.Name {
+			return nil, fmt.Errorf("core: input %d encrypted for model %q, evaluating %q", i, in.model, q.Name)
+		}
+		states[i] = &inferState{firstInputs: in.inputs, firstPlan: in.plan}
+	}
+	if err := e.evaluateStates(q, states); err != nil {
+		return nil, err
+	}
+	out := make([]*EncryptedLogits, len(ins))
+	for i, st := range states {
+		if st == nil || st.final == nil {
+			return nil, errNoFinal
+		}
+		out[i] = &EncryptedLogits{model: q.Name, final: st.final}
+	}
+	return out, nil
+}
+
+// evaluateStates drives the shared-FBS batch loop over prepared
+// per-image states: per-image linear work fans out across the worker
+// lanes, and pending activations of all images are applied together in
+// shared packs at each FBS barrier.
+func (e *Engine) evaluateStates(q *qnn.QNetwork, states []*inferState) error {
+	defer e.flushStats()
+	e.netABits = q.ABits
+	if e.netABits < 2 {
+		e.netABits = 8
+	}
+	// Per-image work fans out across the worker group; every image is a
+	// heavy item (at least one linear layer), so no cost floor applies.
+	imgOpts := par.Options{MinGrain: 1}
+	for bi, b := range q.Blocks {
+		last := bi == len(q.Blocks)-1
+		seq, ok := b.(qnn.QSeq)
+		if !ok {
+			// Residual blocks fall back to per-image evaluation (their
+			// joins interleave linear and non-linear work image-locally).
+			r, ok := b.(*qnn.QResidual)
+			if !ok {
+				return fmt.Errorf("core: unsupported block %T", b)
+			}
+			errs := make([]error, len(states))
+			e.w0.forEach(len(states), imgOpts, func(ln *evalWorker, i int) {
+				st, err := ln.residualBlock(r, states[i])
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				states[i] = st
+			})
+			if err := firstErr(errs); err != nil {
+				return err
+			}
+			continue
+		}
+		for oi, op := range seq {
+			lastOp := last && oi == len(seq)-1
+			// Shared materialization: when every image carries the same
+			// pending LUT, apply it across the batch in shared packs.
+			// This is the batch's FBS barrier; the per-image loop below
+			// resumes fan-out once it completes.
+			if _, isConv := op.(*qnn.QConv); isConv && states[0].vs != nil && states[0].vs.pending != nil {
+				if err := e.w0.materializeBatch(states); err != nil {
+					return err
+				}
+			}
+			errs := make([]error, len(states))
+			e.w0.forEach(len(states), imgOpts, func(ln *evalWorker, i int) {
+				st, err := ln.applyOp(op, states[i], lastOp)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				states[i] = st
+			})
+			if err := firstErr(errs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // materializeBatch applies the (shared) pending LUT of all images'

@@ -67,6 +67,42 @@ type OpStats struct {
 
 // NewEngine generates all key material for params.
 func NewEngine(p Params) (*Engine, error) {
+	e, err := newEngineShell(p)
+	if err != nil {
+		return nil, err
+	}
+	ctx := e.Ctx
+	kg := bfv.NewKeyGenerator(ctx, p.Seed)
+	e.sk = kg.GenSecretKey()
+	pk := kg.GenPublicKey(e.sk)
+	e.enc = bfv.NewEncryptor(ctx, pk, p.Seed^0xeac7)
+	e.dec = bfv.NewDecryptor(ctx, e.sk)
+
+	// LWE material: the ring secret's coefficient vector is the
+	// extraction-side key; a fresh dimension-n key receives it.
+	e.lweSK = lwe.NewSecretKey(p.LWEDim, p.Seed^0x17e)
+	ringSK := &lwe.SecretKey{S: e.sk.Signed}
+	e.ksk = lwe.NewKeySwitchKey(ringSK, e.lweSK, p.QMid(), p.KSBase, p.Sigma, p.Seed^0x55)
+
+	e.packer, err = pack.NewPacker(ctx, e.enc, e.lweSK)
+	if err != nil {
+		return nil, err
+	}
+	e.s2c, err = pack.CompileTransform(ctx, pack.S2CMatrix(ctx))
+	if err != nil {
+		return nil, err
+	}
+
+	els := pack.DedupGalois(e.packer.GaloisElements(), e.s2c.GaloisElements())
+	keys := kg.GenKeySet(e.sk, els)
+	e.finish(keys)
+	return e, nil
+}
+
+// newEngineShell validates params and builds the keyless engine frame
+// shared by the client-side (NewEngine) and server-side
+// (NewEvaluationEngine) constructors.
+func newEngineShell(p Params) (*Engine, error) {
 	bp, err := p.BFVParameters()
 	if err != nil {
 		return nil, err
@@ -89,36 +125,19 @@ func NewEngine(p Params) (*Engine, error) {
 		divs:  make(map[int]*fbs.Evaluator),
 	}
 	e.tMod = ring.NewModulus(p.T)
-	kg := bfv.NewKeyGenerator(ctx, p.Seed)
-	e.sk = kg.GenSecretKey()
-	pk := kg.GenPublicKey(e.sk)
-	e.enc = bfv.NewEncryptor(ctx, pk, p.Seed^0xeac7)
-	e.dec = bfv.NewDecryptor(ctx, e.sk)
 	e.cod = bfv.NewEncoder(ctx)
+	return e, nil
+}
 
-	// LWE material: the ring secret's coefficient vector is the
-	// extraction-side key; a fresh dimension-n key receives it.
-	e.lweSK = lwe.NewSecretKey(p.LWEDim, p.Seed^0x17e)
-	ringSK := &lwe.SecretKey{S: e.sk.Signed}
-	e.ksk = lwe.NewKeySwitchKey(ringSK, e.lweSK, p.QMid(), p.KSBase, p.Sigma, p.Seed^0x55)
-
-	e.packer, err = pack.NewPacker(ctx, e.enc, e.lweSK)
-	if err != nil {
-		return nil, err
-	}
-	e.s2c, err = pack.CompileTransform(ctx, pack.S2CMatrix(ctx))
-	if err != nil {
-		return nil, err
-	}
-
-	els := pack.DedupGalois(e.packer.GaloisElements(), e.s2c.GaloisElements())
-	keys := kg.GenKeySet(e.sk, els)
+// finish installs the evaluation keys and builds the worker group; the
+// packer, keyswitch key, and S2C transform must already be in place.
+func (e *Engine) finish(keys *bfv.KeySet) {
+	ctx := e.Ctx
 	e.ev = bfv.NewEvaluator(ctx, keys)
 	e.w0 = e.newWorker(e.ev, e.cod, true)
 	e.lanes = par.NewPool(func() *evalWorker {
 		return e.newWorker(e.ev.ShallowCopy(), bfv.NewEncoder(ctx), false)
 	})
-	return e, nil
 }
 
 // vkey identifies one activation value in (channel, y, x) coordinates.

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"athena/internal/coeffenc"
+	"athena/internal/qnn"
+)
+
+// testNet builds the tiny deterministic conv→FC network used across the
+// eval-keys tests.
+func evalKeysTestNet() *qnn.QNetwork {
+	rng := rand.New(rand.NewPCG(3, 4))
+	mk := func(shape coeffenc.ConvShape, act qnn.Activation, mult float64) *qnn.QConv {
+		w := make([][][][]int64, shape.Cout)
+		for co := range w {
+			w[co] = make([][][]int64, shape.Cin)
+			for ci := range w[co] {
+				w[co][ci] = make([][]int64, shape.K)
+				for i := range w[co][ci] {
+					w[co][ci][i] = make([]int64, shape.K)
+					for j := range w[co][ci][i] {
+						w[co][ci][i][j] = int64(rng.IntN(3)) - 1
+					}
+				}
+			}
+		}
+		return &qnn.QConv{Shape: shape, Weights: w, Bias: make([]int64, shape.Cout),
+			Act: act, Multiplier: mult, ActBits: 4, MaxAcc: 120}
+	}
+	return &qnn.QNetwork{
+		Name: "evalkeys-test", InC: 1, InH: 4, InW: 4, WBits: 2, ABits: 4, InScale: 1,
+		Blocks: []qnn.QBlock{qnn.QSeq{
+			// The 1/16 first-layer multiplier keeps activations ≤ 3, so the
+			// 32-input FC accumulator stays well inside t/2 = 128.
+			mk(coeffenc.ConvShape{H: 4, W: 4, Cin: 1, Cout: 2, K: 3, Stride: 1, Pad: 1}, qnn.ActReLU, 1.0/16),
+			mk(coeffenc.FCShape(2*4*4, 3), qnn.ActNone, 1.0/4),
+		}},
+	}
+}
+
+// TestEvaluationEngineMatchesFullEngine exports eval keys from a full
+// engine, rebuilds an evaluation-only engine from the wire bytes, and
+// checks that the server-side engine produces ciphertexts the client
+// decrypts to the same logits as a fully local run.
+func TestEvaluationEngineMatchesFullEngine(t *testing.T) {
+	p := TestParams()
+	client, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := client.WriteEvalKeys(&blob); err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewEvaluationEngineFromReader(p, bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := evalKeysTestNet()
+	x := qnn.NewIntTensor(1, 4, 4)
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := range x.Data {
+		x.Data[i] = int64(rng.IntN(8))
+	}
+	in, err := client.EncryptInput(net, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := server.EvaluateEncrypted(net, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.DecryptLogits(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The usual ±2 e_ms tolerance of single-image runs applies: the
+	// server ran on uploaded keys, but the noise mechanics are unchanged.
+	ref := net.ForwardInt(x).Data
+	for i := range got {
+		if d := got[i] - ref[i]; d < -2 || d > 2 {
+			t.Fatalf("logit %d: evaluation engine %d, plaintext %d", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestEvaluationEngineBatch runs the batched server entry point on an
+// evaluation-only engine and checks each image's decrypted logits.
+func TestEvaluationEngineBatch(t *testing.T) {
+	p := TestParams()
+	client, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := client.WriteEvalKeys(&blob); err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewEvaluationEngineFromReader(p, bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := evalKeysTestNet()
+	rng := rand.New(rand.NewPCG(11, 13))
+	const B = 3
+	ins := make([]*EncryptedInput, B)
+	xs := make([]*qnn.IntTensor, B)
+	for b := 0; b < B; b++ {
+		x := qnn.NewIntTensor(1, 4, 4)
+		for i := range x.Data {
+			x.Data[i] = int64(rng.IntN(8))
+		}
+		xs[b] = x
+		ins[b], err = client.EncryptInput(net, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	outs, err := server.EvaluateEncryptedBatch(net, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != B {
+		t.Fatalf("got %d outputs, want %d", len(outs), B)
+	}
+	for b := range outs {
+		got, err := client.DecryptLogits(outs[b])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := net.ForwardInt(xs[b]).Data
+		for i := range got {
+			// Batched runs allow the slightly wider e_ms tolerance the
+			// repo's InferBatch tests use.
+			if d := got[i] - want[i]; d < -3 || d > 3 {
+				t.Fatalf("image %d logit %d: got %d, plaintext %d", b, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEvaluationEngineRefusesClientOps checks the typed error on
+// secret-key operations.
+func TestEvaluationEngineRefusesClientOps(t *testing.T) {
+	p := TestParams()
+	client, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := client.WriteEvalKeys(&blob); err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewEvaluationEngineFromReader(p, bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := evalKeysTestNet()
+	if _, err := server.EncryptInput(net, qnn.NewIntTensor(1, 4, 4)); err != ErrNoSecretKey {
+		t.Fatalf("EncryptInput: got %v, want ErrNoSecretKey", err)
+	}
+	if _, err := server.DecryptLogits(&EncryptedLogits{}); err != ErrNoSecretKey {
+		t.Fatalf("DecryptLogits: got %v, want ErrNoSecretKey", err)
+	}
+}
+
+// TestEvalKeysDeterministicEncoding pins the property the serving
+// layer's content-addressed session IDs rely on: serializing the same
+// key material twice yields identical bytes.
+func TestEvalKeysDeterministicEncoding(t *testing.T) {
+	eng, err := NewEngine(TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := eng.WriteEvalKeys(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.WriteEvalKeys(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("eval-keys encoding is not deterministic")
+	}
+}
+
+// TestEvalKeysMalformed feeds truncated and corrupted bundles to the
+// decoder: every case must return an error (never panic or succeed).
+func TestEvalKeysMalformed(t *testing.T) {
+	p := TestParams()
+	eng, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := eng.WriteEvalKeys(&blob); err != nil {
+		t.Fatal(err)
+	}
+	good := blob.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, frac := range []float64{0, 0.01, 0.5, 0.99} {
+			n := int(float64(len(good)) * frac)
+			if _, err := mustCodec(t, p).ReadEvalKeys(bytes.NewReader(good[:n])); err == nil {
+				t.Fatalf("truncation to %d bytes: decoder accepted", n)
+			}
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] ^= 0xff
+		if _, err := mustCodec(t, p).ReadEvalKeys(bytes.NewReader(bad)); err == nil {
+			t.Fatal("corrupted magic accepted")
+		}
+	})
+	t.Run("wrong-params", func(t *testing.T) {
+		p2 := p
+		p2.LWEDim = 64
+		if _, err := mustCodec(t, p2).ReadEvalKeys(bytes.NewReader(good)); err == nil {
+			t.Fatal("parameter mismatch accepted")
+		}
+	})
+	t.Run("bit-flips", func(t *testing.T) {
+		// Flip one byte at a spread of offsets; the decoder must never
+		// panic. (It may legitimately succeed when the flip lands in a
+		// ciphertext coefficient that stays in range.)
+		for off := 0; off < len(good); off += len(good)/64 + 1 {
+			bad := append([]byte(nil), good...)
+			bad[off] ^= 0x40
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("offset %d: panic %v", off, r)
+					}
+				}()
+				_, _ = mustCodec(t, p).ReadEvalKeys(bytes.NewReader(bad))
+			}()
+		}
+	})
+}
+
+// mustCodec builds an EvalKeyCodec or fails the test.
+func mustCodec(t *testing.T, p Params) *EvalKeyCodec {
+	t.Helper()
+	c, err := NewEvalKeyCodec(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

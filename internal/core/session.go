@@ -38,6 +38,9 @@ type EncryptedLogits struct {
 // EncryptInput encodes and encrypts the quantized input for the
 // network's first linear layer (the client-side prologue).
 func (e *Engine) EncryptInput(q *qnn.QNetwork, x *qnn.IntTensor) (*EncryptedInput, error) {
+	if e.enc == nil {
+		return nil, ErrNoSecretKey
+	}
 	st, err := e.encryptInput(q, x)
 	if err != nil {
 		return nil, err
@@ -88,6 +91,9 @@ func (e *Engine) EvaluateEncrypted(q *qnn.QNetwork, in *EncryptedInput) (*Encryp
 // DecryptLogits recovers the output logits (the client-side epilogue:
 // decryption plus the final remap in the clear).
 func (e *Engine) DecryptLogits(out *EncryptedLogits) ([]int64, error) {
+	if e.dec == nil {
+		return nil, ErrNoSecretKey
+	}
 	if out == nil || out.final == nil {
 		return nil, errNoFinal
 	}

@@ -17,7 +17,9 @@ import (
 // attacker can trigger at will.
 //
 // Entry points are the functions named Read*/read* declared in the wire
-// files (bfv/serialize.go, lwe/serialize.go, core/wire.go). The walk is
+// files (bfv/serialize.go, lwe/serialize.go, core/wire.go,
+// core/evalkeys.go) plus the Read*/Decode* frame and payload decoders of
+// the serving protocol (serve/proto.go). The walk is
 // static and module-internal: calls through function values, interface
 // methods, and the standard library are treated as boundaries. That
 // under-approximates reachability, so keep wire code first-order — which
@@ -45,6 +47,8 @@ func NewPanicFreeWire() *PanicFreeWire {
 		{Pkg: "internal/bfv", File: "serialize.go", Prefixes: rw},
 		{Pkg: "internal/lwe", File: "serialize.go", Prefixes: rw},
 		{Pkg: "internal/core", File: "wire.go", Prefixes: rw},
+		{Pkg: "internal/core", File: "evalkeys.go", Prefixes: rw},
+		{Pkg: "internal/serve", File: "proto.go", Prefixes: []string{"Read", "read", "Decode"}},
 	}}
 }
 

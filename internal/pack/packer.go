@@ -130,14 +130,31 @@ func NewPacker(ctx *bfv.Context, enc *bfv.Encryptor, sk *lwe.SecretKey) (*Packer
 	}
 	cod := bfv.NewEncoder(ctx)
 	bs := BabySteps(n)
-	p := &Packer{ctx: ctx, n: n, bs: bs, babies: make([]*bfv.Ciphertext, bs)}
+	babies := make([]*bfv.Ciphertext, bs)
 	vals := make([]int64, ctx.N)
 	for b := 0; b < bs; b++ {
 		for i := 0; i < ctx.N; i++ {
 			vals[i] = sk.S[(i%row+b)%n]
 		}
-		p.babies[b] = enc.Encrypt(cod.EncodeSlots(vals))
+		babies[b] = enc.Encrypt(cod.EncodeSlots(vals))
 	}
+	return NewPackerFromKeys(ctx, n, babies)
+}
+
+// NewPackerFromKeys rebuilds a packer from its public key material: the
+// pre-rotated baby-step encryptions of the LWE secret (see NewPacker).
+// This is the server-side constructor of a deployment where the client
+// generates keys and uploads Keys(); no secret material is involved.
+func NewPackerFromKeys(ctx *bfv.Context, n int, babies []*bfv.Ciphertext) (*Packer, error) {
+	row := ctx.N / 2
+	if n <= 0 || n > row || row%n != 0 {
+		return nil, fmt.Errorf("pack: LWE dimension %d must divide the row size %d", n, row)
+	}
+	bs := BabySteps(n)
+	if len(babies) != bs {
+		return nil, fmt.Errorf("pack: %d packing keys, dimension %d needs %d", len(babies), n, bs)
+	}
+	p := &Packer{ctx: ctx, n: n, bs: bs, babies: babies}
 	gs := n / bs
 	p.rotIdx = make([][]int, gs)
 	for a := 0; a < gs; a++ {
@@ -151,6 +168,11 @@ func NewPacker(ctx *bfv.Context, enc *bfv.Encryptor, sk *lwe.SecretKey) (*Packer
 	p.sc = p.NewScratch()
 	return p, nil
 }
+
+// Keys exposes the packer's public key material for serialization: the
+// LWE dimension and the baby-step packing-key ciphertexts. The returned
+// slice is the packer's own (treat as read-only).
+func (p *Packer) Keys() (n int, babies []*bfv.Ciphertext) { return p.n, p.babies }
 
 // GaloisElements returns the rotation elements the evaluator needs:
 // multiples of the baby-step count.

@@ -20,11 +20,16 @@ import (
 )
 
 // KernelResult is one row of the kernel benchmark report: the schema of
-// BENCH_kernels.json is  name -> {ns_op, allocs_op, bytes_op}.
+// BENCH_kernels.json is  name -> {ns_op, allocs_op, bytes_op}. The
+// serving rows (ServeThroughput/clients=N) additionally carry the
+// realized requests/sec and mean batch size; ns_op there is wall time
+// per request, so the regression gate covers them uniformly.
 type KernelResult struct {
-	NsOp     int64 `json:"ns_op"`
-	AllocsOp int64 `json:"allocs_op"`
-	BytesOp  int64 `json:"bytes_op"`
+	NsOp      int64   `json:"ns_op"`
+	AllocsOp  int64   `json:"allocs_op"`
+	BytesOp   int64   `json:"bytes_op"`
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
+	MeanBatch float64 `json:"mean_batch,omitempty"`
 }
 
 // kernelNTTRing builds the ring used by the standalone NTT kernel rows: a
@@ -204,6 +209,12 @@ func KernelBenchmarks() (map[string]KernelResult, error) {
 			}
 		})
 	}
+
+	// Serving-layer rows: end-to-end throughput through athena-serve at
+	// increasing client concurrency.
+	if err := serveThroughputRows(out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -265,10 +276,14 @@ func Kernels() string {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	s := fmt.Sprintf("Kernel microbenchmarks (test scale; NTT at N=2^12)\n%-14s %14s %12s %14s\n", "kernel", "ns/op", "allocs/op", "B/op")
+	s := fmt.Sprintf("Kernel microbenchmarks (test scale; NTT at N=2^12)\n%-26s %14s %12s %14s\n", "kernel", "ns/op", "allocs/op", "B/op")
 	for _, n := range names {
 		r := res[n]
-		s += fmt.Sprintf("%-14s %14d %12d %14d\n", n, r.NsOp, r.AllocsOp, r.BytesOp)
+		s += fmt.Sprintf("%-26s %14d %12d %14d", n, r.NsOp, r.AllocsOp, r.BytesOp)
+		if r.ReqPerSec > 0 {
+			s += fmt.Sprintf("   %8.2f req/s, mean batch %.2f", r.ReqPerSec, r.MeanBatch)
+		}
+		s += "\n"
 	}
 	return s
 }

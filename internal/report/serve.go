@@ -1,0 +1,133 @@
+package report
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"athena/internal/core"
+	"athena/internal/qnn"
+	"athena/internal/serve"
+	serveclient "athena/internal/serve/client"
+)
+
+// serveThroughputRows measures the serving stack end to end: an
+// in-process athena-serve instance hosting the wire demo network, driven
+// over real TCP by 1, 4, and 16 concurrent clients sharing one uploaded
+// session. Each row records the wall time per request (ns_op, so the
+// regression gate applies), the realized requests/sec, and the mean
+// batch size the dynamic batcher achieved for that concurrency — the
+// number that shows shared-FBS amortization kicking in as load grows.
+func serveThroughputRows(out map[string]KernelResult) error {
+	p := core.TestParams()
+	model := serve.DemoNet()
+	srv, err := serve.NewServer(serve.Config{
+		Params:   p,
+		Models:   map[string]*qnn.QNetwork{model.Name: model},
+		MaxBatch: 16,
+		MaxWait:  25 * time.Millisecond,
+		MaxQueue: 256,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+
+	eng, err := core.NewEngine(p)
+	if err != nil {
+		return err
+	}
+
+	const rounds = 2
+	for _, clients := range []int{1, 4, 16} {
+		cs := make([]*serveclient.Client, clients)
+		closeAll := func() {
+			for _, c := range cs {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+		var sessID string
+		for i := range cs {
+			c, err := serveclient.Dial(ln.Addr().String(), eng, serveclient.Options{})
+			if err != nil {
+				closeAll()
+				return err
+			}
+			cs[i] = c
+			if i == 0 {
+				if sessID, err = c.OpenSession(); err != nil {
+					closeAll()
+					return err
+				}
+			} else if err := c.Attach(sessID); err != nil {
+				closeAll()
+				return err
+			}
+		}
+
+		// Encryption shares one PRNG stream, so inputs are prepared
+		// serially up front; the measured section is transport + serving.
+		ins := make([]*core.EncryptedInput, clients)
+		for i := range ins {
+			in, err := eng.EncryptInput(model, serve.DemoInput(uint64(i+1)))
+			if err != nil {
+				closeAll()
+				return err
+			}
+			ins[i] = in
+		}
+
+		// One warm-up request primes per-session plan caches.
+		if _, err := cs[0].InferEncrypted(model, ins[0], 0); err != nil {
+			closeAll()
+			return err
+		}
+
+		before := srv.Metrics()
+		start := time.Now()
+		errs := make([]error, clients)
+		var wg sync.WaitGroup
+		for i := range cs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					if _, err := cs[i].InferEncrypted(model, ins[i], 0); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		after := srv.Metrics()
+		closeAll()
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("report: serve throughput clients=%d: %w", clients, err)
+			}
+		}
+
+		total := clients * rounds
+		batches := after.Batches - before.Batches
+		images := after.Images - before.Images
+		row := KernelResult{
+			NsOp:      elapsed.Nanoseconds() / int64(total),
+			ReqPerSec: float64(total) / elapsed.Seconds(),
+		}
+		if batches > 0 {
+			row.MeanBatch = float64(images) / float64(batches)
+		}
+		out[fmt.Sprintf("ServeThroughput/clients=%d", clients)] = row
+	}
+	return nil
+}

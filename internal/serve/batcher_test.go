@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"athena/internal/core"
+	"athena/internal/qnn"
+)
+
+func newFakeClock() *ManualClock { return NewManualClock() }
+
+// batchRecorder is an injected evaluator that records realized batch
+// sizes and optionally blocks until released.
+type batchRecorder struct {
+	mu    sync.Mutex
+	sizes []int
+	gate  chan struct{} // nil = don't block
+}
+
+func (r *batchRecorder) eval(_ *Session, _ *qnn.QNetwork, ins []*core.EncryptedInput) ([]*core.EncryptedLogits, error) {
+	if r.gate != nil {
+		<-r.gate
+	}
+	r.mu.Lock()
+	r.sizes = append(r.sizes, len(ins))
+	r.mu.Unlock()
+	return make([]*core.EncryptedLogits, len(ins)), nil
+}
+
+func (r *batchRecorder) batchSizes() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.sizes...)
+}
+
+var batcherTestModel = &qnn.QNetwork{Name: "m"}
+
+func testRequest(sess *Session, done chan error) *Request {
+	return &Request{
+		Sess:  sess,
+		Model: batcherTestModel,
+		In:    &core.EncryptedInput{},
+		Done:  func(_ *core.EncryptedLogits, err error) { done <- err },
+	}
+}
+
+func collect(t *testing.T, done chan error, n int) []error {
+	t.Helper()
+	errs := make([]error, 0, n)
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-done:
+			errs = append(errs, err)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for reply %d/%d", i+1, n)
+		}
+	}
+	return errs
+}
+
+// TestBatcherFlushOnFull: MaxBatch requests flush immediately, without
+// waiting for the deadline timer.
+func TestBatcherFlushOnFull(t *testing.T) {
+	clk := newFakeClock()
+	rec := &batchRecorder{}
+	b := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: time.Hour, MaxQueue: 16, Clock: clk, Eval: rec.eval}, nil)
+	defer b.Drain()
+	sess := &Session{ID: "s"}
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		if err := b.Submit(testRequest(sess, done)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No clock advance: the flush must have come from batch-full.
+	for _, err := range collect(t, done, 4) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.batchSizes(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("batch sizes %v, want [4]", got)
+	}
+}
+
+// TestBatcherFlushOnDeadline: a partial batch flushes when MaxWait
+// elapses, and not before.
+func TestBatcherFlushOnDeadline(t *testing.T) {
+	clk := newFakeClock()
+	rec := &batchRecorder{}
+	b := NewBatcher(BatcherConfig{MaxBatch: 100, MaxWait: 50 * time.Millisecond, MaxQueue: 16, Clock: clk, Eval: rec.eval}, nil)
+	defer b.Drain()
+	sess := &Session{ID: "s"}
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		if err := b.Submit(testRequest(sess, done)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(49 * time.Millisecond)
+	if got := rec.batchSizes(); len(got) != 0 {
+		t.Fatalf("flushed before MaxWait: %v", got)
+	}
+	clk.Advance(1 * time.Millisecond)
+	for _, err := range collect(t, done, 2) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.batchSizes(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("batch sizes %v, want [2]", got)
+	}
+}
+
+// TestBatcherStraggler: a single request still completes after MaxWait
+// — nobody waits forever for company.
+func TestBatcherStraggler(t *testing.T) {
+	clk := newFakeClock()
+	rec := &batchRecorder{}
+	b := NewBatcher(BatcherConfig{MaxBatch: 100, MaxWait: 20 * time.Millisecond, MaxQueue: 16, Clock: clk, Eval: rec.eval}, nil)
+	defer b.Drain()
+	done := make(chan error, 1)
+	if err := b.Submit(testRequest(&Session{ID: "s"}, done)); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(20 * time.Millisecond)
+	if err := collect(t, done, 1)[0]; err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.batchSizes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("batch sizes %v, want [1]", got)
+	}
+}
+
+// TestBatcherQueueFullBusy: admission beyond MaxQueue returns ErrBusy;
+// after the queue empties, admission succeeds again.
+func TestBatcherQueueFullBusy(t *testing.T) {
+	clk := newFakeClock()
+	rec := &batchRecorder{}
+	b := NewBatcher(BatcherConfig{MaxBatch: 100, MaxWait: time.Minute, MaxQueue: 2, Clock: clk, Eval: rec.eval}, nil)
+	defer b.Drain()
+	sess := &Session{ID: "s"}
+	done := make(chan error, 3)
+	for i := 0; i < 2; i++ {
+		if err := b.Submit(testRequest(sess, done)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Submit(testRequest(sess, done)); err != ErrBusy {
+		t.Fatalf("third submit: got %v, want ErrBusy", err)
+	}
+	clk.Advance(time.Minute)
+	for _, err := range collect(t, done, 2) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Submit(testRequest(sess, done)); err != nil {
+		t.Fatalf("submit after flush: %v", err)
+	}
+	clk.Advance(time.Minute)
+	if err := collect(t, done, 1)[0]; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatcherRequestDeadline: a request whose deadline passes while it
+// waits is answered with CodeDeadline and never evaluated.
+func TestBatcherRequestDeadline(t *testing.T) {
+	clk := newFakeClock()
+	rec := &batchRecorder{}
+	b := NewBatcher(BatcherConfig{MaxBatch: 100, MaxWait: 100 * time.Millisecond, MaxQueue: 16, Clock: clk, Eval: rec.eval}, nil)
+	defer b.Drain()
+	sess := &Session{ID: "s"}
+	expired := make(chan error, 1)
+	alive := make(chan error, 1)
+	r1 := testRequest(sess, expired)
+	r1.Deadline = clk.Now().Add(10 * time.Millisecond) // dies before the 100ms flush
+	if err := b.Submit(r1); err != nil {
+		t.Fatal(err)
+	}
+	r2 := testRequest(sess, alive)
+	r2.Deadline = clk.Now().Add(time.Hour)
+	if err := b.Submit(r2); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(100 * time.Millisecond)
+	err := collect(t, expired, 1)[0]
+	var re *RequestError
+	if !errors.As(err, &re) || re.Code != CodeDeadline {
+		t.Fatalf("expired request: got %v, want CodeDeadline", err)
+	}
+	if err := collect(t, alive, 1)[0]; err != nil {
+		t.Fatalf("live request: %v", err)
+	}
+	if got := rec.batchSizes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("batch sizes %v, want [1] (expired request must not evaluate)", got)
+	}
+}
+
+// TestBatcherDrain: Drain flushes forming groups immediately, answers
+// every admitted request, and rejects later submissions.
+func TestBatcherDrain(t *testing.T) {
+	clk := newFakeClock()
+	rec := &batchRecorder{}
+	b := NewBatcher(BatcherConfig{MaxBatch: 100, MaxWait: time.Hour, MaxQueue: 16, Clock: clk, Eval: rec.eval}, nil)
+	sess := &Session{ID: "s"}
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		if err := b.Submit(testRequest(sess, done)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Drain() // no clock advance: drain itself must flush
+	for _, err := range collect(t, done, 3) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.batchSizes(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("batch sizes %v, want [3]", got)
+	}
+	if err := b.Submit(testRequest(sess, done)); err != ErrDraining {
+		t.Fatalf("submit after drain: got %v, want ErrDraining", err)
+	}
+}
+
+// TestBatcherPerSessionGrouping: requests of different sessions never
+// share a batch.
+func TestBatcherPerSessionGrouping(t *testing.T) {
+	clk := newFakeClock()
+	rec := &batchRecorder{}
+	b := NewBatcher(BatcherConfig{MaxBatch: 100, MaxWait: 10 * time.Millisecond, MaxQueue: 16, Clock: clk, Eval: rec.eval}, nil)
+	defer b.Drain()
+	done := make(chan error, 4)
+	a, c := &Session{ID: "a"}, &Session{ID: "c"}
+	for i := 0; i < 2; i++ {
+		if err := b.Submit(testRequest(a, done)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Submit(testRequest(c, done)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(10 * time.Millisecond)
+	for _, err := range collect(t, done, 4) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizes := rec.batchSizes()
+	sort.Ints(sizes)
+	if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 2 {
+		t.Fatalf("batch sizes %v, want [2 2] (one batch per session)", sizes)
+	}
+}

@@ -1,0 +1,318 @@
+// Package client is the Go client for the athena-serve frame protocol.
+//
+// A Client owns one TCP connection and demultiplexes replies by request
+// ID, so any number of goroutines may call Infer concurrently — exactly
+// the access pattern the server's dynamic batcher coalesces into shared
+// functional-bootstrapping rounds. Key material stays client-side: the
+// engine's secret key never leaves the process; OpenSession uploads
+// only the public evaluation bundle (core.WriteEvalKeys), and the
+// returned session ID can be reused by later connections via Attach.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"athena/internal/core"
+	"athena/internal/qnn"
+	"athena/internal/serve"
+)
+
+// Options tunes a connection.
+type Options struct {
+	// MaxFrame bounds one received frame (0 = serve.DefaultMaxFrame).
+	MaxFrame uint32
+	// DialTimeout bounds the TCP connect (0 = 10 s).
+	DialTimeout time.Duration
+}
+
+type pendingReply struct {
+	logits []byte
+	err    error
+}
+
+// Client is one connection to an athena-serve instance.
+type Client struct {
+	conn net.Conn
+	opts Options
+
+	eng *core.Engine // client-side engine: holds sk, enc, dec
+
+	wmu    sync.Mutex // frame writes
+	opMu   sync.Mutex // serializes session/stats round-trips
+	nextID uint64
+	idMu   sync.Mutex
+
+	mu        sync.Mutex
+	pending   map[uint64]chan pendingReply
+	sessC     chan string
+	statsC    chan []byte
+	ctrlErrC  chan error
+	readErr   error
+	sessionID string
+}
+
+// Dial connects to an athena-serve address. eng must be a full client
+// engine (it encrypts inputs and decrypts results locally).
+func Dial(addr string, eng *core.Engine, opts Options) (*Client, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("client: nil engine")
+	}
+	if opts.MaxFrame == 0 {
+		opts.MaxFrame = serve.DefaultMaxFrame
+	}
+	if opts.DialTimeout == 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:     conn,
+		opts:     opts,
+		eng:      eng,
+		pending:  make(map[uint64]chan pendingReply),
+		sessC:    make(chan string, 1),
+		statsC:   make(chan []byte, 1),
+		ctrlErrC: make(chan error, 1),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close drops the connection; pending calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// SessionID returns the attached session's ID ("" before OpenSession or
+// Attach succeeds).
+func (c *Client) SessionID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessionID
+}
+
+// readLoop demultiplexes server frames to their waiters.
+func (c *Client) readLoop() {
+	for {
+		typ, payload, err := serve.ReadFrame(c.conn, c.opts.MaxFrame)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch typ {
+		case serve.FrameSessionOK:
+			if id, err := serve.DecodeSessionID(payload); err == nil {
+				c.sessC <- id
+			} else {
+				c.fail(err)
+				return
+			}
+		case serve.FrameStatsReply:
+			c.statsC <- payload
+		case serve.FrameResult:
+			reqID, logits, err := serve.DecodeResult(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(reqID, pendingReply{logits: logits})
+		case serve.FrameError:
+			reqID, code, msg, err := serve.DecodeError(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			rerr := &serve.RequestError{Code: code, Msg: msg}
+			if reqID == 0 {
+				// Connection-level error: answer whichever control
+				// round-trip is waiting.
+				select {
+				case c.ctrlErrC <- rerr:
+				default:
+				}
+				continue
+			}
+			c.deliver(reqID, pendingReply{err: rerr})
+		default:
+			c.fail(fmt.Errorf("client: unexpected frame type %d", typ))
+			return
+		}
+	}
+}
+
+func (c *Client) deliver(reqID uint64, r pendingReply) {
+	c.mu.Lock()
+	ch, ok := c.pending[reqID]
+	if ok {
+		delete(c.pending, reqID)
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- r
+	}
+}
+
+// fail poisons the client: every pending and future call errors.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	chans := c.pending
+	c.pending = make(map[uint64]chan pendingReply)
+	c.mu.Unlock()
+	for _, ch := range chans {
+		ch <- pendingReply{err: err}
+	}
+	select {
+	case c.ctrlErrC <- err:
+	default:
+	}
+}
+
+func (c *Client) writeFrame(typ serve.FrameType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return serve.WriteFrame(c.conn, typ, payload)
+}
+
+// roundTripCtrl performs one control exchange (session open/attach or
+// stats) and waits for its typed reply.
+func (c *Client) roundTripCtrl(typ serve.FrameType, payload []byte) (string, []byte, error) {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	// Drain any stale control error from a previous exchange.
+	select {
+	case <-c.ctrlErrC:
+	default:
+	}
+	if err := c.writeFrame(typ, payload); err != nil {
+		return "", nil, err
+	}
+	switch typ {
+	case serve.FrameSessionNew, serve.FrameSessionAttach:
+		select {
+		case id := <-c.sessC:
+			return id, nil, nil
+		case err := <-c.ctrlErrC:
+			return "", nil, err
+		}
+	case serve.FrameStats:
+		select {
+		case doc := <-c.statsC:
+			return "", doc, nil
+		case err := <-c.ctrlErrC:
+			return "", nil, err
+		}
+	}
+	return "", nil, fmt.Errorf("client: not a control frame type %d", typ)
+}
+
+// OpenSession uploads the engine's evaluation keys and attaches to the
+// resulting (content-addressed) session. Reuploading identical material
+// — from this or any other connection — lands on the same session.
+func (c *Client) OpenSession() (string, error) {
+	var blob bytes.Buffer
+	if err := c.eng.WriteEvalKeys(&blob); err != nil {
+		return "", err
+	}
+	id, _, err := c.roundTripCtrl(serve.FrameSessionNew, blob.Bytes())
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.sessionID = id
+	c.mu.Unlock()
+	return id, nil
+}
+
+// Attach joins an existing session by ID (the keys must already be
+// resident server-side; an evicted session needs OpenSession again).
+func (c *Client) Attach(id string) error {
+	got, _, err := c.roundTripCtrl(serve.FrameSessionAttach, serve.EncodeSessionID(id))
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.sessionID = got
+	c.mu.Unlock()
+	return nil
+}
+
+// Infer encrypts x, submits it under the attached session, waits for
+// the encrypted logits, and decrypts them. deadline 0 means no request
+// deadline. Safe for concurrent use.
+func (c *Client) Infer(model *qnn.QNetwork, x *qnn.IntTensor, deadline time.Duration) ([]int64, error) {
+	in, err := c.eng.EncryptInput(model, x)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.InferEncrypted(model, in, deadline)
+	if err != nil {
+		return nil, err
+	}
+	return c.eng.DecryptLogits(out)
+}
+
+// InferEncrypted submits an already-encrypted input and returns the
+// encrypted logits without decrypting (the transport-only path).
+func (c *Client) InferEncrypted(model *qnn.QNetwork, in *core.EncryptedInput, deadline time.Duration) (*core.EncryptedLogits, error) {
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := c.eng.WriteEncryptedInput(in, &buf); err != nil {
+		return nil, err
+	}
+	c.idMu.Lock()
+	c.nextID++
+	reqID := c.nextID
+	c.idMu.Unlock()
+
+	ch := make(chan pendingReply, 1)
+	c.mu.Lock()
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+
+	var ms uint32
+	if deadline > 0 {
+		ms = uint32(deadline / time.Millisecond)
+		if ms == 0 {
+			ms = 1
+		}
+	}
+	if err := c.writeFrame(serve.FrameInfer, serve.EncodeInfer(reqID, ms, model.Name, buf.Bytes())); err != nil {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	r := <-ch
+	if r.err != nil {
+		return nil, r.err
+	}
+	return c.eng.ReadEncryptedLogits(model, bytes.NewReader(r.logits))
+}
+
+// Stats fetches the server's metrics snapshot.
+func (c *Client) Stats() (serve.Snapshot, error) {
+	var s serve.Snapshot
+	_, doc, err := c.roundTripCtrl(serve.FrameStats, nil)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(doc, &s); err != nil {
+		return s, err
+	}
+	return s, nil
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the batcher so its flush policy is testable
+// deterministically (see ManualClock).
+type Clock interface {
+	Now() time.Time
+	// AfterFunc schedules f after d and returns a handle whose Stop
+	// cancels a not-yet-fired timer.
+	AfterFunc(d time.Duration, f func()) ClockTimer
+}
+
+// ClockTimer is the cancellation handle of Clock.AfterFunc.
+type ClockTimer interface{ Stop() bool }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+func (realClock) AfterFunc(d time.Duration, f func()) ClockTimer {
+	return time.AfterFunc(d, f)
+}
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+// ManualClock is a deterministic Clock: time only moves on Advance,
+// which fires due timers in scheduling order. It makes batcher flush
+// behavior (flush-on-deadline vs flush-on-full, stragglers, drain)
+// reproducible in tests.
+type ManualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*manualTimer
+}
+
+type manualTimer struct {
+	c       *ManualClock
+	when    time.Time
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+// NewManualClock starts at an arbitrary fixed instant.
+func NewManualClock() *ManualClock {
+	return &ManualClock{now: time.Unix(1_000_000, 0)}
+}
+
+// Now returns the current manual time.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc schedules f to run when Advance moves time past d.
+func (c *ManualClock) AfterFunc(d time.Duration, f func()) ClockTimer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &manualTimer{c: c, when: c.now.Add(d), fn: f}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+func (t *manualTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	was := !t.stopped && !t.fired
+	t.stopped = true
+	return was
+}
+
+// Advance moves time forward and synchronously runs every timer that
+// came due, in firing order, outside the clock lock.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var due []*manualTimer
+	for _, t := range c.timers {
+		if !t.stopped && !t.fired && !t.when.After(c.now) {
+			t.fired = true
+			due = append(due, t)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].when.Before(due[j].when) })
+	for _, t := range due {
+		t.fn()
+	}
+}

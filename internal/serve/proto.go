@@ -1,0 +1,263 @@
+// Package serve implements the Athena inference server: a framed TCP
+// protocol over the core wire formats, a session registry keyed by
+// uploaded evaluation-key material, a dynamic batcher that coalesces
+// concurrent requests into shared-FBS InferBatch rounds, bounded
+// admission with explicit backpressure, and a metrics snapshot.
+//
+// Protocol. Every message is one frame:
+//
+//	magic(u32 "ASV1") | version(u8) | type(u8) | reserved(u16) | length(u32) | payload[length]
+//
+// all little-endian. Frames are length-prefixed and bounded (MaxFrame),
+// so a reader always knows how many bytes to consume and a slow or
+// truncated peer surfaces as an io error/deadline, never a desync. The
+// payloads reuse the repository wire formats: a session-open payload is
+// the core.WriteEvalKeys bundle, an inference payload wraps
+// core.WriteEncryptedInput bytes, a result wraps
+// core.WriteEncryptedLogits bytes.
+//
+// Session lifecycle: SessionNew uploads evaluation keys; the session ID
+// is content-addressed (hex of the blob's SHA-256 prefix), so
+// re-uploading the same material lands on the same session. SessionAttach
+// joins an existing session by ID from any connection. Inference frames
+// then carry (request id, deadline, model, ciphertexts) and are answered
+// by Result or Error frames tagged with the same request id.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame constants.
+const (
+	ProtoMagic   uint32 = 0x41535631 // "ASV1"
+	ProtoVersion byte   = 1
+
+	// FrameHeaderLen is the fixed frame-header size in bytes.
+	FrameHeaderLen = 12
+
+	// DefaultMaxFrame bounds one frame's payload (the session-open
+	// key upload is by far the largest message).
+	DefaultMaxFrame uint32 = 1 << 30
+)
+
+// FrameType tags one protocol message.
+type FrameType byte
+
+// Frame types.
+const (
+	FrameSessionNew    FrameType = 1 // client→server: eval-keys blob
+	FrameSessionAttach FrameType = 2 // client→server: session ID
+	FrameSessionOK     FrameType = 3 // server→client: session ID
+	FrameInfer         FrameType = 4 // client→server: inference request
+	FrameResult        FrameType = 5 // server→client: encrypted logits
+	FrameError         FrameType = 6 // server→client: typed error
+	FrameStats         FrameType = 7 // client→server: metrics request
+	FrameStatsReply    FrameType = 8 // server→client: metrics JSON
+)
+
+// ErrCode is a typed protocol error carried by FrameError.
+type ErrCode uint16
+
+// Protocol error codes.
+const (
+	CodeBusy            ErrCode = 1 // admission queue full — retry later
+	CodeDeadline        ErrCode = 2 // request deadline expired before evaluation
+	CodeSessionNotFound ErrCode = 3 // unknown or evicted session ID
+	CodeModelNotFound   ErrCode = 4 // server does not host the named model
+	CodeBadRequest      ErrCode = 5 // malformed frame or payload
+	CodeDraining        ErrCode = 6 // server is shutting down
+	CodeInternal        ErrCode = 7 // evaluation failed server-side
+	CodeNoSession       ErrCode = 8 // inference before session open/attach
+	CodeRegistryFull    ErrCode = 9 // session cap reached and nothing evictable
+)
+
+func (c ErrCode) String() string {
+	switch c {
+	case CodeBusy:
+		return "BUSY"
+	case CodeDeadline:
+		return "DEADLINE"
+	case CodeSessionNotFound:
+		return "SESSION_NOT_FOUND"
+	case CodeModelNotFound:
+		return "MODEL_NOT_FOUND"
+	case CodeBadRequest:
+		return "BAD_REQUEST"
+	case CodeDraining:
+		return "DRAINING"
+	case CodeInternal:
+		return "INTERNAL"
+	case CodeNoSession:
+		return "NO_SESSION"
+	case CodeRegistryFull:
+		return "REGISTRY_FULL"
+	}
+	return fmt.Sprintf("ERR_%d", uint16(c))
+}
+
+// RequestError is the client-visible form of a FrameError reply.
+type RequestError struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *RequestError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("serve: %s", e.Code)
+	}
+	return fmt.Sprintf("serve: %s: %s", e.Code, e.Msg)
+}
+
+// WriteFrame writes one frame. The payload may be nil.
+func WriteFrame(w io.Writer, typ FrameType, payload []byte) error {
+	var hdr [FrameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], ProtoMagic)
+	hdr[4] = ProtoVersion
+	hdr[5] = byte(typ)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting payloads above maxPayload before
+// allocating. The payload bytes are read through an io.LimitReader
+// bounded by the declared length, so a peer can never push the reader
+// past the frame boundary; a short stream surfaces as
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, maxPayload uint32) (FrameType, []byte, error) {
+	var hdr [FrameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != ProtoMagic {
+		return 0, nil, fmt.Errorf("serve: bad frame magic %#x", m)
+	}
+	if v := hdr[4]; v != ProtoVersion {
+		return 0, nil, fmt.Errorf("serve: unsupported protocol version %d", v)
+	}
+	typ := FrameType(hdr[5])
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("serve: frame payload %d exceeds limit %d", n, maxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(io.LimitReader(r, int64(n)), payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// Payload encodings. All multi-byte fields little-endian; strings are
+// u16-length-prefixed. Decoders validate every length against the
+// remaining payload, so malformed input returns an error — never a
+// panic or out-of-range slice.
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (s string, rest []byte, err error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("serve: truncated string length")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b)-2 < n {
+		return "", nil, fmt.Errorf("serve: string length %d exceeds payload", n)
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// InferRequestWire is the decoded form of a FrameInfer payload.
+type InferRequestWire struct {
+	ReqID      uint64
+	DeadlineMS uint32 // 0 = no deadline; relative to server arrival
+	Model      string
+	Input      []byte // core.WriteEncryptedInput bytes
+}
+
+// EncodeInfer builds a FrameInfer payload.
+func EncodeInfer(reqID uint64, deadlineMS uint32, model string, input []byte) []byte {
+	b := make([]byte, 0, 14+len(model)+len(input))
+	b = binary.LittleEndian.AppendUint64(b, reqID)
+	b = binary.LittleEndian.AppendUint32(b, deadlineMS)
+	b = appendString(b, model)
+	return append(b, input...)
+}
+
+// DecodeInfer parses a FrameInfer payload.
+func DecodeInfer(b []byte) (InferRequestWire, error) {
+	var w InferRequestWire
+	if len(b) < 12 {
+		return w, fmt.Errorf("serve: truncated inference header")
+	}
+	w.ReqID = binary.LittleEndian.Uint64(b[0:8])
+	w.DeadlineMS = binary.LittleEndian.Uint32(b[8:12])
+	var err error
+	w.Model, b, err = readString(b[12:])
+	if err != nil {
+		return w, err
+	}
+	w.Input = b
+	return w, nil
+}
+
+// EncodeResult builds a FrameResult payload.
+func EncodeResult(reqID uint64, logits []byte) []byte {
+	b := make([]byte, 0, 8+len(logits))
+	b = binary.LittleEndian.AppendUint64(b, reqID)
+	return append(b, logits...)
+}
+
+// DecodeResult parses a FrameResult payload into (request id, logits
+// bytes).
+func DecodeResult(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("serve: truncated result header")
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), b[8:], nil
+}
+
+// EncodeError builds a FrameError payload. reqID 0 marks a
+// connection-level error not tied to one request.
+func EncodeError(reqID uint64, code ErrCode, msg string) []byte {
+	b := make([]byte, 0, 12+len(msg))
+	b = binary.LittleEndian.AppendUint64(b, reqID)
+	b = binary.LittleEndian.AppendUint16(b, uint16(code))
+	return appendString(b, msg)
+}
+
+// DecodeError parses a FrameError payload.
+func DecodeError(b []byte) (reqID uint64, code ErrCode, msg string, err error) {
+	if len(b) < 10 {
+		return 0, 0, "", fmt.Errorf("serve: truncated error header")
+	}
+	reqID = binary.LittleEndian.Uint64(b[0:8])
+	code = ErrCode(binary.LittleEndian.Uint16(b[8:10]))
+	msg, _, err = readString(b[10:])
+	return reqID, code, msg, err
+}
+
+// EncodeSessionID builds a FrameSessionOK / FrameSessionAttach payload.
+func EncodeSessionID(id string) []byte { return appendString(nil, id) }
+
+// DecodeSessionID parses a session-ID payload.
+func DecodeSessionID(b []byte) (string, error) {
+	id, rest, err := readString(b)
+	if err != nil {
+		return "", err
+	}
+	if len(rest) != 0 {
+		return "", fmt.Errorf("serve: %d trailing bytes after session ID", len(rest))
+	}
+	return id, nil
+}

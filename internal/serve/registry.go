@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"athena/internal/core"
+)
+
+// Session is one registered key owner: an evaluation-only engine built
+// from uploaded material, usable from any number of connections.
+type Session struct {
+	ID string
+
+	// Eng is the evaluation-only engine. Batch evaluation on it is
+	// serialized by Mu (the engine's worker group is single-caller at
+	// the top level); the dynamic batcher is what turns concurrent
+	// requests into few large calls rather than many serialized ones.
+	Eng *core.Engine
+	Mu  sync.Mutex
+
+	// Bytes is the session's memory charge against the registry cap
+	// (the size of the uploaded key blob, which tracks the dominant
+	// in-memory material: switching keys and packing keys).
+	Bytes int64
+
+	// refs counts in-flight work (admitted, not yet replied requests);
+	// a referenced session is never evicted. Guarded by the registry
+	// mutex.
+	refs int
+	// lastUsed is the registry's logical LRU clock value at the last
+	// touch. Guarded by the registry mutex.
+	lastUsed uint64
+}
+
+// ErrRegistryFull reports that a new session cannot fit under the
+// memory cap because every resident session has in-flight work.
+var ErrRegistryFull = fmt.Errorf("serve: session registry full (all sessions busy)")
+
+// Registry holds sessions under a memory cap with LRU eviction.
+// Sessions with in-flight requests are pinned; eviction only reclaims
+// idle ones, so backpressure on the queue never drops an established
+// session mid-request.
+type Registry struct {
+	p        core.Params
+	codec    *core.EvalKeyCodec // built lazily on first Open
+	codecErr error
+	codecMu  sync.Mutex
+	capBytes int64
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	total    int64
+	clock    uint64 // logical LRU clock: bumped on every touch
+
+	// Evictions counts sessions dropped under memory pressure.
+	evictions uint64
+}
+
+// NewRegistry builds a registry for servers at params p holding at most
+// capBytes of session key material (0 means a 1 GiB default).
+func NewRegistry(p core.Params, capBytes int64) *Registry {
+	if capBytes <= 0 {
+		capBytes = 1 << 30
+	}
+	return &Registry{p: p, capBytes: capBytes, sessions: make(map[string]*Session)}
+}
+
+// SessionID derives the content-addressed session ID of a key blob.
+func SessionID(blob []byte) string {
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Open registers (or finds) the session for an uploaded eval-keys blob.
+// The ID is content-addressed, so re-uploading identical material
+// reuses the resident session without rebuilding the engine.
+func (r *Registry) Open(blob []byte) (s *Session, created bool, err error) {
+	id := SessionID(blob)
+	r.mu.Lock()
+	if s, ok := r.sessions[id]; ok {
+		r.touchLocked(s)
+		r.mu.Unlock()
+		return s, false, nil
+	}
+	r.mu.Unlock()
+
+	// Build the engine outside the lock: decoding and key validation
+	// are the expensive part, and concurrent opens of distinct sessions
+	// should not serialize on the registry.
+	codec, err := r.evalKeyCodec()
+	if err != nil {
+		return nil, false, err
+	}
+	ek, err := codec.ReadEvalKeys(bytes.NewReader(blob))
+	if err != nil {
+		return nil, false, err
+	}
+	eng, err := core.NewEvaluationEngine(r.p, ek)
+	if err != nil {
+		return nil, false, err
+	}
+	s = &Session{ID: id, Eng: eng, Bytes: int64(len(blob))}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prior, ok := r.sessions[id]; ok { // lost a concurrent open race
+		r.touchLocked(prior)
+		return prior, false, nil
+	}
+	if err := r.makeRoomLocked(s.Bytes); err != nil {
+		return nil, false, err
+	}
+	r.sessions[id] = s
+	r.total += s.Bytes
+	r.touchLocked(s)
+	return s, true, nil
+}
+
+// evalKeyCodec builds (once) the bundle decoder for the registry's
+// parameter set.
+func (r *Registry) evalKeyCodec() (*core.EvalKeyCodec, error) {
+	r.codecMu.Lock()
+	defer r.codecMu.Unlock()
+	if r.codec == nil && r.codecErr == nil {
+		r.codec, r.codecErr = core.NewEvalKeyCodec(r.p)
+	}
+	return r.codec, r.codecErr
+}
+
+// Get returns the session by ID, refreshing its LRU position.
+func (r *Registry) Get(id string) (*Session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	if ok {
+		r.touchLocked(s)
+	}
+	return s, ok
+}
+
+// Acquire pins the session against eviction for one in-flight request.
+func (r *Registry) Acquire(s *Session) {
+	r.mu.Lock()
+	s.refs++
+	r.touchLocked(s)
+	r.mu.Unlock()
+}
+
+// Release drops one in-flight pin.
+func (r *Registry) Release(s *Session) {
+	r.mu.Lock()
+	if s.refs > 0 {
+		s.refs--
+	}
+	r.mu.Unlock()
+}
+
+func (r *Registry) touchLocked(s *Session) {
+	r.clock++
+	s.lastUsed = r.clock
+}
+
+// makeRoomLocked evicts idle sessions in LRU order until need bytes fit
+// under the cap. Sessions with in-flight work are skipped; if the cap
+// still cannot be met, ErrRegistryFull is returned and nothing changes
+// (the candidate blob may also simply exceed the cap on its own).
+func (r *Registry) makeRoomLocked(need int64) error {
+	for r.total+need > r.capBytes {
+		var victim *Session
+		for _, s := range r.sessions {
+			if s.refs > 0 {
+				continue
+			}
+			if victim == nil || s.lastUsed < victim.lastUsed {
+				victim = s
+			}
+		}
+		if victim == nil {
+			return ErrRegistryFull
+		}
+		delete(r.sessions, victim.ID)
+		r.total -= victim.Bytes
+		r.evictions++
+	}
+	return nil
+}
+
+// Stats returns the registry occupancy: session count, resident bytes,
+// byte cap, and lifetime eviction count.
+func (r *Registry) Stats() (count int, bytes, capBytes int64, evictions uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions), r.total, r.capBytes, r.evictions
+}

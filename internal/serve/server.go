@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"athena/internal/core"
+	"athena/internal/qnn"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Params are the FHE parameters every client must share.
+	Params core.Params
+	// Models maps model name → network hosted by this server.
+	Models map[string]*qnn.QNetwork
+
+	// Batcher tuning (zero values take the BatcherConfig defaults).
+	MaxBatch  int
+	MaxWait   time.Duration
+	MaxQueue  int
+	Executors int
+
+	// MemCapBytes caps resident session key material (0 = 1 GiB).
+	MemCapBytes int64
+	// MaxFrame bounds one frame payload (0 = DefaultMaxFrame).
+	MaxFrame uint32
+
+	// ReadTimeout bounds the wait for the next frame on an idle
+	// connection; WriteTimeout bounds one reply write. Zero values take
+	// generous defaults (10 min read, 30 s write).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+
+	// Clock overrides time for tests (nil = wall clock).
+	Clock Clock
+}
+
+// Server hosts encrypted inference over the frame protocol.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	batcher  *Batcher
+	metrics  *Metrics
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	connWG sync.WaitGroup
+}
+
+// NewServer validates cfg and builds the serving stack (registry,
+// batcher, metrics). Call Serve or ListenAndServe to accept clients.
+func NewServer(cfg Config) (*Server, error) {
+	if len(cfg.Models) == 0 {
+		return nil, fmt.Errorf("serve: no models configured")
+	}
+	for name, q := range cfg.Models {
+		if q == nil || q.Name != name {
+			return nil, fmt.Errorf("serve: model entry %q does not match network name", name)
+		}
+	}
+	if cfg.MaxFrame == 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 10 * time.Minute
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock()
+	}
+	m := NewMetrics()
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.Params, cfg.MemCapBytes),
+		metrics:  m,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.batcher = NewBatcher(BatcherConfig{
+		MaxBatch:  cfg.MaxBatch,
+		MaxWait:   cfg.MaxWait,
+		MaxQueue:  cfg.MaxQueue,
+		Executors: cfg.Executors,
+		Clock:     cfg.Clock,
+	}, m)
+	return s, nil
+}
+
+// Metrics exposes the server's counters (for admin endpoints and tests).
+func (s *Server) Metrics() Snapshot { return s.metrics.Snapshot(s.registry, s.batcher) }
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound listener address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections on ln until the listener is closed by
+// Shutdown. It returns nil after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("serve: server already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.metrics.ConnOpened()
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown drains the server: the listener stops accepting, queued and
+// in-flight requests complete (new ones are rejected with DRAINING),
+// then every connection is closed. Safe to call more than once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	if already {
+		return
+	}
+	// Let every admitted request finish and be answered first.
+	s.batcher.Drain()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+}
+
+// conn is the per-connection state: the attached session (if any) and a
+// write mutex so executor callbacks and the read loop never interleave
+// reply frames.
+type connState struct {
+	s    *Server
+	conn net.Conn
+
+	wmu  sync.Mutex
+	sess *Session
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	st := &connState{s: s, conn: c}
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+
+	for {
+		if err := c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			return
+		}
+		typ, payload, err := ReadFrame(c, s.cfg.MaxFrame)
+		if err != nil {
+			return // io error, timeout, or clean EOF: drop the connection
+		}
+		if !s.dispatch(st, typ, payload) {
+			return
+		}
+	}
+}
+
+// dispatch handles one frame; false closes the connection.
+func (s *Server) dispatch(st *connState, typ FrameType, payload []byte) bool {
+	switch typ {
+	case FrameSessionNew:
+		sess, created, err := s.registry.Open(payload)
+		if err != nil {
+			code := CodeBadRequest
+			if errors.Is(err, ErrRegistryFull) {
+				code = CodeRegistryFull
+			}
+			return st.writeError(0, code, err.Error())
+		}
+		if created {
+			s.metrics.SessionOpened()
+		}
+		st.sess = sess
+		return st.write(FrameSessionOK, EncodeSessionID(sess.ID))
+
+	case FrameSessionAttach:
+		id, err := DecodeSessionID(payload)
+		if err != nil {
+			return st.writeError(0, CodeBadRequest, err.Error())
+		}
+		sess, ok := s.registry.Get(id)
+		if !ok {
+			return st.writeError(0, CodeSessionNotFound, "unknown or evicted session "+id)
+		}
+		st.sess = sess
+		return st.write(FrameSessionOK, EncodeSessionID(sess.ID))
+
+	case FrameInfer:
+		return s.handleInfer(st, payload)
+
+	case FrameStats:
+		doc, err := json.Marshal(s.Metrics())
+		if err != nil {
+			return st.writeError(0, CodeInternal, err.Error())
+		}
+		return st.write(FrameStatsReply, doc)
+
+	default:
+		return st.writeError(0, CodeBadRequest, fmt.Sprintf("unexpected frame type %d", typ))
+	}
+}
+
+func (s *Server) handleInfer(st *connState, payload []byte) bool {
+	req, err := DecodeInfer(payload)
+	if err != nil {
+		return st.writeError(0, CodeBadRequest, err.Error())
+	}
+	if st.sess == nil {
+		return st.writeError(req.ReqID, CodeNoSession, "open or attach a session before inference")
+	}
+	model, ok := s.cfg.Models[req.Model]
+	if !ok {
+		return st.writeError(req.ReqID, CodeModelNotFound, "model "+req.Model+" not hosted")
+	}
+	in, err := st.sess.Eng.ReadEncryptedInput(model, bytes.NewReader(req.Input))
+	if err != nil {
+		return st.writeError(req.ReqID, CodeBadRequest, "input: "+err.Error())
+	}
+	var deadline time.Time
+	if req.DeadlineMS > 0 {
+		deadline = s.cfg.Clock.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+
+	sess := st.sess
+	s.registry.Acquire(sess)
+	reqID := req.ReqID
+	err = s.batcher.Submit(&Request{
+		ID:       reqID,
+		Sess:     sess,
+		Model:    model,
+		In:       in,
+		Deadline: deadline,
+		Done: func(out *core.EncryptedLogits, rerr error) {
+			defer s.registry.Release(sess)
+			if rerr != nil {
+				var re *RequestError
+				if errors.As(rerr, &re) {
+					if re.Code == CodeDeadline {
+						s.metrics.DeadlineExpired()
+					} else {
+						s.metrics.Failed()
+					}
+					st.writeError(reqID, re.Code, re.Msg)
+				} else {
+					s.metrics.Failed()
+					st.writeError(reqID, CodeInternal, rerr.Error())
+				}
+				return
+			}
+			var buf bytes.Buffer
+			if werr := sess.Eng.WriteEncryptedLogits(out, &buf); werr != nil {
+				s.metrics.Failed()
+				st.writeError(reqID, CodeInternal, werr.Error())
+				return
+			}
+			s.metrics.Completed()
+			st.write(FrameResult, EncodeResult(reqID, buf.Bytes()))
+		},
+	})
+	if err != nil {
+		s.registry.Release(sess)
+		var re *RequestError
+		if errors.As(err, &re) {
+			if re.Code == CodeBusy {
+				s.metrics.RejectedBusy()
+			}
+			// Backpressure is a per-request reply; the connection and its
+			// session stay established.
+			return st.writeError(reqID, re.Code, re.Msg)
+		}
+		return st.writeError(reqID, CodeBadRequest, err.Error())
+	}
+	s.metrics.Accepted()
+	return true
+}
+
+// write sends one frame under the connection write lock and deadline.
+func (st *connState) write(typ FrameType, payload []byte) bool {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	if err := st.conn.SetWriteDeadline(time.Now().Add(st.s.cfg.WriteTimeout)); err != nil {
+		return false
+	}
+	return WriteFrame(st.conn, typ, payload) == nil
+}
+
+func (st *connState) writeError(reqID uint64, code ErrCode, msg string) bool {
+	return st.write(FrameError, EncodeError(reqID, code, msg))
+}
+
+// AdminHandler returns an http.Handler exposing GET /metrics as the
+// JSON snapshot (for a sidecar admin listener).
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Metrics())
+	})
+	return mux
+}
