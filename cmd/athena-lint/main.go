@@ -1,6 +1,12 @@
 // Command athena-lint runs the FHE-aware static-analysis suite over the
-// module: modguard, cryptorand, parsafe, and panicfree-wire (see
-// internal/lint). It is the gate every PR runs:
+// module. The syntactic passes — modguard, cryptorand, parsafe,
+// panicfree-wire, errdrop — are joined by three interprocedural dataflow
+// passes: secrettaint (secret-key material reaching wire encoders or
+// fmt/log), scratchalias (shared evaluator/encoder scratch captured by
+// worker closures), and moddomain (lazy-reduction domain mixing across
+// internal/ring kernels). See internal/lint for the pass catalog and
+// the allow/declassify/domain annotation grammar. It is the gate every
+// PR runs:
 //
 //	go run ./cmd/athena-lint ./...
 //	go run ./cmd/athena-lint -list

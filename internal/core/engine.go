@@ -136,6 +136,10 @@ func (e *Engine) finish(keys *bfv.KeySet) {
 	e.ev = bfv.NewEvaluator(ctx, keys)
 	e.w0 = e.newWorker(e.ev, e.cod, true)
 	e.lanes = par.NewPool(func() *evalWorker {
+		// newWorker only wraps the freshly forked evaluator and a brand-new
+		// encoder in a per-lane struct; it reads no mutable Engine scratch,
+		// and par.Pool serializes mk under its own mutex.
+		//lint:allow scratchalias newWorker allocates per-lane state from a fresh ShallowCopy; no shared scratch is touched
 		return e.newWorker(e.ev.ShallowCopy(), bfv.NewEncoder(ctx), false)
 	})
 }

@@ -133,6 +133,9 @@ func (e *Evaluator) Evaluate(ev *bfv.Evaluator, ct *bfv.Ciphertext) (*bfv.Cipher
 	pool := e.lanePool(ev)
 	par.ForEach(e.gs, par.Options{MinGrain: 1}, func(w, a int) {
 		ln := pool.Get(w)
+		// innerSum mutates only the lane it is handed; the fields it reads
+		// from e (block plan, baby-step powers) are immutable after setup.
+		//lint:allow scratchalias innerSum writes only per-lane state; e's plan fields are read-only here
 		inner := e.innerSum(ln, powers, a)
 		if inner != nil && a > 0 {
 			ln.cm++

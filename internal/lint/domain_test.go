@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func TestModDomainFixture(t *testing.T) {
+	checkPassAgainstMarkers(t, &ModDomain{})
+}
+
+// fakeFn builds a *types.Func with the given value-parameter names, all
+// uint64, one uint64 result — enough signature for the annotation parser.
+func fakeFn(names ...string) *types.Func {
+	u64 := types.Typ[types.Uint64]
+	var params []*types.Var
+	for _, n := range names {
+		params = append(params, types.NewVar(0, nil, n, u64))
+	}
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(params...),
+		types.NewTuple(types.NewVar(0, nil, "", u64)), false)
+	return types.NewFunc(0, nil, "Kernel", sig)
+}
+
+func TestParseDomainAnnot(t *testing.T) {
+	fn := fakeFn("a", "b", "out")
+	cases := []struct {
+		spec    string
+		wantErr string // "" means the spec must parse
+	}{
+		{"a:<q b:<2q -> ret:<4q", ""},
+		{"a:any -> out:<q", ""},
+		{"-> ret:<q", ""},
+		{"a:<q b:<q out:<q -> out:<q", ""},
+		{"a:<q ret:<q", "missing ->"},
+		{"a:<q -> -> ret:<q", "more than one ->"},
+		{"a:<8q -> ret:<q", `unknown domain "<8q"`},
+		{"nosuch:<q -> ret:<q", `"nosuch" names no parameter`},
+		{"ret:<q -> a:<q", "ret declared on the input side"},
+		{"a -> ret:<q", `"a" is not name:domain`},
+	}
+	for _, tc := range cases {
+		annot, err := parseDomainAnnot(tc.spec, fn)
+		if tc.wantErr == "" {
+			if err != "" {
+				t.Errorf("parseDomainAnnot(%q) unexpectedly failed: %s", tc.spec, err)
+			} else if annot == nil {
+				t.Errorf("parseDomainAnnot(%q) returned nil annotation", tc.spec)
+			}
+			continue
+		}
+		if err == "" || !strings.Contains(err, tc.wantErr) {
+			t.Errorf("parseDomainAnnot(%q) error = %q, want containing %q", tc.spec, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseDomainAnnotNoResults(t *testing.T) {
+	u64 := types.Typ[types.Uint64]
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(0, nil, "a", u64)), nil, false)
+	fn := types.NewFunc(0, nil, "InPlace", sig)
+	if _, err := parseDomainAnnot("a:<q -> ret:<q", fn); !strings.Contains(err, "no results") {
+		t.Errorf("ret on a result-less function: error %q, want 'no results'", err)
+	}
+	if annot, err := parseDomainAnnot("a:<2q -> a:<q", fn); err != "" || annot.outputs["a"] != domQ {
+		t.Errorf("in-place output on result-less function rejected: %v / %s", annot, err)
+	}
+}
+
+func TestDomainLattice(t *testing.T) {
+	if widenSum(domQ, domQ) != dom2Q {
+		t.Error("q+q must widen to <2q")
+	}
+	if widenSum(dom2Q, dom2Q) != dom4Q {
+		t.Error("2q+2q must widen to <4q")
+	}
+	if widenSum(domQ, dom2Q) != dom4Q {
+		t.Error("q+2q (bound 3q) must widen to <4q")
+	}
+	if widenSum(dom4Q, domQ) != domAny {
+		t.Error("4q+q must widen to any")
+	}
+	if widenSum(domAny, domQ) != domAny {
+		t.Error("any absorbs")
+	}
+	for _, d := range []domain{domQ, dom2Q, dom4Q, domAny} {
+		got, ok := parseDomain(d.String())
+		if !ok || got != d {
+			t.Errorf("parseDomain(%q) = %v, %v; want round-trip", d.String(), got, ok)
+		}
+	}
+}
+
+// TestModDomainMalformedDirective pins that a syntactically broken
+// lint:domain on a real declaration surfaces as a finding.
+func TestModDomainMalformedDirective(t *testing.T) {
+	prog := miniModule(t, map[string]string{
+		"go.mod": "module tmp\n\ngo 1.23\n",
+		"k/k.go": `package k
+
+// Widen is misannotated: the domain grammar has no <8q.
+//
+//lint:domain a:<8q -> ret:<q
+func Widen(a uint64) uint64 { return a }
+`,
+	})
+	fs := Run(prog, []Pass{&ModDomain{}})
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "malformed lint:domain") {
+		t.Fatalf("findings = %v, want one malformed-directive finding", fs)
+	}
+}

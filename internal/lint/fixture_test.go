@@ -86,7 +86,9 @@ func TestLoadModuleFixture(t *testing.T) {
 	}
 	for _, path := range []string{
 		"fixture/internal/ring", "fixture/internal/par", "fixture/internal/lwe",
+		"fixture/internal/bfv", "fixture/internal/serve", "fixture/internal/core",
 		"fixture/modfix", "fixture/parfix", "fixture/wire",
+		"fixture/taintdemo", "fixture/scratchdemo", "fixture/lazydemo",
 	} {
 		pkg := prog.ByPath[path]
 		if pkg == nil {
@@ -146,9 +148,10 @@ func TestWellFormedAllowsSuppress(t *testing.T) {
 			n += len(as)
 		}
 	}
-	// modfix has two, bfv and parfix one each.
-	if n != 4 {
-		t.Fatalf("%d well-formed allow directives, want 4", n)
+	// modfix has two; bfv, parfix, scratchdemo (scratchalias), lazydemo
+	// (moddomain), and internal/core (errdrop) one each.
+	if n != 7 {
+		t.Fatalf("%d well-formed allow directives, want 7", n)
 	}
 }
 

@@ -13,6 +13,23 @@
 //   - panicfree-wire: no panic may be reachable from the wire
 //     deserialization entry points — a malicious ciphertext must yield
 //     an error, not a crash.
+//   - errdrop: statement-position calls in internal/core and
+//     internal/serve must not silently discard an error result.
+//
+// On top of the syntactic passes sit three dataflow passes built on
+// function summaries over the go/types call graph:
+//
+//   - secrettaint: interprocedural taint from secret-key material
+//     (SecretKey, PRNG keystreams, seed entropy) to the wire encoders,
+//     fmt/log formatting, and metrics — "secret keys never leave the
+//     client", machine-checked. Sanitize with //lint:declassify <reason>.
+//   - scratchalias: per-worker scratch (ShallowCopy types) captured by
+//     par.ForEach / par.NewPool closures must be forked or selected
+//     per-worker, never shared by alias.
+//   - moddomain: Longa–Naehrig lazy-reduction domains (<q, <2q, <4q)
+//     declared via //lint:domain annotations on the ring kernels are
+//     abstract-interpreted through every caller; mixing (a <4q
+//     intermediate into a <2q input) is rejected.
 //
 // Everything is built on the standard library only (go/ast, go/parser,
 // go/types); go.mod stays bare. Findings can be suppressed in source
@@ -22,7 +39,9 @@
 //
 // either at the end of the offending line or on its own line directly
 // above it. The reason is mandatory: a bare suppression is itself
-// reported as a finding.
+// reported as a finding. Findings located in generated files
+// ("Code generated … DO NOT EDIT.") are dropped: generated code is
+// fixed at its generator.
 package lint
 
 import (
@@ -60,6 +79,10 @@ func AllPasses() []Pass {
 		&CryptoRand{},
 		&ParSafe{},
 		NewPanicFreeWire(),
+		&ErrDrop{},
+		&ScratchAlias{},
+		&SecretTaint{},
+		&ModDomain{},
 	}
 }
 
@@ -155,7 +178,7 @@ func Run(prog *Program, passes []Pass) []Finding {
 	findings := bad
 	for _, p := range passes {
 		for _, f := range p.Run(prog) {
-			if !suppressed(allows, f) {
+			if !suppressed(allows, f) && !prog.Generated[f.Pos.Filename] {
 				findings = append(findings, f)
 			}
 		}

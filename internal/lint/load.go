@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -30,6 +32,11 @@ type Program struct {
 	Root       string // absolute module root (directory holding go.mod)
 	Packages   []*Package
 	ByPath     map[string]*Package
+	// Generated marks the absolute filenames carrying a standard
+	// "Code generated … DO NOT EDIT." header. They are loaded (their
+	// declarations participate in type-checking) but findings located in
+	// them are dropped by Run: generated code is fixed at its generator.
+	Generated map[string]bool
 }
 
 // LoadModule parses and type-checks every non-test package under root,
@@ -47,7 +54,8 @@ func LoadModule(root string) (*Program, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	prog := &Program{Fset: fset, ModulePath: modPath, Root: root, ByPath: map[string]*Package{}}
+	prog := &Program{Fset: fset, ModulePath: modPath, Root: root,
+		ByPath: map[string]*Package{}, Generated: map[string]bool{}}
 
 	// Discover and parse every package directory.
 	parsed := map[string]*Package{} // pkgPath -> package with Files set
@@ -63,7 +71,7 @@ func LoadModule(root string) (*Program, error) {
 			name == "testdata" || name == "vendor") {
 			return filepath.SkipDir
 		}
-		files, perr := parseDir(fset, path)
+		files, perr := parseDir(fset, path, prog.Generated)
 		if perr != nil {
 			return perr
 		}
@@ -115,8 +123,9 @@ func LoadModule(root string) (*Program, error) {
 	return prog, nil
 }
 
-// parseDir parses the non-test buildable .go files directly in dir.
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+// parseDir parses the non-test buildable .go files directly in dir,
+// recording generated files in generated.
+func parseDir(fset *token.FileSet, dir string, generated map[string]bool) ([]*ast.File, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -125,32 +134,85 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
-			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			hasPlatformSuffix(name) {
 			continue
 		}
-		f, perr := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		full := filepath.Join(dir, name)
+		f, perr := parser.ParseFile(fset, full, nil, parser.ParseComments)
 		if perr != nil {
 			return nil, perr
 		}
 		if ignoredByBuildTag(f) {
 			continue
 		}
+		if isGeneratedFile(f) {
+			generated[full] = true
+		}
 		files = append(files, f)
 	}
 	return files, nil
 }
 
-// ignoredByBuildTag reports whether the file opts out of the build
-// entirely (//go:build ignore); richer constraint evaluation is not
-// needed for this repo.
+// platformSuffixes are the GOOS/GOARCH filename suffixes the loader
+// excludes unconditionally: the lint view of the module must be the same
+// on every host, so platform-specific files never participate. The repo
+// has none; the list exists so one appearing later cannot make lint
+// results host-dependent.
+var platformSuffixes = []string{
+	"linux", "darwin", "windows", "freebsd", "openbsd", "netbsd", "js", "wasip1", "plan9",
+	"amd64", "arm64", "arm", "386", "riscv64", "ppc64le", "s390x", "wasm", "mips64",
+}
+
+func hasPlatformSuffix(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	for _, suf := range platformSuffixes {
+		if strings.HasSuffix(base, "_"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoredByBuildTag reports whether the file's build constraints exclude
+// it from the lint build. Constraints are evaluated with every tag
+// false — deterministically host-independent: `//go:build ignore` and
+// `//go:build linux` are skipped everywhere, `//go:build !someflag` is
+// kept everywhere. Files with no constraint are always kept.
 func ignoredByBuildTag(f *ast.File) bool {
 	for _, cg := range f.Comments {
 		if cg.End() >= f.Package {
 			break
 		}
 		for _, c := range cg.List {
-			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-			if text == "go:build ignore" || strings.HasPrefix(text, "+build ignore") {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: treat as unconstrained
+			}
+			if !expr.Eval(func(tag string) bool { return false }) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// generatedRx matches the standard generated-file header mandated by
+// https://go.dev/s/generatedcode.
+var generatedRx = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+// isGeneratedFile reports whether f carries the conventional generated
+// header before its package clause.
+func isGeneratedFile(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if generatedRx.MatchString(c.Text) {
 				return true
 			}
 		}

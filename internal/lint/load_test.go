@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadTagged loads the tagged fixture module: build-tag-guarded files, a
+// platform-suffixed file and vendored/testdata trees that are not even
+// valid Go, and a generated crypto file carrying a would-be finding.
+func loadTagged(t *testing.T) *Program {
+	t.Helper()
+	prog, err := LoadModule(filepath.Join("testdata", "tagged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// snapshotPackages renders the loaded package/file structure for
+// determinism comparisons.
+func snapshotPackages(prog *Program) []string {
+	var out []string
+	for _, pkg := range prog.Packages {
+		var files []string
+		for _, f := range pkg.Files {
+			files = append(files, filepath.Base(prog.Fset.Position(f.Package).Filename))
+		}
+		sort.Strings(files)
+		out = append(out, pkg.PkgPath+": "+strings.Join(files, ","))
+	}
+	return out
+}
+
+func TestLoadTaggedModule(t *testing.T) {
+	prog := loadTagged(t)
+
+	pkg := prog.ByPath["tagged/pkg"]
+	if pkg == nil {
+		t.Fatal("tagged/pkg not loaded")
+	}
+	files := map[string]bool{}
+	for _, f := range pkg.Files {
+		files[filepath.Base(prog.Fset.Position(f.Package).Filename)] = true
+	}
+	if !files["pkg.go"] || !files["negated.go"] {
+		t.Errorf("unconstrained and negated-constraint files must load, got %v", files)
+	}
+	if files["constrained.go"] {
+		t.Error("//go:build sometag file must be excluded (all tags evaluate false)")
+	}
+	if files["old_ignore.go"] {
+		t.Error("// +build ignore file must be excluded")
+	}
+	if files["skip_linux.go"] {
+		t.Error("GOOS-suffixed file must be excluded before parsing")
+	}
+
+	for path := range prog.ByPath {
+		if strings.Contains(path, "vendor") || strings.Contains(path, "testdata") {
+			t.Errorf("package %s from a vendored or testdata tree was loaded", path)
+		}
+	}
+}
+
+func TestLoadTaggedDeterministic(t *testing.T) {
+	a := snapshotPackages(loadTagged(t))
+	prog2, err := LoadModule(filepath.Join("testdata", "tagged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := snapshotPackages(prog2)
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("two loads disagree:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestGeneratedFindingsFiltered pins the generated-code contract: the
+// pass itself still sees the violation (cryptorand flags the math/rand
+// import in gen.go), but Run drops findings located in generated files.
+func TestGeneratedFindingsFiltered(t *testing.T) {
+	prog := loadTagged(t)
+
+	genFile := ""
+	for f := range prog.Generated {
+		if filepath.Base(f) == "gen.go" {
+			genFile = f
+		}
+	}
+	if genFile == "" {
+		t.Fatalf("gen.go not marked generated; Generated = %v", prog.Generated)
+	}
+
+	raw := (&CryptoRand{}).Run(prog)
+	found := false
+	for _, f := range raw {
+		if f.Pos.Filename == genFile {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cryptorand did not flag the generated file's math/rand import (the filter would be vacuous)")
+	}
+
+	if fs := Run(prog, AllPasses()); len(fs) != 0 {
+		t.Fatalf("Run must filter generated-file findings, got %v", fs)
+	}
+}

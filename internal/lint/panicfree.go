@@ -18,8 +18,15 @@ import (
 //
 // Entry points are the functions named Read*/read* declared in the wire
 // files (bfv/serialize.go, lwe/serialize.go, core/wire.go,
-// core/evalkeys.go) plus the Read*/Decode* frame and payload decoders of
-// the serving protocol (serve/proto.go). The walk is
+// core/evalkeys.go), the Read*/Decode* frame and payload decoders of
+// the serving protocol (serve/proto.go), and the client's reply parsing
+// (serve/client/client.go readLoop and any decoder). The server's
+// dispatch handlers are deliberately not entry points: every attacker
+// byte they touch flows through the proto.go/evalkeys.go decoders first
+// (which ARE walked), and the engine construction behind Registry.Open
+// panics only on parameters those decoders have already validated — the
+// EvalKeyCodec split from PR 4 exists precisely to keep construction
+// out of the attacker-bytes walk. The walk is
 // static and module-internal: calls through function values, interface
 // methods, and the standard library are treated as boundaries. That
 // under-approximates reachability, so keep wire code first-order — which
@@ -49,6 +56,7 @@ func NewPanicFreeWire() *PanicFreeWire {
 		{Pkg: "internal/core", File: "wire.go", Prefixes: rw},
 		{Pkg: "internal/core", File: "evalkeys.go", Prefixes: rw},
 		{Pkg: "internal/serve", File: "proto.go", Prefixes: []string{"Read", "read", "Decode"}},
+		{Pkg: "internal/serve/client", File: "client.go", Prefixes: []string{"Read", "read", "Decode", "decode"}},
 	}}
 }
 

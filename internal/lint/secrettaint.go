@@ -1,0 +1,723 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SecretTaint is the interprocedural dataflow pass guarding the serving
+// contract "secret keys never leave the client": no secret-key material
+// may reach the ASV1 wire encoders, fmt/log formatting (including error
+// construction), or the metrics surface.
+//
+// Sources are type-based: any expression whose type is (a pointer to) a
+// module-declared SecretKey, the PRNG state types (ring.Keystream,
+// ring.Sampler, lwe.Stream), or the result of ring.RandomSeed. Selecting
+// a field of a secret value (sk.Value, sk.S, sk.Signed) yields tainted
+// data, and taint then propagates through assignments, indexing,
+// arithmetic, conversions, append/copy, composite literals, and function
+// calls — the last via per-function summaries computed bottom-up over
+// the static call graph, so a helper that funnels its argument into
+// fmt.Sprintf taints its call sites and a helper that returns
+// secret-derived data taints its results.
+//
+// Sinks: every argument of fmt.* and log.* calls, and the arguments of
+// the serving-layer byte/wire builders (functions named
+// Encode*/Write*/Append*/Snapshot*/Record* declared in a serve package).
+//
+// Sanitizers: decryption and encryption declassify by construction —
+// the plaintext belongs to the data owner and a ciphertext
+// computationally hides its contents — so results of module functions
+// named Decrypt*/decrypt*/Encrypt*/encrypt* are clean. Everything else
+// needs an explicit, explained annotation on the flagged line (or the
+// line above):
+//
+//	//lint:declassify <reason>
+//
+// which clears the taint of every expression on that line. A declassify
+// with no reason is itself a finding. len/cap and comparisons drop
+// taint (cardinalities and booleans are not key material), and struct
+// field *writes* do not taint the whole struct — secret-typed fields
+// are re-detected by type at every read, which keeps god-objects like
+// core.Engine from poisoning every value derived from them. Sink
+// summaries are likewise exported only for aggregate-typed parameters:
+// a bare integer formatted by a leaf (a galois element or modulus in a
+// panic message) does not turn every transitive caller into a sink,
+// while scalar leaks inside the function that touches the secret are
+// still reported directly.
+type SecretTaint struct{}
+
+// Name implements Pass.
+func (*SecretTaint) Name() string { return "secrettaint" }
+
+// Doc implements Pass.
+func (*SecretTaint) Doc() string {
+	return "secret-key material flowing into wire encoders, fmt/log, or metrics (interprocedural)"
+}
+
+// srcBit marks taint that originates at a secret source (as opposed to
+// taint that merely depends on a parameter, which only matters to
+// callers). Parameter i of a function is bit 1<<i.
+const srcBit uint64 = 1 << 63
+
+const maxTrackedParams = 62
+
+// taintSummary is the bottom-up function summary.
+type taintSummary struct {
+	// retMask[i] is the taint of result i as a mask over parameter bits
+	// (plus srcBit when an internal source reaches the result).
+	retMask []uint64
+	// sinkParams are the parameters that reach a sink inside the
+	// function, directly or via callees.
+	sinkParams uint64
+	// sinkName names one sink reachable from sinkParams, for messages.
+	sinkName string
+}
+
+func (s *taintSummary) equal(o *taintSummary) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.sinkParams != o.sinkParams || len(s.retMask) != len(o.retMask) {
+		return false
+	}
+	for i := range s.retMask {
+		if s.retMask[i] != o.retMask[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// taintFn is one analyzable function body.
+type taintFn struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// Run implements Pass.
+func (p *SecretTaint) Run(prog *Program) []Finding {
+	declass, findings := collectDeclassify(prog)
+
+	// Function universe, in deterministic (package, file, decl) order.
+	var fns []*taintFn
+	byObj := map[*types.Func]*taintFn{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn := &taintFn{obj: obj, decl: fd, pkg: pkg}
+				fns = append(fns, fn)
+				byObj[obj] = fn
+			}
+		}
+	}
+
+	// Bottom-up summaries to a fixpoint. Masks grow monotonically, so
+	// the iteration converges; the bound is a safety net.
+	summaries := map[*types.Func]*taintSummary{}
+	for round := 0; round < 8; round++ {
+		changed := false
+		for _, fn := range fns {
+			an := &taintAnalysis{prog: prog, pkg: fn.pkg, summaries: summaries, declass: declass}
+			s := an.analyze(fn, nil)
+			if !s.equal(summaries[fn.obj]) {
+				summaries[fn.obj] = s
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Reporting round with stable summaries.
+	reported := map[token.Pos]bool{}
+	for _, fn := range fns {
+		an := &taintAnalysis{prog: prog, pkg: fn.pkg, summaries: summaries, declass: declass}
+		an.analyze(fn, func(pos token.Pos, msg string) {
+			if reported[pos] {
+				return
+			}
+			reported[pos] = true
+			findings = append(findings, Finding{Pass: "secrettaint", Pos: prog.Fset.Position(pos), Message: msg})
+		})
+	}
+	return findings
+}
+
+// collectDeclassify parses every //lint:declassify directive; the
+// returned map is filename -> set of directive lines. Directives with no
+// reason are returned as findings.
+func collectDeclassify(prog *Program) (map[string]map[int]bool, []Finding) {
+	lines := map[string]map[int]bool{}
+	var bad []Finding
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "lint:declassify")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					if strings.TrimSpace(rest) == "" {
+						bad = append(bad, Finding{Pass: "secrettaint", Pos: pos,
+							Message: "lint:declassify has no reason; unexplained sanitizers are forbidden"})
+						continue
+					}
+					byLine := lines[pos.Filename]
+					if byLine == nil {
+						byLine = map[int]bool{}
+						lines[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = true
+				}
+			}
+		}
+	}
+	return lines, bad
+}
+
+// taintAnalysis carries the per-function dataflow state.
+type taintAnalysis struct {
+	prog      *Program
+	pkg       *Package
+	summaries map[*types.Func]*taintSummary
+	declass   map[string]map[int]bool
+
+	masks  map[types.Object]uint64
+	params map[types.Object]int
+	report func(pos token.Pos, msg string)
+
+	sum taintSummary
+}
+
+// analyze computes fn's summary; when report is non-nil it also emits
+// findings for source-tainted sink arguments.
+func (a *taintAnalysis) analyze(fn *taintFn, report func(token.Pos, string)) *taintSummary {
+	a.report = report
+	a.masks = map[types.Object]uint64{}
+	a.params = map[types.Object]int{}
+	a.sum = taintSummary{}
+
+	sig := fn.obj.Type().(*types.Signature)
+	idx := 0
+	addParam := func(v *types.Var) {
+		if v == nil || idx >= maxTrackedParams {
+			return
+		}
+		a.params[v] = idx
+		a.masks[v] = 1 << uint(idx)
+		if a.secretType(v.Type()) {
+			a.masks[v] |= srcBit
+		}
+		idx++
+	}
+	addParam(sig.Recv())
+	for i := 0; i < sig.Params().Len(); i++ {
+		addParam(sig.Params().At(i))
+	}
+	a.sum.retMask = make([]uint64, sig.Results().Len())
+
+	// Inner fixpoint: masks only grow, so a few sweeps settle even with
+	// use-before-def ordering (loops, closures).
+	for sweep := 0; sweep < 8; sweep++ {
+		before := a.snapshot()
+		a.walkBody(fn.decl.Body, sig)
+		if a.snapshot() == before {
+			break
+		}
+	}
+	// Reporting sweep runs once more with stable masks.
+	if report != nil {
+		a.walkBody(fn.decl.Body, sig)
+	}
+	s := a.sum
+	return &s
+}
+
+func (a *taintAnalysis) snapshot() uint64 {
+	var h uint64
+	for o, m := range a.masks {
+		h ^= m * uint64(o.Pos()+1)
+	}
+	for i, m := range a.sum.retMask {
+		h ^= m << uint(i%8)
+	}
+	return h ^ a.sum.sinkParams
+}
+
+func (a *taintAnalysis) walkBody(body *ast.BlockStmt, sig *types.Signature) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			a.handleAssign(st)
+		case *ast.ValueSpec:
+			if len(st.Values) == len(st.Names) {
+				for i, name := range st.Names {
+					a.merge(name, a.exprMask(st.Values[i]))
+				}
+			} else if len(st.Values) == 1 {
+				ms := a.callMasks(st.Values[0])
+				for i, name := range st.Names {
+					if i < len(ms) {
+						a.merge(name, ms[i])
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			m := a.exprMask(st.X)
+			if id, ok := st.Value.(*ast.Ident); ok {
+				a.merge(id, m)
+			}
+		case *ast.ReturnStmt:
+			for i, e := range st.Results {
+				if i < len(a.sum.retMask) {
+					a.sum.retMask[i] |= a.exprMask(e)
+				}
+			}
+			if len(st.Results) == 1 && len(a.sum.retMask) > 1 {
+				ms := a.callMasks(st.Results[0])
+				for i := range a.sum.retMask {
+					if i < len(ms) {
+						a.sum.retMask[i] |= ms[i]
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			// Statement-position calls never flow through exprMask, so
+			// trigger callMasks here for its side effects (copy's
+			// dst-taint, summary-based sink reporting).
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				a.callMasks(call)
+			}
+		case *ast.CallExpr:
+			a.checkSink(st)
+		}
+		return true
+	})
+}
+
+func (a *taintAnalysis) handleAssign(st *ast.AssignStmt) {
+	if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+		ms := a.callMasks(st.Rhs[0])
+		for i, lhs := range st.Lhs {
+			var m uint64
+			if i < len(ms) {
+				m = ms[i]
+			}
+			a.assignTo(lhs, m)
+		}
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if i < len(st.Rhs) {
+			a.assignTo(lhs, a.exprMask(st.Rhs[i]))
+		}
+	}
+}
+
+// assignTo propagates taint into an assignment target. Identifiers take
+// the mask directly; slice-element writes taint the backing slice (a
+// buffer being filled is as secret as its content). Struct field writes
+// deliberately do not taint the container — see the package doc.
+func (a *taintAnalysis) assignTo(lhs ast.Expr, m uint64) {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		a.merge(e, m)
+	case *ast.IndexExpr:
+		if base := rootIdent(e.X); base != nil && m != 0 {
+			a.mergeObj(a.objOf(base), m)
+		}
+	}
+}
+
+func (a *taintAnalysis) objOf(id *ast.Ident) types.Object {
+	if o := a.pkg.Info.Defs[id]; o != nil {
+		return o
+	}
+	return a.pkg.Info.Uses[id]
+}
+
+func (a *taintAnalysis) merge(id *ast.Ident, m uint64) {
+	if id.Name == "_" || m == 0 {
+		return
+	}
+	a.mergeObj(a.objOf(id), m)
+}
+
+func (a *taintAnalysis) mergeObj(o types.Object, m uint64) {
+	if o == nil || m == 0 {
+		return
+	}
+	a.masks[o] |= m
+}
+
+// declassified reports whether pos's line (or the line above) carries a
+// lint:declassify directive.
+func (a *taintAnalysis) declassified(pos token.Pos) bool {
+	p := a.prog.Fset.Position(pos)
+	byLine := a.declass[p.Filename]
+	return byLine != nil && (byLine[p.Line] || byLine[p.Line-1])
+}
+
+// exprMask computes the taint mask of e.
+func (a *taintAnalysis) exprMask(e ast.Expr) uint64 {
+	if e == nil {
+		return 0
+	}
+	if a.declassified(e.Pos()) {
+		return 0
+	}
+	var m uint64
+	switch x := e.(type) {
+	case *ast.Ident:
+		m = a.masks[a.objOf(x)]
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := a.pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				m = a.masks[a.objOf(x.Sel)]
+				break
+			}
+		}
+		m = a.exprMask(x.X)
+	case *ast.IndexExpr:
+		m = a.exprMask(x.X)
+	case *ast.SliceExpr:
+		m = a.exprMask(x.X)
+	case *ast.StarExpr:
+		m = a.exprMask(x.X)
+	case *ast.ParenExpr:
+		m = a.exprMask(x.X)
+	case *ast.UnaryExpr:
+		m = a.exprMask(x.X)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return 0 // booleans are not key material
+		}
+		m = a.exprMask(x.X) | a.exprMask(x.Y)
+	case *ast.CallExpr:
+		ms := a.callMasks(x)
+		for _, r := range ms {
+			m |= r
+		}
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				m |= a.exprMask(kv.Value)
+			} else {
+				m |= a.exprMask(elt)
+			}
+		}
+	case *ast.TypeAssertExpr:
+		m = a.exprMask(x.X)
+	}
+	if tv, ok := a.pkg.Info.Types[e]; ok && tv.Type != nil && a.secretType(tv.Type) {
+		m |= srcBit
+	}
+	return m
+}
+
+// callMasks computes the per-result taint of a call (or of any
+// expression, treated as a single result).
+func (a *taintAnalysis) callMasks(e ast.Expr) []uint64 {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return []uint64{a.exprMask(e)}
+	}
+	if a.declassified(call.Pos()) {
+		return []uint64{0}
+	}
+
+	// Conversions pass taint through.
+	if tv, ok := a.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		var m uint64
+		for _, arg := range call.Args {
+			m |= a.exprMask(arg)
+		}
+		return []uint64{m}
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := a.pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "new", "make":
+				return []uint64{0} // cardinalities and fresh memory are clean
+			case "append":
+				var m uint64
+				for _, arg := range call.Args {
+					m |= a.exprMask(arg)
+				}
+				return []uint64{m}
+			case "copy":
+				if len(call.Args) == 2 {
+					if src := a.exprMask(call.Args[1]); src != 0 {
+						if base := rootIdent(call.Args[0]); base != nil {
+							a.mergeObj(a.objOf(base), src)
+						}
+					}
+				}
+				return []uint64{0}
+			default:
+				return []uint64{0}
+			}
+		}
+	}
+
+	callee := a.staticCallee(call)
+	argExprs := a.callArgs(call, callee)
+
+	// Module-internal declassifiers: decryption yields the data owner's
+	// plaintext, encryption yields a ciphertext that hides its content.
+	if callee != nil && a.inModule(callee.Pkg()) {
+		name := callee.Name()
+		if strings.HasPrefix(name, "Decrypt") || strings.HasPrefix(name, "decrypt") ||
+			strings.HasPrefix(name, "Encrypt") || strings.HasPrefix(name, "encrypt") {
+			// Arguments were already checked against sinks inside the
+			// callee; the results are clean by construction.
+			nres := 1
+			if sig, ok := callee.Type().(*types.Signature); ok {
+				nres = sig.Results().Len()
+			}
+			return make([]uint64, nres)
+		}
+	}
+
+	// Secret source: fresh seed entropy.
+	if callee != nil && callee.Name() == "RandomSeed" && a.inModule(callee.Pkg()) {
+		return []uint64{srcBit, 0}
+	}
+
+	if callee != nil {
+		if sum, ok := a.summaries[callee]; ok {
+			// Known module function: map argument taint through the
+			// callee's summary.
+			argMask := func(i int) uint64 {
+				if i < len(argExprs) {
+					return a.exprMask(argExprs[i])
+				}
+				return 0
+			}
+			if sum.sinkParams != 0 {
+				for i := range argExprs {
+					if sum.sinkParams&(1<<uint(i)) == 0 {
+						continue
+					}
+					m := a.exprMask(argExprs[i])
+					a.recordSink(argExprs[i], m,
+						fmt.Sprintf("%s (via %s)", sum.sinkName, shortName(callee)))
+				}
+			}
+			res := make([]uint64, len(sum.retMask))
+			for r, rm := range sum.retMask {
+				if rm&srcBit != 0 {
+					res[r] |= srcBit
+				}
+				for i := 0; i < maxTrackedParams; i++ {
+					if rm&(1<<uint(i)) != 0 {
+						res[r] |= argMask(i)
+					}
+				}
+			}
+			return res
+		}
+	}
+
+	// Unknown callee (standard library, function values, interface
+	// methods): assume results depend on every argument.
+	var m uint64
+	for _, arg := range argExprs {
+		m |= a.exprMask(arg)
+	}
+	nres := 1
+	if callee != nil {
+		if sig, ok := callee.Type().(*types.Signature); ok {
+			nres = sig.Results().Len()
+		}
+	} else if tv, ok := a.pkg.Info.Types[call]; ok {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			nres = tup.Len()
+		}
+	}
+	if nres == 0 {
+		return nil
+	}
+	res := make([]uint64, nres)
+	for i := range res {
+		res[i] = m
+	}
+	return res
+}
+
+// callArgs returns the call's value operands aligned to the summary's
+// parameter indexing: receiver first for method calls, then arguments.
+func (a *taintAnalysis) callArgs(call *ast.CallExpr, callee *types.Func) []ast.Expr {
+	var args []ast.Expr
+	if callee != nil {
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				args = append(args, sel.X)
+			}
+		}
+	}
+	return append(args, call.Args...)
+}
+
+// staticCallee resolves call's target when it is a plain function or
+// method reference.
+func (a *taintAnalysis) staticCallee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := a.pkg.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := a.pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// checkSink inspects one call: if it targets a formatting/logging/wire
+// sink, every argument's taint is recorded (parameter bits feed the
+// summary; srcBit emits a finding in the reporting round).
+func (a *taintAnalysis) checkSink(call *ast.CallExpr) {
+	callee := a.staticCallee(call)
+	if callee == nil {
+		return
+	}
+	sink := a.sinkNameFor(callee)
+	if sink == "" {
+		return
+	}
+	for _, arg := range call.Args {
+		a.recordSink(arg, a.exprMask(arg), sink)
+	}
+}
+
+// recordSink folds one sink-reaching mask into the summary and, in the
+// reporting round, emits a finding for source taint.
+func (a *taintAnalysis) recordSink(arg ast.Expr, m uint64, sink string) {
+	if m == 0 || a.declassified(arg.Pos()) {
+		return
+	}
+	// Interprocedural sink summaries are exported only for aggregate-typed
+	// arguments (slices, structs, pointers, strings). A lone integer
+	// crossing a function boundary into a format call is overwhelmingly a
+	// public length, index, or protocol constant (galois elements, moduli
+	// in panic messages), and the flow-insensitive mask merge would
+	// otherwise drag whole receivers into the sink set. In-function scalar
+	// leaks are still reported through the srcBit check below.
+	if pm := m &^ srcBit; pm != 0 && !scalarExpr(a.pkg, arg) {
+		a.sum.sinkParams |= pm
+		if a.sum.sinkName == "" {
+			a.sum.sinkName = sink
+		}
+	}
+	if m&srcBit != 0 && a.report != nil {
+		a.report(arg.Pos(), fmt.Sprintf(
+			"secret-key material reaches %s: secrets must never be formatted, logged, or wire-encoded (declassify explicitly with //lint:declassify <reason> if provably public)",
+			sink))
+	}
+}
+
+// scalarExpr reports whether e's static type is a bare scalar (integer,
+// boolean, float, complex) — a value that cannot hold key material in
+// aggregate.
+func scalarExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsBoolean|types.IsFloat|types.IsComplex) != 0
+}
+
+// sinkNameFor classifies callee as a sink, returning a display name or "".
+func (a *taintAnalysis) sinkNameFor(callee *types.Func) string {
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "fmt", "log":
+		return pkg.Path() + "." + callee.Name()
+	}
+	if a.inModule(pkg) && inServePackage(a.prog, pkg.Path()) {
+		name := callee.Name()
+		for _, pre := range []string{"Encode", "encode", "Write", "write", "Append", "append", "Snapshot", "Record", "record"} {
+			if strings.HasPrefix(name, pre) {
+				return shortName(callee)
+			}
+		}
+	}
+	return ""
+}
+
+// inServePackage reports whether pkgPath has a "serve" path component —
+// the serving layer whose encoders and metrics are the wire sinks.
+func inServePackage(prog *Program, pkgPath string) bool {
+	rel := strings.TrimPrefix(pkgPath, prog.ModulePath+"/")
+	for _, part := range strings.Split(rel, "/") {
+		if part == "serve" {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *taintAnalysis) inModule(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == a.prog.ModulePath ||
+		strings.HasPrefix(pkg.Path(), a.prog.ModulePath+"/"))
+}
+
+// secretType reports whether t is (a pointer to, or slice of) a
+// module-declared secret-material type: a SecretKey anywhere, or the
+// PRNG state types of the ring/lwe packages.
+func (a *taintAnalysis) secretType(t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !a.inModule(obj.Pkg()) {
+		return false
+	}
+	switch obj.Name() {
+	case "SecretKey":
+		return true
+	case "Keystream", "Sampler":
+		return strings.HasSuffix(obj.Pkg().Path(), "ring")
+	case "Stream":
+		return strings.HasSuffix(obj.Pkg().Path(), "lwe")
+	}
+	return false
+}

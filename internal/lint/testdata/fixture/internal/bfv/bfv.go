@@ -6,3 +6,41 @@ import mrand "math/rand/v2" //lint:allow cryptorand fixture mirrors the approved
 
 // Jitter returns a value from the allowed generator.
 func Jitter() uint64 { return mrand.Uint64() }
+
+// SecretKey mirrors the production secret-key shape: secrettaint treats
+// any module-declared SecretKey as a taint source.
+type SecretKey struct {
+	Value  []uint64
+	Signed []int64
+}
+
+// Evaluator is mutable scratch with the production ShallowCopy contract.
+type Evaluator struct{ buf []uint64 }
+
+// ShallowCopy forks the evaluator's scratch for another goroutine.
+func (e *Evaluator) ShallowCopy() *Evaluator { return &Evaluator{buf: make([]uint64, len(e.buf))} }
+
+// Apply mutates the evaluator's scratch.
+func (e *Evaluator) Apply(x uint64) uint64 {
+	if len(e.buf) > 0 {
+		e.buf[0] = x
+	}
+	return x
+}
+
+// Plan reads immutable configuration; it is still a method call on the
+// scratch value, which is exactly what scratchalias cannot prove safe.
+func (e *Evaluator) Plan() int { return len(e.buf) }
+
+// Encoder is scratch by name, per the production convention.
+type Encoder struct{ tmp []uint64 }
+
+// Decrypt declassifies by construction: the plaintext belongs to the
+// data owner. secrettaint treats Decrypt*/Encrypt* results as clean.
+func Decrypt(sk *SecretKey, ct []uint64) []int64 {
+	out := make([]int64, len(ct))
+	for i := range ct {
+		out[i] = int64(ct[i]) - sk.Signed[i%len(sk.Signed)]
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+// Package core seeds errdrop violations: internal/core is in the pass's
+// scope, and these statement-position calls discard error results.
+package core
+
+import "fixture/internal/serve"
+
+// Teardown drops two errors on the floor.
+func Teardown() {
+	serve.Flush() // want errdrop
+	if err := serve.WriteRecord("bye"); err != nil {
+		serve.Flush() // want errdrop
+	}
+}
+
+// TeardownExplicit marks the drops deliberately: `_ =` and defer are the
+// approved discard spellings.
+func TeardownExplicit() {
+	_ = serve.Flush()
+	defer serve.Flush()
+	//lint:allow errdrop best-effort flush on the shutdown path; failure changes nothing
+	serve.Flush()
+}

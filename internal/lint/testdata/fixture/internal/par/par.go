@@ -23,3 +23,40 @@ func ForWork(n, itemCost int, f func(i int)) {
 func Chunks(n int, f func(start, end int)) {
 	f(0, n)
 }
+
+// Options mirrors the production partition-sizing knobs.
+type Options struct {
+	MinGrain   int
+	ItemCost   int
+	MaxWorkers int
+}
+
+// ForEach runs f(w, i) for every i in [0, n), handing each invocation a
+// worker index w — concurrently, in production.
+func ForEach(n int, o Options, f func(w, i int)) {
+	_ = o
+	for i := 0; i < n; i++ {
+		f(0, i)
+	}
+}
+
+// Pool is a sequential stub of the production lazy per-worker pool.
+type Pool[T any] struct {
+	mk    func() T
+	items map[int]T
+}
+
+// NewPool returns a pool that builds one T per worker via mk.
+func NewPool[T any](mk func() T) *Pool[T] {
+	return &Pool[T]{mk: mk, items: map[int]T{}}
+}
+
+// Get returns worker w's item, building it on first use.
+func (p *Pool[T]) Get(w int) T {
+	it, ok := p.items[w]
+	if !ok {
+		it = p.mk()
+		p.items[w] = it
+	}
+	return it
+}

@@ -21,3 +21,56 @@ func (m Modulus) Add(a, b uint64) uint64 { return (a + b) % m.Q }
 func Explode() {
 	panic("ring: explode") // want panicfree-wire
 }
+
+// AddLazy returns a+b unreduced, mirroring the production lazy kernel.
+//
+//lint:domain a:<2q b:<2q -> ret:<4q
+func (m Modulus) AddLazy(a, b uint64) uint64 { return a + b }
+
+// MulShoupLazy stands in for the subtraction-free Shoup multiply.
+//
+//lint:domain a:any w:<q -> ret:<2q
+func (m Modulus) MulShoupLazy(a, w uint64) uint64 { return m.Reduce(a * w) }
+
+// Reduce2Q folds a value in [0, 2q) into [0, q).
+//
+//lint:domain a:<2q -> ret:<q
+func (m Modulus) Reduce2Q(a uint64) uint64 {
+	if a >= m.Q {
+		a -= m.Q
+	}
+	return a
+}
+
+// Reduce4Q folds a value in [0, 4q) into [0, q) by two conditional
+// subtractions; like the production kernel it is a leaf whose annotation
+// is a trusted declaration, not composed from Reduce2Q.
+//
+//lint:domain a:<4q -> ret:<q
+func (m Modulus) Reduce4Q(a uint64) uint64 {
+	if a >= 2*m.Q {
+		a -= 2 * m.Q
+	}
+	if a >= m.Q {
+		a -= m.Q
+	}
+	return a
+}
+
+// ReduceVec maps arbitrary values into [0, q), in place into out.
+//
+//lint:domain a:any -> out:<q
+func (m Modulus) ReduceVec(a, out []uint64) {
+	for i := range a {
+		out[i] = m.Reduce(a[i])
+	}
+}
+
+// AddLazyVec is the unreduced vector add.
+//
+//lint:domain a:<2q b:<2q -> out:<4q
+func (m Modulus) AddLazyVec(a, b, out []uint64) {
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+}

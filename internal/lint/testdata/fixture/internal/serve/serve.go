@@ -1,0 +1,25 @@
+// Package serve is the fixture serving layer: its Encode*/Write*
+// functions are secrettaint wire sinks (the package path carries the
+// "serve" component), and its statement-position error drops are errdrop
+// territory.
+package serve
+
+import "errors"
+
+// EncodeBlob frames a payload for the wire: a secrettaint sink.
+func EncodeBlob(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+4)
+	out = append(out, byte(len(payload)))
+	return append(out, payload...)
+}
+
+// WriteRecord pretends to write a metrics record: also a sink.
+func WriteRecord(s string) error {
+	if s == "" {
+		return errors.New("serve: empty record")
+	}
+	return nil
+}
+
+// Flush returns an error that callers are tempted to drop.
+func Flush() error { return nil }

@@ -1,0 +1,64 @@
+// Package lazydemo seeds moddomain violations: lazy-range intermediates
+// flowing into kernels annotated to require narrower domains.
+package lazydemo
+
+import "fixture/internal/ring"
+
+// BadMix feeds a <4q lazy sum into Reduce2Q, which requires <2q — the
+// exact bug class moddomain exists to catch.
+func BadMix(m ring.Modulus, a, b uint64) uint64 {
+	t := m.AddLazy(a, b) // t is <4q (a, b default to canonical <q, but the annotation widens)
+	return m.Reduce2Q(t) // want moddomain
+}
+
+// BadMixVec is the vector form: an unreduced buffer handed to a kernel
+// whose input must be canonical.
+func BadMixVec(m ring.Modulus, a, b, out []uint64) uint64 {
+	m.AddLazyVec(a, b, out) // out is now <4q
+	s := uint64(0)
+	for i := range out {
+		s = m.Add(s, m.Reduce2Q(out[i])) // want moddomain
+	}
+	return s
+}
+
+// GoodMix shows the approved composition: the <4q intermediate goes
+// through Reduce4Q, and branches join at the wider domain.
+func GoodMix(m ring.Modulus, a, b uint64) uint64 {
+	t := m.AddLazy(a, b)
+	if a > b {
+		t = m.MulShoupLazy(t, b) // narrows t to <2q on this branch
+	}
+	// join(t) = max(<4q, <2q) = <4q: still fine for Reduce4Q.
+	return m.Reduce4Q(t)
+}
+
+// GoodVec: ReduceVec re-canonicalizes the buffer, so downstream
+// canonical-input kernels are satisfied.
+func GoodVec(m ring.Modulus, a, b, out []uint64) uint64 {
+	m.AddLazyVec(a, b, out)
+	m.ReduceVec(out, out)
+	s := uint64(0)
+	for i := range out {
+		s = m.Add(s, out[i])
+	}
+	return s
+}
+
+// ManualFold reduces by hand, which the abstract interpreter cannot
+// bound (`-=` widens to any): the finding is a false positive and
+// carries the justified escape hatch.
+func ManualFold(m ring.Modulus, a, b uint64) uint64 {
+	t := m.AddLazy(a, b)
+	if t >= m.Q {
+		t -= m.Q
+	}
+	if t >= m.Q {
+		t -= m.Q
+	}
+	if t >= m.Q {
+		t -= m.Q
+	}
+	//lint:allow moddomain t is folded below q by the three conditional subtractions above
+	return m.Add(t, b)
+}

@@ -1,0 +1,75 @@
+// Package taintdemo seeds secrettaint violations: secret-key material
+// flowing into formatting and the fixture serving layer's encoders.
+package taintdemo
+
+import (
+	"fmt"
+
+	"fixture/internal/bfv"
+	"fixture/internal/serve"
+)
+
+// LeakLog formats the raw key: the most direct violation.
+func LeakLog(sk *bfv.SecretKey) string {
+	return fmt.Sprintf("%v", sk.Value) // want secrettaint
+}
+
+// LeakWire pushes key-derived bytes into a serve encoder.
+func LeakWire(sk *bfv.SecretKey) []byte {
+	buf := make([]byte, len(sk.Value))
+	for i, v := range sk.Value {
+		buf[i] = byte(v)
+	}
+	return serve.EncodeBlob(buf) // want secrettaint
+}
+
+// LeakViaHelper proves the interprocedural propagation: render funnels
+// its argument into fmt, so the taint surfaces at this call site.
+func LeakViaHelper(sk *bfv.SecretKey) string {
+	return render(sk.Signed) // want secrettaint
+}
+
+// LeakReturnChain proves summaries flow through returns: derive's result
+// carries its argument's taint into the sink here.
+func LeakReturnChain(sk *bfv.SecretKey) string {
+	d := derive(sk.Value)
+	return fmt.Sprint(d) // want secrettaint
+}
+
+// GoodDecrypted logs decrypted logits: Decrypt declassifies by
+// construction (the plaintext belongs to the data owner).
+func GoodDecrypted(sk *bfv.SecretKey, ct []uint64) string {
+	logits := bfv.Decrypt(sk, ct)
+	return fmt.Sprint(logits)
+}
+
+// GoodLength logs only cardinalities, which are public.
+func GoodLength(sk *bfv.SecretKey) string {
+	return fmt.Sprintf("key with %d coefficients", len(sk.Value))
+}
+
+// GoodDeclassified ships a commitment the author argues is public; the
+// justified declassify is the sanctioned sanitizer.
+func GoodDeclassified(sk *bfv.SecretKey) []byte {
+	digest := checksum(sk.Value)
+	//lint:declassify 8-bit checksum of the key is a published integrity tag, not key material
+	return serve.EncodeBlob([]byte{digest})
+}
+
+func render(v []int64) string {
+	return fmt.Sprintf("%v", v)
+}
+
+func derive(v []uint64) []uint64 {
+	out := make([]uint64, len(v))
+	copy(out, v)
+	return out
+}
+
+func checksum(v []uint64) byte {
+	var c byte
+	for _, x := range v {
+		c ^= byte(x)
+	}
+	return c
+}

@@ -1,0 +1,3 @@
+module tagged
+
+go 1.23

@@ -1,0 +1,8 @@
+//go:build sometag
+
+// This file is excluded by its build constraint (evaluated with every
+// tag false); if the loader ever included it, type-checking would fail
+// on the undefined identifier below.
+package pkg
+
+var fromConstrained = thisIdentifierDoesNotExist

@@ -1,0 +1,8 @@
+//go:build !sometag
+
+// A negated constraint evaluates true with every tag false, so this
+// file IS loaded on every host.
+package pkg
+
+// Negated proves negated-constraint files participate in the package.
+const Negated = Value + 1

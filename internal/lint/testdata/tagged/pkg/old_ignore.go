@@ -1,0 +1,7 @@
+//go:build ignore
+// +build ignore
+
+// Old-style +build ignore: excluded everywhere.
+package pkg
+
+var fromOldIgnore = alsoUndefined

@@ -1,0 +1,7 @@
+// Package pkg is the tagged-module fixture: its siblings carry build
+// constraints, platform suffixes, and generated headers that the loader
+// must handle deterministically on every host.
+package pkg
+
+// Value is referenced by nothing; the package just has to type-check.
+const Value = 1

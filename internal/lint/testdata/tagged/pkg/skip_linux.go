@@ -1,0 +1,1 @@
+this is not Go at all {{{

@@ -1,0 +1,1 @@
+nested testdata garbage >>>

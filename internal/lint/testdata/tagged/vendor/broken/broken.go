@@ -1,0 +1,1 @@
+also not Go ]]]

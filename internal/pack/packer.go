@@ -239,6 +239,10 @@ func (p *Packer) PackWith(ev *bfv.Evaluator, sc *Scratch, cts []lwe.Ciphertext) 
 		pool := sc.lanePool(ev)
 		par.ForEach(gs, opts, func(w, a int) {
 			ln := pool.Get(w)
+			// giantStep stages everything in the lane's ev/cod/diagonal
+			// buffers; the Packer fields it reads (BSGS plan, rotation keys)
+			// are immutable after NewPacker.
+			//lint:allow scratchalias giantStep writes only the lane's scratch; p's plan/key fields are read-only here
 			inners[a], errs[a] = p.giantStep(ln.ev, ln.cod, ln.d, ln.pt, ln.pm, cts, a)
 		})
 		for a := 0; a < gs; a++ {

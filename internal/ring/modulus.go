@@ -61,6 +61,8 @@ func NewModulus(q uint64) Modulus {
 }
 
 // Add returns a+b mod q for a, b in [0, q).
+//
+//lint:domain a:<q b:<q -> ret:<q
 func (m Modulus) Add(a, b uint64) uint64 {
 	c := a + b
 	if c >= m.Q {
@@ -70,6 +72,8 @@ func (m Modulus) Add(a, b uint64) uint64 {
 }
 
 // Sub returns a-b mod q for a, b in [0, q).
+//
+//lint:domain a:<q b:<q -> ret:<q
 func (m Modulus) Sub(a, b uint64) uint64 {
 	c := a - b
 	if a < b {
@@ -79,6 +83,8 @@ func (m Modulus) Sub(a, b uint64) uint64 {
 }
 
 // Neg returns -a mod q for a in [0, q).
+//
+//lint:domain a:<q -> ret:<q
 func (m Modulus) Neg(a uint64) uint64 {
 	if a == 0 {
 		return 0
@@ -87,6 +93,8 @@ func (m Modulus) Neg(a uint64) uint64 {
 }
 
 // Reduce maps an arbitrary uint64 into [0, q).
+//
+//lint:domain a:any -> ret:<q
 func (m Modulus) Reduce(a uint64) uint64 {
 	return m.ReduceWide(0, a)
 }
@@ -94,6 +102,8 @@ func (m Modulus) Reduce(a uint64) uint64 {
 // ReduceWide reduces the 128-bit value hi·2^64+lo into [0, q) using
 // Barrett reduction. It requires hi < q (always true for products of two
 // reduced operands, since (q-1)^2 < q·2^64).
+//
+//lint:domain hi:any lo:any -> ret:<q
 func (m Modulus) ReduceWide(hi, lo uint64) uint64 {
 	// s ≈ floor(x / q) computed as floor(x · floor(2^128/q) / 2^128).
 	// x·brc is a 256-bit product; only bits [128,192) survive, and they
@@ -113,6 +123,8 @@ func (m Modulus) ReduceWide(hi, lo uint64) uint64 {
 }
 
 // Mul returns a·b mod q for a, b in [0, q).
+//
+//lint:domain a:<q b:<q -> ret:<q
 func (m Modulus) Mul(a, b uint64) uint64 {
 	hi, lo := bits.Mul64(a, b)
 	return m.ReduceWide(hi, lo)
@@ -131,6 +143,8 @@ func (m Modulus) ShoupPrecomp(w uint64) uint64 {
 // floor(a·s/2^64) is off by at most one from floor(a·w/q), so the
 // remainder candidate lands in [0, 2q) and one conditional subtraction
 // yields the exact canonical residue.
+//
+//lint:domain a:any w:<q -> ret:<q
 func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
 	hi, _ := bits.Mul64(a, wShoup)
 	r := a*w - hi*m.Q
@@ -145,6 +159,8 @@ func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
 // w < q; a may be any uint64. This is the butterfly workhorse of the
 // lazy-reduction NTT (Longa–Naehrig): skipping the data-dependent
 // subtraction removes the branch from the innermost loop.
+//
+//lint:domain a:any w:<q -> ret:<2q
 func (m Modulus) MulShoupLazy(a, w, wShoup uint64) uint64 {
 	hi, _ := bits.Mul64(a, wShoup)
 	return a*w - hi*m.Q
@@ -153,20 +169,28 @@ func (m Modulus) MulShoupLazy(a, w, wShoup uint64) uint64 {
 // AddLazy returns a+b with no reduction. The caller is responsible for
 // the headroom invariant: with q ≤ 2^MaxModulusBits, sums of two lazy
 // values in [0, 2q) stay below 2^63 and never wrap.
+//
+//lint:domain a:<2q b:<2q -> ret:<4q
 func (m Modulus) AddLazy(a, b uint64) uint64 { return a + b }
 
 // SubLazy2Q returns a−b+2q, the lazy subtraction for operands in
 // [0, 2q): the +2q offset keeps the result non-negative (in [0, 4q))
 // without a data-dependent branch.
+//
+//lint:domain a:<2q b:<2q -> ret:<4q
 func (m Modulus) SubLazy2Q(a, b uint64) uint64 { return a + 2*m.Q - b }
 
 // Reduce2Q folds a value in [0, 2q) into [0, q), branchlessly.
+//
+//lint:domain a:<2q -> ret:<q
 func (m Modulus) Reduce2Q(a uint64) uint64 {
 	c := a - m.Q
 	return c + (m.Q & uint64(int64(c)>>63))
 }
 
 // Reduce4Q folds a value in [0, 4q) into [0, q).
+//
+//lint:domain a:<4q -> ret:<q
 func (m Modulus) Reduce4Q(a uint64) uint64 {
 	c := a - 2*m.Q
 	a = c + ((2 * m.Q) & uint64(int64(c)>>63))

@@ -81,6 +81,8 @@ func bitrev(x uint64, bitLen int) uint64 {
 // takes v = x·w in [0, 2q) from the subtraction-free Shoup multiply,
 // and emits u+v and u−v+2q, both < 4q. A final pass folds [0, 4q) to
 // canonical [0, q).
+//
+//lint:domain p:<q -> p:<q
 func (t *NTTTable) Forward(p []uint64) {
 	m := t.M
 	q := m.Q
@@ -293,6 +295,8 @@ func (t *NTTTable) Forward(p []uint64) {
 // [0, 2q) and (u−v+2q)·w in [0, 2q) from the subtraction-free Shoup
 // multiply. The last layer is fused with the 1/N scaling and performs
 // the full Shoup reduction, so the output is canonical [0, q).
+//
+//lint:domain p:<q -> p:<q
 func (t *NTTTable) Inverse(p []uint64) {
 	m := t.M
 	q := m.Q

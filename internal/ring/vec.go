@@ -11,6 +11,8 @@ import "math/bits"
 // the slices; the lazy variants document their extended output ranges.
 
 // AddVec sets out[i] = a[i] + b[i] mod q for canonical inputs.
+//
+//lint:domain a:<q b:<q -> out:<q
 func (m Modulus) AddVec(a, b, out []uint64) {
 	q := m.Q
 	b = b[:len(a)]
@@ -26,6 +28,8 @@ func (m Modulus) AddVec(a, b, out []uint64) {
 
 // AddLazyVec sets out[i] = a[i] + b[i] with no reduction. The caller owns
 // the headroom invariant (see Modulus.AddLazy).
+//
+//lint:domain a:<2q b:<2q -> out:<4q
 func (m Modulus) AddLazyVec(a, b, out []uint64) {
 	b = b[:len(a)]
 	out = out[:len(a)]
@@ -35,6 +39,8 @@ func (m Modulus) AddLazyVec(a, b, out []uint64) {
 }
 
 // SubVec sets out[i] = a[i] - b[i] mod q for canonical inputs.
+//
+//lint:domain a:<q b:<q -> out:<q
 func (m Modulus) SubVec(a, b, out []uint64) {
 	q := m.Q
 	b = b[:len(a)]
@@ -49,6 +55,8 @@ func (m Modulus) SubVec(a, b, out []uint64) {
 }
 
 // NegVec sets out[i] = -a[i] mod q for canonical inputs.
+//
+//lint:domain a:<q -> out:<q
 func (m Modulus) NegVec(a, out []uint64) {
 	q := m.Q
 	out = out[:len(a)]
@@ -62,6 +70,8 @@ func (m Modulus) NegVec(a, out []uint64) {
 }
 
 // Reduce2QVec folds values in [0, 2q) back to canonical [0, q).
+//
+//lint:domain a:<2q -> out:<q
 func (m Modulus) Reduce2QVec(a, out []uint64) {
 	q := m.Q
 	out = out[:len(a)]
@@ -76,6 +86,8 @@ func (m Modulus) Reduce2QVec(a, out []uint64) {
 
 // ReduceVec maps arbitrary uint64 values into [0, q) via Barrett
 // reduction, the vector form of Modulus.Reduce.
+//
+//lint:domain a:any -> out:<q
 func (m Modulus) ReduceVec(a, out []uint64) {
 	q := m.Q
 	brcHi, brcLo := m.brcHi, m.brcLo
@@ -96,6 +108,8 @@ func (m Modulus) ReduceVec(a, out []uint64) {
 
 // MulVec sets out[i] = a[i]·b[i] mod q via Barrett reduction, for
 // canonical inputs.
+//
+//lint:domain a:<q b:<q -> out:<q
 func (m Modulus) MulVec(a, b, out []uint64) {
 	q := m.Q
 	brcHi, brcLo := m.brcHi, m.brcLo
@@ -119,6 +133,8 @@ func (m Modulus) MulVec(a, b, out []uint64) {
 }
 
 // MulAddVec sets out[i] = out[i] + a[i]·b[i] mod q, for canonical inputs.
+//
+//lint:domain a:<q b:<q out:<q -> out:<q
 func (m Modulus) MulAddVec(a, b, out []uint64) {
 	q := m.Q
 	brcHi, brcLo := m.brcHi, m.brcLo
@@ -147,6 +163,8 @@ func (m Modulus) MulAddVec(a, b, out []uint64) {
 
 // MulShoupVec sets out[i] = a[i]·w mod q given the Shoup companion of the
 // fixed operand w < q; a may hold any uint64 values (see Modulus.MulShoup).
+//
+//lint:domain a:any w:<q -> out:<q
 func (m Modulus) MulShoupVec(a []uint64, w, wShoup uint64, out []uint64) {
 	q := m.Q
 	out = out[:len(a)]
@@ -162,6 +180,8 @@ func (m Modulus) MulShoupVec(a []uint64, w, wShoup uint64, out []uint64) {
 
 // MulShoupLazyVec is MulShoupVec without the final conditional
 // subtraction: outputs lie in [0, 2q).
+//
+//lint:domain a:any w:<q -> out:<2q
 func (m Modulus) MulShoupLazyVec(a []uint64, w, wShoup uint64, out []uint64) {
 	q := m.Q
 	out = out[:len(a)]
@@ -173,6 +193,8 @@ func (m Modulus) MulShoupLazyVec(a []uint64, w, wShoup uint64, out []uint64) {
 
 // MulShoupAddVec sets out[i] = out[i] + a[i]·w mod q for canonical out and
 // w < q: the fused kernel behind scalar multiply-accumulate.
+//
+//lint:domain a:any w:<q out:<q -> out:<q
 func (m Modulus) MulShoupAddVec(a []uint64, w, wShoup uint64, out []uint64) {
 	q := m.Q
 	out = out[:len(a)]

@@ -125,7 +125,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		ln.Close()
+		_ = ln.Close()
 		return fmt.Errorf("serve: server already shut down")
 	}
 	s.ln = ln
@@ -149,7 +149,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			continue
 		}
 		s.conns[conn] = struct{}{}
@@ -170,7 +170,7 @@ func (s *Server) Shutdown() {
 	ln := s.ln
 	s.mu.Unlock()
 	if ln != nil {
-		ln.Close()
+		_ = ln.Close()
 	}
 	if already {
 		return
@@ -179,7 +179,7 @@ func (s *Server) Shutdown() {
 	s.batcher.Drain()
 	s.mu.Lock()
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close()
 	}
 	s.mu.Unlock()
 	s.connWG.Wait()
@@ -200,7 +200,7 @@ func (s *Server) handleConn(c net.Conn) {
 	defer s.connWG.Done()
 	st := &connState{s: s, conn: c}
 	defer func() {
-		c.Close()
+		_ = c.Close()
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
@@ -361,7 +361,9 @@ func (s *Server) AdminHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(s.Metrics())
+		if err := enc.Encode(s.Metrics()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	return mux
 }
