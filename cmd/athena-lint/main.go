@@ -1,16 +1,24 @@
 // Command athena-lint runs the FHE-aware static-analysis suite over the
 // module. The syntactic passes — modguard, cryptorand, parsafe,
-// panicfree-wire, errdrop — are joined by three interprocedural dataflow
+// panicfree-wire, errdrop — are joined by four interprocedural dataflow
 // passes: secrettaint (secret-key material reaching wire encoders or
 // fmt/log), scratchalias (shared evaluator/encoder scratch captured by
-// worker closures), and moddomain (lazy-reduction domain mixing across
-// internal/ring kernels). See internal/lint for the pass catalog and
-// the allow/declassify/domain annotation grammar. It is the gate every
-// PR runs:
+// worker closures), moddomain (lazy-reduction domain mixing across
+// internal/ring kernels), and noalloc (//lint:noalloc hot paths proven
+// heap-allocation-free through their static call trees). See
+// internal/lint for the pass catalog and the annotation grammar. It is
+// the gate every PR runs:
 //
 //	go run ./cmd/athena-lint ./...
+//	go run ./cmd/athena-lint -json ./... > findings.json
+//	go run ./cmd/athena-lint -allows
 //	go run ./cmd/athena-lint -list
 //	go run ./cmd/athena-lint -passes modguard,parsafe ./internal/lwe/...
+//
+// Findings print sorted by (file, line, pass), so runs are diffable;
+// -json emits the same ordering as a JSON array (always an array, [] on
+// a clean run). -allows audits every //lint:allow / declassify /
+// domain / noalloc / prealloc annotation with its justification.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure. Findings
 // are suppressed in source with `//lint:allow <pass> <reason>`; the
@@ -18,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +36,29 @@ import (
 	"athena/internal/lint"
 )
 
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+// jsonAnnotation is the -allows -json wire form of one annotation.
+type jsonAnnotation struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Kind   string `json:"kind"`
+	Pass   string `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the available passes and exit")
 	passNames := flag.String("passes", "", "comma-separated subset of passes to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings (or -allows annotations) as a JSON array")
+	allows := flag.Bool("allows", false, "audit mode: list every lint annotation with its justification and exit")
 	flag.Parse()
 
 	if *list {
@@ -63,19 +92,75 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *allows {
+		auditAllows(prog, root, *jsonOut)
+		return
+	}
+
 	findings := lint.Run(prog, passes)
 	findings = filterByPatterns(findings, root, flag.Args())
-	for _, f := range findings {
-		rel := f
-		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
-			rel.Pos.Filename = r
+	for i := range findings {
+		if r, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = r
 		}
-		fmt.Println(rel.String())
+	}
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Pass: f.Pass, Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "athena-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "athena-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// auditAllows prints the annotation inventory.
+func auditAllows(prog *lint.Program, root string, jsonOut bool) {
+	annots := lint.CollectAnnotations(prog)
+	for i := range annots {
+		if r, err := filepath.Rel(root, annots[i].Pos.Filename); err == nil {
+			annots[i].Pos.Filename = r
+		}
+	}
+	if jsonOut {
+		out := make([]jsonAnnotation, 0, len(annots))
+		for _, a := range annots {
+			out = append(out, jsonAnnotation{
+				File: a.Pos.Filename, Line: a.Pos.Line,
+				Kind: a.Kind, Pass: a.Pass, Detail: a.Detail,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "athena-lint:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	for _, a := range annots {
+		detail := a.Detail
+		if detail == "" {
+			detail = "-"
+		}
+		fmt.Printf("%s:%d: %-10s %-12s %s\n", a.Pos.Filename, a.Pos.Line, a.Kind, a.Pass, detail)
+	}
+	fmt.Fprintf(os.Stderr, "athena-lint: %d annotation(s)\n", len(annots))
 }
 
 // findModuleRoot walks up from the working directory to the nearest

@@ -23,4 +23,73 @@ func TestEvaluatorSteadyStateZeroAllocs(t *testing.T) {
 	if n := testing.AllocsPerRun(100, func() { k.ev.MulScalarAndAdd(a, 3, acc) }); n != 0 {
 		t.Fatalf("MulScalarAndAdd allocates %v times per run, want 0", n)
 	}
+
+	out := k.ctx.NewCiphertext()
+	pt := k.cod.EncodeSlots(vals)
+	if n := testing.AllocsPerRun(100, func() { k.ev.MulPlainInto(a, pm, out) }); n != 0 {
+		t.Fatalf("MulPlainInto allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { k.ev.AddPlainInPlace(acc, pt) }); n != 0 {
+		t.Fatalf("AddPlainInPlace allocates %v times per run, want 0", n)
+	}
+	// Warm the automorphism scratch and permutation cache, then demand
+	// the steady state stays clean for both cached Galois elements.
+	if err := k.ev.RotateRowsInto(a, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := k.ev.RotateRowsInto(a, 1, out); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("RotateRowsInto allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := k.ev.AutomorphismInto(a, 1, out); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("AutomorphismInto(g=1) allocates %v times per run, want 0", n)
+	}
+}
+
+// TestIntoOpsMatchAllocatingOps pins the zero-alloc variants to their
+// allocating counterparts: same ciphertexts, bit for bit.
+func TestIntoOpsMatchAllocatingOps(t *testing.T) {
+	k := newTestKit(t, 7, 4, []int{1})
+	vals := randVals(k.ctx.N, 10, 9)
+	ct := k.enc.Encrypt(k.cod.EncodeSlots(vals))
+	pm := k.cod.LiftToMul(k.cod.EncodeSlots(vals))
+	pt := k.cod.EncodeSlots(vals)
+
+	ctEq := func(name string, a, b *Ciphertext) {
+		t.Helper()
+		if !a.C0.Equal(b.C0) || !a.C1.Equal(b.C1) {
+			t.Fatalf("%s: Into variant disagrees with allocating variant", name)
+		}
+	}
+
+	out := k.ctx.NewCiphertext()
+	k.ev.MulPlainInto(ct, pm, out)
+	ctEq("MulPlain", out, k.ev.MulPlain(ct, pm))
+
+	inPlace := ct.Clone()
+	k.ev.AddPlainInPlace(inPlace, pt)
+	ctEq("AddPlain", inPlace, k.ev.AddPlain(ct, pt))
+
+	if err := k.ev.RotateRowsInto(ct, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	rot, err := k.ev.RotateRows(ct, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctEq("RotateRows", out, rot)
+
+	// out may alias ct: the operand is staged into scratch first.
+	alias := ct.Clone()
+	if err := k.ev.RotateRowsInto(alias, 1, alias); err != nil {
+		t.Fatal(err)
+	}
+	ctEq("RotateRows aliased", alias, rot)
 }

@@ -22,6 +22,8 @@ func (ct *Ciphertext) Clone() *Ciphertext {
 }
 
 // CopyTo copies ct into dst.
+//
+//lint:noalloc
 func (ct *Ciphertext) CopyTo(dst *Ciphertext) {
 	ct.C0.CopyTo(dst.C0)
 	ct.C1.CopyTo(dst.C1)

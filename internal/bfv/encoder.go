@@ -61,6 +61,8 @@ func (e *Encoder) EncodeSlots(vals []int64) *Plaintext {
 
 // EncodeSlotsInto is EncodeSlots writing into a caller-provided plaintext,
 // reusing the encoder's staging buffer (zero allocations at steady state).
+//
+//lint:noalloc
 func (e *Encoder) EncodeSlotsInto(vals []int64, pt *Plaintext) {
 	ctx := e.ctx
 	if !ctx.batching {
@@ -70,7 +72,7 @@ func (e *Encoder) EncodeSlotsInto(vals []int64, pt *Plaintext) {
 		panic(fmt.Sprintf("bfv: %d values exceed N=%d slots", len(vals), ctx.N))
 	}
 	if e.slotTmp.Level() == 0 {
-		e.slotTmp = ctx.RingT.NewPoly()
+		e.slotTmp = ctx.RingT.NewPoly() //lint:allow noalloc one-time lazy staging buffer, reused across calls
 	}
 	tmp := e.slotTmp
 	row := tmp.Coeffs[0]
@@ -110,6 +112,8 @@ func (e *Encoder) LiftToMul(pt *Plaintext) *PlaintextMul {
 
 // LiftToMulInto is LiftToMul writing into a caller-provided PlaintextMul
 // (pm.Value must be allocated over RingQ), for scratch reuse.
+//
+//lint:noalloc
 func (e *Encoder) LiftToMulInto(pt *Plaintext, pm *PlaintextMul) {
 	ctx := e.ctx
 	p := pm.Value
@@ -133,6 +137,8 @@ func (e *Encoder) LiftToDelta(pt *Plaintext) ring.Poly {
 
 // LiftToDeltaInto is LiftToDelta writing into a caller-provided polynomial,
 // so steady-state callers can reuse a scratch buffer.
+//
+//lint:noalloc
 func (e *Encoder) LiftToDeltaInto(pt *Plaintext, p ring.Poly) {
 	ctx := e.ctx
 	for i := range ctx.RingQ.Moduli {

@@ -83,9 +83,9 @@ func (ev *Evaluator) tensorScratch() *evalScratch {
 func (ev *Evaluator) ksScratch() *evalScratch {
 	sc := ev.sc
 	if sc.digit.Level() == 0 {
-		sc.digit = ev.ctx.RingQ.NewPoly()
-		sc.ks0 = ev.ctx.RingQ.NewPoly()
-		sc.ks1 = ev.ctx.RingQ.NewPoly()
+		sc.digit = ev.ctx.RingQ.NewPoly() //lint:allow noalloc one-time lazy arena fill, reused across calls
+		sc.ks0 = ev.ctx.RingQ.NewPoly()   //lint:allow noalloc one-time lazy arena fill, reused across calls
+		sc.ks1 = ev.ctx.RingQ.NewPoly()   //lint:allow noalloc one-time lazy arena fill, reused across calls
 	}
 	return sc
 }
@@ -94,13 +94,13 @@ func (ev *Evaluator) ksScratch() *evalScratch {
 func (ev *Evaluator) autoIndex(g uint64) *autoTable {
 	sc := ev.sc
 	if sc.autoIdx == nil {
-		sc.autoIdx = make(map[uint64]*autoTable)
+		sc.autoIdx = make(map[uint64]*autoTable) //lint:allow noalloc one-time cache init
 	}
 	t := sc.autoIdx[g]
 	if t == nil {
-		dst, neg := ring.AutomorphismIndex(ev.ctx.N, g)
-		t = &autoTable{dst: dst, neg: neg}
-		sc.autoIdx[g] = t
+		dst, neg := ring.AutomorphismIndex(ev.ctx.N, g) //lint:allow noalloc table built on first use of g; steady state is a map hit
+		t = &autoTable{dst: dst, neg: neg}              //lint:allow noalloc table built on first use of g; steady state is a map hit
+		sc.autoIdx[g] = t                               //lint:allow noalloc table built on first use of g; steady state is a map hit
 	}
 	return t
 }
@@ -114,6 +114,8 @@ func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
 }
 
 // AddInPlace sets a += b.
+//
+//lint:noalloc
 func (ev *Evaluator) AddInPlace(a, b *Ciphertext) {
 	ev.ctx.RingQ.Add(a.C0, b.C0, a.C0)
 	ev.ctx.RingQ.Add(a.C1, b.C1, a.C1)
@@ -137,15 +139,23 @@ func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
 
 // AddPlain returns ct + pt (the plaintext is embedded as Δ·m).
 func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	out := ct.Clone()
+	ev.AddPlainInPlace(out, pt)
+	return out
+}
+
+// AddPlainInPlace sets ct += pt (the plaintext is embedded as Δ·m)
+// without allocating: the lift lands in evaluator scratch.
+//
+//lint:noalloc
+func (ev *Evaluator) AddPlainInPlace(ct *Ciphertext, pt *Plaintext) {
 	sc := ev.sc
 	if sc.enc == nil {
-		sc.enc = NewEncoder(ev.ctx)
-		sc.dm = ev.ctx.RingQ.NewPoly()
+		sc.enc = NewEncoder(ev.ctx)    //lint:allow noalloc one-time lazy encoder init, reused across calls
+		sc.dm = ev.ctx.RingQ.NewPoly() //lint:allow noalloc one-time lazy arena fill, reused across calls
 	}
 	sc.enc.LiftToDeltaInto(pt, sc.dm)
-	out := ct.Clone()
-	ev.ctx.RingQ.Add(out.C0, sc.dm, out.C0)
-	return out
+	ev.ctx.RingQ.Add(ct.C0, sc.dm, ct.C0)
 }
 
 // MulPlain returns ct ⊗ pm, the plaintext-ciphertext product (PMult in
@@ -158,7 +168,18 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pm *PlaintextMul) *Ciphertext {
 	return out
 }
 
+// MulPlainInto sets out = ct ⊗ pm without allocating. out must not
+// alias ct (it may alias pm only through distinct polynomials).
+//
+//lint:noalloc
+func (ev *Evaluator) MulPlainInto(ct *Ciphertext, pm *PlaintextMul, out *Ciphertext) {
+	ev.ctx.RingQ.MulCoeffs(ct.C0, pm.Value, out.C0)
+	ev.ctx.RingQ.MulCoeffs(ct.C1, pm.Value, out.C1)
+}
+
 // MulPlainAndAdd sets acc += ct ⊗ pm without allocating.
+//
+//lint:noalloc
 func (ev *Evaluator) MulPlainAndAdd(ct *Ciphertext, pm *PlaintextMul, acc *Ciphertext) {
 	ev.ctx.RingQ.MulCoeffsAndAdd(ct.C0, pm.Value, acc.C0)
 	ev.ctx.RingQ.MulCoeffsAndAdd(ct.C1, pm.Value, acc.C1)
@@ -183,6 +204,8 @@ func (ev *Evaluator) MulScalar(ct *Ciphertext, k uint64) *Ciphertext {
 // MulScalarAndAdd sets acc += ct · k for the scalar k ∈ Z_t (centered, as
 // in MulScalar) without allocating — the fused kernel behind FBS inner
 // sums that would otherwise build a product ciphertext per term.
+//
+//lint:noalloc
 func (ev *Evaluator) MulScalarAndAdd(ct *Ciphertext, k uint64, acc *Ciphertext) {
 	c := ev.ctx.TMod.Centered(ev.ctx.TMod.Reduce(k))
 	rq := ev.ctx.RingQ
@@ -261,6 +284,8 @@ func (ev *Evaluator) tensor(a, b *Ciphertext) (d0, d1, d2 ring.Poly) {
 // polynomial p, returning the NTT-domain pair (ks0, ks1) with
 // ks0 + ks1·s ≈ p·target. The returned polynomials are evaluator scratch:
 // callers must consume them before the next keyswitching call.
+//
+//lint:noalloc
 func (ev *Evaluator) keySwitchCoeff(p ring.Poly, swk *SwitchingKey) (ring.Poly, ring.Poly) {
 	ctx := ev.ctx
 	rq := ctx.RingQ
@@ -283,15 +308,30 @@ func (ev *Evaluator) keySwitchCoeff(p ring.Poly, swk *SwitchingKey) (ring.Poly, 
 // Automorphism applies X -> X^g to the ciphertext and keyswitches back to
 // the original secret. Requires the Galois key for g.
 func (ev *Evaluator) Automorphism(ct *Ciphertext, g uint64) (*Ciphertext, error) {
+	out := ev.ctx.NewCiphertext()
+	if err := ev.AutomorphismInto(ct, g, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AutomorphismInto is Automorphism writing into a caller-provided
+// ciphertext; out may alias ct (ct is consumed into scratch before out
+// is written). The permutation table for g is cached after first use,
+// so steady-state calls do not allocate.
+//
+//lint:noalloc
+func (ev *Evaluator) AutomorphismInto(ct *Ciphertext, g uint64, out *Ciphertext) error {
 	if g == 1 {
-		return ct.Clone(), nil
+		ct.CopyTo(out)
+		return nil
 	}
 	if ev.keys == nil {
-		return nil, fmt.Errorf("bfv: Automorphism requires galois keys")
+		return fmt.Errorf("bfv: Automorphism requires galois keys")
 	}
 	gk, err := ev.keys.GaloisKeyFor(g)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	ctx := ev.ctx
 	rq := ctx.RingQ
@@ -299,7 +339,7 @@ func (ev *Evaluator) Automorphism(ct *Ciphertext, g uint64) (*Ciphertext, error)
 	sc := ev.sc
 	if sc.aq[0].Level() == 0 {
 		for i := range sc.aq {
-			sc.aq[i] = rq.NewPoly()
+			sc.aq[i] = rq.NewPoly() //lint:allow noalloc one-time lazy arena fill, reused across calls
 		}
 	}
 	c0, c1, p0, p1 := sc.aq[0], sc.aq[1], sc.aq[2], sc.aq[3]
@@ -313,11 +353,10 @@ func (ev *Evaluator) Automorphism(ct *Ciphertext, g uint64) (*Ciphertext, error)
 
 	// φ(ct) decrypts under φ(s); switch the C1 part back to s.
 	ks0, ks1 := ev.keySwitchCoeff(p1, &gk.SwitchingKey)
-	out := ctx.NewCiphertext()
 	rq.NTT(p0)
 	rq.Add(p0, ks0, out.C0)
 	ks1.CopyTo(out.C1)
-	return out, nil
+	return nil
 }
 
 // RotateRows rotates both slot rows left by k (slot i receives the value
@@ -326,6 +365,15 @@ func (ev *Evaluator) Automorphism(ct *Ciphertext, g uint64) (*Ciphertext, error)
 func (ev *Evaluator) RotateRows(ct *Ciphertext, k int) (*Ciphertext, error) {
 	g := ring.GaloisElementForRotation(ev.ctx.N, k)
 	return ev.Automorphism(ct, g)
+}
+
+// RotateRowsInto is RotateRows writing into a caller-provided
+// ciphertext; out may alias ct. Requires the Galois key for 5^k.
+//
+//lint:noalloc
+func (ev *Evaluator) RotateRowsInto(ct *Ciphertext, k int, out *Ciphertext) error {
+	g := ring.GaloisElementForRotation(ev.ctx.N, k)
+	return ev.AutomorphismInto(ct, g, out)
 }
 
 // RotateColumns swaps the two slot rows (conjugation). Requires the

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file backs the `athena-lint -allows` audit mode: a flat,
+// deterministic inventory of every lint annotation in the module, so
+// reviewers can re-audit suppressions and contracts without grepping.
+// Parsing here is deliberately lenient — malformed directives are the
+// passes' job to reject; the audit lists them anyway so a broken
+// directive is still visible in the inventory.
+
+// Annotation is one lint directive found in source.
+type Annotation struct {
+	// Kind is the directive name: "allow", "declassify", "domain",
+	// "noalloc", or "prealloc".
+	Kind string
+	// Pass is the suppressed pass for allow directives; for the others
+	// it is the pass that consumes the annotation.
+	Pass string
+	// Detail is the justification (allow/declassify/prealloc), the
+	// domain signature (domain), or empty (noalloc).
+	Detail string
+	Pos    token.Position
+}
+
+// annotationKinds maps each directive to the pass that consumes it.
+// allow is special-cased: its pass is named in the directive itself.
+var annotationKinds = []struct{ kind, pass string }{
+	{"allow", ""},
+	{"declassify", "secrettaint"},
+	{"domain", "moddomain"},
+	{"noalloc", "noalloc"},
+	{"prealloc", "noalloc"},
+}
+
+// CollectAnnotations inventories every lint directive in the program,
+// sorted by file, line, kind.
+func CollectAnnotations(prog *Program) []Annotation {
+	var out []Annotation
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "lint:")
+					if !ok {
+						continue
+					}
+					for _, k := range annotationKinds {
+						tail, ok := strings.CutPrefix(rest, k.kind)
+						if !ok || (tail != "" && !strings.HasPrefix(tail, " ")) {
+							continue
+						}
+						a := Annotation{
+							Kind:   k.kind,
+							Pass:   k.pass,
+							Detail: strings.TrimSpace(tail),
+							Pos:    prog.Fset.Position(c.Pos()),
+						}
+						if k.kind == "allow" {
+							fields := strings.SplitN(a.Detail, " ", 2)
+							a.Pass = fields[0]
+							if len(fields) == 2 {
+								a.Detail = strings.TrimSpace(fields[1])
+							} else {
+								a.Detail = ""
+							}
+						}
+						out = append(out, a)
+						break
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}

@@ -1,0 +1,406 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the control-flow layer shared by flow-sensitive passes:
+// a per-function CFG of basic blocks over the parsed AST, plus the
+// cold-block analysis that separates steady-state ("warm") code from
+// paths that inevitably panic or construct an error return. The noalloc
+// pass consumes it to exempt validation/panic paths from the
+// allocation-free contract; future passes (cold-path locking, panic
+// budget) can reuse the same blocks.
+//
+// The builder is deliberately syntactic: it decomposes the statement
+// tree into blocks and edges without resolving types. Statements and
+// the header expressions of control constructs (if/for conditions,
+// switch tags, range operands) are appended to exactly one block's
+// Nodes, so a pass can attribute every expression to one block.
+// Function literals are treated as atoms — their bodies are separate
+// functions with their own CFGs, not part of the enclosing flow.
+//
+// goto is not modeled: a function containing one gets Broken set and
+// callers must treat every block as warm (the conservative direction
+// for cold-path exemptions). The repo has no gotos; the flag exists so
+// one appearing later degrades precision instead of correctness.
+
+// Block is one basic block: a maximal straight-line run of statements
+// and header expressions with edges to its successors.
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+
+	// Return is the terminating return statement, when the block ends in
+	// one (such a block has no successors).
+	Return *ast.ReturnStmt
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+	// Broken marks a function whose flow could not be modeled (goto);
+	// cold-block analysis then reports nothing cold.
+	Broken bool
+}
+
+// BuildCFG decomposes body into basic blocks. It never fails; see
+// Broken for the goto caveat.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	entry := b.newBlock()
+	b.cfg.Entry = entry
+	b.cur = entry
+	b.stmtList(body.List)
+	return b.cfg
+}
+
+// cfgBuilder carries the construction state: the current block and the
+// break/continue targets of the enclosing loops and switches.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block // nil after a terminator (return/branch): code is unreachable
+
+	// breakTargets / continueTargets are stacks of the innermost
+	// enclosing targets; labeled entries carry their label name.
+	breaks    []branchTarget
+	continues []branchTarget
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// link adds an edge from to dst unless from is nil (unreachable).
+func link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends n to the current block, reviving an unreachable cursor
+// into a fresh orphan block (dead code still gets scanned by passes
+// that iterate Blocks, it just has no inbound edges).
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.IfStmt:
+		b.add(st.Init)
+		b.add(st.Cond)
+		cond := b.cur
+		after := b.newBlock()
+
+		then := b.newBlock()
+		link(cond, then)
+		b.cur = then
+		b.stmtList(st.Body.List)
+		link(b.cur, after)
+
+		if st.Else != nil {
+			els := b.newBlock()
+			link(cond, els)
+			b.cur = els
+			b.stmt(st.Else)
+			link(b.cur, after)
+		} else {
+			link(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		b.forStmt(st, "")
+
+	case *ast.RangeStmt:
+		b.rangeStmt(st, "")
+
+	case *ast.SwitchStmt:
+		b.add(st.Init)
+		b.add(st.Tag)
+		b.switchBody(st.Body, "")
+
+	case *ast.TypeSwitchStmt:
+		b.add(st.Init)
+		b.add(st.Assign)
+		b.switchBody(st.Body, "")
+
+	case *ast.SelectStmt:
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		after := b.newBlock()
+		b.breaks = append(b.breaks, branchTarget{"", after})
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			link(head, blk)
+			b.cur = blk
+			b.add(cc.Comm)
+			b.stmtList(cc.Body)
+			link(b.cur, after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(st.Body.List) == 0 {
+			link(head, after)
+		}
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		if b.cur != nil {
+			b.cur.Return = st
+		}
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		label := ""
+		if st.Label != nil {
+			label = st.Label.Name
+		}
+		switch st.Tok {
+		case token.BREAK:
+			link(b.cur, findTarget(b.breaks, label))
+			b.cur = nil
+		case token.CONTINUE:
+			link(b.cur, findTarget(b.continues, label))
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled in switchBody by linking to the next clause; the
+			// statement itself carries no nodes.
+		case token.GOTO:
+			b.cfg.Broken = true
+			b.cur = nil
+		}
+
+	case *ast.LabeledStmt:
+		switch inner := st.Stmt.(type) {
+		case *ast.ForStmt:
+			b.forStmt(inner, st.Label.Name)
+		case *ast.RangeStmt:
+			b.rangeStmt(inner, st.Label.Name)
+		case *ast.SwitchStmt:
+			b.add(inner.Init)
+			b.add(inner.Tag)
+			b.switchBody(inner.Body, st.Label.Name)
+		case *ast.TypeSwitchStmt:
+			b.add(inner.Init)
+			b.add(inner.Assign)
+			b.switchBody(inner.Body, st.Label.Name)
+		default:
+			b.stmt(st.Stmt)
+		}
+
+	default:
+		// Straight-line statements: assignments, declarations, calls,
+		// sends, incdec, go, defer, empty.
+		b.add(s)
+	}
+}
+
+// forStmt builds `for init; cond; post { body }` — including the
+// condition-less forever loop, whose header has no exit edge.
+func (b *cfgBuilder) forStmt(st *ast.ForStmt, label string) {
+	b.add(st.Init)
+	header := b.newBlock()
+	link(b.cur, header)
+	b.cur = header
+	b.add(st.Cond)
+
+	after := b.newBlock()
+	post := b.newBlock()
+	if st.Cond != nil {
+		link(header, after)
+	}
+
+	b.breaks = append(b.breaks, branchTarget{label, after})
+	b.continues = append(b.continues, branchTarget{label, post})
+
+	body := b.newBlock()
+	link(header, body)
+	b.cur = body
+	b.stmtList(st.Body.List)
+	link(b.cur, post)
+
+	b.cur = post
+	b.add(st.Post)
+	link(b.cur, header)
+
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(st *ast.RangeStmt, label string) {
+	b.add(st.X)
+	header := b.cur
+	if header == nil {
+		header = b.newBlock()
+		b.cur = header
+	}
+	after := b.newBlock()
+	link(header, after) // ranges over empty operands skip the body
+
+	b.breaks = append(b.breaks, branchTarget{label, after})
+	b.continues = append(b.continues, branchTarget{label, header})
+
+	body := b.newBlock()
+	link(header, body)
+	b.cur = body
+	b.stmtList(st.Body.List)
+	link(b.cur, header)
+
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = after
+}
+
+// switchBody builds the clause blocks of a switch/type-switch. Each
+// clause gets an edge from the head; fallthrough links a clause's end
+// to the next clause's start instead of the after block.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label, after})
+	if label != "" {
+		// break <label> inside the clauses also targets after via the
+		// unlabeled entry below.
+		b.breaks = append(b.breaks, branchTarget{"", after})
+	}
+
+	clauses := make([]*Block, len(body.List))
+	for i := range body.List {
+		clauses[i] = b.newBlock()
+		link(head, clauses[i])
+	}
+	hasDefault := false
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = clauses[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		falls := false
+		for _, s := range cc.Body {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+			}
+			b.stmt(s)
+		}
+		if falls && i+1 < len(clauses) {
+			link(b.cur, clauses[i+1])
+			b.cur = nil
+		} else {
+			link(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		link(head, after)
+	}
+	if label != "" {
+		b.breaks = b.breaks[:len(b.breaks)-1]
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+// findTarget resolves a break/continue target: the innermost entry for
+// an empty label, the matching entry otherwise.
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			if label == "" && stack[i].label != "" {
+				// Unlabeled break/continue skips labeled-only switch
+				// entries pushed for their label; the paired unlabeled
+				// entry is adjacent, so matching any entry is fine.
+				return stack[i].block
+			}
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// ColdBlocks computes the blocks from which execution inevitably
+// reaches a "cold" exit: a node isPanic recognizes (panic call,
+// os.Exit) or a return isColdReturn recognizes (direct error
+// construction). A block is cold when it contains such a seed or when
+// it has successors and every one of them is cold; warm cycles (server
+// loops, retry loops) never become cold because the fixpoint only
+// propagates from seeds. A Broken CFG reports nothing cold.
+func (c *CFG) ColdBlocks(isPanic func(ast.Node) bool, isColdReturn func(*ast.ReturnStmt) bool) map[*Block]bool {
+	cold := map[*Block]bool{}
+	if c.Broken {
+		return cold
+	}
+	for _, blk := range c.Blocks {
+		if blk.Return != nil && isColdReturn != nil && isColdReturn(blk.Return) {
+			cold[blk] = true
+			continue
+		}
+		if isPanic == nil {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			if isPanic(n) {
+				cold[blk] = true
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range c.Blocks {
+			if cold[blk] || len(blk.Succs) == 0 {
+				continue
+			}
+			all := true
+			for _, s := range blk.Succs {
+				if !cold[s] {
+					all = false
+					break
+				}
+			}
+			if all {
+				cold[blk] = true
+				changed = true
+			}
+		}
+	}
+	return cold
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// buildFor locates fnName in pkgPath and returns its CFG plus the
+// cold/warm classification of its source lines (a line is cold when
+// every node on it sits in a cold block).
+func buildFor(t *testing.T, prog *Program, pkgPath, fnName string) (*CFG, map[int]bool, map[int]bool) {
+	t.Helper()
+	pkg := prog.ByPath[pkgPath]
+	if pkg == nil {
+		t.Fatalf("package %s not loaded", pkgPath)
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != fnName || fd.Body == nil {
+				continue
+			}
+			cfg := BuildCFG(fd.Body)
+			cold := cfg.ColdBlocks(panicDetector(pkg), coldReturnDetector(pkg))
+			coldLines, warmLines := map[int]bool{}, map[int]bool{}
+			for _, blk := range cfg.Blocks {
+				for _, n := range blk.Nodes {
+					line := prog.Fset.Position(n.Pos()).Line
+					if cold[blk] {
+						coldLines[line] = true
+					} else {
+						warmLines[line] = true
+					}
+				}
+			}
+			return cfg, coldLines, warmLines
+		}
+	}
+	t.Fatalf("function %s not found in %s", fnName, pkgPath)
+	return nil, nil, nil
+}
+
+func TestCFGColdPaths(t *testing.T) {
+	prog := miniModule(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import "fmt"
+
+func Guarded(n int) int {
+	if n < 0 {
+		msg := fmt.Sprintf("bad %d", n) // line 7: inevitably panics
+		panic(msg)
+	}
+	total := 0 // line 10: steady state
+	for i := 0; i < n; i++ {
+		total += i // line 12: loop body
+	}
+	return total // line 14
+}
+
+func ColdReturn(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("bad %d", n) // line 19: cold error exit
+	}
+	return n * 2, nil // line 21: warm return
+}
+
+func Forever(c chan int) {
+	for {
+		v := <-c // line 26: warm cycle must stay warm
+		_ = v
+	}
+}
+
+func AlwaysDies(n int) int {
+	if n > 0 {
+		panic("pos") // line 33
+	}
+	panic("nonpos") // line 35
+}
+`,
+	})
+
+	_, cold, warm := buildFor(t, prog, "m/a", "Guarded")
+	for _, line := range []int{7, 8} {
+		if !cold[line] {
+			t.Errorf("Guarded: line %d should be cold", line)
+		}
+	}
+	for _, line := range []int{10, 12, 14} {
+		if !warm[line] || cold[line] {
+			t.Errorf("Guarded: line %d should be warm", line)
+		}
+	}
+
+	_, cold, warm = buildFor(t, prog, "m/a", "ColdReturn")
+	if !cold[19] {
+		t.Error("ColdReturn: fmt.Errorf return should be cold")
+	}
+	if !warm[21] || cold[21] {
+		t.Error("ColdReturn: plain return should be warm")
+	}
+
+	_, cold, warm = buildFor(t, prog, "m/a", "Forever")
+	if len(cold) != 0 {
+		t.Errorf("Forever: nothing is cold in a warm infinite loop, got lines %v", cold)
+	}
+	if !warm[26] {
+		t.Error("Forever: loop body should be warm")
+	}
+
+	cfg, cold, _ := buildFor(t, prog, "m/a", "AlwaysDies")
+	if !cold[33] || !cold[35] {
+		t.Error("AlwaysDies: both panic arms should be cold")
+	}
+	// Every path dies, so coldness must propagate back to the entry.
+	entryCold := cfg.ColdBlocks(panicDetector(prog.ByPath["m/a"]), nil)
+	if !entryCold[cfg.Entry] {
+		t.Error("AlwaysDies: entry block should be cold when all paths panic")
+	}
+}
+
+func TestCFGGotoBreaksAnalysis(t *testing.T) {
+	prog := miniModule(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func Jumpy(n int) int {
+	if n < 0 {
+		goto out
+	}
+	panic("boom")
+out:
+	return n
+}
+`,
+	})
+	cfg, cold, _ := buildFor(t, prog, "m/a", "Jumpy")
+	if !cfg.Broken {
+		t.Fatal("goto should mark the CFG broken")
+	}
+	if len(cold) != 0 {
+		t.Errorf("broken CFG must report nothing cold, got lines %v", cold)
+	}
+}
+
+func TestCFGSwitchAndBranches(t *testing.T) {
+	prog := miniModule(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func Dispatch(op int, xs []int) int {
+	total := 0
+	switch op {
+	case 0:
+		total = len(xs) // line 7: warm clause
+	case 1:
+		panic("unsupported") // line 9: cold clause
+	default:
+		for _, x := range xs {
+			if x < 0 {
+				continue
+			}
+			if x > 100 {
+				break
+			}
+			total += x // line 18: warm
+		}
+	}
+	return total // line 21
+}
+`,
+	})
+	_, cold, warm := buildFor(t, prog, "m/a", "Dispatch")
+	if !cold[9] {
+		t.Error("panicking switch clause should be cold")
+	}
+	for _, line := range []int{7, 18, 21} {
+		if !warm[line] || cold[line] {
+			t.Errorf("line %d should be warm", line)
+		}
+	}
+}

@@ -89,6 +89,7 @@ func TestLoadModuleFixture(t *testing.T) {
 		"fixture/internal/bfv", "fixture/internal/serve", "fixture/internal/core",
 		"fixture/modfix", "fixture/parfix", "fixture/wire",
 		"fixture/taintdemo", "fixture/scratchdemo", "fixture/lazydemo",
+		"fixture/allocdemo",
 	} {
 		pkg := prog.ByPath[path]
 		if pkg == nil {
@@ -148,10 +149,11 @@ func TestWellFormedAllowsSuppress(t *testing.T) {
 			n += len(as)
 		}
 	}
-	// modfix has two; bfv, parfix, scratchdemo (scratchalias), lazydemo
-	// (moddomain), and internal/core (errdrop) one each.
-	if n != 7 {
-		t.Fatalf("%d well-formed allow directives, want 7", n)
+	// modfix and allocdemo have two each; bfv, parfix, scratchdemo
+	// (scratchalias), lazydemo (moddomain), and internal/core (errdrop)
+	// one each.
+	if n != 9 {
+		t.Fatalf("%d well-formed allow directives, want 9", n)
 	}
 }
 

@@ -16,7 +16,7 @@
 //   - errdrop: statement-position calls in internal/core and
 //     internal/serve must not silently discard an error result.
 //
-// On top of the syntactic passes sit three dataflow passes built on
+// On top of the syntactic passes sit four dataflow passes built on
 // function summaries over the go/types call graph:
 //
 //   - secrettaint: interprocedural taint from secret-key material
@@ -30,6 +30,10 @@
 //     declared via //lint:domain annotations on the ring kernels are
 //     abstract-interpreted through every caller; mixing (a <4q
 //     intermediate into a <2q input) is rejected.
+//   - noalloc: functions annotated //lint:noalloc — and everything they
+//     transitively call through static module calls — are proven free
+//     of heap allocation outside CFG-cold panic/error paths; arena
+//     refills are declared with //lint:prealloc <reason>.
 //
 // Everything is built on the standard library only (go/ast, go/parser,
 // go/types); go.mod stays bare. Findings can be suppressed in source
@@ -83,6 +87,7 @@ func AllPasses() []Pass {
 		&ScratchAlias{},
 		&SecretTaint{},
 		&ModDomain{},
+		&NoAlloc{},
 	}
 }
 

@@ -1,0 +1,632 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// NoAlloc is the interprocedural allocation pass enforcing the
+// steady-state GC-free contract on the serving hot paths: a function
+// whose doc comment carries
+//
+//	//lint:noalloc
+//
+// is proven free of heap-allocating constructs, and so is everything it
+// transitively calls through static module calls — via bottom-up
+// per-function summaries in the style of secrettaint, so one annotation
+// on a kernel entry point covers its whole call tree.
+//
+// Allocating constructs: make/new, slice and map composite literals,
+// &T{...} (address of a composite escapes), append (backing-array
+// growth), binary.*.AppendUint* (same), string concatenation and
+// string<->[]byte/[]rune conversions, conversion to an interface type
+// (boxing), function literals (closure capture), method values
+// (receiver capture), go statements, map writes, variadic calls passing
+// a non-ellipsis argument list (the argument slice), and calls into
+// standard-library functions outside a small proven-clean whitelist
+// (math, math/bits, sync/atomic, io.ReadFull, runtime.GOMAXPROCS and
+// NumCPU, the fixed-width encoding/binary Uint/PutUint helpers) —
+// fmt.*, errors.New, and friends therefore poison a hot path by
+// construction.
+//
+// Two escape hatches keep real scratch-arena code annotatable. Cold
+// paths are exempt: the pass builds a CFG per function (cfg.go) and
+// skips blocks from which execution inevitably panics or returns a
+// freshly constructed error (fmt.Errorf / errors.New / &...Error{}) —
+// validation and corruption paths may allocate their diagnostics.
+// Arena growth is declared: an append/make that (re)fills a reusable
+// scratch buffer may be annotated on its line (or the line above) with
+//
+//	//lint:prealloc <reason>
+//
+// meaning "this growth happens at most O(1) times per arena, not per
+// op"; a prealloc with no reason is itself a finding. Anything else
+// needs an ordinary //lint:allow noalloc <reason>, and allows are
+// honored while building summaries, so a justified allocation inside a
+// callee does not poison its annotated callers.
+//
+// Deliberate exemptions (documented blind spots, kept so the pass stays
+// stdlib-only and precise): calls through interface methods and
+// function values are not followed (the target is unknown statically;
+// passing a stack value to an interface method can also make it escape
+// at runtime — the paired AllocsPerRun tests catch that class), defer
+// records are not counted (open-coded since Go 1.14), and implicit
+// interface boxing at plain assignments is not modeled (the fmt.*,
+// variadic, and conversion rules catch the vectors that occur in
+// practice).
+type NoAlloc struct{}
+
+// Name implements Pass.
+func (*NoAlloc) Name() string { return "noalloc" }
+
+// Doc implements Pass.
+func (*NoAlloc) Doc() string {
+	return "//lint:noalloc functions (and their static callees) must not heap-allocate outside cold panic/error paths (interprocedural, CFG-based)"
+}
+
+// allocSite is one allocating construct found in a warm block.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+// allocEdge is one warm static call into a module function.
+type allocEdge struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// allocSummary is the per-function summary: unsuppressed warm
+// allocation sites plus the warm module call edges to chase.
+type allocSummary struct {
+	sites []allocSite
+	edges []allocEdge
+}
+
+// allocFn is one analyzable function body.
+type allocFn struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// Run implements Pass.
+func (p *NoAlloc) Run(prog *Program) []Finding {
+	// Allows are folded into summaries so a justified site does not
+	// poison callers; the malformed-directive findings are emitted by
+	// Run()'s own collectAllows call, not duplicated here.
+	allows, _ := collectAllows(prog)
+	prealloc, findings := collectPrealloc(prog)
+
+	// Function universe in deterministic (package, file, decl) order.
+	var fns []*allocFn
+	annotated := map[*types.Func]bool{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fns = append(fns, &allocFn{obj: obj, decl: fd, pkg: pkg})
+				if hasNoallocAnnot(fd) {
+					annotated[obj] = true
+				}
+			}
+		}
+	}
+	if len(annotated) == 0 {
+		return findings
+	}
+
+	st := &noallocState{
+		prog:      prog,
+		annotated: annotated,
+		summaries: map[*types.Func]*allocSummary{},
+		memo:      map[*types.Func]int8{},
+		witness:   map[*types.Func]string{},
+	}
+	for _, fn := range fns {
+		st.summaries[fn.obj] = buildAllocSummary(prog, fn.pkg, fn.decl, allows, prealloc)
+	}
+
+	for _, fn := range fns {
+		if !annotated[fn.obj] {
+			continue
+		}
+		sum := st.summaries[fn.obj]
+		for _, s := range sum.sites {
+			findings = append(findings, Finding{Pass: "noalloc", Pos: prog.Fset.Position(s.pos),
+				Message: fmt.Sprintf("%s is annotated //lint:noalloc but %s", shortName(fn.obj), s.what)})
+		}
+		for _, e := range sum.edges {
+			if annotated[e.callee] {
+				// An annotated callee carries its own contract; its
+				// violations are reported at its own sites, once.
+				continue
+			}
+			if w, bad := st.allocates(e.callee); bad {
+				findings = append(findings, Finding{Pass: "noalloc", Pos: prog.Fset.Position(e.pos),
+					Message: fmt.Sprintf("call allocates on the //lint:noalloc path of %s: %s",
+						shortName(fn.obj), w)})
+			}
+		}
+	}
+	return findings
+}
+
+// hasNoallocAnnot reports whether fd's doc comment declares the
+// contract.
+func hasNoallocAnnot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "lint:noalloc" || strings.HasPrefix(text, "lint:noalloc ") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectPrealloc parses every //lint:prealloc directive. The returned
+// map is filename -> set of directive lines; a directive exempts
+// append/make growth sites on its own line or the line below.
+// Directives with no reason are returned as findings.
+func collectPrealloc(prog *Program) (map[string]map[int]bool, []Finding) {
+	lines := map[string]map[int]bool{}
+	var bad []Finding
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "lint:prealloc")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					if strings.TrimSpace(rest) == "" {
+						bad = append(bad, Finding{Pass: "noalloc", Pos: pos,
+							Message: "lint:prealloc has no reason; unexplained arena-growth exemptions are forbidden"})
+						continue
+					}
+					byLine := lines[pos.Filename]
+					if byLine == nil {
+						byLine = map[int]bool{}
+						lines[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = true
+				}
+			}
+		}
+	}
+	return lines, bad
+}
+
+// noallocState memoizes the transitive does-it-allocate query over
+// function summaries.
+type noallocState struct {
+	prog      *Program
+	annotated map[*types.Func]bool
+	summaries map[*types.Func]*allocSummary
+	memo      map[*types.Func]int8 // 0 unvisited, 1 in progress, 2 clean, 3 allocates
+	witness   map[*types.Func]string
+}
+
+// allocates reports whether fn (or anything it transitively calls)
+// allocates, with a witness chain naming the allocating expression.
+// In-progress cycle members answer clean: a recursive cycle that is
+// otherwise allocation-free stays clean, and a cycle containing a real
+// site is caught when the site's owner finishes.
+func (st *noallocState) allocates(fn *types.Func) (string, bool) {
+	switch st.memo[fn] {
+	case 1, 2:
+		return "", false
+	case 3:
+		return st.witness[fn], true
+	}
+	sum := st.summaries[fn]
+	if sum == nil {
+		// Module function without an analyzable body; nothing to prove.
+		st.memo[fn] = 2
+		return "", false
+	}
+	st.memo[fn] = 1
+	if len(sum.sites) > 0 {
+		s := sum.sites[0]
+		p := st.prog.Fset.Position(s.pos)
+		st.witness[fn] = fmt.Sprintf("%s: %s at %s:%d", shortName(fn), s.what, filepath.Base(p.Filename), p.Line)
+		st.memo[fn] = 3
+		return st.witness[fn], true
+	}
+	for _, e := range sum.edges {
+		if w, bad := st.allocates(e.callee); bad {
+			st.witness[fn] = shortName(fn) + " → " + w
+			st.memo[fn] = 3
+			return st.witness[fn], true
+		}
+	}
+	st.memo[fn] = 2
+	return "", false
+}
+
+// buildAllocSummary scans fd's warm blocks for allocation sites and
+// module call edges, folding in allow/prealloc suppressions.
+func buildAllocSummary(prog *Program, pkg *Package, fd *ast.FuncDecl,
+	allows map[string]map[int][]allow, prealloc map[string]map[int]bool) *allocSummary {
+
+	cfg := BuildCFG(fd.Body)
+	cold := cfg.ColdBlocks(panicDetector(pkg), coldReturnDetector(pkg))
+
+	w := &allocWalker{prog: prog, pkg: pkg, allows: allows, prealloc: prealloc,
+		sum: &allocSummary{}, callFuns: map[ast.Node]bool{}}
+	for _, blk := range cfg.Blocks {
+		if cold[blk] {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			w.scan(n)
+		}
+	}
+	return w.sum
+}
+
+// allocWalker accumulates one function's summary.
+type allocWalker struct {
+	prog     *Program
+	pkg      *Package
+	allows   map[string]map[int][]allow
+	prealloc map[string]map[int]bool
+	sum      *allocSummary
+	callFuns map[ast.Node]bool // call-position expressions (not method values)
+}
+
+// suppressedAt reports whether an allow for noalloc covers pos.
+func (w *allocWalker) suppressedAt(pos token.Pos) bool {
+	return suppressed(w.allows, Finding{Pass: "noalloc", Pos: w.prog.Fset.Position(pos)})
+}
+
+// preallocAt reports whether a lint:prealloc directive covers pos (the
+// directive's line or the line above the site).
+func (w *allocWalker) preallocAt(pos token.Pos) bool {
+	p := w.prog.Fset.Position(pos)
+	byLine := w.prealloc[p.Filename]
+	return byLine != nil && (byLine[p.Line] || byLine[p.Line-1])
+}
+
+func (w *allocWalker) site(pos token.Pos, what string) {
+	if w.suppressedAt(pos) {
+		return
+	}
+	w.sum.sites = append(w.sum.sites, allocSite{pos: pos, what: what})
+}
+
+// growthSite records an append/make style arena-growth site, exemptable
+// by //lint:prealloc.
+func (w *allocWalker) growthSite(pos token.Pos, what string) {
+	if w.preallocAt(pos) {
+		return
+	}
+	w.site(pos, what+" (arena refills may be declared with //lint:prealloc <reason>)")
+}
+
+func (w *allocWalker) edge(pos token.Pos, callee *types.Func) {
+	if w.suppressedAt(pos) {
+		return
+	}
+	w.sum.edges = append(w.sum.edges, allocEdge{pos: pos, callee: callee})
+}
+
+// scan inspects one block node. Function literals are atoms: the
+// literal itself is an allocation, its body belongs to no block here.
+func (w *allocWalker) scan(n ast.Node) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			w.site(e.Pos(), "a function literal allocates its closure")
+			return false
+		case *ast.GoStmt:
+			w.site(e.Pos(), "a go statement allocates the goroutine and its argument frame")
+		case *ast.CallExpr:
+			w.callFuns[ast.Unparen(e.Fun)] = true
+			w.call(e)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					w.site(e.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			w.compositeLit(e)
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isStringExpr(w.pkg, e) {
+				w.site(e.Pos(), "string concatenation allocates")
+			}
+		case *ast.SelectorExpr:
+			if !w.callFuns[e] {
+				if sel, ok := w.pkg.Info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+					w.site(e.Pos(), fmt.Sprintf("method value %s captures its receiver (allocates)", e.Sel.Name))
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && isMapExpr(w.pkg, idx.X) {
+					w.site(idx.Pos(), "a map write may allocate (bucket growth)")
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := ast.Unparen(e.X).(*ast.IndexExpr); ok && isMapExpr(w.pkg, idx.X) {
+				w.site(idx.Pos(), "a map write may allocate (bucket growth)")
+			}
+		}
+		return true
+	})
+}
+
+// compositeLit classifies a composite literal: slice and map literals
+// allocate their backing store; value struct and array literals live in
+// their enclosing frame and are exempt (taking their address is the
+// &T{...} rule above).
+func (w *allocWalker) compositeLit(lit *ast.CompositeLit) {
+	tv, ok := w.pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		w.site(lit.Pos(), "a slice literal allocates its backing array")
+	case *types.Map:
+		w.site(lit.Pos(), "a map literal allocates")
+	}
+}
+
+// call classifies one call expression: builtin, conversion, module edge,
+// or standard-library leaf.
+func (w *allocWalker) call(call *ast.CallExpr) {
+	// Type conversions.
+	if tv, ok := w.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		w.conversion(call, tv.Type)
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				w.growthSite(call.Pos(), "append may grow its backing array")
+			case "make":
+				w.growthSite(call.Pos(), "make allocates")
+			case "new":
+				w.site(call.Pos(), "new allocates")
+			case "print", "println":
+				w.site(call.Pos(), "print/println box their arguments")
+			}
+			// len, cap, copy, delete, clear, min, max, real, imag,
+			// complex, recover: allocation-free. panic lives in cold
+			// blocks by construction.
+			return
+		}
+	}
+
+	callee := staticCalleeFunc(w.pkg, call)
+	if callee == nil {
+		// Function-value call: target unknown — documented exemption.
+		return
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok {
+		if recv := sig.Recv(); recv != nil {
+			if _, iface := recv.Type().Underlying().(*types.Interface); iface {
+				// Interface-method call — documented exemption.
+				return
+			}
+		}
+		// A variadic call without ... builds its argument slice.
+		if sig.Variadic() && call.Ellipsis == token.NoPos &&
+			len(call.Args) >= sig.Params().Len() {
+			w.site(call.Pos(), fmt.Sprintf("variadic call to %s builds an argument slice", shortName(callee)))
+		}
+	}
+
+	if calleePkg := callee.Pkg(); calleePkg != nil && moduleMember(w.prog, calleePkg) {
+		w.edge(call.Pos(), callee)
+		return
+	}
+	w.stdlibCall(call, callee)
+}
+
+// conversion flags the allocating conversions: to/from string and byte
+// or rune slices, and boxing into an interface type.
+func (w *allocWalker) conversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	if _, iface := target.Underlying().(*types.Interface); iface {
+		w.site(call.Pos(), "conversion to an interface type boxes its operand")
+		return
+	}
+	argTV, ok := w.pkg.Info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return
+	}
+	from, to := argTV.Type.Underlying(), target.Underlying()
+	switch {
+	case isStringType(to) && isByteOrRuneSlice(from):
+		w.site(call.Pos(), "[]byte/[]rune → string conversion allocates")
+	case isByteOrRuneSlice(to) && isStringType(from):
+		w.site(call.Pos(), "string → []byte/[]rune conversion allocates")
+	}
+}
+
+// stdlibCall applies the standard-library whitelist: a short list of
+// functions proven allocation-free; binary.AppendUint* counts as append
+// growth; everything else is assumed to allocate.
+func (w *allocWalker) stdlibCall(call *ast.CallExpr, callee *types.Func) {
+	pkgPath, name := callee.Pkg().Path(), callee.Name()
+	switch pkgPath {
+	case "math", "math/bits", "sync/atomic":
+		return
+	case "io":
+		if name == "ReadFull" {
+			return
+		}
+	case "runtime":
+		if name == "GOMAXPROCS" || name == "NumCPU" {
+			return
+		}
+	case "encoding/binary":
+		switch name {
+		case "Uint16", "Uint32", "Uint64", "PutUint16", "PutUint32", "PutUint64":
+			return
+		}
+		if strings.HasPrefix(name, "AppendUint") {
+			w.growthSite(call.Pos(), fmt.Sprintf("%s may grow its destination", shortName(callee)))
+			return
+		}
+	}
+	w.site(call.Pos(), fmt.Sprintf("call to %s is outside the noalloc stdlib whitelist (assumed to allocate)", shortName(callee)))
+}
+
+// panicDetector recognizes nodes that unconditionally abort: panic and
+// os.Exit calls (function literals excluded — their bodies run later,
+// if at all).
+func panicDetector(pkg *Package) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(x ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok &&
+					f.Pkg() != nil && f.Pkg().Path() == "os" && f.Name() == "Exit" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+}
+
+// coldReturnDetector recognizes returns whose results include a freshly
+// constructed error — fmt.Errorf, errors.New, or &SomethingError{...} —
+// the validation-failure exits a hot path takes at most once per bad
+// input, never in steady state.
+func coldReturnDetector(pkg *Package) func(*ast.ReturnStmt) bool {
+	return func(ret *ast.ReturnStmt) bool {
+		for _, res := range ret.Results {
+			cold := false
+			ast.Inspect(res, func(x ast.Node) bool {
+				if cold {
+					return false
+				}
+				switch e := x.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.CallExpr:
+					if f := staticCalleeFunc(pkg, e); f != nil && f.Pkg() != nil {
+						switch {
+						case f.Pkg().Path() == "fmt" && f.Name() == "Errorf",
+							f.Pkg().Path() == "errors" && f.Name() == "New":
+							cold = true
+						}
+					}
+				case *ast.UnaryExpr:
+					if e.Op == token.AND {
+						if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && errorTypedLit(pkg, lit) {
+							cold = true
+						}
+					}
+				}
+				return !cold
+			})
+			if cold {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// errorTypedLit reports whether lit's named type looks like an error
+// payload (name ends in "Error").
+func errorTypedLit(pkg *Package, lit *ast.CompositeLit) bool {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && strings.HasSuffix(named.Obj().Name(), "Error")
+}
+
+// staticCalleeFunc resolves call's target when it is a plain function
+// or method reference.
+func staticCalleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// moduleMember reports whether pkg belongs to the analyzed module.
+func moduleMember(prog *Program, pkg *types.Package) bool {
+	return pkg.Path() == prog.ModulePath || strings.HasPrefix(pkg.Path(), prog.ModulePath+"/")
+}
+
+func isStringExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Type != nil && isStringType(tv.Type.Underlying())
+}
+
+func isMapExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}

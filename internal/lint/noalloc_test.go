@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNoAllocFixture(t *testing.T) {
+	checkPassAgainstMarkers(t, &NoAlloc{})
+}
+
+// TestPreallocRequiresReason pins that a bare lint:prealloc is a
+// finding, not a silent growth exemption — and that it consequently
+// does not exempt the site it sits on.
+func TestPreallocRequiresReason(t *testing.T) {
+	prog := miniModule(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+type arena struct{ buf []uint64 }
+
+//lint:noalloc
+func (a *arena) fill(n int) {
+	if cap(a.buf) < n {
+		//lint:prealloc
+		a.buf = make([]uint64, n)
+	}
+	a.buf = a.buf[:n]
+}
+`,
+	})
+	fs := Run(prog, []Pass{&NoAlloc{}})
+	var sawBare, sawSite bool
+	for _, f := range fs {
+		if f.Pass != "noalloc" {
+			t.Errorf("unexpected pass %s: %s", f.Pass, f)
+			continue
+		}
+		switch {
+		case strings.Contains(f.Message, "has no reason"):
+			sawBare = true
+		case strings.Contains(f.Message, "make allocates"):
+			sawSite = true
+		}
+	}
+	if !sawBare {
+		t.Error("bare lint:prealloc not reported")
+	}
+	if !sawSite {
+		t.Error("make under a bare lint:prealloc must still be a finding")
+	}
+}
+
+// TestNoAllocWitnessChain pins the transitive explanation: the finding
+// at the annotated root names the call chain down to the allocating
+// expression.
+func TestNoAllocWitnessChain(t *testing.T) {
+	prog := miniModule(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import "m/b"
+
+//lint:noalloc
+func Root(n int) []int {
+	return b.Middle(n)
+}
+`,
+		"b/b.go": `package b
+
+func Middle(n int) []int { return leaf(n) }
+
+func leaf(n int) []int { return make([]int, n) }
+`,
+	})
+	fs := Run(prog, []Pass{&NoAlloc{}})
+	if len(fs) != 1 {
+		t.Fatalf("want exactly one finding, got %d: %v", len(fs), fs)
+	}
+	msg := fs[0].Message
+	for _, want := range []string{"a.Root", "b.Middle", "b.leaf", "make allocates", "b.go:5"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("witness chain missing %q in %q", want, msg)
+		}
+	}
+}
+
+// TestNoAllocColdPathsExempt pins that validation panics and fresh
+// error returns may allocate their diagnostics.
+func TestNoAllocColdPathsExempt(t *testing.T) {
+	prog := miniModule(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import "fmt"
+
+type SizeError struct{ n int }
+
+func (e *SizeError) Error() string { return "bad size" }
+
+//lint:noalloc
+func Kernel(dst, src []uint64) error {
+	if len(dst) != len(src) {
+		return &SizeError{n: len(dst)}
+	}
+	if len(dst) == 0 {
+		panic(fmt.Sprintf("empty: %v", dst))
+	}
+	for i := range dst {
+		dst[i] += src[i]
+	}
+	return nil
+}
+`,
+	})
+	if fs := Run(prog, []Pass{&NoAlloc{}}); len(fs) != 0 {
+		t.Fatalf("cold allocation paths must be exempt, got %v", fs)
+	}
+}
+
+// TestNoAllocInterfaceBoundary pins the documented exemption: calls
+// through interface methods are not chased, but an explicit conversion
+// into the interface is still flagged.
+func TestNoAllocInterfaceBoundary(t *testing.T) {
+	prog := miniModule(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+type sink interface{ Put(v int) }
+
+//lint:noalloc
+func Drain(s sink, xs []int) {
+	for _, x := range xs {
+		s.Put(x)
+	}
+}
+
+//lint:noalloc
+func Box(xs []int) sink {
+	return sink(nil)
+}
+`,
+	})
+	fs := Run(prog, []Pass{&NoAlloc{}})
+	if len(fs) != 1 {
+		t.Fatalf("want one finding (the conversion), got %d: %v", len(fs), fs)
+	}
+	if !strings.Contains(fs[0].Message, "boxes its operand") {
+		t.Errorf("unexpected finding %v", fs[0])
+	}
+}

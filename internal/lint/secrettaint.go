@@ -367,7 +367,7 @@ func (a *taintAnalysis) mergeObj(o types.Object, m uint64) {
 }
 
 // declassified reports whether pos's line (or the line above) carries a
-// lint:declassify directive.
+// declassify directive.
 func (a *taintAnalysis) declassified(pos token.Pos) bool {
 	p := a.prog.Fset.Position(pos)
 	byLine := a.declass[p.Filename]

@@ -1,0 +1,37 @@
+package lwe
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestSwitchIntoZeroAllocs enforces the noalloc contract on the
+// dimension switch: once out.A has been grown to the output dimension
+// (first call), the per-ciphertext steady state of an extraction batch
+// must not touch the heap.
+func TestSwitchIntoZeroAllocs(t *testing.T) {
+	skIn := NewSecretKey(128, 91)
+	skOut := NewSecretKey(32, 92)
+	const q = uint64(1) << 30
+	k := NewKeySwitchKey(skIn, skOut, q, 1<<5, 3.2, 93)
+	smp := NewStream(94)
+	ct := Encrypt(skIn, 12345*(q/65537), q, 3.2, smp)
+
+	sw := k.NewSwitcher()
+	var out Ciphertext
+	if n := testing.AllocsPerRun(50, func() { sw.SwitchInto(ct, &out) }); n != 0 {
+		t.Fatalf("SwitchInto allocates %v times per run, want 0", n)
+	}
+
+	want := sw.Switch(ct)
+	if out.B != want.B || out.Q != want.Q || !slices.Equal(out.A, want.A) {
+		t.Fatal("SwitchInto disagrees with Switch")
+	}
+
+	// A stale larger buffer must be truncated, not trusted.
+	out.A = append(out.A, 7, 7, 7)
+	sw.SwitchInto(ct, &out)
+	if !slices.Equal(out.A, want.A) {
+		t.Fatal("SwitchInto with oversized buffer disagrees with Switch")
+	}
+}

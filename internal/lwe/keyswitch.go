@@ -78,6 +78,18 @@ func (k *KeySwitchKey) NewSwitcher() *Switcher {
 
 // Switch converts ct (under skIn) to a ciphertext under skOut.
 func (s *Switcher) Switch(ct Ciphertext) Ciphertext {
+	var out Ciphertext
+	s.SwitchInto(ct, &out)
+	return out
+}
+
+// SwitchInto is Switch writing into a caller-provided ciphertext:
+// out.A is grown only when its capacity is below the output dimension,
+// so a ciphertext reused across an extraction batch is allocation-free
+// after the first call. out must not share backing storage with ct.
+//
+//lint:noalloc
+func (s *Switcher) SwitchInto(ct Ciphertext, out *Ciphertext) {
 	k := s.k
 	if ct.Q != k.Q {
 		panic(fmt.Sprintf("lwe: keyswitch modulus mismatch %d vs %d", ct.Q, k.Q))
@@ -87,7 +99,16 @@ func (s *Switcher) Switch(ct Ciphertext) Ciphertext {
 	}
 	m := s.m
 	nOut := len(k.Keys[0][0].A)
-	out := Ciphertext{A: make([]uint64, nOut), B: m.Reduce(ct.B), Q: k.Q}
+	if cap(out.A) < nOut {
+		//lint:prealloc sized once to the output dimension, then reused across the batch
+		out.A = make([]uint64, nOut)
+	}
+	out.A = out.A[:nOut]
+	for i := range out.A {
+		out.A[i] = 0
+	}
+	out.B = m.Reduce(ct.B)
+	out.Q = k.Q
 	for j, aj := range ct.A {
 		v := m.Reduce(aj)
 		for d := 0; d < k.Digits && v > 0; d++ {
@@ -105,7 +126,6 @@ func (s *Switcher) Switch(ct Ciphertext) Ciphertext {
 			out.B = m.Add(out.B, m.Mul(dig, key.B))
 		}
 	}
-	return out
 }
 
 // SwitchAll applies Switch to a batch, sharing one Switcher.

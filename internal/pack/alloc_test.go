@@ -1,0 +1,73 @@
+package pack
+
+import (
+	"testing"
+
+	"athena/internal/lwe"
+)
+
+// TestPackIntoZeroAllocs enforces the noalloc contract on the serial
+// BSGS pipeline: after a warm-up call fills the lazy evaluator/encoder
+// scratch and the Galois permutation cache, a full Pack — gathers,
+// slot encodes, lifts, plaintext products, giant-step rotations, and
+// the b-term addition — must not touch the heap.
+func TestPackIntoZeroAllocs(t *testing.T) {
+	k := newKit(t, 6, 4)
+	tq := k.ctx.Params.T
+	lweSK := lwe.NewSecretKey(16, 61)
+	p, err := NewPacker(k.ctx, k.enc, lweSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := k.evaluator(p.GaloisElements())
+	smp := lwe.NewStream(62)
+	cts := make([]lwe.Ciphertext, k.ctx.N)
+	for i := range cts {
+		cts[i] = lwe.Encrypt(lweSK, smp.Uint64N(tq), tq, 0, smp)
+	}
+
+	sc := p.NewScratch()
+	out := k.ctx.NewCiphertext()
+	if n := testing.AllocsPerRun(20, func() {
+		if err := p.PackInto(ev, sc, cts, out); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("PackInto allocates %v times per run, want 0", n)
+	}
+}
+
+// TestPackIntoMatchesPack pins PackInto to the allocating Pack path
+// bit for bit (PackWith is deterministic at any worker count, so the
+// two must agree exactly).
+func TestPackIntoMatchesPack(t *testing.T) {
+	k := newKit(t, 6, 4)
+	tq := k.ctx.Params.T
+	lweSK := lwe.NewSecretKey(16, 63)
+	p, err := NewPacker(k.ctx, k.enc, lweSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := k.evaluator(p.GaloisElements())
+	smp := lwe.NewStream(64)
+	cts := make([]lwe.Ciphertext, 48)
+	for i := range cts {
+		cts[i] = lwe.Encrypt(lweSK, smp.Uint64N(tq), tq, 3.2, smp)
+	}
+
+	want, err := p.Pack(ev, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.ctx.NewCiphertext()
+	if err := p.PackInto(ev, p.NewScratch(), cts, got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.C0.Equal(want.C0) || !got.C1.Equal(want.C1) {
+		t.Fatal("PackInto disagrees with Pack")
+	}
+
+	if err := p.PackInto(ev, p.NewScratch(), nil, got); err == nil {
+		t.Fatal("PackInto accepted an empty batch")
+	}
+}

@@ -60,6 +60,11 @@ type Scratch struct {
 	pt  *bfv.Plaintext
 	pm  *bfv.PlaintextMul
 
+	// inner stages one giant step's baby-step inner sum on the
+	// allocation-free PackInto path. Eager: PackInto promises zero
+	// steady-state allocations, so nothing in it may lazily init.
+	inner *bfv.Ciphertext
+
 	// Giant-step fan-out lanes, keyed to the evaluator passed to
 	// PackWith and reused while it stays the same.
 	base  *bfv.Evaluator
@@ -79,11 +84,12 @@ type packLane struct {
 // NewScratch returns staging state for one concurrent Pack caller.
 func (p *Packer) NewScratch() *Scratch {
 	return &Scratch{
-		p:   p,
-		cod: bfv.NewEncoder(p.ctx),
-		d:   make([]int64, p.ctx.N),
-		pt:  p.ctx.NewPlaintext(),
-		pm:  &bfv.PlaintextMul{Value: p.ctx.RingQ.NewPoly()},
+		p:     p,
+		cod:   bfv.NewEncoder(p.ctx),
+		d:     make([]int64, p.ctx.N),
+		pt:    p.ctx.NewPlaintext(),
+		pm:    &bfv.PlaintextMul{Value: p.ctx.RingQ.NewPoly()},
+		inner: p.ctx.NewCiphertext(),
 	}
 }
 
@@ -221,18 +227,13 @@ func (p *Packer) PackWith(ev *bfv.Evaluator, sc *Scratch, cts []lwe.Ciphertext) 
 	opts := par.Options{MinGrain: 1}
 	var acc *bfv.Ciphertext
 	if opts.Workers(gs) <= 1 {
-		// Serial path: reuse the caller scratch across all (a, b).
-		for a := 0; a < gs; a++ {
-			inner, err := p.giantStep(ev, sc.cod, sc.d, sc.pt, sc.pm, cts, a)
-			if err != nil {
-				return nil, err
-			}
-			if acc == nil {
-				acc = inner
-			} else {
-				ev.AddInPlace(acc, inner)
-			}
+		// Serial path: the allocation-free kernel, plus the one output
+		// ciphertext this API promises to return fresh.
+		out := ctx.NewCiphertext()
+		if err := p.PackInto(ev, sc, cts, out); err != nil {
+			return nil, err
 		}
+		return out, nil
 	} else {
 		inners := make([]*bfv.Ciphertext, gs)
 		errs := make([]error, gs)
@@ -270,6 +271,58 @@ func (p *Packer) PackWith(ev *bfv.Evaluator, sc *Scratch, cts []lwe.Ciphertext) 
 	return out, nil
 }
 
+// PackInto is the allocation-free serial Pack: it writes the packed
+// ciphertext into out, staging every giant step in sc. One inference
+// batch issues a Pack per FBS layer, so the steady state must not
+// churn the heap; the BSGS fan-out of PackWith is traded away for the
+// zero-allocation contract (AllocsPerRun holds GOMAXPROCS at 1 anyway,
+// so this is also exactly the path the allocation accountant measures).
+// out must not alias sc.inner; it may be any ciphertext of the packer's
+// context, including one previously returned by Pack.
+//
+//lint:noalloc
+func (p *Packer) PackInto(ev *bfv.Evaluator, sc *Scratch, cts []lwe.Ciphertext, out *bfv.Ciphertext) error {
+	ctx := p.ctx
+	if len(cts) == 0 || len(cts) > ctx.N {
+		return fmt.Errorf("pack: %d ciphertexts for %d slots", len(cts), ctx.N)
+	}
+	for i := range cts {
+		if len(cts[i].A) != p.n {
+			return fmt.Errorf("pack: ciphertext %d has dimension %d, want %d", i, len(cts[i].A), p.n)
+		}
+		if cts[i].Q != ctx.Params.T {
+			return fmt.Errorf("pack: ciphertext %d has modulus %d, want t=%d", i, cts[i].Q, ctx.Params.T)
+		}
+	}
+	gs := p.n / p.bs
+	for a := 0; a < gs; a++ {
+		// Giant step 0 lands directly in out; later steps stage in
+		// sc.inner and accumulate.
+		dst := out
+		if a > 0 {
+			dst = sc.inner
+		}
+		if err := p.giantStepInto(ev, sc.cod, sc.d, sc.pt, sc.pm, cts, a, dst); err != nil {
+			return err
+		}
+		if a > 0 {
+			ev.AddInPlace(out, sc.inner)
+		}
+	}
+
+	// Add the b terms as a plaintext, reusing the diagonal scratch.
+	d := sc.d
+	for i := range d {
+		d[i] = 0
+	}
+	for i := range cts {
+		d[i] = int64(cts[i].B)
+	}
+	sc.cod.EncodeSlotsInto(d, sc.pt)
+	ev.AddPlainInPlace(out, sc.pt)
+	return nil
+}
+
 // giantStep computes giant step a of the BSGS product: the baby-step
 // inner sum Σ_b babies[b]·diag(a·bs+b), pre-rotated by a·bs. The
 // plaintext multiplier for giant step a, baby step b is the matrix
@@ -277,9 +330,22 @@ func (p *Packer) PackWith(ev *bfv.Evaluator, sc *Scratch, cts []lwe.Ciphertext) 
 // -a·bs; composing both permutations through the cached rotIdx table
 // reduces it to one gather per slot.
 func (p *Packer) giantStep(ev *bfv.Evaluator, cod *bfv.Encoder, d []int64, pt *bfv.Plaintext, pm *bfv.PlaintextMul, cts []lwe.Ciphertext, a int) (*bfv.Ciphertext, error) {
+	inner := p.ctx.NewCiphertext()
+	if err := p.giantStepInto(ev, cod, d, pt, pm, cts, a, inner); err != nil {
+		return nil, err
+	}
+	return inner, nil
+}
+
+// giantStepInto is giantStep writing into a caller-provided ciphertext
+// (the baby-step sum accumulates in dst, and the final giant-step
+// rotation runs dst -> dst in the evaluator scratch), so the serial
+// Pack path allocates nothing.
+//
+//lint:noalloc
+func (p *Packer) giantStepInto(ev *bfv.Evaluator, cod *bfv.Encoder, d []int64, pt *bfv.Plaintext, pm *bfv.PlaintextMul, cts []lwe.Ciphertext, a int, dst *bfv.Ciphertext) error {
 	row := p.ctx.N / 2
 	src := p.rotIdx[a]
-	var inner *bfv.Ciphertext
 	for b := 0; b < p.bs; b++ {
 		j := a*p.bs + b
 		for i := range d {
@@ -292,14 +358,14 @@ func (p *Packer) giantStep(ev *bfv.Evaluator, cod *bfv.Encoder, d []int64, pt *b
 		}
 		cod.EncodeSlotsInto(d, pt)
 		cod.LiftToMulInto(pt, pm)
-		if inner == nil {
-			inner = ev.MulPlain(p.babies[b], pm)
+		if b == 0 {
+			ev.MulPlainInto(p.babies[b], pm, dst)
 		} else {
-			ev.MulPlainAndAdd(p.babies[b], pm, inner)
+			ev.MulPlainAndAdd(p.babies[b], pm, dst)
 		}
 	}
 	if a > 0 {
-		return ev.RotateRows(inner, a*p.bs)
+		return ev.RotateRowsInto(dst, a*p.bs, dst)
 	}
-	return inner, nil
+	return nil
 }

@@ -42,6 +42,8 @@ func (r *Ring) Automorphism(a Poly, g uint64, out Poly) {
 
 // AutomorphismWithIndex applies a precomputed automorphism index table.
 // a and out must not alias.
+//
+//lint:noalloc
 func (r *Ring) AutomorphismWithIndex(a Poly, dst []int, neg []bool, out Poly) {
 	for i := range a.Coeffs {
 		m := r.Moduli[i]
@@ -63,6 +65,8 @@ const GaloisGen uint64 = 5
 
 // GaloisElementForRotation returns 5^k mod 2N for a row rotation by k
 // (k may be negative).
+//
+//lint:noalloc
 func GaloisElementForRotation(n int, k int) uint64 {
 	twoN := uint64(2 * n)
 	order := n / 2 // order of 5 in Z_2N^* for power-of-two N
@@ -77,12 +81,16 @@ func GaloisElementForRotation(n int, k int) uint64 {
 
 // GaloisElementConjugate returns the element implementing X -> X^-1
 // (slot-row swap / conjugation).
+//
+//lint:noalloc
 func GaloisElementConjugate(n int) uint64 { return uint64(2*n) - 1 }
 
 // GaloisCompose returns a·b mod 2N, the composition of two Galois
 // elements over a ring of power-of-two degree n. Operands must already
 // be reduced mod 2N; the product then fits uint64 with room to spare
 // (2N ≤ 2^18), so the masked multiply is exact.
+//
+//lint:noalloc
 func GaloisCompose(n int, a, b uint64) uint64 {
 	return (a * b) & (uint64(2*n) - 1)
 }

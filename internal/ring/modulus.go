@@ -62,6 +62,7 @@ func NewModulus(q uint64) Modulus {
 
 // Add returns a+b mod q for a, b in [0, q).
 //
+//lint:noalloc
 //lint:domain a:<q b:<q -> ret:<q
 func (m Modulus) Add(a, b uint64) uint64 {
 	c := a + b
@@ -73,6 +74,7 @@ func (m Modulus) Add(a, b uint64) uint64 {
 
 // Sub returns a-b mod q for a, b in [0, q).
 //
+//lint:noalloc
 //lint:domain a:<q b:<q -> ret:<q
 func (m Modulus) Sub(a, b uint64) uint64 {
 	c := a - b
@@ -84,6 +86,7 @@ func (m Modulus) Sub(a, b uint64) uint64 {
 
 // Neg returns -a mod q for a in [0, q).
 //
+//lint:noalloc
 //lint:domain a:<q -> ret:<q
 func (m Modulus) Neg(a uint64) uint64 {
 	if a == 0 {
@@ -94,6 +97,7 @@ func (m Modulus) Neg(a uint64) uint64 {
 
 // Reduce maps an arbitrary uint64 into [0, q).
 //
+//lint:noalloc
 //lint:domain a:any -> ret:<q
 func (m Modulus) Reduce(a uint64) uint64 {
 	return m.ReduceWide(0, a)
@@ -103,6 +107,7 @@ func (m Modulus) Reduce(a uint64) uint64 {
 // Barrett reduction. It requires hi < q (always true for products of two
 // reduced operands, since (q-1)^2 < q·2^64).
 //
+//lint:noalloc
 //lint:domain hi:any lo:any -> ret:<q
 func (m Modulus) ReduceWide(hi, lo uint64) uint64 {
 	// s ≈ floor(x / q) computed as floor(x · floor(2^128/q) / 2^128).
@@ -124,6 +129,7 @@ func (m Modulus) ReduceWide(hi, lo uint64) uint64 {
 
 // Mul returns a·b mod q for a, b in [0, q).
 //
+//lint:noalloc
 //lint:domain a:<q b:<q -> ret:<q
 func (m Modulus) Mul(a, b uint64) uint64 {
 	hi, lo := bits.Mul64(a, b)
@@ -132,6 +138,8 @@ func (m Modulus) Mul(a, b uint64) uint64 {
 
 // ShoupPrecomp returns floor(w·2^64 / q), the Shoup companion word that
 // accelerates repeated multiplications by the fixed operand w.
+//
+//lint:noalloc
 func (m Modulus) ShoupPrecomp(w uint64) uint64 {
 	s, _ := bits.Div64(w, 0, m.Q)
 	return s
@@ -144,6 +152,7 @@ func (m Modulus) ShoupPrecomp(w uint64) uint64 {
 // remainder candidate lands in [0, 2q) and one conditional subtraction
 // yields the exact canonical residue.
 //
+//lint:noalloc
 //lint:domain a:any w:<q -> ret:<q
 func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
 	hi, _ := bits.Mul64(a, wShoup)
@@ -160,6 +169,7 @@ func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
 // lazy-reduction NTT (Longa–Naehrig): skipping the data-dependent
 // subtraction removes the branch from the innermost loop.
 //
+//lint:noalloc
 //lint:domain a:any w:<q -> ret:<2q
 func (m Modulus) MulShoupLazy(a, w, wShoup uint64) uint64 {
 	hi, _ := bits.Mul64(a, wShoup)
@@ -170,6 +180,7 @@ func (m Modulus) MulShoupLazy(a, w, wShoup uint64) uint64 {
 // the headroom invariant: with q ≤ 2^MaxModulusBits, sums of two lazy
 // values in [0, 2q) stay below 2^63 and never wrap.
 //
+//lint:noalloc
 //lint:domain a:<2q b:<2q -> ret:<4q
 func (m Modulus) AddLazy(a, b uint64) uint64 { return a + b }
 
@@ -177,11 +188,13 @@ func (m Modulus) AddLazy(a, b uint64) uint64 { return a + b }
 // [0, 2q): the +2q offset keeps the result non-negative (in [0, 4q))
 // without a data-dependent branch.
 //
+//lint:noalloc
 //lint:domain a:<2q b:<2q -> ret:<4q
 func (m Modulus) SubLazy2Q(a, b uint64) uint64 { return a + 2*m.Q - b }
 
 // Reduce2Q folds a value in [0, 2q) into [0, q), branchlessly.
 //
+//lint:noalloc
 //lint:domain a:<2q -> ret:<q
 func (m Modulus) Reduce2Q(a uint64) uint64 {
 	c := a - m.Q
@@ -190,6 +203,7 @@ func (m Modulus) Reduce2Q(a uint64) uint64 {
 
 // Reduce4Q folds a value in [0, 4q) into [0, q).
 //
+//lint:noalloc
 //lint:domain a:<4q -> ret:<q
 func (m Modulus) Reduce4Q(a uint64) uint64 {
 	c := a - 2*m.Q
@@ -199,6 +213,8 @@ func (m Modulus) Reduce4Q(a uint64) uint64 {
 }
 
 // Pow returns a^e mod q by square-and-multiply.
+//
+//lint:noalloc
 func (m Modulus) Pow(a, e uint64) uint64 {
 	r := uint64(1)
 	a %= m.Q
@@ -214,6 +230,8 @@ func (m Modulus) Pow(a, e uint64) uint64 {
 
 // Inv returns the multiplicative inverse of a mod q. It requires q prime
 // and a nonzero mod q, and panics otherwise.
+//
+//lint:noalloc
 func (m Modulus) Inv(a uint64) uint64 {
 	a %= m.Q
 	if a == 0 {
@@ -229,6 +247,8 @@ func (m Modulus) Inv(a uint64) uint64 {
 
 // ReduceInt64 maps a signed value into [0, q), interpreting negative
 // values as their residue.
+//
+//lint:noalloc
 func (m Modulus) ReduceInt64(a int64) uint64 {
 	r := a % int64(m.Q)
 	if r < 0 {
@@ -239,6 +259,8 @@ func (m Modulus) ReduceInt64(a int64) uint64 {
 
 // Centered maps a residue in [0, q) to its centered representative in
 // [-q/2, q/2).
+//
+//lint:noalloc
 func (m Modulus) Centered(a uint64) int64 {
 	if a >= m.Q/2+m.Q%2 {
 		return int64(a) - int64(m.Q)

@@ -82,6 +82,7 @@ func bitrev(x uint64, bitLen int) uint64 {
 // and emits u+v and u−v+2q, both < 4q. A final pass folds [0, 4q) to
 // canonical [0, q).
 //
+//lint:noalloc
 //lint:domain p:<q -> p:<q
 func (t *NTTTable) Forward(p []uint64) {
 	m := t.M
@@ -296,6 +297,7 @@ func (t *NTTTable) Forward(p []uint64) {
 // multiply. The last layer is fused with the 1/N scaling and performs
 // the full Shoup reduction, so the output is canonical [0, q).
 //
+//lint:noalloc
 //lint:domain p:<q -> p:<q
 func (t *NTTTable) Inverse(p []uint64) {
 	m := t.M

@@ -93,6 +93,8 @@ func (r *Ring) NewPoly() Poly {
 func (p Poly) Level() int { return len(p.Coeffs) }
 
 // CopyTo copies p into dst (same shape required).
+//
+//lint:noalloc
 func (p Poly) CopyTo(dst Poly) {
 	for i := range p.Coeffs {
 		copy(dst.Coeffs[i], p.Coeffs[i])
@@ -109,6 +111,8 @@ func (p Poly) Clone() Poly {
 }
 
 // Zero resets all limbs of p.
+//
+//lint:noalloc
 func (p Poly) Zero() {
 	for i := range p.Coeffs {
 		for j := range p.Coeffs[i] {
@@ -138,6 +142,8 @@ func (p Poly) Equal(q Poly) bool {
 // NTT transforms p in place, limb by limb, into the NTT domain. Limbs are
 // independent, so they fan out across CPUs when the total transform work
 // is large enough to amortize the fork-join (see par.ForWork).
+//
+//lint:noalloc
 func (r *Ring) NTT(p Poly) {
 	tables := r.Tables
 	coeffs := p.Coeffs
@@ -147,12 +153,15 @@ func (r *Ring) NTT(p Poly) {
 		}
 		return
 	}
+	//lint:allow noalloc fork-join fan-out allocates its closure once per large transform; the serial branch is the steady noalloc path
 	par.ForWork(len(coeffs), r.N*r.LogN, func(i int) {
 		tables[i].Forward(coeffs[i])
 	})
 }
 
 // INTT transforms p in place back to coefficient representation.
+//
+//lint:noalloc
 func (r *Ring) INTT(p Poly) {
 	tables := r.Tables
 	coeffs := p.Coeffs
@@ -162,12 +171,15 @@ func (r *Ring) INTT(p Poly) {
 		}
 		return
 	}
+	//lint:allow noalloc fork-join fan-out allocates its closure once per large transform; the serial branch is the steady noalloc path
 	par.ForWork(len(coeffs), r.N*r.LogN, func(i int) {
 		tables[i].Inverse(coeffs[i])
 	})
 }
 
 // Add sets out = a + b.
+//
+//lint:noalloc
 func (r *Ring) Add(a, b, out Poly) {
 	for i := range a.Coeffs {
 		r.Moduli[i].AddVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
@@ -175,6 +187,8 @@ func (r *Ring) Add(a, b, out Poly) {
 }
 
 // Sub sets out = a - b.
+//
+//lint:noalloc
 func (r *Ring) Sub(a, b, out Poly) {
 	for i := range a.Coeffs {
 		r.Moduli[i].SubVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
@@ -182,6 +196,8 @@ func (r *Ring) Sub(a, b, out Poly) {
 }
 
 // Neg sets out = -a.
+//
+//lint:noalloc
 func (r *Ring) Neg(a, out Poly) {
 	for i := range a.Coeffs {
 		r.Moduli[i].NegVec(a.Coeffs[i], out.Coeffs[i])
@@ -190,6 +206,8 @@ func (r *Ring) Neg(a, out Poly) {
 
 // MulCoeffs sets out = a ⊙ b (pointwise); meaningful when both operands
 // are in the NTT domain, where it realizes negacyclic convolution.
+//
+//lint:noalloc
 func (r *Ring) MulCoeffs(a, b, out Poly) {
 	moduli := r.Moduli
 	if !par.WorthForWork(len(a.Coeffs), r.N) {
@@ -198,12 +216,15 @@ func (r *Ring) MulCoeffs(a, b, out Poly) {
 		}
 		return
 	}
+	//lint:allow noalloc fork-join fan-out allocates its closure once per large transform; the serial branch is the steady noalloc path
 	par.ForWork(len(a.Coeffs), r.N, func(i int) {
 		moduli[i].MulVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 	})
 }
 
 // MulCoeffsAndAdd sets out += a ⊙ b (pointwise multiply-accumulate).
+//
+//lint:noalloc
 func (r *Ring) MulCoeffsAndAdd(a, b, out Poly) {
 	moduli := r.Moduli
 	if !par.WorthForWork(len(a.Coeffs), r.N) {
@@ -212,12 +233,15 @@ func (r *Ring) MulCoeffsAndAdd(a, b, out Poly) {
 		}
 		return
 	}
+	//lint:allow noalloc fork-join fan-out allocates its closure once per large transform; the serial branch is the steady noalloc path
 	par.ForWork(len(a.Coeffs), r.N, func(i int) {
 		moduli[i].MulAddVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i])
 	})
 }
 
 // MulScalar sets out = a · s for a scalar s (applied per limb, reduced).
+//
+//lint:noalloc
 func (r *Ring) MulScalar(a Poly, s uint64, out Poly) {
 	for i := range a.Coeffs {
 		m := r.Moduli[i]
@@ -230,6 +254,8 @@ func (r *Ring) MulScalar(a Poly, s uint64, out Poly) {
 // MulScalarAndAdd sets out += a · s for a scalar s (applied per limb,
 // reduced) — the fused form innerSum-style accumulation wants, avoiding a
 // temporary product polynomial.
+//
+//lint:noalloc
 func (r *Ring) MulScalarAndAdd(a Poly, s uint64, out Poly) {
 	for i := range a.Coeffs {
 		m := r.Moduli[i]
@@ -241,6 +267,8 @@ func (r *Ring) MulScalarAndAdd(a Poly, s uint64, out Poly) {
 
 // MulScalarRNS multiplies limb i by scalar s[i] (each already reduced mod
 // q_i). Used to apply big-integer constants given in RNS form, e.g. Δ.
+//
+//lint:noalloc
 func (r *Ring) MulScalarRNS(a Poly, s []uint64, out Poly) {
 	for i := range a.Coeffs {
 		m := r.Moduli[i]
@@ -278,6 +306,8 @@ func (r *Ring) MulPolyNaive(a, b, out Poly) {
 
 // SetCoeffsInt64 fills every limb of p from the signed coefficient vector
 // v (length ≤ N), zero-padding the tail. Negative values become residues.
+//
+//lint:noalloc
 func (r *Ring) SetCoeffsInt64(v []int64, p Poly) {
 	if len(v) > r.N {
 		panic("ring: coefficient vector longer than N")

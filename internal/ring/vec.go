@@ -12,6 +12,7 @@ import "math/bits"
 
 // AddVec sets out[i] = a[i] + b[i] mod q for canonical inputs.
 //
+//lint:noalloc
 //lint:domain a:<q b:<q -> out:<q
 func (m Modulus) AddVec(a, b, out []uint64) {
 	q := m.Q
@@ -29,6 +30,7 @@ func (m Modulus) AddVec(a, b, out []uint64) {
 // AddLazyVec sets out[i] = a[i] + b[i] with no reduction. The caller owns
 // the headroom invariant (see Modulus.AddLazy).
 //
+//lint:noalloc
 //lint:domain a:<2q b:<2q -> out:<4q
 func (m Modulus) AddLazyVec(a, b, out []uint64) {
 	b = b[:len(a)]
@@ -40,6 +42,7 @@ func (m Modulus) AddLazyVec(a, b, out []uint64) {
 
 // SubVec sets out[i] = a[i] - b[i] mod q for canonical inputs.
 //
+//lint:noalloc
 //lint:domain a:<q b:<q -> out:<q
 func (m Modulus) SubVec(a, b, out []uint64) {
 	q := m.Q
@@ -56,6 +59,7 @@ func (m Modulus) SubVec(a, b, out []uint64) {
 
 // NegVec sets out[i] = -a[i] mod q for canonical inputs.
 //
+//lint:noalloc
 //lint:domain a:<q -> out:<q
 func (m Modulus) NegVec(a, out []uint64) {
 	q := m.Q
@@ -71,6 +75,7 @@ func (m Modulus) NegVec(a, out []uint64) {
 
 // Reduce2QVec folds values in [0, 2q) back to canonical [0, q).
 //
+//lint:noalloc
 //lint:domain a:<2q -> out:<q
 func (m Modulus) Reduce2QVec(a, out []uint64) {
 	q := m.Q
@@ -87,6 +92,7 @@ func (m Modulus) Reduce2QVec(a, out []uint64) {
 // ReduceVec maps arbitrary uint64 values into [0, q) via Barrett
 // reduction, the vector form of Modulus.Reduce.
 //
+//lint:noalloc
 //lint:domain a:any -> out:<q
 func (m Modulus) ReduceVec(a, out []uint64) {
 	q := m.Q
@@ -109,6 +115,7 @@ func (m Modulus) ReduceVec(a, out []uint64) {
 // MulVec sets out[i] = a[i]·b[i] mod q via Barrett reduction, for
 // canonical inputs.
 //
+//lint:noalloc
 //lint:domain a:<q b:<q -> out:<q
 func (m Modulus) MulVec(a, b, out []uint64) {
 	q := m.Q
@@ -134,6 +141,7 @@ func (m Modulus) MulVec(a, b, out []uint64) {
 
 // MulAddVec sets out[i] = out[i] + a[i]·b[i] mod q, for canonical inputs.
 //
+//lint:noalloc
 //lint:domain a:<q b:<q out:<q -> out:<q
 func (m Modulus) MulAddVec(a, b, out []uint64) {
 	q := m.Q
@@ -164,6 +172,7 @@ func (m Modulus) MulAddVec(a, b, out []uint64) {
 // MulShoupVec sets out[i] = a[i]·w mod q given the Shoup companion of the
 // fixed operand w < q; a may hold any uint64 values (see Modulus.MulShoup).
 //
+//lint:noalloc
 //lint:domain a:any w:<q -> out:<q
 func (m Modulus) MulShoupVec(a []uint64, w, wShoup uint64, out []uint64) {
 	q := m.Q
@@ -181,6 +190,7 @@ func (m Modulus) MulShoupVec(a []uint64, w, wShoup uint64, out []uint64) {
 // MulShoupLazyVec is MulShoupVec without the final conditional
 // subtraction: outputs lie in [0, 2q).
 //
+//lint:noalloc
 //lint:domain a:any w:<q -> out:<2q
 func (m Modulus) MulShoupLazyVec(a []uint64, w, wShoup uint64, out []uint64) {
 	q := m.Q
@@ -194,6 +204,7 @@ func (m Modulus) MulShoupLazyVec(a []uint64, w, wShoup uint64, out []uint64) {
 // MulShoupAddVec sets out[i] = out[i] + a[i]·w mod q for canonical out and
 // w < q: the fused kernel behind scalar multiply-accumulate.
 //
+//lint:noalloc
 //lint:domain a:any w:<q out:<q -> out:<q
 func (m Modulus) MulShoupAddVec(a []uint64, w, wShoup uint64, out []uint64) {
 	q := m.Q

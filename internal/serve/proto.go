@@ -125,14 +125,50 @@ func WriteFrame(w io.Writer, typ FrameType, payload []byte) error {
 	return err
 }
 
+// AppendFrame appends one encoded frame (header + payload) to dst and
+// returns the extended buffer. Callers that reuse dst across frames
+// write a full connection's traffic with no per-frame allocations; pair
+// with a single w.Write of the returned buffer.
+//
+//lint:noalloc
+func AppendFrame(dst []byte, typ FrameType, payload []byte) []byte {
+	off := len(dst)
+	//lint:prealloc grows the caller's reusable frame buffer, amortized across a connection's writes
+	dst = append(dst, make([]byte, FrameHeaderLen)...)
+	hdr := dst[off : off+FrameHeaderLen]
+	binary.LittleEndian.PutUint32(hdr[0:4], ProtoMagic)
+	hdr[4] = ProtoVersion
+	hdr[5] = byte(typ)
+	hdr[6], hdr[7] = 0, 0
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	//lint:prealloc grows the caller's reusable frame buffer, amortized across a connection's writes
+	return append(dst, payload...)
+}
+
 // ReadFrame reads one frame, rejecting payloads above maxPayload before
-// allocating. The payload bytes are read through an io.LimitReader
-// bounded by the declared length, so a peer can never push the reader
-// past the frame boundary; a short stream surfaces as
-// io.ErrUnexpectedEOF.
+// allocating. A short stream surfaces as io.ErrUnexpectedEOF.
 func ReadFrame(r io.Reader, maxPayload uint32) (FrameType, []byte, error) {
-	var hdr [FrameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var arena []byte
+	return ReadFrameInto(r, &arena, maxPayload)
+}
+
+// ReadFrameInto is ReadFrame reading into a caller-owned arena: the
+// returned payload aliases *arena and is valid until the next call with
+// the same arena. The arena grows to the largest frame seen and is then
+// reused, so a connection's steady-state read loop does not allocate.
+// The header itself lands in the arena too — a local array would box
+// into the io.Reader argument and put one allocation back per frame.
+// io.ReadFull reads exactly the declared length, so a peer can never
+// push the reader past the frame boundary.
+//
+//lint:noalloc
+func ReadFrameInto(r io.Reader, arena *[]byte, maxPayload uint32) (FrameType, []byte, error) {
+	if cap(*arena) < FrameHeaderLen {
+		//lint:prealloc grows the caller's reusable read arena, amortized across a connection's frames
+		*arena = make([]byte, FrameHeaderLen)
+	}
+	hdr := (*arena)[:FrameHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, nil, err
 	}
 	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != ProtoMagic {
@@ -146,8 +182,14 @@ func ReadFrame(r io.Reader, maxPayload uint32) (FrameType, []byte, error) {
 	if n > maxPayload {
 		return 0, nil, fmt.Errorf("serve: frame payload %d exceeds limit %d", n, maxPayload)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(io.LimitReader(r, int64(n)), payload); err != nil {
+	if uint32(cap(*arena)) < n {
+		//lint:prealloc grows the caller's reusable read arena, amortized across a connection's frames
+		*arena = make([]byte, n)
+	}
+	// The header fields are already extracted, so the payload may reuse
+	// the arena from offset 0.
+	payload := (*arena)[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
@@ -162,7 +204,9 @@ func ReadFrame(r io.Reader, maxPayload uint32) (FrameType, []byte, error) {
 // panic or out-of-range slice.
 
 func appendString(b []byte, s string) []byte {
+	//lint:prealloc writes into the caller's buffer; growth is the caller's sizing, not per-op churn
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	//lint:prealloc writes into the caller's buffer; growth is the caller's sizing, not per-op churn
 	return append(b, s...)
 }
 
@@ -218,6 +262,17 @@ func EncodeResult(reqID uint64, logits []byte) []byte {
 	return append(b, logits...)
 }
 
+// AppendResult appends a FrameResult payload to dst: the zero-alloc
+// form of EncodeResult for result writers that reuse a frame buffer.
+//
+//lint:noalloc
+func AppendResult(dst []byte, reqID uint64, logits []byte) []byte {
+	//lint:prealloc grows the caller's reusable frame buffer, amortized across results
+	dst = binary.LittleEndian.AppendUint64(dst, reqID)
+	//lint:prealloc grows the caller's reusable frame buffer, amortized across results
+	return append(dst, logits...)
+}
+
 // DecodeResult parses a FrameResult payload into (request id, logits
 // bytes).
 func DecodeResult(b []byte) (uint64, []byte, error) {
@@ -234,6 +289,19 @@ func EncodeError(reqID uint64, code ErrCode, msg string) []byte {
 	b = binary.LittleEndian.AppendUint64(b, reqID)
 	b = binary.LittleEndian.AppendUint16(b, uint16(code))
 	return appendString(b, msg)
+}
+
+// AppendError appends a FrameError payload to dst: the zero-alloc form
+// of EncodeError for error writers that reuse a frame buffer. reqID 0
+// marks a connection-level error not tied to one request.
+//
+//lint:noalloc
+func AppendError(dst []byte, reqID uint64, code ErrCode, msg string) []byte {
+	//lint:prealloc grows the caller's reusable frame buffer, amortized across replies
+	dst = binary.LittleEndian.AppendUint64(dst, reqID)
+	//lint:prealloc grows the caller's reusable frame buffer, amortized across replies
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(code))
+	return appendString(dst, msg)
 }
 
 // DecodeError parses a FrameError payload.

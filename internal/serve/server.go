@@ -193,6 +193,7 @@ type connState struct {
 	conn net.Conn
 
 	wmu  sync.Mutex
+	wbuf []byte // reusable frame staging, guarded by wmu
 	sess *Session
 }
 
@@ -206,11 +207,15 @@ func (s *Server) handleConn(c net.Conn) {
 		s.mu.Unlock()
 	}()
 
+	// Every dispatch path consumes its payload before returning (session
+	// blobs and inference inputs are parsed, not retained), so one arena
+	// serves the whole connection without per-frame allocations.
+	var arena []byte
 	for {
 		if err := c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 			return
 		}
-		typ, payload, err := ReadFrame(c, s.cfg.MaxFrame)
+		typ, payload, err := ReadFrameInto(c, &arena, s.cfg.MaxFrame)
 		if err != nil {
 			return // io error, timeout, or clean EOF: drop the connection
 		}
@@ -340,13 +345,18 @@ func (s *Server) handleInfer(st *connState, payload []byte) bool {
 }
 
 // write sends one frame under the connection write lock and deadline.
+// The frame is staged in the connection's reusable buffer and flushed
+// with a single Write, so replies cost one syscall and no per-frame
+// allocations.
 func (st *connState) write(typ FrameType, payload []byte) bool {
 	st.wmu.Lock()
 	defer st.wmu.Unlock()
 	if err := st.conn.SetWriteDeadline(time.Now().Add(st.s.cfg.WriteTimeout)); err != nil {
 		return false
 	}
-	return WriteFrame(st.conn, typ, payload) == nil
+	st.wbuf = AppendFrame(st.wbuf[:0], typ, payload)
+	_, err := st.conn.Write(st.wbuf)
+	return err == nil
 }
 
 func (st *connState) writeError(reqID uint64, code ErrCode, msg string) bool {
