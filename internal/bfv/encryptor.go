@@ -63,9 +63,11 @@ func NewDecryptor(ctx *Context, sk *SecretKey) *Decryptor {
 	return &Decryptor{ctx: ctx, sk: sk}
 }
 
-// phase computes C0 + C1·s in the coefficient domain.
-func (d *Decryptor) phase(ct *Ciphertext) ring.Poly {
-	rq := d.ctx.RingQ
+// phase computes C0 + C1·s in the coefficient domain, at the resolved
+// level ctx. The secret key always lives over the full chain; the ring
+// kernels iterate the ciphertext's limbs, so its prefix is what is read.
+func (d *Decryptor) phase(ctx *Context, ct *Ciphertext) ring.Poly {
+	rq := ctx.RingQ
 	ph := rq.NewPoly()
 	rq.MulCoeffs(ct.C1, d.sk.Value, ph)
 	rq.Add(ph, ct.C0, ph)
@@ -73,21 +75,23 @@ func (d *Decryptor) phase(ct *Ciphertext) ring.Poly {
 	return ph
 }
 
-// Decrypt recovers the plaintext: m = round(t·phase/Q) mod t.
+// Decrypt recovers the plaintext: m = round(t·phase/Q) mod t, where Q is
+// the (possibly reduced) chain the ciphertext currently lives under.
 func (d *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
-	ctx := d.ctx
+	ctx := d.ctx.atLevelOf(ct)
 	pt := ctx.NewPlaintext()
-	ph := d.phase(ct)
+	ph := d.phase(ctx, ct)
 	ctx.BasisQ.ScaleAndRoundToUint(ph, ctx.TBig, ctx.QBig, ctx.Params.T, pt.Coeffs)
 	return pt
 }
 
 // NoiseBudget returns the remaining noise budget of ct in bits:
-// log2(Q/t) - log2(2·|e|∞) where e = phase - Δ·m is the exact noise.
+// log2(Q/t) - log2(2·|e|∞) where e = phase - Δ·m is the exact noise,
+// over the ciphertext's own modulus chain.
 // A non-positive budget means decryption is no longer guaranteed.
 func (d *Decryptor) NoiseBudget(ct *Ciphertext) float64 {
-	ctx := d.ctx
-	ph := d.phase(ct)
+	ctx := d.ctx.atLevelOf(ct)
+	ph := d.phase(ctx, ct)
 	pt := ctx.NewPlaintext()
 	ctx.BasisQ.ScaleAndRoundToUint(ph, ctx.TBig, ctx.QBig, ctx.Params.T, pt.Coeffs)
 

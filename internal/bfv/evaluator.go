@@ -36,6 +36,12 @@ type evalScratch struct {
 	aq [4]ring.Poly
 	// plain addition: the Δ·m lift.
 	dm ring.Poly
+	// fused scalar-sum staging: per-term centered scalars and the
+	// per-limb constant/row gathers behind MulScalarSum*.
+	sumC    []int64
+	sumW    []uint64
+	sumWS   []uint64
+	sumRows [][]uint64
 	// cached automorphism permutation tables, keyed by Galois element.
 	autoIdx map[uint64]*autoTable
 
@@ -160,11 +166,11 @@ func (ev *Evaluator) AddPlainInPlace(ct *Ciphertext, pt *Plaintext) {
 
 // MulPlain returns ct ⊗ pm, the plaintext-ciphertext product (PMult in
 // the paper's notation). The plaintext must have been lifted with
-// Encoder.LiftToMul.
+// Encoder.LiftToMul. When pm carries its Shoup companion (compiled,
+// reused multipliers), the product runs the elementwise Shoup kernel.
 func (ev *Evaluator) MulPlain(ct *Ciphertext, pm *PlaintextMul) *Ciphertext {
 	out := ev.ctx.NewCiphertext()
-	ev.ctx.RingQ.MulCoeffs(ct.C0, pm.Value, out.C0)
-	ev.ctx.RingQ.MulCoeffs(ct.C1, pm.Value, out.C1)
+	ev.MulPlainInto(ct, pm, out)
 	return out
 }
 
@@ -173,6 +179,11 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pm *PlaintextMul) *Ciphertext {
 //
 //lint:noalloc
 func (ev *Evaluator) MulPlainInto(ct *Ciphertext, pm *PlaintextMul, out *Ciphertext) {
+	if pm.Shoup.Level() != 0 {
+		ev.ctx.RingQ.MulCoeffsShoup(ct.C0, pm.Value, pm.Shoup, out.C0)
+		ev.ctx.RingQ.MulCoeffsShoup(ct.C1, pm.Value, pm.Shoup, out.C1)
+		return
+	}
 	ev.ctx.RingQ.MulCoeffs(ct.C0, pm.Value, out.C0)
 	ev.ctx.RingQ.MulCoeffs(ct.C1, pm.Value, out.C1)
 }
@@ -181,8 +192,35 @@ func (ev *Evaluator) MulPlainInto(ct *Ciphertext, pm *PlaintextMul, out *Ciphert
 //
 //lint:noalloc
 func (ev *Evaluator) MulPlainAndAdd(ct *Ciphertext, pm *PlaintextMul, acc *Ciphertext) {
+	if pm.Shoup.Level() != 0 {
+		ev.ctx.RingQ.MulCoeffsShoupAndAdd(ct.C0, pm.Value, pm.Shoup, acc.C0)
+		ev.ctx.RingQ.MulCoeffsShoupAndAdd(ct.C1, pm.Value, pm.Shoup, acc.C1)
+		return
+	}
 	ev.ctx.RingQ.MulCoeffsAndAdd(ct.C0, pm.Value, acc.C0)
 	ev.ctx.RingQ.MulCoeffsAndAdd(ct.C1, pm.Value, acc.C1)
+}
+
+// MulPlainFixedInto sets out = ct ⊗ pm for a fixed ciphertext with
+// precomputed companions cs (Context.NewCiphertextShoup): the roles are
+// swapped versus MulPlain's fast path, covering products where the
+// ciphertext is the immutable operand and the plaintext multiplier
+// changes per call (the packer's diagonal products against its
+// baby-step keys). out must not alias ct.
+//
+//lint:noalloc
+func (ev *Evaluator) MulPlainFixedInto(ct *Ciphertext, cs *CiphertextShoup, pm *PlaintextMul, out *Ciphertext) {
+	ev.ctx.RingQ.MulCoeffsShoup(pm.Value, ct.C0, cs.C0S, out.C0)
+	ev.ctx.RingQ.MulCoeffsShoup(pm.Value, ct.C1, cs.C1S, out.C1)
+}
+
+// MulPlainFixedAndAdd sets acc += ct ⊗ pm for a fixed ciphertext with
+// precomputed companions cs.
+//
+//lint:noalloc
+func (ev *Evaluator) MulPlainFixedAndAdd(ct *Ciphertext, cs *CiphertextShoup, pm *PlaintextMul, acc *Ciphertext) {
+	ev.ctx.RingQ.MulCoeffsShoupAndAdd(pm.Value, ct.C0, cs.C0S, acc.C0)
+	ev.ctx.RingQ.MulCoeffsShoupAndAdd(pm.Value, ct.C1, cs.C1S, acc.C1)
 }
 
 // MulScalar returns ct · k for the scalar k ∈ Z_t, using the centered
@@ -215,6 +253,89 @@ func (ev *Evaluator) MulScalarAndAdd(ct *Ciphertext, k uint64, acc *Ciphertext) 
 		sh := m.ShoupPrecomp(kv)
 		m.MulShoupAddVec(ct.C0.Coeffs[i], kv, sh, acc.C0.Coeffs[i])
 		m.MulShoupAddVec(ct.C1.Coeffs[i], kv, sh, acc.C1.Coeffs[i])
+	}
+}
+
+// sumScratch grows the fused scalar-sum staging to hold k terms; the
+// slices are sized once to the largest term count seen and reused.
+//
+//lint:noalloc
+func (ev *Evaluator) sumScratch(k int) *evalScratch {
+	sc := ev.sc
+	if cap(sc.sumC) < k {
+		//lint:prealloc sized once to the largest term count, then reused across calls
+		sc.sumC = make([]int64, k)
+		//lint:prealloc sized once to the largest term count, then reused across calls
+		sc.sumW = make([]uint64, k)
+		//lint:prealloc sized once to the largest term count, then reused across calls
+		sc.sumWS = make([]uint64, k)
+		//lint:prealloc sized once to the largest term count, then reused across calls
+		sc.sumRows = make([][]uint64, k)
+	}
+	sc.sumC = sc.sumC[:k]
+	sc.sumW = sc.sumW[:k]
+	sc.sumWS = sc.sumWS[:k]
+	sc.sumRows = sc.sumRows[:k]
+	return sc
+}
+
+// MulScalarSumInto sets out = Σ_k cts[k]·ks[k] for scalars ks[k] ∈ Z_t
+// (centered, as in MulScalar), fusing the whole multi-term SMult/HAdd
+// chain into one lazy-accumulating pass per output limb: each output
+// coefficient is loaded and stored once no matter how many terms the
+// sum has, the way the paper's FRU array pipelines the FBS baby-step
+// inner sum (Fig. 7). out must not alias any cts entry.
+//
+//lint:noalloc
+func (ev *Evaluator) MulScalarSumInto(cts []*Ciphertext, ks []uint64, out *Ciphertext) {
+	sc := ev.sumScratch(len(cts))
+	tm := ev.ctx.TMod
+	for k := range cts {
+		sc.sumC[k] = tm.Centered(tm.Reduce(ks[k]))
+	}
+	rq := ev.ctx.RingQ
+	for i := range rq.Moduli {
+		m := rq.Moduli[i]
+		for k := range sc.sumC {
+			sc.sumW[k] = m.ReduceInt64(sc.sumC[k])
+		}
+		m.ShoupPrecompVec(sc.sumW, sc.sumWS)
+		for k := range cts {
+			sc.sumRows[k] = cts[k].C0.Coeffs[i]
+		}
+		m.MulShoupSumVec(sc.sumRows, sc.sumW, sc.sumWS, out.C0.Coeffs[i])
+		for k := range cts {
+			sc.sumRows[k] = cts[k].C1.Coeffs[i]
+		}
+		m.MulShoupSumVec(sc.sumRows, sc.sumW, sc.sumWS, out.C1.Coeffs[i])
+	}
+}
+
+// MulScalarSumAndAdd sets acc += Σ_k cts[k]·ks[k], the accumulating form
+// of MulScalarSumInto. acc must not alias any cts entry.
+//
+//lint:noalloc
+func (ev *Evaluator) MulScalarSumAndAdd(cts []*Ciphertext, ks []uint64, acc *Ciphertext) {
+	sc := ev.sumScratch(len(cts))
+	tm := ev.ctx.TMod
+	for k := range cts {
+		sc.sumC[k] = tm.Centered(tm.Reduce(ks[k]))
+	}
+	rq := ev.ctx.RingQ
+	for i := range rq.Moduli {
+		m := rq.Moduli[i]
+		for k := range sc.sumC {
+			sc.sumW[k] = m.ReduceInt64(sc.sumC[k])
+		}
+		m.ShoupPrecompVec(sc.sumW, sc.sumWS)
+		for k := range cts {
+			sc.sumRows[k] = cts[k].C0.Coeffs[i]
+		}
+		m.MulShoupSumAddVec(sc.sumRows, sc.sumW, sc.sumWS, acc.C0.Coeffs[i])
+		for k := range cts {
+			sc.sumRows[k] = cts[k].C1.Coeffs[i]
+		}
+		m.MulShoupSumAddVec(sc.sumRows, sc.sumW, sc.sumWS, acc.C1.Coeffs[i])
 	}
 }
 
@@ -291,13 +412,25 @@ func (ev *Evaluator) keySwitchCoeff(p ring.Poly, swk *SwitchingKey) (ring.Poly, 
 	rq := ctx.RingQ
 	sc := ev.ksScratch()
 	d, ks0, ks1 := sc.digit, sc.ks0, sc.ks1
+	// Generated and deserialized keys carry Shoup companions; keys built
+	// by hand without them fall back to the Barrett product.
+	useShoup := swk.BShoup != nil
 	for i := 0; i < ctx.BasisQ.Len(); i++ {
-		ctx.BasisQ.DecomposeDigitInto(p, i, d)
+		// ksDigitInv is QiHatInv at the chain's own level; reduced-level
+		// contexts carry the correction for full-chain key components.
+		ctx.BasisQ.DecomposeDigitScaledInto(p, i, ctx.ksDigitInv[i], ctx.ksDigitInvShoup[i], d)
 		rq.NTT(d)
-		if i == 0 {
+		switch {
+		case useShoup && i == 0:
+			rq.MulCoeffsShoup(d, swk.B[i], swk.BShoup[i], ks0)
+			rq.MulCoeffsShoup(d, swk.A[i], swk.AShoup[i], ks1)
+		case useShoup:
+			rq.MulCoeffsShoupAndAdd(d, swk.B[i], swk.BShoup[i], ks0)
+			rq.MulCoeffsShoupAndAdd(d, swk.A[i], swk.AShoup[i], ks1)
+		case i == 0:
 			rq.MulCoeffs(d, swk.B[i], ks0)
 			rq.MulCoeffs(d, swk.A[i], ks1)
-		} else {
+		default:
 			rq.MulCoeffsAndAdd(d, swk.B[i], ks0)
 			rq.MulCoeffsAndAdd(d, swk.A[i], ks1)
 		}

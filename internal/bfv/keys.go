@@ -22,10 +22,29 @@ type PublicKey struct {
 
 // SwitchingKey holds one RNS-decomposed keyswitching key: component i is
 // an encryption of QiHat_i · target under the output secret, both polys
-// in the NTT domain.
+// in the NTT domain. BShoup/AShoup carry the per-coefficient Shoup
+// companions of the (immutable) key polynomials, putting the keyswitch
+// inner products on the fast elementwise multiply path; they are derived
+// from B/A (PrecomputeShoup) and never serialized.
 type SwitchingKey struct {
 	B []ring.Poly // B[i] = -(A[i]·s + e_i) + QiHat_i·target
 	A []ring.Poly
+
+	BShoup []ring.Poly
+	AShoup []ring.Poly
+}
+
+// PrecomputeShoup (re)derives the companion polynomials of the key
+// material. Key generation and deserialization call it; keys assembled
+// by hand may skip it, in which case the evaluator falls back to the
+// Barrett path.
+func (swk *SwitchingKey) PrecomputeShoup(rq *ring.Ring) {
+	swk.BShoup = make([]ring.Poly, len(swk.B))
+	swk.AShoup = make([]ring.Poly, len(swk.A))
+	for i := range swk.B {
+		swk.BShoup[i] = rq.ShoupPoly(swk.B[i])
+		swk.AShoup[i] = rq.ShoupPoly(swk.A[i])
+	}
 }
 
 // RelinearizationKey switches s² -> s.
@@ -106,6 +125,7 @@ func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, target ring.Poly) Switchi
 		swk.A[i] = a
 		swk.B[i] = b
 	}
+	swk.PrecomputeShoup(rq)
 	return swk
 }
 

@@ -16,6 +16,9 @@ import (
 // recovers the scale-free embedding phase = m + e_ms used by functional
 // bootstrapping.
 func (c *Context) SwitchModulus(ct *Ciphertext, q2 uint64) (a, b []uint64, err error) {
+	// Dispatch on the ciphertext's level: a reduced ct rescales from its
+	// own (shorter) chain, which is both correct and cheaper.
+	c = c.atLevelOf(ct)
 	if new(big.Int).SetUint64(q2).Cmp(c.QBig) >= 0 {
 		return nil, nil, fmt.Errorf("bfv: modulus switch target %d not below Q", q2)
 	}

@@ -12,6 +12,7 @@ package bfv
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"athena/internal/ring"
 	"athena/internal/rns"
@@ -47,6 +48,18 @@ type Context struct {
 	RingQB  *ring.Ring
 	BasisQB *rns.Basis
 
+	// Keyswitch digit constants: digit i of the CRT decomposition is
+	// multiplied by ksDigitInv[i] (Shoup companion alongside). At the
+	// chain's own level these are the basis QiHatInv; reduced-level
+	// children built by AtLevel override them with the correction that
+	// accounts for key material generated over the full chain.
+	ksDigitInv      []uint64
+	ksDigitInvShoup []uint64
+
+	// Reduced-level contexts derived by AtLevel, built once on demand.
+	levelMu    sync.Mutex
+	levelCache []*Context
+
 	batching bool
 	slotIdx  []int // slot i lives at plaintext coefficient slotIdx[i]
 }
@@ -77,6 +90,14 @@ func NewContext(p Parameters) (*Context, error) {
 	c.QBig = c.BasisQ.Q
 	c.Delta = new(big.Int).Div(c.QBig, c.TBig)
 	c.DeltaQi = c.BasisQ.ScalarMod(c.Delta)
+
+	// At the chain's own level the keyswitch digit constants are exactly
+	// the CRT inverses; AtLevel children replace them (see level.go).
+	c.ksDigitInv = append([]uint64(nil), c.BasisQ.QiHatInv...)
+	c.ksDigitInvShoup = make([]uint64, len(c.ksDigitInv))
+	for i, m := range c.BasisQ.Moduli {
+		c.ksDigitInvShoup[i] = m.ShoupPrecomp(c.ksDigitInv[i])
+	}
 
 	// Extended basis for tensor products: need prod(QB) > N·Q²
 	// (centered products bounded by N·(Q/2)², doubled for sign headroom).

@@ -81,16 +81,41 @@ func (r *wireReader) u64s(max int) []uint64 {
 	return out
 }
 
+// poly reads a full-level polynomial: key material always travels over
+// the complete modulus chain.
 func (r *wireReader) poly(rq *ring.Ring) ring.Poly {
-	limbs := r.u64()
+	got := r.u64()
 	if r.err != nil {
 		return ring.Poly{}
 	}
-	if limbs != uint64(rq.Level()) {
-		r.err = fmt.Errorf("bfv: wire poly has %d limbs, context expects %d", limbs, rq.Level())
+	if got != uint64(rq.Level()) {
+		r.err = fmt.Errorf("bfv: wire poly has %d limbs, context expects %d", got, rq.Level())
 		return ring.Poly{}
 	}
-	p := rq.NewPoly()
+	return r.polyBody(rq, int(got))
+}
+
+// ctPoly reads a ciphertext polynomial, which may travel at a reduced
+// level: any prefix of the context's modulus chain is accepted, and each
+// limb is validated against the matching modulus.
+func (r *wireReader) ctPoly(rq *ring.Ring) ring.Poly {
+	got := r.u64()
+	if r.err != nil {
+		return ring.Poly{}
+	}
+	if got < 1 || got > uint64(rq.Level()) {
+		r.err = fmt.Errorf("bfv: wire ciphertext has %d limbs, context holds %d", got, rq.Level())
+		return ring.Poly{}
+	}
+	return r.polyBody(rq, int(got))
+}
+
+func (r *wireReader) polyBody(rq *ring.Ring, limbs int) ring.Poly {
+	p := ring.Poly{Coeffs: make([][]uint64, limbs)}
+	backing := make([]uint64, limbs*rq.N)
+	for i := range p.Coeffs {
+		p.Coeffs[i] = backing[i*rq.N : (i+1)*rq.N]
+	}
 	for i := range p.Coeffs {
 		limb := r.u64s(rq.N)
 		if r.err != nil {
@@ -161,9 +186,12 @@ func (c *Context) ReadCiphertext(r io.Reader) (*Ciphertext, error) {
 	if err := c.readHeader(rr, magicCiphertext); err != nil {
 		return nil, err
 	}
-	ct := &Ciphertext{C0: rr.poly(c.RingQ), C1: rr.poly(c.RingQ)}
+	ct := &Ciphertext{C0: rr.ctPoly(c.RingQ), C1: rr.ctPoly(c.RingQ)}
 	if rr.err != nil {
 		return nil, rr.err
+	}
+	if ct.C0.Level() != ct.C1.Level() {
+		return nil, fmt.Errorf("bfv: ciphertext components at levels %d and %d", ct.C0.Level(), ct.C1.Level())
 	}
 	return ct, nil
 }
@@ -291,6 +319,11 @@ func (c *Context) ReadKeySet(r io.Reader) (*KeySet, error) {
 		for i := range s.B {
 			s.B[i] = rr.poly(c.RingQ)
 			s.A[i] = rr.poly(c.RingQ)
+		}
+		if rr.err == nil {
+			// The companions are derived, not wire data: recompute them so
+			// deserialized keys run the same fast path as generated ones.
+			s.PrecomputeShoup(c.RingQ)
 		}
 		return s, rr.err
 	}

@@ -23,16 +23,32 @@ type Engine struct {
 	P   Params
 	Ctx *bfv.Context
 
-	sk  *bfv.SecretKey
-	enc *bfv.Encryptor
-	dec *bfv.Decryptor
-	ev  *bfv.Evaluator
-	cod *bfv.Encoder
+	// Level schedule (Params.Levels): ctxF is the FBS-level context the
+	// packing and LUT ladders run under; ctxP is the post-level context
+	// for everything after the LUT (masking, S2C, conv accumulation,
+	// extraction). Either may alias Ctx when the schedule keeps the full
+	// chain.
+	ctxF *bfv.Context
+	ctxP *bfv.Context
+
+	sk   *bfv.SecretKey
+	enc  *bfv.Encryptor
+	dec  *bfv.Decryptor
+	ev   *bfv.Evaluator // FBS-level evaluator (ctxF)
+	evP  *bfv.Evaluator // post-level evaluator (ctxP)
+	cod  *bfv.Encoder   // full-level encoder (client-side encode/decode)
+	codP *bfv.Encoder   // post-level encoder (lifts for post-level products)
 
 	lweSK  *lwe.SecretKey    // dimension n secret (client side)
 	ksk    *lwe.KeySwitchKey // ring-degree -> n at qMid
-	packer *pack.Packer
-	s2c    *pack.Transform
+	packer *pack.Packer      // working packer at ctxF (ModDown'd babies)
+	s2c    *pack.Transform   // compiled at ctxP
+
+	// Full-level packing keys as generated/received: the wire format
+	// (EvalKeys) always carries full-chain babies, the working packer is
+	// rebuilt at ctxF from them.
+	packN      int
+	packBabies []*bfv.Ciphertext
 
 	luts  map[*qnn.QConv]*fbs.Evaluator
 	relus map[int]*fbs.Evaluator // post-add ReLU-clamp by ActBits
@@ -84,11 +100,18 @@ func NewEngine(p Params) (*Engine, error) {
 	ringSK := &lwe.SecretKey{S: e.sk.Signed}
 	e.ksk = lwe.NewKeySwitchKey(ringSK, e.lweSK, p.QMid(), p.KSBase, p.Sigma, p.Seed^0x55)
 
-	e.packer, err = pack.NewPacker(ctx, e.enc, e.lweSK)
+	// Packing keys are generated (and exported) at the full chain; the
+	// working packer runs at the FBS level, so rebuild it from ModDown'd
+	// babies.
+	pkFull, err := pack.NewPacker(ctx, e.enc, e.lweSK)
 	if err != nil {
 		return nil, err
 	}
-	e.s2c, err = pack.CompileTransform(ctx, pack.S2CMatrix(ctx))
+	e.packN, e.packBabies = pkFull.Keys()
+	if err := e.buildPacker(); err != nil {
+		return nil, err
+	}
+	e.s2c, err = pack.CompileTransform(e.ctxP, pack.S2CMatrix(e.ctxP))
 	if err != nil {
 		return nil, err
 	}
@@ -124,23 +147,56 @@ func newEngineShell(p Params) (*Engine, error) {
 		relus: make(map[int]*fbs.Evaluator),
 		divs:  make(map[int]*fbs.Evaluator),
 	}
+	fbsL, postL := p.Levels()
+	if e.ctxF, err = ctx.AtLevel(fbsL); err != nil {
+		return nil, fmt.Errorf("core: FBS level: %w", err)
+	}
+	if e.ctxP, err = ctx.AtLevel(postL); err != nil {
+		return nil, fmt.Errorf("core: post level: %w", err)
+	}
 	e.tMod = ring.NewModulus(p.T)
 	e.cod = bfv.NewEncoder(ctx)
+	e.codP = bfv.NewEncoder(e.ctxP)
 	return e, nil
+}
+
+// buildPacker constructs the working packer at the FBS level from the
+// full-chain packing keys in packN/packBabies. At the full level the
+// babies are used as-is; otherwise each is rescaled once at setup — the
+// one-time cost that makes every subsequent Pack run on fewer limbs.
+func (e *Engine) buildPacker() error {
+	babies := e.packBabies
+	if e.ctxF != e.Ctx {
+		down := make([]*bfv.Ciphertext, len(babies))
+		for i, b := range babies {
+			var err error
+			if down[i], err = e.Ctx.ModDown(b, e.ctxF.Level()); err != nil {
+				return err
+			}
+		}
+		babies = down
+	}
+	var err error
+	e.packer, err = pack.NewPackerFromKeys(e.ctxF, e.packN, babies)
+	return err
 }
 
 // finish installs the evaluation keys and builds the worker group; the
 // packer, keyswitch key, and S2C transform must already be in place.
 func (e *Engine) finish(keys *bfv.KeySet) {
-	ctx := e.Ctx
-	e.ev = bfv.NewEvaluator(ctx, keys)
-	e.w0 = e.newWorker(e.ev, e.cod, true)
+	// Two evaluators per worker, one per schedule level; both read the
+	// same full-chain key set (the ring kernels only touch the prefix
+	// limbs of key polynomials, and reduced contexts carry the corrected
+	// keyswitch digit constants).
+	e.ev = bfv.NewEvaluator(e.ctxF, keys)
+	e.evP = bfv.NewEvaluator(e.ctxP, keys)
+	e.w0 = e.newWorker(e.ev, e.evP, e.codP, true)
 	e.lanes = par.NewPool(func() *evalWorker {
-		// newWorker only wraps the freshly forked evaluator and a brand-new
+		// newWorker only wraps the freshly forked evaluators and a brand-new
 		// encoder in a per-lane struct; it reads no mutable Engine scratch,
 		// and par.Pool serializes mk under its own mutex.
 		//lint:allow scratchalias newWorker allocates per-lane state from a fresh ShallowCopy; no shared scratch is touched
-		return e.newWorker(e.ev.ShallowCopy(), bfv.NewEncoder(ctx), false)
+		return e.newWorker(e.ev.ShallowCopy(), e.evP.ShallowCopy(), bfv.NewEncoder(e.ctxP), false)
 	})
 }
 
@@ -172,7 +228,7 @@ func (e *Engine) lutFor(q *qnn.QConv) (*fbs.Evaluator, error) {
 		return nil, fmt.Errorf("core: %s accumulator bound %d exceeds t/2 = %d", q.OpName(), q.MaxAcc, e.P.T/2)
 	}
 	l := fbs.NewLUT(e.P.T, q.Remap)
-	ev, err := fbs.NewEvaluator(e.Ctx, l)
+	ev, err := fbs.NewEvaluator(e.ctxF, l)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +252,7 @@ func (e *Engine) reluClampFor(actBits int) (*fbs.Evaluator, error) {
 		}
 		return x
 	})
-	ev, err := fbs.NewEvaluator(e.Ctx, l)
+	ev, err := fbs.NewEvaluator(e.ctxF, l)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +267,7 @@ func (e *Engine) divideFor(kk int) (*fbs.Evaluator, error) {
 		return ev, nil
 	}
 	l := fbs.NewLUT(e.P.T, func(x int64) int64 { return roundDiv(x, int64(kk)) })
-	ev, err := fbs.NewEvaluator(e.Ctx, l)
+	ev, err := fbs.NewEvaluator(e.ctxF, l)
 	if err != nil {
 		return nil, err
 	}
@@ -242,8 +298,9 @@ func (wk *evalWorker) packFBS(ordered []lwe.Ciphertext, pending *fbs.Evaluator, 
 		return nil, err
 	}
 	wk.stats.Packs++
+	var fe *fbs.Evaluator
 	if pending != nil {
-		fe := wk.fbsFor(pending)
+		fe = wk.fbsFor(pending)
 		ct, err = fe.Evaluate(wk.ev, ct)
 		if err != nil {
 			return nil, err
@@ -252,11 +309,18 @@ func (wk *evalWorker) packFBS(ordered []lwe.Ciphertext, pending *fbs.Evaluator, 
 		wk.stats.CMult += fe.CMults
 		wk.stats.SMult += fe.SMults
 		wk.stats.HAdd += fe.HAdds
-		if mask != nil {
-			pm := wk.cod.LiftToMul(wk.cod.EncodeSlots(mask))
-			ct = wk.ev.MulPlain(ct, pm)
-			wk.stats.PMult++
-		}
+	}
+	// Drop to the post level: the LUT's multiplicative depth is spent, so
+	// the mask product, S2C, the next layer's accumulation, and the final
+	// rescale all run on PostLevel limbs instead of FBSLevel.
+	ct, err = e.Ctx.ModDown(ct, e.ctxP.Level())
+	if err != nil {
+		return nil, err
+	}
+	if fe != nil && mask != nil {
+		pm := wk.codP.LiftToMul(wk.codP.EncodeSlots(mask))
+		ct = wk.evP.MulPlain(ct, pm)
+		wk.stats.PMult++
 	}
 	return ct, nil
 }
@@ -275,7 +339,7 @@ func (e *Engine) slotMask(validity []bool) []int64 {
 
 // toCoeffs applies S2C: slot i -> coefficient i.
 func (wk *evalWorker) toCoeffs(ct *bfv.Ciphertext) (*bfv.Ciphertext, error) {
-	out, err := wk.e.s2c.Apply(wk.ev, ct)
+	out, err := wk.e.s2c.Apply(wk.evP, ct)
 	if err != nil {
 		return nil, err
 	}
@@ -325,7 +389,7 @@ func (e *Engine) scaledEvaluator(fn func(int64) int64, scale int64) (*fbs.Evalua
 		}
 		return x * scale
 	})
-	return fbs.NewEvaluator(e.Ctx, l)
+	return fbs.NewEvaluator(e.ctxF, l)
 }
 
 // poolScale picks the largest power-of-two domain scale such that
@@ -519,17 +583,17 @@ func (wk *evalWorker) convAccumulate(q *qnn.QConv, plan *coeffenc.Plan, inputs [
 	k3d := q.Weights
 	accs := make([]*bfv.Ciphertext, plan.OutBatches)
 	// One output batch costs InBatches plaintext products (2·limbs·N
-	// word multiplies each) plus the kernel encodes.
-	cost := plan.InBatches * 2 * len(e.Ctx.Params.Qi) * e.Ctx.N
+	// word multiplies each at the post level) plus the kernel encodes.
+	cost := plan.InBatches * 2 * e.ctxP.Level() * e.Ctx.N
 	wk.forEach(plan.OutBatches, par.Options{MinGrain: 1, ItemCost: cost}, func(ln *evalWorker, ob int) {
 		var acc *bfv.Ciphertext
 		for ib := 0; ib < plan.InBatches; ib++ {
 			kv := plan.EncodeKernel(k3d, ib, ob)
-			pm := ln.cod.LiftToMul(ln.cod.EncodeCoeffs(kv))
+			pm := ln.codP.LiftToMul(ln.codP.EncodeCoeffs(kv))
 			if acc == nil {
-				acc = ln.ev.MulPlain(inputs[ib], pm)
+				acc = ln.evP.MulPlain(inputs[ib], pm)
 			} else {
-				ln.ev.MulPlainAndAdd(inputs[ib], pm, acc)
+				ln.evP.MulPlainAndAdd(inputs[ib], pm, acc)
 				ln.stats.HAdd++
 			}
 			ln.stats.PMult++
@@ -539,7 +603,7 @@ func (wk *evalWorker) convAccumulate(q *qnn.QConv, plan *coeffenc.Plan, inputs [
 		for _, en := range plan.ValidCoeffs(ob) {
 			biasVec[en.Coeff] = q.Bias[en.Cout]
 		}
-		acc = ln.ev.AddPlain(acc, ln.cod.EncodeCoeffs(biasVec))
+		acc = ln.evP.AddPlain(acc, ln.codP.EncodeCoeffs(biasVec))
 		accs[ob] = acc
 	})
 	return accs

@@ -36,11 +36,12 @@ type EvalKeys struct {
 // EvalKeys exports the engine's public evaluation material. The engine
 // must hold full key material (i.e. come from NewEngine).
 func (e *Engine) EvalKeys() (*EvalKeys, error) {
-	if e.ev == nil || e.packer == nil || e.ksk == nil {
+	if e.ev == nil || e.packBabies == nil || e.ksk == nil {
 		return nil, fmt.Errorf("core: engine holds no evaluation keys")
 	}
-	n, babies := e.packer.Keys()
-	return &EvalKeys{KeySet: e.ev.Keys(), PackDim: n, PackKeys: babies, KSK: e.ksk}, nil
+	// packBabies holds the full-level keys; the working packer may run at
+	// the reduced FBS level, but the wire always carries the full chain.
+	return &EvalKeys{KeySet: e.ev.Keys(), PackDim: e.packN, PackKeys: e.packBabies, KSK: e.ksk}, nil
 }
 
 // WriteEvalKeys serializes the engine's evaluation material: a header
@@ -198,11 +199,11 @@ func NewEvaluationEngine(p Params, ek *EvalKeys) (*Engine, error) {
 	if ek.PackDim != p.LWEDim {
 		return nil, fmt.Errorf("core: packing keys for dimension %d, params say %d", ek.PackDim, p.LWEDim)
 	}
-	e.packer, err = pack.NewPackerFromKeys(e.Ctx, ek.PackDim, ek.PackKeys)
-	if err != nil {
+	e.packN, e.packBabies = ek.PackDim, ek.PackKeys
+	if err := e.buildPacker(); err != nil {
 		return nil, err
 	}
-	e.s2c, err = pack.CompileTransform(e.Ctx, pack.S2CMatrix(e.Ctx))
+	e.s2c, err = pack.CompileTransform(e.ctxP, pack.S2CMatrix(e.ctxP))
 	if err != nil {
 		return nil, err
 	}

@@ -89,8 +89,18 @@ func (wk *evalWorker) applyOp(op qnn.QOp, st *inferState, lastOp bool) (*inferSt
 	switch o := op.(type) {
 	case *qnn.QConv:
 		if st.firstInputs != nil {
-			// First layer: inputs are already coefficient-encoded.
-			accs := wk.convAccumulate(o, st.firstPlan, st.firstInputs)
+			// First layer: inputs are already coefficient-encoded, but
+			// arrive from the client at the full chain — drop them to the
+			// post level so the accumulation runs on the short chain like
+			// every later layer.
+			inputs := make([]*bfv.Ciphertext, len(st.firstInputs))
+			for i, ct := range st.firstInputs {
+				var err error
+				if inputs[i], err = e.Ctx.ModDown(ct, e.ctxP.Level()); err != nil {
+					return nil, err
+				}
+			}
+			accs := wk.convAccumulate(o, st.firstPlan, inputs)
 			if lastOp {
 				return &inferState{vs: &valSet{}, final: &finalResult{conv: o, plan: st.firstPlan, accs: accs}}, nil
 			}
@@ -217,7 +227,7 @@ func (wk *evalWorker) residualBlock(r *qnn.QResidual, st *inferState) (*inferSta
 		out.vals[k] = e.addLWE(b, s)
 		wk.stats.LWEAdds++
 	}
-	joinLUT, err := fbs.NewEvaluator(e.Ctx, fbs.NewLUT(e.P.T, r.JoinRemap))
+	joinLUT, err := fbs.NewEvaluator(e.ctxF, fbs.NewLUT(e.P.T, r.JoinRemap))
 	if err != nil {
 		return nil, err
 	}

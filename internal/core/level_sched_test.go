@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"athena/internal/coeffenc"
+	"athena/internal/qnn"
+)
+
+// TestLevelsScheduleProperties sweeps explicit (FBSLevel, PostLevel)
+// settings — including zero, negative, and beyond-chain values — and
+// checks the resolved schedule invariants: the FBS level lands in
+// [2, QiNum], the post level in [1, FBSLevel], in-range explicit values
+// are honored verbatim, and zeros take the documented defaults.
+func TestLevelsScheduleProperties(t *testing.T) {
+	base := TestParams()
+	for fs := -3; fs <= base.QiNum+3; fs++ {
+		for ps := -3; ps <= base.QiNum+3; ps++ {
+			p := base
+			p.FBSLevel, p.PostLevel = fs, ps
+			fbsL, postL := p.Levels()
+			if fbsL < 2 || fbsL > p.QiNum {
+				t.Fatalf("FBSLevel=%d: resolved fbsL %d outside [2, %d]", fs, fbsL, p.QiNum)
+			}
+			if postL < 1 || postL > fbsL {
+				t.Fatalf("FBSLevel=%d PostLevel=%d: resolved postL %d outside [1, %d]", fs, ps, postL, fbsL)
+			}
+			if fs >= 2 && fs <= p.QiNum && fbsL != fs {
+				t.Fatalf("in-range FBSLevel=%d not honored: got %d", fs, fbsL)
+			}
+			if ps >= 1 && ps <= fbsL && ps != 0 && postL != ps {
+				t.Fatalf("in-range PostLevel=%d not honored: got %d (fbsL %d)", ps, postL, fbsL)
+			}
+		}
+	}
+	fbsL, postL := base.Levels()
+	if fbsL != base.QiNum-1 || postL != 2 {
+		t.Fatalf("defaults: got (%d, %d), want (%d, 2)", fbsL, postL, base.QiNum-1)
+	}
+}
+
+// TestLevelScheduleInferenceEquivalence runs the same network and input
+// through an engine with the default dropping schedule and one with
+// dropping disabled (all stages at the full chain). Both must land on
+// the exact plaintext reference within the usual rounding tolerance —
+// limb dropping is a noise/performance trade, never a semantic one.
+func TestLevelScheduleInferenceEquivalence(t *testing.T) {
+	net := &qnn.QNetwork{
+		Name: "level-equiv", InC: 1, InH: 6, InW: 6, WBits: 2, ABits: 4, InScale: 1,
+		Blocks: []qnn.QBlock{qnn.QSeq{
+			tinyConv(coeffenc.ConvShape{H: 6, W: 6, Cin: 1, Cout: 2, K: 3, Stride: 1, Pad: 1}, qnn.ActReLU, 1.0/16, 21),
+			tinyConv(coeffenc.FCShape(2*6*6, 4), qnn.ActNone, 1.0/8, 22),
+		}},
+	}
+	x := randInput(1, 6, 6, 7, 23)
+	want := net.ForwardInt(x).Data
+
+	pFull := TestParams()
+	pFull.FBSLevel, pFull.PostLevel = pFull.QiNum, pFull.QiNum
+	full, err := NewEngine(pFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFull, err := full.Infer(net, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareLogits(t, gotFull, want, 2)
+
+	dropped := testEngine(t)
+	gotDropped, err := dropped.Infer(net, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareLogits(t, gotDropped, want, 2)
+}

@@ -33,6 +33,44 @@ type Params struct {
 	KSBase uint64 // LWE keyswitch decomposition base
 	Sigma  float64
 	Seed   uint64
+
+	// Level schedule for per-stage RNS modulus dropping. Packing and the
+	// FBS polynomial evaluation run at FBSLevel limbs; everything after
+	// the LUT — masking, S2C, the next layer's accumulation, extraction —
+	// runs at PostLevel limbs. Zero selects the defaults (QiNum−2 clamped
+	// to [2, QiNum] for FBS, 2 clamped to [1, FBSLevel] for post); set
+	// FBSLevel = QiNum to disable dropping entirely.
+	FBSLevel  int
+	PostLevel int
+}
+
+// Levels resolves the (FBSLevel, PostLevel) schedule: explicit values are
+// clamped into range, zeros take the defaults. FBS needs enough limbs for
+// the ~log2(t) multiplicative depth of the LUT ladder; the post stages
+// are depth-1 (plaintext products and one rescale), so two limbs of
+// headroom above qMid suffice.
+func (p Params) Levels() (fbsL, postL int) {
+	fbsL = p.FBSLevel
+	if fbsL == 0 {
+		fbsL = p.QiNum - 1
+	}
+	if fbsL < 2 {
+		fbsL = 2
+	}
+	if fbsL > p.QiNum {
+		fbsL = p.QiNum
+	}
+	postL = p.PostLevel
+	if postL == 0 {
+		postL = 2
+	}
+	if postL < 1 {
+		postL = 1
+	}
+	if postL > fbsL {
+		postL = fbsL
+	}
+	return fbsL, postL
 }
 
 // TestParams is a reduced—but fully functional—parameter set: every code

@@ -95,7 +95,7 @@ func (e *Engine) SoftmaxEncrypted(logits []int64, cfg SoftmaxConfig) ([]float64,
 	defer e.flushStats()
 
 	// Step ①: exp LUT over the packed logits, then back to LWE.
-	expLUT, err := fbs.NewEvaluator(e.Ctx, fbs.NewLUT(e.P.T, expFn))
+	expLUT, err := fbs.NewEvaluator(e.ctxF, fbs.NewLUT(e.P.T, expFn))
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +115,7 @@ func (e *Engine) SoftmaxEncrypted(logits []int64, cfg SoftmaxConfig) ([]float64,
 	for i := range sums {
 		sums[i] = sum
 	}
-	invLUT, err := fbs.NewEvaluator(e.Ctx, fbs.NewLUT(e.P.T, invFn))
+	invLUT, err := fbs.NewEvaluator(e.ctxF, fbs.NewLUT(e.P.T, invFn))
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +133,7 @@ func (e *Engine) SoftmaxEncrypted(logits []int64, cfg SoftmaxConfig) ([]float64,
 	}
 
 	// Step ③: CMult — prob_i · InvScale ≈ exp_i · round(InvScale/sum).
-	prodCT, err := w0.ev.Mul(expCT, invCT)
+	prodCT, err := w0.evP.Mul(expCT, invCT)
 	if err != nil {
 		return nil, err
 	}

@@ -16,8 +16,9 @@ import (
 // pool of ShallowCopy'd lanes that the operator-level fan-outs run on.
 type evalWorker struct {
 	e      *Engine
-	ev     *bfv.Evaluator
-	cod    *bfv.Encoder
+	ev     *bfv.Evaluator // FBS-level evaluator (pack + LUT ladders)
+	evP    *bfv.Evaluator // post-level evaluator (mask, S2C, accumulation)
+	codP   *bfv.Encoder   // post-level encoder (kernel/mask lifts)
 	packSc *pack.Scratch
 	sw     *lwe.Switcher
 
@@ -31,11 +32,12 @@ type evalWorker struct {
 	canFork bool
 }
 
-func (e *Engine) newWorker(ev *bfv.Evaluator, cod *bfv.Encoder, canFork bool) *evalWorker {
+func (e *Engine) newWorker(ev, evP *bfv.Evaluator, codP *bfv.Encoder, canFork bool) *evalWorker {
 	return &evalWorker{
 		e:       e,
 		ev:      ev,
-		cod:     cod,
+		evP:     evP,
+		codP:    codP,
 		packSc:  e.packer.NewScratch(),
 		sw:      e.ksk.NewSwitcher(),
 		canFork: canFork,

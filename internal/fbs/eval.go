@@ -42,6 +42,13 @@ type fbsLane struct {
 	ev         *bfv.Evaluator
 	cod        *bfv.Encoder
 	cm, sm, ha int
+
+	// Staging for the fused baby-step inner sum: the nonzero (power,
+	// coefficient) pairs of one giant-step block, gathered and handed to
+	// MulScalarSumInto as a single pass. Grown once to the baby-step
+	// count, then reused.
+	cts []*bfv.Ciphertext
+	ks  []uint64
 }
 
 // NewEvaluator interpolates lut and prepares the evaluation plan. The
@@ -173,8 +180,19 @@ func (e *Evaluator) Evaluate(ev *bfv.Evaluator, ct *bfv.Ciphertext) (*bfv.Cipher
 // innerSum builds Σ_b c_{a·bs+b}·x^b for one giant step on lane ln; the
 // b=0 constant enters as a plaintext addition across all slots. Returns
 // nil if every coefficient in the group is zero.
+//
+// Rather than chaining SMult/HAdd pairs, the nonzero terms of the block
+// are gathered and evaluated in one fused MulScalarSumInto pass, so each
+// accumulator coefficient is written once per limb regardless of how
+// many baby powers contribute.
 func (e *Evaluator) innerSum(ln *fbsLane, powers []*bfv.Ciphertext, a int) *bfv.Ciphertext {
 	t := len(e.coeffs)
+	if cap(ln.cts) < e.bs {
+		ln.cts = make([]*bfv.Ciphertext, 0, e.bs)
+		ln.ks = make([]uint64, 0, e.bs)
+	}
+	ln.cts = ln.cts[:0]
+	ln.ks = ln.ks[:0]
 	var acc *bfv.Ciphertext
 	var c0 uint64
 	hasC0 := false
@@ -192,13 +210,14 @@ func (e *Evaluator) innerSum(ln *fbsLane, powers []*bfv.Ciphertext, a int) *bfv.
 			hasC0 = true
 			continue
 		}
-		ln.sm++
-		if acc == nil {
-			acc = ln.ev.MulScalar(powers[b], c)
-		} else {
-			ln.ev.MulScalarAndAdd(powers[b], c, acc)
-			ln.ha++
-		}
+		ln.cts = append(ln.cts, powers[b])
+		ln.ks = append(ln.ks, c)
+	}
+	if n := len(ln.cts); n > 0 {
+		acc = e.ctx.NewCiphertext()
+		ln.ev.MulScalarSumInto(ln.cts, ln.ks, acc)
+		ln.sm += n
+		ln.ha += n - 1
 	}
 	if hasC0 {
 		vals := make([]int64, e.ctx.N)

@@ -1,0 +1,61 @@
+// fuseddemo seeds the fused scalar-sum loop shapes: the FBS baby-step
+// fusion stages per-term constants in reusable scratch and accumulates
+// in one pass, so a per-call staging allocation inside the fused kernel
+// is exactly the regression noalloc must catch.
+package allocdemo
+
+type fusedScratch struct {
+	ws   []uint64
+	rows [][]uint64
+}
+
+// grow declares the staging arena's amortized refill, mirroring the
+// production sumScratch helper.
+//
+//lint:noalloc
+func (s *fusedScratch) grow(k int) {
+	if cap(s.ws) < k {
+		//lint:prealloc staging sized once to the largest term count, then reused
+		s.ws = make([]uint64, k)
+		//lint:prealloc staging sized once to the largest term count, then reused
+		s.rows = make([][]uint64, k)
+	}
+	s.ws = s.ws[:k]
+	s.rows = s.rows[:k]
+}
+
+// BadFusedSum allocates its staging per call — the fused loop's whole
+// point is to amortize that, so the make must be flagged.
+//
+//lint:noalloc
+func BadFusedSum(terms [][]uint64, ks []uint64, out []uint64) {
+	ws := make([]uint64, len(ks)) // want noalloc
+	copy(ws, ks)
+	for i := range out {
+		acc := uint64(0)
+		for t := range terms {
+			acc += terms[t][i] * ws[t]
+		}
+		out[i] = acc
+	}
+}
+
+// GoodFusedSum is the accept shape: constants staged in caller-owned
+// scratch, one load/store per output coefficient regardless of the term
+// count.
+//
+//lint:noalloc
+func GoodFusedSum(s *fusedScratch, terms [][]uint64, ks []uint64, out []uint64) {
+	s.grow(len(ks))
+	for t := range terms {
+		s.ws[t] = ks[t]
+		s.rows[t] = terms[t]
+	}
+	for i := range out {
+		acc := uint64(0)
+		for t := range s.rows {
+			acc += s.rows[t][i] * s.ws[t]
+		}
+		out[i] = acc
+	}
+}

@@ -119,11 +119,13 @@ func (s *Switcher) SwitchInto(ct Ciphertext, out *Ciphertext) {
 			if dig == 0 {
 				continue
 			}
+			// The digit is the fixed operand of the whole row: one Shoup
+			// precomputation (a single division) amortizes over the n+1
+			// key-component products, replacing Barrett in the inner loop.
+			sh := m.ShoupPrecomp(dig)
 			key := &k.Keys[j][d]
-			for i := range out.A {
-				out.A[i] = m.Add(out.A[i], m.Mul(dig, key.A[i]))
-			}
-			out.B = m.Add(out.B, m.Mul(dig, key.B))
+			m.MulShoupAddVec(key.A, dig, sh, out.A)
+			out.B = m.Add(out.B, m.MulShoup(key.B, dig, sh))
 		}
 	}
 }

@@ -210,7 +210,11 @@ func CompileTransform(ctx *bfv.Context, m [][]uint64) (*Transform, error) {
 					rt.Automorphism(dg, gGiantInv, pPrime)
 				}
 				copy(pt.Coeffs, pPrime.Coeffs[0])
-				tr.terms[a][2*b+e] = cod.LiftToMul(pt)
+				pm := cod.LiftToMul(pt)
+				// Compiled terms are multiplied on every Apply; the one-time
+				// companion pays for itself after the first call.
+				cod.PrecomputeShoup(pm)
+				tr.terms[a][2*b+e] = pm
 				tr.usedBaby[2*b+e] = true
 			}
 		}

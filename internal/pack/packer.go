@@ -38,6 +38,12 @@ type Packer struct {
 	// run time.
 	babies []*bfv.Ciphertext
 
+	// babyS[b] holds the Shoup companions of babies[b]. The packing keys
+	// are fixed for the life of the packer while the diagonal plaintext
+	// changes every call, so the companion lives on the ciphertext side
+	// and the baby-step products run MulPlainFixed* instead of Barrett.
+	babyS []*bfv.CiphertextShoup
+
 	// rotIdx[a][i] is the slot feeding slot i after the giant-step
 	// pre-rotation by -a·bs, computed once at construction so each Pack
 	// call builds its diagonals with a single gather instead of re-deriving
@@ -161,6 +167,10 @@ func NewPackerFromKeys(ctx *bfv.Context, n int, babies []*bfv.Ciphertext) (*Pack
 		return nil, fmt.Errorf("pack: %d packing keys, dimension %d needs %d", len(babies), n, bs)
 	}
 	p := &Packer{ctx: ctx, n: n, bs: bs, babies: babies}
+	p.babyS = make([]*bfv.CiphertextShoup, bs)
+	for b := range babies {
+		p.babyS[b] = ctx.NewCiphertextShoup(babies[b])
+	}
 	gs := n / bs
 	p.rotIdx = make([][]int, gs)
 	for a := 0; a < gs; a++ {
@@ -359,9 +369,9 @@ func (p *Packer) giantStepInto(ev *bfv.Evaluator, cod *bfv.Encoder, d []int64, p
 		cod.EncodeSlotsInto(d, pt)
 		cod.LiftToMulInto(pt, pm)
 		if b == 0 {
-			ev.MulPlainInto(p.babies[b], pm, dst)
+			ev.MulPlainFixedInto(p.babies[b], p.babyS[b], pm, dst)
 		} else {
-			ev.MulPlainAndAdd(p.babies[b], pm, dst)
+			ev.MulPlainFixedAndAdd(p.babies[b], p.babyS[b], pm, dst)
 		}
 	}
 	if a > 0 {

@@ -1,9 +1,6 @@
 package par
 
-import (
-	"runtime"
-	"sync"
-)
+import "sync"
 
 // Options tunes fan-out for operator-level loops. The package-level
 // helpers (ForN, Chunks, ForWork) carry grain floors sized for ring
@@ -31,13 +28,16 @@ type Options struct {
 }
 
 // Workers reports how many workers ForEach(n, o, ·) will use. It is at
-// least 1 and at most min(GOMAXPROCS, MaxWorkers, n/max(1, MinGrain)),
-// further capped by the ItemCost work floor when set.
+// least 1 and at most min(GOMAXPROCS, NumCPU, MaxWorkers,
+// n/max(1, MinGrain)), further capped by the ItemCost work floor when
+// set. The NumCPU cap means a GOMAXPROCS raised past the hardware (the
+// p-sweep benchmarks) degrades to the usable parallelism instead of
+// time-slicing extra goroutines over the same cores.
 func (o Options) Workers(n int) int {
 	if n <= 0 {
 		return 1
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := usableWorkers()
 	if o.MaxWorkers > 0 && workers > o.MaxWorkers {
 		workers = o.MaxWorkers
 	}

@@ -8,10 +8,18 @@ import (
 
 // TestOptionsWorkers pins the worker-count policy: the default grain
 // matches ForN, MinGrain=1 lets operator-level callers (few, heavy
-// items) fan out, and ItemCost reimposes the ForWork work floor.
+// items) fan out, and ItemCost reimposes the ForWork work floor. All
+// caps are additionally bounded by the physical CPU count, so the
+// expected values are expressed through min(·, NumCPU).
 func TestOptionsWorkers(t *testing.T) {
 	old := runtime.GOMAXPROCS(8)
 	defer runtime.GOMAXPROCS(old)
+	capAt := func(v int) int {
+		if n := runtime.NumCPU(); v > n {
+			return n
+		}
+		return v
+	}
 
 	cases := []struct {
 		name string
@@ -20,19 +28,41 @@ func TestOptionsWorkers(t *testing.T) {
 		want int
 	}{
 		{"default grain keeps small loops serial", 63, Options{}, 1},
-		{"default grain matches ForN", 8 * forNGrain, Options{}, 8},
-		{"min grain 1 fans out few heavy items", 3, Options{MinGrain: 1}, 3},
-		{"min grain 1 caps at GOMAXPROCS", 100, Options{MinGrain: 1}, 8},
-		{"min grain 2", 5, Options{MinGrain: 2}, 2},
-		{"max workers cap", 100, Options{MinGrain: 1, MaxWorkers: 4}, 4},
+		{"default grain matches ForN", 8 * forNGrain, Options{}, capAt(8)},
+		{"min grain 1 fans out few heavy items", 3, Options{MinGrain: 1}, capAt(3)},
+		{"min grain 1 caps at usable CPUs", 100, Options{MinGrain: 1}, capAt(8)},
+		{"min grain 2", 5, Options{MinGrain: 2}, capAt(2)},
+		{"max workers cap", 100, Options{MinGrain: 1, MaxWorkers: 4}, capAt(4)},
 		{"item cost floor keeps cheap items serial", 4, Options{MinGrain: 1, ItemCost: 10}, 1},
-		{"item cost floor admits heavy items", 4, Options{MinGrain: 1, ItemCost: minWorkPerWorker}, 4},
+		{"item cost floor admits heavy items", 4, Options{MinGrain: 1, ItemCost: minWorkPerWorker}, capAt(4)},
 		{"zero iterations", 0, Options{MinGrain: 1}, 1},
 	}
 	for _, c := range cases {
 		if got := c.o.Workers(c.n); got != c.want {
 			t.Errorf("%s: Workers(%d) = %d, want %d", c.name, c.n, got, c.want)
 		}
+	}
+}
+
+// TestWorkersCappedByNumCPU is the bench-smoke assertion behind the
+// EncryptedInference/p=N rows: when GOMAXPROCS is raised above the
+// physical CPU count (as the p-sweep does on small hosts), every fan-out
+// must collapse to the usable parallelism instead of time-slicing extra
+// goroutines — on a single-CPU machine the p=2 row had been ~19% slower
+// than serial before this cap.
+func TestWorkersCappedByNumCPU(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	old := runtime.GOMAXPROCS(4 * ncpu)
+	defer runtime.GOMAXPROCS(old)
+
+	if got := (Options{MinGrain: 1}).Workers(16 * ncpu); got > ncpu {
+		t.Errorf("Workers = %d exceeds NumCPU = %d", got, ncpu)
+	}
+	if got := usableWorkers(); got != ncpu {
+		t.Errorf("usableWorkers = %d, want NumCPU = %d", got, ncpu)
+	}
+	if ncpu == 1 && WorthForWork(64, 1<<20) {
+		t.Error("single CPU with inflated GOMAXPROCS must stay inline")
 	}
 }
 

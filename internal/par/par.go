@@ -30,12 +30,26 @@ const (
 // ~1-2µs goroutine spawn/join overhead exceeds the parallel win.
 const minWorkPerWorker = 1 << 15
 
+// usableWorkers is the parallelism actually available to a fan-out:
+// GOMAXPROCS capped at the physical CPU count. Raising GOMAXPROCS above
+// NumCPU (as the p-sweep benchmarks do) adds runnable goroutines without
+// adding hardware lanes, so the extra workers only time-slice — on a
+// single-CPU host a requested p=2 was measurably slower than serial.
+// Capping here collapses every helper to the inline path in that case.
+func usableWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); w > n {
+		w = n
+	}
+	return w
+}
+
 // ForN runs f(i) for i in [0, n), splitting across up to GOMAXPROCS
 // goroutines. f must only write to i-indexed state. The worker count is
 // capped so each worker gets at least forNGrain iterations; when that
 // leaves one worker (small n, or a single CPU) the loop runs inline.
 func ForN(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := usableWorkers()
 	if max := n / forNGrain; workers > max {
 		workers = max
 	}
@@ -68,7 +82,7 @@ func ForN(n int, f func(i int)) {
 // the scheduler overhead of ForN would dominate. The worker count is
 // capped so each range holds at least chunksGrain iterations.
 func Chunks(n int, f func(start, end int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := usableWorkers()
 	if max := n / chunksGrain; workers > max {
 		workers = max
 	}
@@ -99,7 +113,7 @@ func Chunks(n int, f func(start, end int)) {
 // caller can keep a closure-free serial loop for the inline case and
 // only build the closure when parallelism will actually be used.
 func WorthForWork(n, itemCost int) bool {
-	workers := runtime.GOMAXPROCS(0)
+	workers := usableWorkers()
 	if workers > n {
 		workers = n
 	}
@@ -124,7 +138,7 @@ func WorthForWork(n, itemCost int) bool {
 // The same determinism contract as ForN applies: f must only write
 // i-indexed state.
 func ForWork(n, itemCost int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := usableWorkers()
 	if workers > n {
 		workers = n
 	}

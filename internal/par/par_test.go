@@ -58,13 +58,15 @@ func TestForWorkGrainFloor(t *testing.T) {
 	if WorthForWork(6, 128) {
 		t.Fatal("tiny loop should not fan out")
 	}
-	// Zero/negative cost estimates must not divide the worker count away.
-	if !WorthForWork(8, 0) {
-		t.Fatal("zero itemCost should defer to GOMAXPROCS only")
-	}
-	// 8 limbs of 2^15 ops each exceeds the per-worker floor.
-	if !WorthForWork(8, 1<<15) {
-		t.Fatal("heavy loop should fan out")
+	if runtime.NumCPU() > 1 {
+		// Zero/negative cost estimates must not divide the worker count away.
+		if !WorthForWork(8, 0) {
+			t.Fatal("zero itemCost should defer to the CPU count only")
+		}
+		// 8 limbs of 2^15 ops each exceeds the per-worker floor.
+		if !WorthForWork(8, 1<<15) {
+			t.Fatal("heavy loop should fan out")
+		}
 	}
 	runtime.GOMAXPROCS(1)
 	if WorthForWork(8, 1<<20) {

@@ -82,6 +82,21 @@ func KernelBenchmarks() (map[string]KernelResult, error) {
 			nttRing.Tables[0].Inverse(p.Coeffs[0])
 		}
 	})
+	// Radix-4 reference rows: the pre-radix-8 schedule kept as a
+	// bit-identical oracle. Tracking both makes the radix-8 win visible
+	// in the report and catches a schedule regression in either.
+	record("ntt_forward_r4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nttRing.Tables[0].ForwardRadix4(p.Coeffs[0])
+		}
+	})
+	record("ntt_inverse_r4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nttRing.Tables[0].InverseRadix4(p.Coeffs[0])
+		}
+	})
 
 	// Pipeline kernels at the test-scale engine parameters.
 	cp := core.TestParams()

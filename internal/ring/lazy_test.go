@@ -101,7 +101,7 @@ func lazyTestInputs(n int, q uint64) [][]uint64 {
 }
 
 func TestLazyNTTBitIdentity(t *testing.T) {
-	for _, logN := range []int{1, 2, 3, 4, 5, 6, 10} {
+	for _, logN := range []int{1, 2, 3, 4, 5, 6, 7, 8, 10} {
 		n := 1 << uint(logN)
 		for _, q := range lazyTestPrimes(t, logN) {
 			tab := NewNTTTable(q, logN)
@@ -139,10 +139,43 @@ func TestLazyNTTBitIdentity(t *testing.T) {
 	}
 }
 
+// TestRadix4ReferenceBitIdentity pins the retained radix-4 schedule
+// (ForwardRadix4/InverseRadix4, the benchmark reference) to the same
+// fully-reduced oracle, across every leftover-layer combination the
+// radix-4 bookkeeping distinguishes.
+func TestRadix4ReferenceBitIdentity(t *testing.T) {
+	for _, logN := range []int{1, 2, 3, 4, 5, 6, 7, 8, 10} {
+		n := 1 << uint(logN)
+		for _, q := range lazyTestPrimes(t, logN) {
+			tab := NewNTTTable(q, logN)
+			for ci, in := range lazyTestInputs(n, q) {
+				got := append([]uint64(nil), in...)
+				want := append([]uint64(nil), in...)
+				tab.ForwardRadix4(got)
+				refForward(tab, want)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("forward-r4 logN=%d q=%d case=%d: coeff %d = %d, reference %d", logN, q, ci, i, got[i], want[i])
+					}
+				}
+				got = append([]uint64(nil), in...)
+				want = append([]uint64(nil), in...)
+				tab.InverseRadix4(got)
+				refInverse(tab, want)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("inverse-r4 logN=%d q=%d case=%d: coeff %d = %d, reference %d", logN, q, ci, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestLazyNTTOutputCanonical checks the exported entry points never leak
 // extended-range residues, even from maximal inputs.
 func TestLazyNTTOutputCanonical(t *testing.T) {
-	for _, logN := range []int{1, 2, 3, 4, 5, 10} {
+	for _, logN := range []int{1, 2, 3, 4, 5, 7, 10} {
 		n := 1 << uint(logN)
 		for _, q := range lazyTestPrimes(t, logN) {
 			tab := NewNTTTable(q, logN)
@@ -228,6 +261,38 @@ func TestVecKernelsMatchScalar(t *testing.T) {
 		copy(out, b)
 		m.MulShoupAddVec(a, w, ws, out)
 		check("MulShoupAddVec", func(i int) uint64 { return m.Add(b[i], m.MulShoup(a[i], w, ws)) })
+
+		bs := make([]uint64, n)
+		m.ShoupPrecompVec(b, bs)
+		for i := range bs {
+			if bs[i] != m.ShoupPrecomp(b[i]) {
+				t.Fatalf("ShoupPrecompVec q=%d: index %d = %d, want %d", q, i, bs[i], m.ShoupPrecomp(b[i]))
+			}
+		}
+		m.MulShoupElemVec(raw, b, bs, out)
+		check("MulShoupElemVec", func(i int) uint64 { return m.MulShoup(raw[i], b[i], bs[i]) })
+
+		copy(out, a)
+		m.MulShoupElemAddVec(raw, b, bs, out)
+		check("MulShoupElemAddVec", func(i int) uint64 { return m.Add(a[i], m.MulShoup(raw[i], b[i], bs[i])) })
+
+		rows := [][]uint64{raw, a, b}
+		wsum := []uint64{a[2], b[3], q - 1} // extremes included
+		wsumS := make([]uint64, len(wsum))
+		m.ShoupPrecompVec(wsum, wsumS)
+		sumRef := func(i int) uint64 {
+			var s uint64
+			for k := range rows {
+				s = m.Add(s, m.MulShoup(rows[k][i], wsum[k], wsumS[k]))
+			}
+			return s
+		}
+		m.MulShoupSumVec(rows, wsum, wsumS, out)
+		check("MulShoupSumVec", sumRef)
+
+		copy(out, b)
+		m.MulShoupSumAddVec(rows, wsum, wsumS, out)
+		check("MulShoupSumAddVec", func(i int) uint64 { return m.Add(b[i], sumRef(i)) })
 
 		lazy := make([]uint64, n)
 		for i := range lazy {

@@ -239,6 +239,46 @@ func (r *Ring) MulCoeffsAndAdd(a, b, out Poly) {
 	})
 }
 
+// ShoupPolyInto fills out with the per-limb Shoup companions of the
+// canonical polynomial p, for use with MulCoeffsShoup. Precomputation
+// path: run once per fixed operand (key material, compiled multipliers).
+//
+//lint:noalloc
+func (r *Ring) ShoupPolyInto(p, out Poly) {
+	for i := range p.Coeffs {
+		r.Moduli[i].ShoupPrecompVec(p.Coeffs[i], out.Coeffs[i])
+	}
+}
+
+// ShoupPoly returns a freshly allocated companion polynomial for p.
+func (r *Ring) ShoupPoly(p Poly) Poly {
+	out := r.NewPoly()
+	r.ShoupPolyInto(p, out)
+	return out
+}
+
+// MulCoeffsShoup sets out = a ⊙ b for a fixed canonical b with companion
+// polynomial bShoup (ShoupPoly): the fast pointwise product for products
+// against immutable operands. Iterates over a's limbs, so a reduced-level
+// a against full-level key material multiplies the shared prefix.
+//
+//lint:noalloc
+func (r *Ring) MulCoeffsShoup(a, b, bShoup, out Poly) {
+	for i := range a.Coeffs {
+		r.Moduli[i].MulShoupElemVec(a.Coeffs[i], b.Coeffs[i], bShoup.Coeffs[i], out.Coeffs[i])
+	}
+}
+
+// MulCoeffsShoupAndAdd sets out += a ⊙ b for a fixed canonical b with
+// companion polynomial bShoup.
+//
+//lint:noalloc
+func (r *Ring) MulCoeffsShoupAndAdd(a, b, bShoup, out Poly) {
+	for i := range a.Coeffs {
+		r.Moduli[i].MulShoupElemAddVec(a.Coeffs[i], b.Coeffs[i], bShoup.Coeffs[i], out.Coeffs[i])
+	}
+}
+
 // MulScalar sets out = a · s for a scalar s (applied per limb, reduced).
 //
 //lint:noalloc

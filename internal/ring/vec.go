@@ -222,3 +222,115 @@ func (m Modulus) MulShoupAddVec(a []uint64, w, wShoup uint64, out []uint64) {
 		out[i] = c
 	}
 }
+
+// ShoupPrecompVec fills out[i] with ShoupPrecomp(a[i]) for canonical a:
+// the companion vector of a fixed elementwise operand (key material,
+// compiled plaintext multipliers). Precomputation path, not hot.
+//
+//lint:noalloc
+func (m Modulus) ShoupPrecompVec(a, out []uint64) {
+	out = out[:len(a)]
+	for i := range a {
+		s, _ := bits.Div64(a[i], 0, m.Q)
+		out[i] = s
+	}
+}
+
+// MulShoupElemVec sets out[i] = a[i]·b[i] mod q where b is a fixed
+// canonical operand with its precomputed companion vector bShoup
+// (ShoupPrecompVec); a may hold any uint64 values. This replaces the
+// Barrett MulVec on hot paths whose second operand never changes
+// (switching keys, compiled diagonal multipliers).
+//
+//lint:noalloc
+//lint:domain a:any b:<q -> out:<q
+func (m Modulus) MulShoupElemVec(a, b, bShoup, out []uint64) {
+	q := m.Q
+	b = b[:len(a)]
+	bShoup = bShoup[:len(a)]
+	out = out[:len(a)]
+	for i := range a {
+		hi, _ := bits.Mul64(a[i], bShoup[i])
+		r := a[i]*b[i] - hi*q
+		if r >= q {
+			r -= q
+		}
+		out[i] = r
+	}
+}
+
+// MulShoupElemAddVec sets out[i] = out[i] + a[i]·b[i] mod q for a fixed
+// canonical b with companion vector bShoup and canonical out.
+//
+//lint:noalloc
+//lint:domain a:any b:<q out:<q -> out:<q
+func (m Modulus) MulShoupElemAddVec(a, b, bShoup, out []uint64) {
+	q := m.Q
+	b = b[:len(a)]
+	bShoup = bShoup[:len(a)]
+	out = out[:len(a)]
+	for i := range a {
+		hi, _ := bits.Mul64(a[i], bShoup[i])
+		r := a[i]*b[i] - hi*q
+		if r >= q {
+			r -= q
+		}
+		c := out[i] + r
+		if c >= q {
+			c -= q
+		}
+		out[i] = c
+	}
+}
+
+// MulShoupSumVec sets out[j] = Σ_k rows[k][j]·w[k] mod q, accumulating
+// every term of the sum in one pass over the output: the partial sum
+// rides in the lazy range [0, 2q) (each Shoup-lazy product lands in
+// [0, 2q), the running sum stays < 4q < 2^63 for q ≤ 2^61 and is folded
+// branchlessly), and only the final store reduces to canonical [0, q).
+// w[k] < q with companions wShoup[k]; rows may hold any uint64 values.
+//
+//lint:noalloc
+//lint:domain w:<q -> out:<q
+func (m Modulus) MulShoupSumVec(rows [][]uint64, w, wShoup []uint64, out []uint64) {
+	q := m.Q
+	twoQ := q << 1
+	w = w[:len(rows)]
+	wShoup = wShoup[:len(rows)]
+	for j := range out {
+		var acc uint64
+		for k := range rows {
+			a := rows[k][j]
+			hi, _ := bits.Mul64(a, wShoup[k])
+			acc += a*w[k] - hi*q // in [0, 4q)
+			c := acc - twoQ
+			acc = c + (twoQ & uint64(int64(c)>>63)) // fold to [0, 2q)
+		}
+		c := acc - q
+		out[j] = c + (q & uint64(int64(c)>>63))
+	}
+}
+
+// MulShoupSumAddVec sets out[j] = out[j] + Σ_k rows[k][j]·w[k] mod q for
+// canonical out, with the same lazy accumulation as MulShoupSumVec.
+//
+//lint:noalloc
+//lint:domain w:<q out:<q -> out:<q
+func (m Modulus) MulShoupSumAddVec(rows [][]uint64, w, wShoup []uint64, out []uint64) {
+	q := m.Q
+	twoQ := q << 1
+	w = w[:len(rows)]
+	wShoup = wShoup[:len(rows)]
+	for j := range out {
+		acc := out[j] // canonical, so already < 2q
+		for k := range rows {
+			a := rows[k][j]
+			hi, _ := bits.Mul64(a, wShoup[k])
+			acc += a*w[k] - hi*q // in [0, 4q)
+			c := acc - twoQ
+			acc = c + (twoQ & uint64(int64(c)>>63)) // fold to [0, 2q)
+		}
+		c := acc - q
+		out[j] = c + (q & uint64(int64(c)>>63))
+	}
+}
