@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint vet race bench
+.PHONY: build test check lint vet race bench store-test crash-test
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,24 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: compile, vet, FHE-aware static analysis, then
-# the full suite under the race detector.
-check: build vet lint race
+# The durable session tier's own suite (WAL replay, torn tails,
+# compaction properties, disk-cap eviction) under the race detector.
+store-test:
+	$(GO) test -race -count=1 ./internal/store/...
+
+# Crash-recovery integration: build a real athena-serve, SIGKILL it with
+# an upload torn mid-frame and batches in flight, restart on the same
+# data dir, and assert acked sessions serve without re-upload. The CI
+# persistence job runs exactly this.
+crash-test:
+	$(GO) build -o /tmp/athena-serve-crashtest ./cmd/athena-serve
+	ATHENA_SERVE_BIN=/tmp/athena-serve-crashtest \
+		$(GO) test -count=1 -run 'TestCrashRecoverySIGKILL|TestServeStoreRestart' -v ./internal/serve/
+
+# check is the CI gate: compile, vet, FHE-aware static analysis, the
+# full suite under the race detector (store suite included), then the
+# crash-recovery integration test against a real binary.
+check: build vet lint race crash-test
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

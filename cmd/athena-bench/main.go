@@ -9,6 +9,7 @@
 //	athena-bench -only table6    # a single experiment
 //	athena-bench -json BENCH_kernels.json   # kernel microbenchmarks
 //	athena-bench -compare BENCH_kernels.json -tol 0.25   # regression gate
+//	athena-bench -scaling        # EncryptedInference p={1,2,4} speedup table
 //
 // -json runs the hot-path kernel microbenchmarks (NTT, PMult, CMult,
 // keyswitch, pack, FBS, end-to-end inference at GOMAXPROCS 1/2/4/8) and
@@ -36,7 +37,18 @@ func main() {
 	jsonPath := flag.String("json", "", "run the kernel microbenchmarks and write them to this path as JSON")
 	comparePath := flag.String("compare", "", "re-run the kernel microbenchmarks and compare against this baseline JSON; exit 1 on regression")
 	tol := flag.Float64("tol", 0.25, "fractional ns/op growth tolerated by -compare before failing")
+	scaling := flag.Bool("scaling", false, "run only the EncryptedInference/p={1,2,4} multicore rows and print a speedup table (the CI multicore-scaling job)")
 	flag.Parse()
+
+	if *scaling {
+		table, err := report.ScalingTable([]int{1, 2, 4})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scaling benchmarks: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(table)
+		return
+	}
 
 	if *comparePath != "" {
 		base, err := report.ReadKernelBenchmarks(*comparePath)

@@ -39,6 +39,8 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue bound; beyond it requests get BUSY")
 	executors := flag.Int("executors", 2, "concurrent batch evaluators")
 	memCap := flag.Int64("mem-cap", 0, "session key-material cap in bytes (0 = 1 GiB)")
+	dataDir := flag.String("data-dir", "", "durable session store directory: uploads survive restarts, evicted sessions reload from disk (empty = memory-only)")
+	diskCap := flag.Int64("disk-cap", 0, "on-disk session store cap in bytes; coldest entries evicted under pressure (0 = unbounded)")
 	flag.Parse()
 
 	params := core.TestParams()
@@ -70,16 +72,30 @@ func main() {
 	}
 
 	srv, err := serve.NewServer(serve.Config{
-		Params:      params,
-		Models:      models,
-		MaxBatch:    *maxBatch,
-		MaxWait:     *maxWait,
-		MaxQueue:    *queue,
-		Executors:   *executors,
-		MemCapBytes: *memCap,
+		Params:       params,
+		Models:       models,
+		MaxBatch:     *maxBatch,
+		MaxWait:      *maxWait,
+		MaxQueue:     *queue,
+		Executors:    *executors,
+		MemCapBytes:  *memCap,
+		DataDir:      *dataDir,
+		DiskCapBytes: *diskCap,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		rec := srv.Recovery()
+		fmt.Printf("session store %s: recovered %d sessions (%d segments, %d WAL records",
+			*dataDir, rec.Entries, rec.Segments, rec.WALRecords)
+		if rec.WALDroppedBytes > 0 {
+			fmt.Printf(", dropped %d-byte torn tail", rec.WALDroppedBytes)
+		}
+		if rec.Quarantined > 0 {
+			fmt.Printf(", quarantined %d corrupt segments", rec.Quarantined)
+		}
+		fmt.Println(")")
 	}
 
 	if *admin != "" {

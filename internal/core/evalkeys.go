@@ -106,6 +106,60 @@ func (c *EvalKeyCodec) ReadEvalKeys(r io.Reader) (*EvalKeys, error) {
 	return c.e.readEvalKeys(r)
 }
 
+// evalKeyChunk bounds one section read of a random-access bundle: a
+// 300 MB key file streams through the decoder in 1 MiB pieces instead
+// of materializing a second full copy in memory.
+const evalKeyChunk = 1 << 20
+
+// ReadEvalKeysAt decodes a bundle from random-access storage (a spilled
+// segment entry, a mapped file) in bounded chunks. The decoder pulls
+// sections on demand, so the bundle never lives twice in memory, and a
+// read that fails with no progress is retried once at the same offset
+// before the error propagates — a partial read simply resumes at the
+// advanced offset on the next pull.
+func (c *EvalKeyCodec) ReadEvalKeysAt(ra io.ReaderAt, size int64) (*EvalKeys, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("core: negative eval-keys size %d", size)
+	}
+	return c.e.readEvalKeys(&chunkedReaderAt{ra: ra, size: size})
+}
+
+// chunkedReaderAt adapts an io.ReaderAt into the sequential reader the
+// bundle decoder wants, with bounded section size and one same-offset
+// retry. It tracks its own offset, so every Read is independently
+// addressed — a transient failure never desynchronizes the stream.
+type chunkedReaderAt struct {
+	ra   io.ReaderAt
+	size int64
+	off  int64
+}
+
+func (r *chunkedReaderAt) Read(p []byte) (int, error) {
+	if r.off >= r.size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	if want > evalKeyChunk {
+		want = evalKeyChunk
+	}
+	if rem := r.size - r.off; rem < want {
+		want = rem
+	}
+	n, err := r.ra.ReadAt(p[:want], r.off)
+	if n == 0 && err != nil {
+		// One retry at the same offset: the read made no progress, so
+		// reissuing it is exact resumption.
+		n, err = r.ra.ReadAt(p[:want], r.off)
+	}
+	r.off += int64(n)
+	if n > 0 {
+		// Progress swallows the error; the next Read resumes at the
+		// advanced offset and re-surfaces a persistent failure there.
+		return n, nil
+	}
+	return 0, err
+}
+
 func (e *Engine) readEvalKeys(r io.Reader) (*EvalKeys, error) {
 	br := bufio.NewReader(r)
 	var b [8]byte

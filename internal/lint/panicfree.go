@@ -57,6 +57,10 @@ func NewPanicFreeWire() *PanicFreeWire {
 		{Pkg: "internal/core", File: "evalkeys.go", Prefixes: rw},
 		{Pkg: "internal/serve", File: "proto.go", Prefixes: []string{"Read", "read", "Decode"}},
 		{Pkg: "internal/serve/client", File: "client.go", Prefixes: []string{"Read", "read", "Decode", "decode"}},
+		// The durable tier decodes attacker-controlled bytes after a
+		// crash: the WAL replay path and the segment open/read path.
+		{Pkg: "internal/store", File: "wal.go", Prefixes: []string{"replay", "read"}},
+		{Pkg: "internal/store", File: "segment.go", Prefixes: []string{"open", "read"}},
 	}}
 }
 

@@ -230,6 +230,10 @@ func KernelBenchmarks() (map[string]KernelResult, error) {
 	if err := serveThroughputRows(out); err != nil {
 		return nil, err
 	}
+	// Durable-tier row: rebuilding an evicted session from disk.
+	if err := sessionColdLoadRow(out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"strings"
+	"testing"
+
+	"athena/internal/core"
+	"athena/internal/qnn"
+)
+
+// ScalingTable runs only the EncryptedInference/p={1,2,4} multicore
+// rows and renders a markdown speedup table (relative to p=1). This is
+// the CI multicore-scaling job's payload: the dev container is 1-CPU,
+// so the 4-vCPU runner is where operator-level fan-out (ROADMAP item 4)
+// is actually demonstrated. Rows beyond the host's core count saturate
+// at hardware parallelism; the table prints nproc so readers can judge.
+func ScalingTable(procs []int) (string, error) {
+	if len(procs) == 0 {
+		procs = []int{1, 2, 4}
+	}
+	cp := core.TestParams()
+	eng, err := core.NewEngine(cp)
+	if err != nil {
+		return "", err
+	}
+	net := kernelTinyNet()
+	rng := rand.New(rand.NewPCG(42, 42))
+	x := qnn.NewIntTensor(1, 6, 6)
+	for i := range x.Data {
+		x.Data[i] = int64(rng.IntN(8))
+	}
+	// Warm plan caches so the first measured row is not charged for them.
+	if _, err := eng.Infer(net, x); err != nil {
+		return "", err
+	}
+
+	nsOp := make([]int64, len(procs))
+	for i, p := range procs {
+		p := p
+		r := testing.Benchmark(func(b *testing.B) {
+			old := runtime.GOMAXPROCS(p)
+			defer runtime.GOMAXPROCS(old)
+			for j := 0; j < b.N; j++ {
+				if _, err := eng.Infer(net, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		nsOp[i] = r.NsPerOp()
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "EncryptedInference multicore scaling (host cores: %d)\n\n", runtime.NumCPU())
+	sb.WriteString("| p | ns/op | speedup vs p=1 |\n|---|------:|---------------:|\n")
+	for i, p := range procs {
+		speedup := float64(nsOp[0]) / float64(nsOp[i])
+		fmt.Fprintf(&sb, "| %d | %d | %.2fx |\n", p, nsOp[i], speedup)
+	}
+	return sb.String(), nil
+}

@@ -1,8 +1,10 @@
 package report
 
 import (
+	"bytes"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"athena/internal/qnn"
 	"athena/internal/serve"
 	serveclient "athena/internal/serve/client"
+	"athena/internal/store"
 )
 
 // serveThroughputRows measures the serving stack end to end: an
@@ -19,15 +22,26 @@ import (
 // regression gate applies), the realized requests/sec, and the mean
 // batch size the dynamic batcher achieved for that concurrency — the
 // number that shows shared-FBS amortization kicking in as load grows.
+//
+// The server runs with the durable session tier enabled (a temp data
+// dir), so these rows also gate the store's hot-path overhead: resident
+// hits never touch disk, and the regression tolerance catches any
+// creep.
 func serveThroughputRows(out map[string]KernelResult) error {
 	p := core.TestParams()
 	model := serve.DemoNet()
+	dataDir, err := os.MkdirTemp("", "athena-bench-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
 	srv, err := serve.NewServer(serve.Config{
 		Params:   p,
 		Models:   map[string]*qnn.QNetwork{model.Name: model},
 		MaxBatch: 16,
 		MaxWait:  25 * time.Millisecond,
 		MaxQueue: 256,
+		DataDir:  dataDir,
 	})
 	if err != nil {
 		return err
@@ -129,5 +143,55 @@ func serveThroughputRows(out map[string]KernelResult) error {
 		}
 		out[fmt.Sprintf("ServeThroughput/clients=%d", clients)] = row
 	}
+	return nil
+}
+
+// sessionColdLoadRow measures the durable tier's worst case: attaching
+// to a session whose keys live only on disk. Each iteration uses a
+// fresh registry over the same store, so the measured path is the full
+// cold load — segment read, digest verification, streamed bundle
+// decode, and evaluation-engine rebuild.
+func sessionColdLoadRow(out map[string]KernelResult) error {
+	p := core.TestParams()
+	eng, err := core.NewEngine(p)
+	if err != nil {
+		return err
+	}
+	var blob bytes.Buffer
+	if err := eng.WriteEvalKeys(&blob); err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "athena-bench-coldload-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, _, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	seed := serve.NewRegistry(p, 0)
+	seed.SetStore(st)
+	s, _, err := seed.Open(blob.Bytes())
+	if err != nil {
+		return err
+	}
+	id := s.ID
+	// Spill the memtable so the load is a real segment read.
+	if err := st.Flush(); err != nil {
+		return err
+	}
+
+	const iters = 5
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		r := serve.NewRegistry(p, 0)
+		r.SetStore(st)
+		if _, err := r.Lookup(id); err != nil {
+			return fmt.Errorf("report: cold load: %w", err)
+		}
+	}
+	out["SessionColdLoad"] = KernelResult{NsOp: time.Since(start).Nanoseconds() / iters}
 	return nil
 }

@@ -140,7 +140,34 @@ type Snapshot struct {
 		CapBytes  int64  `json:"cap_bytes"`
 		Evictions uint64 `json:"evictions"`
 		Opened    uint64 `json:"opened"`
+		HotHits   uint64 `json:"hot_hits"`
+		ColdLoads uint64 `json:"cold_loads"`
+		Misses    uint64 `json:"misses"`
 	} `json:"sessions"`
+
+	// Store is the durable session tier (nil when running memory-only).
+	Store *StoreSnapshot `json:"store,omitempty"`
+}
+
+// StoreSnapshot is the /metrics view of the durable tier: occupancy,
+// lifetime put/load/spill/compaction/eviction counters, and what the
+// last recovery found.
+type StoreSnapshot struct {
+	Entries   int   `json:"entries"`
+	MemBytes  int64 `json:"mem_bytes"`
+	WALBytes  int64 `json:"wal_bytes"`
+	DiskBytes int64 `json:"disk_bytes"`
+	Segments  int   `json:"segments"`
+
+	Puts        uint64 `json:"puts"`
+	Loads       uint64 `json:"loads"`
+	Spills      uint64 `json:"spills"`
+	Compactions uint64 `json:"compactions"`
+	Evictions   uint64 `json:"evictions"`
+
+	RecoveredEntries    int   `json:"recovered_entries"`
+	WALDroppedBytes     int64 `json:"wal_dropped_bytes"`
+	QuarantinedSegments int   `json:"quarantined_segments"`
 }
 
 // Snapshot assembles the current metrics document. reg and b may be nil
@@ -188,6 +215,24 @@ func (m *Metrics) Snapshot(reg *Registry, b *Batcher) Snapshot {
 	}
 	if reg != nil {
 		s.Sessions.Count, s.Sessions.Bytes, s.Sessions.CapBytes, s.Sessions.Evictions = reg.Stats()
+		s.Sessions.HotHits, s.Sessions.ColdLoads, s.Sessions.Misses = reg.TierStats()
+		if st, ok := reg.StoreStats(); ok {
+			s.Store = &StoreSnapshot{
+				Entries:             st.Entries,
+				MemBytes:            st.MemBytes,
+				WALBytes:            st.WALBytes,
+				DiskBytes:           st.DiskBytes,
+				Segments:            st.Segments,
+				Puts:                st.Puts,
+				Loads:               st.Loads,
+				Spills:              st.Spills,
+				Compactions:         st.Compactions,
+				Evictions:           st.Evictions,
+				RecoveredEntries:    st.RecoveredEntries,
+				WALDroppedBytes:     st.WALDroppedBytes,
+				QuarantinedSegments: st.QuarantinedSegments,
+			}
+		}
 	}
 	return s
 }

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 
 	"athena/internal/core"
+	"athena/internal/store"
 )
 
 // Session is one registered key owner: an evaluation-only engine built
@@ -40,6 +42,10 @@ type Session struct {
 // memory cap because every resident session has in-flight work.
 var ErrRegistryFull = fmt.Errorf("serve: session registry full (all sessions busy)")
 
+// ErrSessionNotFound reports a lookup of an ID that is neither resident
+// nor in the durable tier.
+var ErrSessionNotFound = fmt.Errorf("serve: unknown session")
+
 // Registry holds sessions under a memory cap with LRU eviction.
 // Sessions with in-flight requests are pinned; eviction only reclaims
 // idle ones, so backpressure on the queue never drops an established
@@ -56,8 +62,18 @@ type Registry struct {
 	total    int64
 	clock    uint64 // logical LRU clock: bumped on every touch
 
+	// store is the optional durable tier. When set, Open persists every
+	// acked blob before returning and Lookup reloads evicted sessions
+	// from disk instead of failing. Resident sessions stay the hot tier:
+	// LRU eviction just drops the RAM copy, the disk entry remains.
+	store *store.Store
+
 	// Evictions counts sessions dropped under memory pressure.
 	evictions uint64
+	// Tier counters: resident lookup hits, disk reloads, true misses.
+	hotHits   uint64
+	coldLoads uint64
+	misses    uint64
 }
 
 // NewRegistry builds a registry for servers at params p holding at most
@@ -73,6 +89,15 @@ func NewRegistry(p core.Params, capBytes int64) *Registry {
 func SessionID(blob []byte) string {
 	sum := sha256.Sum256(blob)
 	return hex.EncodeToString(sum[:16])
+}
+
+// SetStore attaches the durable session tier. Call before serving; the
+// registry does not take ownership (the server closes the store on
+// shutdown after draining).
+func (r *Registry) SetStore(st *store.Store) {
+	r.mu.Lock()
+	r.store = st
+	r.mu.Unlock()
 }
 
 // Open registers (or finds) the session for an uploaded eval-keys blob.
@@ -105,6 +130,20 @@ func (r *Registry) Open(blob []byte) (s *Session, created bool, err error) {
 	}
 	s = &Session{ID: id, Eng: eng, Bytes: int64(len(blob))}
 
+	// Durable before acked: the blob reaches the WAL (fsync'd) before the
+	// session becomes visible, so a crash after the client sees OK can
+	// never lose it. Persisting only after the engine build means garbage
+	// is never written to disk. Put copies the blob, which matters — it
+	// aliases the connection's read arena.
+	r.mu.Lock()
+	st := r.store
+	r.mu.Unlock()
+	if st != nil {
+		if err := st.Put(id, blob); err != nil {
+			return nil, false, fmt.Errorf("serve: persisting session: %w", err)
+		}
+	}
+
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if prior, ok := r.sessions[id]; ok { // lost a concurrent open race
@@ -131,15 +170,98 @@ func (r *Registry) evalKeyCodec() (*core.EvalKeyCodec, error) {
 	return r.codec, r.codecErr
 }
 
-// Get returns the session by ID, refreshing its LRU position.
+// Get returns the resident session by ID, refreshing its LRU position.
+// It never touches the durable tier — attach paths use Lookup.
 func (r *Registry) Get(id string) (*Session, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s, ok := r.sessions[id]
 	if ok {
+		r.hotHits++
 		r.touchLocked(s)
 	}
 	return s, ok
+}
+
+// Lookup resolves a session ID through both tiers: a resident hit is
+// free; otherwise the durable tier is consulted and an evicted session
+// is rebuilt from its on-disk blob (streamed — the bundle never
+// materializes as a second copy). ErrSessionNotFound means the ID is
+// known to neither tier.
+func (r *Registry) Lookup(id string) (*Session, error) {
+	r.mu.Lock()
+	if s, ok := r.sessions[id]; ok {
+		r.hotHits++
+		r.touchLocked(s)
+		r.mu.Unlock()
+		return s, nil
+	}
+	st := r.store
+	r.mu.Unlock()
+	if st == nil {
+		r.mu.Lock()
+		r.misses++
+		r.mu.Unlock()
+		return nil, ErrSessionNotFound
+	}
+
+	// Cold load, outside the lock: stream the blob from disk, verify its
+	// digest end to end (and that the digest matches the content
+	// address), then decode and rebuild the engine.
+	s, err := r.loadCold(st, id)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			r.mu.Lock()
+			r.misses++
+			r.mu.Unlock()
+			return nil, ErrSessionNotFound
+		}
+		return nil, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prior, ok := r.sessions[id]; ok { // lost a concurrent load race
+		r.touchLocked(prior)
+		return prior, nil
+	}
+	if err := r.makeRoomLocked(s.Bytes); err != nil {
+		return nil, err
+	}
+	r.sessions[id] = s
+	r.total += s.Bytes
+	r.coldLoads++
+	r.touchLocked(s)
+	return s, nil
+}
+
+// loadCold rebuilds one session from its durable blob.
+func (r *Registry) loadCold(st *store.Store, id string) (*Session, error) {
+	b, err := st.Load(id)
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	if err := b.Verify(); err != nil {
+		return nil, fmt.Errorf("serve: session %s: %w", id, err)
+	}
+	d := b.Digest()
+	if hex.EncodeToString(d[:16]) != id {
+		return nil, fmt.Errorf("serve: session %s: stored blob has wrong content address", id)
+	}
+	codec, err := r.evalKeyCodec()
+	if err != nil {
+		return nil, err
+	}
+	ek, err := codec.ReadEvalKeysAt(b, b.Size())
+	if err != nil {
+		return nil, fmt.Errorf("serve: session %s: %w", id, err)
+	}
+	eng, err := core.NewEvaluationEngine(r.p, ek)
+	if err != nil {
+		return nil, fmt.Errorf("serve: session %s: %w", id, err)
+	}
+	return &Session{ID: id, Eng: eng, Bytes: b.Size()}, nil
 }
 
 // Acquire pins the session against eviction for one in-flight request.
@@ -195,4 +317,24 @@ func (r *Registry) Stats() (count int, bytes, capBytes int64, evictions uint64) 
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.sessions), r.total, r.capBytes, r.evictions
+}
+
+// TierStats returns the lookup-tier counters: resident hits, disk
+// reloads, and true misses.
+func (r *Registry) TierStats() (hotHits, coldLoads, misses uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hotHits, r.coldLoads, r.misses
+}
+
+// StoreStats returns the durable tier's stats (ok=false when the
+// registry is memory-only).
+func (r *Registry) StoreStats() (store.Stats, bool) {
+	r.mu.Lock()
+	st := r.store
+	r.mu.Unlock()
+	if st == nil {
+		return store.Stats{}, false
+	}
+	return st.Stats(), true
 }

@@ -12,6 +12,7 @@ import (
 
 	"athena/internal/core"
 	"athena/internal/qnn"
+	"athena/internal/store"
 )
 
 // Config configures a Server.
@@ -32,6 +33,16 @@ type Config struct {
 	// MaxFrame bounds one frame payload (0 = DefaultMaxFrame).
 	MaxFrame uint32
 
+	// DataDir enables the durable session tier: uploaded key blobs are
+	// WAL-persisted here before the upload is acked, survive restarts,
+	// and evicted sessions reload from disk on attach ("" = memory-only,
+	// the previous behavior).
+	DataDir string
+	// DiskCapBytes bounds the durable tier's on-disk footprint; under
+	// pressure the least-recently-accessed entries are evicted
+	// (0 = unbounded). Only meaningful with DataDir set.
+	DiskCapBytes int64
+
 	// ReadTimeout bounds the wait for the next frame on an idle
 	// connection; WriteTimeout bounds one reply write. Zero values take
 	// generous defaults (10 min read, 30 s write).
@@ -48,6 +59,8 @@ type Server struct {
 	registry *Registry
 	batcher  *Batcher
 	metrics  *Metrics
+	store    *store.Store   // nil when DataDir is unset
+	recovery store.Recovery // what Open found in DataDir
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -87,6 +100,14 @@ func NewServer(cfg Config) (*Server, error) {
 		metrics:  m,
 		conns:    make(map[net.Conn]struct{}),
 	}
+	if cfg.DataDir != "" {
+		st, rec, err := store.Open(cfg.DataDir, store.Options{DiskCapBytes: cfg.DiskCapBytes})
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening session store: %w", err)
+		}
+		s.store, s.recovery = st, rec
+		s.registry.SetStore(st)
+	}
 	s.batcher = NewBatcher(BatcherConfig{
 		MaxBatch:  cfg.MaxBatch,
 		MaxWait:   cfg.MaxWait,
@@ -99,6 +120,10 @@ func NewServer(cfg Config) (*Server, error) {
 
 // Metrics exposes the server's counters (for admin endpoints and tests).
 func (s *Server) Metrics() Snapshot { return s.metrics.Snapshot(s.registry, s.batcher) }
+
+// Recovery reports what the durable tier found on boot (zero value when
+// DataDir is unset).
+func (s *Server) Recovery() store.Recovery { return s.recovery }
 
 // ListenAndServe listens on addr and serves until Shutdown.
 func (s *Server) ListenAndServe(addr string) error {
@@ -183,6 +208,10 @@ func (s *Server) Shutdown() {
 	}
 	s.mu.Unlock()
 	s.connWG.Wait()
+	// With all traffic drained, flush the memtable and release the WAL.
+	if s.store != nil {
+		_ = s.store.Close()
+	}
 }
 
 // conn is the per-connection state: the attached session (if any) and a
@@ -248,9 +277,16 @@ func (s *Server) dispatch(st *connState, typ FrameType, payload []byte) bool {
 		if err != nil {
 			return st.writeError(0, CodeBadRequest, err.Error())
 		}
-		sess, ok := s.registry.Get(id)
-		if !ok {
-			return st.writeError(0, CodeSessionNotFound, "unknown or evicted session "+id)
+		sess, lerr := s.registry.Lookup(id)
+		if lerr != nil {
+			switch {
+			case errors.Is(lerr, ErrSessionNotFound):
+				return st.writeError(0, CodeSessionNotFound, "unknown or evicted session "+id)
+			case errors.Is(lerr, ErrRegistryFull):
+				return st.writeError(0, CodeRegistryFull, lerr.Error())
+			default:
+				return st.writeError(0, CodeInternal, lerr.Error())
+			}
 		}
 		st.sess = sess
 		return st.write(FrameSessionOK, EncodeSessionID(sess.ID))

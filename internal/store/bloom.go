@@ -1,0 +1,92 @@
+// Package store is the durable session tier behind the serve registry:
+// a disk-backed, content-addressed key/value store in the LSM style. An
+// uploaded eval-key blob is crash-safe the moment Put returns — it is
+// appended to a write-ahead log in digest-verified chunks and fsync'd —
+// and survives process restarts: Open replays the WAL idempotently and
+// reattaches the immutable segment files that earlier memtable spills
+// produced. Cold entries live in SSTable-style segments with an index
+// block and a bloom filter (registry misses are answered without
+// touching the data region), size-tiered compaction folds segment runs
+// together, and tombstones mask deleted entries until a compaction that
+// includes the oldest run drops them for good.
+//
+// The store never interprets values: integrity is per-entry (a SHA-256
+// digest checked on load, chunk CRCs in the WAL) and the serving layer
+// keys entries by content address, so identical key material re-lands
+// on the same entry across restarts and clients.
+package store
+
+// bloomFilter is a split-block-free standard bloom filter over string
+// keys using double hashing (one FNV-1a pass, one splitmix64 finalizer
+// for the second hash). It answers "definitely absent" for cold
+// registry misses without reading a segment's data or index from disk
+// more than once per open.
+type bloomFilter struct {
+	k     uint32
+	words []uint64
+}
+
+// bloomBitsPerKey sizes segment filters: 10 bits/key with k=7 gives a
+// ~1% theoretical false-positive rate (bounded by the property test at
+// 3% measured).
+const bloomBitsPerKey = 10
+
+// newBloom builds a filter sized for n keys at bloomBitsPerKey.
+func newBloom(n int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	bits := n * bloomBitsPerKey
+	words := (bits + 63) / 64
+	// k = bitsPerKey * ln2 ≈ 0.69*10, clamped to a sane band.
+	return &bloomFilter{k: 7, words: make([]uint64, words)}
+}
+
+// bloomHash derives the two independent 64-bit hashes of the double
+// hashing scheme: FNV-1a over the key bytes, then a splitmix64
+// finalizer of that value (forced odd so the probe stride never
+// collapses mod the filter size).
+func bloomHash(id string) (uint64, uint64) {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	z := h + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return h, z | 1
+}
+
+// add inserts one key.
+func (f *bloomFilter) add(id string) {
+	h1, h2 := bloomHash(id)
+	m := uint64(len(f.words)) * 64
+	for i := uint32(0); i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % m
+		f.words[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// MayContain reports whether id may be present: false means definitely
+// absent. This is the segment-miss fast path consulted on every cold
+// registry lookup, so it must stay allocation-free.
+//
+//lint:noalloc
+func (f *bloomFilter) MayContain(id string) bool {
+	if len(f.words) == 0 {
+		return false
+	}
+	h1, h2 := bloomHash(id)
+	m := uint64(len(f.words)) * 64
+	for i := uint32(0); i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % m
+		if f.words[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

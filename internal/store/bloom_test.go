@@ -1,0 +1,61 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := newBloom(2000)
+	for i := 0; i < 2000; i++ {
+		f.add(fmt.Sprintf("member-%d", i))
+	}
+	for i := 0; i < 2000; i++ {
+		if !f.MayContain(fmt.Sprintf("member-%d", i)) {
+			t.Fatalf("false negative for member-%d", i)
+		}
+	}
+}
+
+// At 10 bits/key and k=7 the theoretical false-positive rate is ~0.8%;
+// the bound here is 3% to leave slack for hash-quality variance.
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const n, probes = 2000, 10000
+	f := newBloom(n)
+	for i := 0; i < n; i++ {
+		f.add(fmt.Sprintf("member-%d", i))
+	}
+	fp := 0
+	for i := 0; i < probes; i++ {
+		if f.MayContain(fmt.Sprintf("outsider-%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.03 {
+		t.Fatalf("false positive rate %.4f exceeds 0.03 (%d/%d)", rate, fp, probes)
+	}
+}
+
+func TestBloomEmpty(t *testing.T) {
+	f := newBloom(0)
+	if f.MayContain("anything") {
+		t.Fatal("empty filter claims membership")
+	}
+	var zero bloomFilter
+	if zero.MayContain("anything") {
+		t.Fatal("zero-value filter claims membership")
+	}
+}
+
+func TestBloomMayContainNoAlloc(t *testing.T) {
+	f := newBloom(100)
+	for i := 0; i < 100; i++ {
+		f.add(fmt.Sprintf("k-%d", i))
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		f.MayContain("k-42")
+		f.MayContain("absent")
+	}); allocs != 0 {
+		t.Fatalf("MayContain allocates: %.1f allocs/op", allocs)
+	}
+}

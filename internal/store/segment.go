@@ -1,0 +1,390 @@
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Immutable segment files ("SSTables"). A memtable spill or a
+// compaction writes one segment: the values concatenated in key order,
+// then an index block (key → offset, length, SHA-256 digest, tombstone
+// flag), then a bloom filter over the keys, then a fixed footer
+// locating the blocks. The index and bloom are covered by a CRC-32C in
+// the footer and loaded into memory at open; values stay on disk and
+// are digest-verified when loaded. Segments are written to a temp path,
+// fsync'd, and renamed into place, so a crash mid-spill leaves only a
+// *.tmp file that Open discards — a visible segment is always complete.
+//
+// File layout (little-endian):
+//
+//	magic(u32 "ASG1") | version(u32)
+//	values (concatenated, key order)
+//	index: count(u32) | per entry: idLen(u16) | id | off(u64) | vlen(u64) | digest[32] | flags(u8)
+//	bloom: k(u32) | nwords(u64) | words
+//	footer: indexOff(u64) | indexLen(u64) | bloomOff(u64) | bloomLen(u64) | crc32c(index|bloom)(u32) | magic(u32)
+const (
+	segMagic   uint32 = 0x41534731 // "ASG1"
+	segVersion uint32 = 1
+
+	segHdrLen    = 8
+	segFooterLen = 8*4 + 4 + 4
+
+	segFlagTombstone byte = 1
+)
+
+// segMeta is one in-memory index entry.
+type segMeta struct {
+	off    int64
+	vlen   int64
+	digest [sha256.Size]byte
+	tomb   bool
+}
+
+// segment is one open, immutable segment file: its index and bloom in
+// memory, values read on demand from the file.
+type segment struct {
+	path  string
+	seq   uint64
+	size  int64
+	ids   []string // sorted ascending
+	metas []segMeta
+	bloom *bloomFilter
+	live  int // non-tombstone entry count
+}
+
+// segEntry is one entry handed to writeSegment.
+type segEntry struct {
+	id     string
+	val    []byte // nil for tombstones
+	digest [sha256.Size]byte
+	tomb   bool
+}
+
+// writeSegment writes entries (any order; sorted here) as one segment
+// at path via a temp file + rename, fsync'ing both the file and its
+// directory, so the segment is either fully visible or not at all.
+func writeSegment(path string, entries []segEntry) (int64, error) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	for i := 1; i < len(entries); i++ {
+		if entries[i].id == entries[i-1].id {
+			return 0, fmt.Errorf("store: duplicate key %q in segment write", entries[i].id)
+		}
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var hdr [segHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return 0, err
+	}
+
+	// Values, recording offsets.
+	off := int64(segHdrLen)
+	offs := make([]int64, len(entries))
+	for i := range entries {
+		offs[i] = off
+		if entries[i].tomb {
+			continue
+		}
+		if _, err := bw.Write(entries[i].val); err != nil {
+			f.Close()
+			return 0, err
+		}
+		off += int64(len(entries[i].val))
+	}
+
+	// Index block.
+	index := binary.LittleEndian.AppendUint32(nil, uint32(len(entries)))
+	bloom := newBloom(len(entries))
+	for i := range entries {
+		e := &entries[i]
+		index = binary.LittleEndian.AppendUint16(index, uint16(len(e.id)))
+		index = append(index, e.id...)
+		index = binary.LittleEndian.AppendUint64(index, uint64(offs[i]))
+		index = binary.LittleEndian.AppendUint64(index, uint64(len(e.val)))
+		index = append(index, e.digest[:]...)
+		flags := byte(0)
+		if e.tomb {
+			flags = segFlagTombstone
+		}
+		index = append(index, flags)
+		bloom.add(e.id)
+	}
+	// Bloom block.
+	bb := binary.LittleEndian.AppendUint32(nil, bloom.k)
+	bb = binary.LittleEndian.AppendUint64(bb, uint64(len(bloom.words)))
+	for _, w := range bloom.words {
+		bb = binary.LittleEndian.AppendUint64(bb, w)
+	}
+
+	indexOff := off
+	bloomOff := indexOff + int64(len(index))
+	if _, err := bw.Write(index); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if _, err := bw.Write(bb); err != nil {
+		f.Close()
+		return 0, err
+	}
+	crc := crc32.Update(crc32.Checksum(index, castagnoli), castagnoli, bb)
+	var foot [segFooterLen]byte
+	binary.LittleEndian.PutUint64(foot[0:8], uint64(indexOff))
+	binary.LittleEndian.PutUint64(foot[8:16], uint64(len(index)))
+	binary.LittleEndian.PutUint64(foot[16:24], uint64(bloomOff))
+	binary.LittleEndian.PutUint64(foot[24:32], uint64(len(bb)))
+	binary.LittleEndian.PutUint32(foot[32:36], crc)
+	binary.LittleEndian.PutUint32(foot[36:40], segMagic)
+	if _, err := bw.Write(foot[:]); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	if err := syncDir(path); err != nil {
+		return 0, err
+	}
+	return bloomOff + int64(len(bb)) + segFooterLen, nil
+}
+
+// openSegment maps a segment file into an in-memory index + bloom. The
+// bytes are untrusted (anything can be on disk after a crash): every
+// length and offset is validated against the file size, the footer CRC
+// covers the index and bloom blocks, and a violation surfaces as an
+// error — never a panic or an unbounded allocation.
+func openSegment(path string, seq uint64) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < segHdrLen+segFooterLen {
+		return nil, fmt.Errorf("store: segment %s: %d bytes is below the minimum layout", path, size)
+	}
+	var hdr [segHdrLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != segMagic {
+		return nil, fmt.Errorf("store: segment %s: bad magic %#x", path, m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != segVersion {
+		return nil, fmt.Errorf("store: segment %s: unsupported version %d", path, v)
+	}
+	var foot [segFooterLen]byte
+	if _, err := f.ReadAt(foot[:], size-segFooterLen); err != nil {
+		return nil, err
+	}
+	if m := binary.LittleEndian.Uint32(foot[36:40]); m != segMagic {
+		return nil, fmt.Errorf("store: segment %s: bad footer magic %#x", path, m)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(foot[0:8]))
+	indexLen := int64(binary.LittleEndian.Uint64(foot[8:16]))
+	bloomOff := int64(binary.LittleEndian.Uint64(foot[16:24]))
+	bloomLen := int64(binary.LittleEndian.Uint64(foot[24:32]))
+	wantCRC := binary.LittleEndian.Uint32(foot[32:36])
+	if indexOff < segHdrLen || indexLen < 4 || bloomOff != indexOff+indexLen ||
+		bloomLen < 12 || bloomOff+bloomLen != size-segFooterLen {
+		return nil, fmt.Errorf("store: segment %s: footer block layout out of bounds", path)
+	}
+	blocks := make([]byte, indexLen+bloomLen)
+	if _, err := f.ReadAt(blocks, indexOff); err != nil {
+		return nil, err
+	}
+	if got := crc32.Checksum(blocks, castagnoli); got != wantCRC {
+		return nil, fmt.Errorf("store: segment %s: index/bloom crc mismatch (%#x != %#x)", path, got, wantCRC)
+	}
+	s := &segment{path: path, seq: seq, size: size}
+	if err := s.readIndex(blocks[:indexLen], indexOff); err != nil {
+		return nil, fmt.Errorf("store: segment %s: %w", path, err)
+	}
+	if err := s.readBloom(blocks[indexLen:]); err != nil {
+		return nil, fmt.Errorf("store: segment %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// readIndex decodes the index block, validating every entry's bounds
+// against the data region [segHdrLen, indexOff).
+func (s *segment) readIndex(b []byte, indexOff int64) error {
+	count := int(binary.LittleEndian.Uint32(b[0:4]))
+	b = b[4:]
+	// Each entry is at least 2+1+8+8+32+1 bytes; a corrupt count cannot
+	// force an allocation beyond the block that is already in memory.
+	if count < 0 || count > len(b)/(2+1+8+8+32+1)+1 {
+		return fmt.Errorf("index count %d inconsistent with block size %d", count, len(b))
+	}
+	s.ids = make([]string, 0, count)
+	s.metas = make([]segMeta, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 2 {
+			return fmt.Errorf("index entry %d: truncated id length", i)
+		}
+		idLen := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if idLen == 0 || idLen > walMaxIDLen || len(b) < idLen+8+8+sha256.Size+1 {
+			return fmt.Errorf("index entry %d: id length %d out of bounds", i, idLen)
+		}
+		id := string(b[:idLen])
+		b = b[idLen:]
+		var m segMeta
+		m.off = int64(binary.LittleEndian.Uint64(b[0:8]))
+		m.vlen = int64(binary.LittleEndian.Uint64(b[8:16]))
+		copy(m.digest[:], b[16:16+sha256.Size])
+		flags := b[16+sha256.Size]
+		b = b[16+sha256.Size+1:]
+		m.tomb = flags&segFlagTombstone != 0
+		if m.tomb {
+			if m.vlen != 0 {
+				return fmt.Errorf("index entry %d: tombstone with %d value bytes", i, m.vlen)
+			}
+		} else {
+			if m.vlen <= 0 || m.off < segHdrLen || m.off+m.vlen > indexOff {
+				return fmt.Errorf("index entry %d: value [%d,%d) outside data region", i, m.off, m.off+m.vlen)
+			}
+			s.live++
+		}
+		if len(s.ids) > 0 && id <= s.ids[len(s.ids)-1] {
+			return fmt.Errorf("index entry %d: keys out of order", i)
+		}
+		s.ids = append(s.ids, id)
+		s.metas = append(s.metas, m)
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%d trailing bytes after index entries", len(b))
+	}
+	return nil
+}
+
+// readBloom decodes the bloom block.
+func (s *segment) readBloom(b []byte) error {
+	k := binary.LittleEndian.Uint32(b[0:4])
+	nwords := binary.LittleEndian.Uint64(b[4:12])
+	if k == 0 || k > 64 || nwords != uint64(len(b)-12)/8 || int(nwords)*8 != len(b)-12 {
+		return fmt.Errorf("bloom block k=%d nwords=%d inconsistent with %d bytes", k, nwords, len(b))
+	}
+	words := make([]uint64, nwords)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(b[12+8*i:])
+	}
+	s.bloom = &bloomFilter{k: k, words: words}
+	return nil
+}
+
+// find locates id in the segment index, bloom-gated: (entry index,
+// true) on presence — tombstones included, the caller distinguishes.
+// This is the per-segment step of every cold lookup, kept
+// allocation-free (manual binary search; sort.Search would capture a
+// closure).
+//
+//lint:noalloc
+func (s *segment) find(id string) (int, bool) {
+	if !s.bloom.MayContain(id) {
+		return 0, false
+	}
+	lo, hi := 0, len(s.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.ids) && s.ids[lo] == id {
+		return lo, true
+	}
+	return 0, false
+}
+
+// load reads and digest-verifies entry i's value into memory (used by
+// compaction and tests; the serving path streams via Blob instead).
+func (s *segment) load(i int) ([]byte, error) {
+	m := &s.metas[i]
+	if m.tomb {
+		return nil, fmt.Errorf("store: load of tombstone %q", s.ids[i])
+	}
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	val := make([]byte, m.vlen)
+	if _, err := f.ReadAt(val, m.off); err != nil {
+		return nil, err
+	}
+	if sum := sha256.Sum256(val); sum != m.digest {
+		return nil, fmt.Errorf("store: segment %s entry %q digest mismatch", s.path, s.ids[i])
+	}
+	return val, nil
+}
+
+// syncDir fsyncs the directory containing path, making a rename into it
+// durable.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// blobReaderAt adapts an entry to io.ReaderAt bounded to [off, off+len)
+// of its own file descriptor, so compaction deleting the segment path
+// under an outstanding reader is safe (the fd keeps the inode alive).
+type blobReaderAt struct {
+	f    *os.File
+	base int64
+	size int64
+}
+
+func (b *blobReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > b.size {
+		return 0, io.EOF
+	}
+	if max := b.size - off; int64(len(p)) > max {
+		p = p[:max]
+		n, err := b.f.ReadAt(p, b.base+off)
+		if err == nil {
+			err = io.EOF
+		}
+		return n, err
+	}
+	return b.f.ReadAt(p, b.base+off)
+}

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mkEntries(n int, seed int64) []segEntry {
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]segEntry, n)
+	for i := range entries {
+		val := make([]byte, 16+rng.Intn(256))
+		rng.Read(val)
+		entries[i] = segEntry{
+			id:     fmt.Sprintf("key-%04d", i),
+			val:    val,
+			digest: sha256.Sum256(val),
+		}
+	}
+	return entries
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	entries := mkEntries(100, 7)
+	entries[13] = segEntry{id: entries[13].id, tomb: true}
+	path := filepath.Join(t.TempDir(), segName(1, 0))
+	if _, err := writeSegment(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := openSegment(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.live != 99 {
+		t.Fatalf("live=%d want 99", seg.live)
+	}
+	for i, e := range entries {
+		ei, ok := seg.find(e.id)
+		if !ok {
+			t.Fatalf("entry %d (%s) not found", i, e.id)
+		}
+		if seg.metas[ei].tomb != e.tomb {
+			t.Fatalf("entry %s tombstone mismatch", e.id)
+		}
+		if e.tomb {
+			continue
+		}
+		got, err := seg.load(ei)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, e.val) {
+			t.Fatalf("entry %s value mismatch", e.id)
+		}
+	}
+	if _, ok := seg.find("absent-key"); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestSegmentRejectsDuplicates(t *testing.T) {
+	entries := mkEntries(2, 1)
+	entries[1].id = entries[0].id
+	path := filepath.Join(t.TempDir(), segName(1, 0))
+	if _, err := writeSegment(path, entries); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+}
+
+// Every single-byte corruption of a segment file must either fail open
+// validation or fail the per-entry digest check on load — corrupt bytes
+// are never served as valid values.
+func TestSegmentCorruptionDetected(t *testing.T) {
+	entries := mkEntries(8, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, segName(1, 0))
+	if _, err := writeSegment(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stride through the file rather than every byte to keep it quick.
+	for pos := 0; pos < len(full); pos += 7 {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0x10
+		mpath := filepath.Join(dir, "mut.sst")
+		if err := os.WriteFile(mpath, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := openSegment(mpath, 1)
+		if err != nil {
+			continue // structural corruption caught at open
+		}
+		// Open survived (flip landed in a value): every load must either
+		// error or return bytes matching the recorded digest.
+		for ei := range seg.ids {
+			if seg.metas[ei].tomb {
+				continue
+			}
+			val, err := seg.load(ei)
+			if err != nil {
+				continue
+			}
+			if sha256.Sum256(val) != seg.metas[ei].digest {
+				t.Fatalf("flip at %d: load returned bytes that fail digest", pos)
+			}
+		}
+	}
+}
+
+func TestSegmentTruncationDetected(t *testing.T) {
+	entries := mkEntries(8, 4)
+	dir := t.TempDir()
+	path := filepath.Join(dir, segName(1, 0))
+	if _, err := writeSegment(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, segHdrLen, len(full) / 2, len(full) - 1} {
+		mpath := filepath.Join(dir, "cut.sst")
+		if err := os.WriteFile(mpath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := openSegment(mpath, 1); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestSegmentNameRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		seq uint64
+		gen uint32
+	}{{0, 0}, {42, 0}, {42, 17}, {1234567, 3}} {
+		seq, gen, ok := parseSegName(segName(tc.seq, tc.gen))
+		if !ok || seq != tc.seq || gen != tc.gen {
+			t.Fatalf("roundtrip (%d,%d) -> (%d,%d,%v)", tc.seq, tc.gen, seq, gen, ok)
+		}
+	}
+	for _, bad := range []string{"wal.log", "seg-1.sst", "seg-1-2.sst.corrupt", "seg--1-2.sst"} {
+		if _, _, ok := parseSegName(bad); ok {
+			t.Fatalf("parsed %q", bad)
+		}
+	}
+}

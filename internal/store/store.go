@@ -1,0 +1,883 @@
+package store
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound reports a Load/Get of a key that is absent (or deleted).
+var ErrNotFound = errors.New("store: entry not found")
+
+// ErrDiskCap reports a Put that cannot fit under the disk cap even
+// after compaction and cold-entry eviction.
+var ErrDiskCap = errors.New("store: disk cap exceeded and nothing evictable")
+
+// Options tunes a Store.
+type Options struct {
+	// MemtableBytes is the spill threshold: when the in-memory tier
+	// exceeds it, the memtable is written to an immutable segment and
+	// the WAL is truncated (0 = 64 MiB).
+	MemtableBytes int64
+	// DiskCapBytes bounds total on-disk bytes (segments + WAL). When a
+	// Put would exceed it, the store compacts and then evicts the
+	// least-recently-accessed entries (tombstone + compaction) to make
+	// room (0 = unbounded).
+	DiskCapBytes int64
+	// CompactAt is the number of same-size-tier adjacent segments that
+	// triggers a tiered compaction (0 = 4).
+	CompactAt int
+}
+
+// Recovery summarizes what Open reconstructed from the data directory.
+type Recovery struct {
+	// Entries is the live key count after recovery.
+	Entries int
+	// WALRecords is how many intact WAL records were replayed.
+	WALRecords int
+	// WALDroppedBytes is the size of the torn/corrupt WAL tail that
+	// replay truncated away (0 on a clean shutdown).
+	WALDroppedBytes int64
+	// Segments is the number of segment files reattached.
+	Segments int
+	// Quarantined counts segment files that failed validation and were
+	// renamed aside rather than served from.
+	Quarantined int
+}
+
+// Stats is a point-in-time snapshot of store occupancy and lifetime
+// counters.
+type Stats struct {
+	Entries   int   `json:"entries"`
+	MemBytes  int64 `json:"mem_bytes"`
+	WALBytes  int64 `json:"wal_bytes"`
+	DiskBytes int64 `json:"disk_bytes"`
+	Segments  int   `json:"segments"`
+
+	Puts           uint64 `json:"puts"`
+	Deletes        uint64 `json:"deletes"`
+	Loads          uint64 `json:"loads"`
+	Spills         uint64 `json:"spills"`
+	Compactions    uint64 `json:"compactions"`
+	Evictions      uint64 `json:"evictions"`
+	BloomNegatives uint64 `json:"bloom_negatives"`
+
+	RecoveredEntries    int   `json:"recovered_entries"`
+	WALDroppedBytes     int64 `json:"wal_dropped_bytes"`
+	QuarantinedSegments int   `json:"quarantined_segments"`
+}
+
+// Store is a durable, crash-safe key/value tier: a WAL-backed memtable
+// in front of immutable segments. All methods are safe for concurrent
+// use. See the package comment for the design.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	mem     map[string][]byte
+	memSum  map[string][sha256.Size]byte
+	memTomb map[string]bool
+	memB    int64
+	wal     *walWriter
+	segs    []*segment // age order: oldest first
+	nextSeq uint64
+
+	access map[string]uint64 // logical last-access clock (not persisted)
+	clock  uint64
+
+	st     Stats
+	rec    Recovery
+	closed bool
+}
+
+const walFile = "wal.log"
+
+func segName(seq uint64, gen uint32) string {
+	return fmt.Sprintf("seg-%06d-%06d.sst", seq, gen)
+}
+
+func parseSegName(base string) (seq uint64, gen uint32, ok bool) {
+	var s, g uint64
+	if n, err := fmt.Sscanf(base, "seg-%d-%d.sst", &s, &g); n != 2 || err != nil {
+		return 0, 0, false
+	}
+	if !strings.HasSuffix(base, ".sst") {
+		return 0, 0, false
+	}
+	return s, uint32(g), true
+}
+
+// Open attaches a store to dir, creating it if needed, and recovers:
+// interrupted compactions are rolled forward or discarded, stray temp
+// files removed, valid segments reattached (corrupt ones quarantined),
+// and the WAL replayed idempotently into a fresh memtable with any torn
+// tail truncated. The returned Recovery reports what was found.
+func Open(dir string, opts Options) (*Store, Recovery, error) {
+	if opts.MemtableBytes <= 0 {
+		opts.MemtableBytes = 64 << 20
+	}
+	if opts.CompactAt <= 0 {
+		opts.CompactAt = 4
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Recovery{}, err
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		mem:     map[string][]byte{},
+		memSum:  map[string][sha256.Size]byte{},
+		memTomb: map[string]bool{},
+		access:  map[string]uint64{},
+	}
+	if err := s.recoverCompaction(); err != nil {
+		return nil, Recovery{}, err
+	}
+	if err := s.openSegments(); err != nil {
+		return nil, Recovery{}, err
+	}
+	if err := s.openWAL(); err != nil {
+		return nil, Recovery{}, err
+	}
+	s.rec.Entries = len(s.liveLocked())
+	s.rec.Segments = len(s.segs)
+	s.st.RecoveredEntries = s.rec.Entries
+	s.st.WALDroppedBytes = s.rec.WALDroppedBytes
+	s.st.QuarantinedSegments = s.rec.Quarantined
+	return s, s.rec, nil
+}
+
+// recoverCompaction completes or discards an interrupted compaction.
+// The commit file is the decision point: once it is durable the inputs
+// are logically dead, so recovery rolls the merge forward (rename the
+// pending output into place, delete the inputs); without it, any
+// pending/tmp outputs are leftovers of a merge that never committed and
+// are discarded. This two-phase protocol is what lets compaction drop
+// tombstones without a crash resurrecting masked values.
+func (s *Store) recoverCompaction() error {
+	commitPath := filepath.Join(s.dir, "compact.commit")
+	blob, err := os.ReadFile(commitPath)
+	switch {
+	case err == nil:
+		lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+		if len(lines) == 0 || !strings.HasPrefix(lines[0], "v1 ") {
+			// Unrecognized commit file: fail loudly rather than guess at
+			// which files are dead.
+			return fmt.Errorf("store: malformed compaction commit file %s", commitPath)
+		}
+		final := strings.TrimPrefix(lines[0], "v1 ")
+		if final != "-" {
+			finalPath := filepath.Join(s.dir, final)
+			pendPath := finalPath + ".pending"
+			if _, err := os.Stat(pendPath); err == nil {
+				if err := os.Rename(pendPath, finalPath); err != nil {
+					return err
+				}
+				if err := syncDir(finalPath); err != nil {
+					return err
+				}
+			}
+		}
+		for _, in := range lines[1:] {
+			if in == "" {
+				continue
+			}
+			if err := os.Remove(filepath.Join(s.dir, in)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		if err := os.Remove(commitPath); err != nil {
+			return err
+		}
+	case !os.IsNotExist(err):
+		return err
+	}
+	// Any remaining pending/tmp file belongs to a merge or spill that
+	// never committed.
+	stray, err := filepath.Glob(filepath.Join(s.dir, "*.tmp"))
+	if err != nil {
+		return err
+	}
+	pend, err := filepath.Glob(filepath.Join(s.dir, "*.pending"))
+	if err != nil {
+		return err
+	}
+	for _, p := range append(stray, pend...) {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// openSegments attaches every valid segment file in age order,
+// quarantining corrupt ones (renamed to *.corrupt so they stop matching
+// the segment glob but remain for forensics).
+func (s *Store) openSegments() error {
+	names, err := filepath.Glob(filepath.Join(s.dir, "seg-*.sst"))
+	if err != nil {
+		return err
+	}
+	type segFile struct {
+		path string
+		seq  uint64
+		gen  uint32
+	}
+	var files []segFile
+	for _, p := range names {
+		seq, gen, ok := parseSegName(filepath.Base(p))
+		if !ok {
+			continue
+		}
+		files = append(files, segFile{path: p, seq: seq, gen: gen})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].seq != files[j].seq {
+			return files[i].seq < files[j].seq
+		}
+		return files[i].gen < files[j].gen
+	})
+	for i, f := range files {
+		// Same-seq duplicates cannot survive a completed recovery; be
+		// defensive anyway and keep only the newest generation.
+		if i+1 < len(files) && files[i+1].seq == f.seq {
+			if err := quarantine(f.path); err != nil {
+				return err
+			}
+			s.rec.Quarantined++
+			continue
+		}
+		seg, err := openSegment(f.path, f.seq)
+		if err != nil {
+			if qerr := quarantine(f.path); qerr != nil {
+				return qerr
+			}
+			s.rec.Quarantined++
+			continue
+		}
+		s.segs = append(s.segs, seg)
+		if f.seq >= s.nextSeq {
+			s.nextSeq = f.seq + 1
+		}
+	}
+	return nil
+}
+
+func quarantine(path string) error {
+	return os.Rename(path, path+".corrupt")
+}
+
+// openWAL replays the log into the memtable, truncates any torn tail,
+// and positions the writer at the intact end.
+func (s *Store) openWAL() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	good, dropped, err := replayWAL(f, func(op walOp) {
+		s.rec.WALRecords++
+		if op.del {
+			s.applyDeleteLocked(op.id)
+			return
+		}
+		s.applyPutLocked(op.id, op.val, op.digest)
+	})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	s.rec.WALDroppedBytes = dropped
+	if dropped > 0 {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return err
+	}
+	s.wal = &walWriter{f: f, off: good}
+	// A replayed memtable over the threshold spills immediately so boot
+	// memory stays bounded.
+	if s.memB > s.opts.MemtableBytes {
+		if err := s.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyPutLocked installs a value in the memtable (no WAL write — used
+// by replay and by Put after its WAL append).
+func (s *Store) applyPutLocked(id string, val []byte, sum [sha256.Size]byte) {
+	if old, ok := s.mem[id]; ok {
+		s.memB -= int64(len(old))
+	}
+	s.mem[id] = val
+	s.memSum[id] = sum
+	delete(s.memTomb, id)
+	s.memB += int64(len(val))
+	s.clock++
+	s.access[id] = s.clock
+}
+
+func (s *Store) applyDeleteLocked(id string) {
+	if old, ok := s.mem[id]; ok {
+		s.memB -= int64(len(old))
+		delete(s.mem, id)
+		delete(s.memSum, id)
+	}
+	s.memTomb[id] = true
+	delete(s.access, id)
+}
+
+// Put makes (id, val) durable: the pair is WAL-appended in CRC-framed
+// chunks and fsync'd before Put returns, so a crash at any later point
+// preserves it. Re-putting an identical value (the content-addressed
+// steady state) is a no-op that only refreshes the access clock.
+func (s *Store) Put(id string, val []byte) error {
+	if len(id) == 0 || len(id) > walMaxIDLen {
+		return fmt.Errorf("store: key length %d out of range", len(id))
+	}
+	if len(val) == 0 {
+		return fmt.Errorf("store: empty value")
+	}
+	sum := sha256.Sum256(val)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if cur, ok := s.digestLocked(id); ok && cur == sum {
+		s.clock++
+		s.access[id] = s.clock
+		return nil
+	}
+	if err := s.ensureRoomLocked(putCost(id, val), id); err != nil {
+		return err
+	}
+	if err := s.wal.appendRecord(walPut, id, val); err != nil {
+		return err
+	}
+	s.applyPutLocked(id, append([]byte(nil), val...), sum)
+	s.st.Puts++
+	if s.memB > s.opts.MemtableBytes {
+		if err := s.flushLocked(); err != nil {
+			return err
+		}
+		return s.maybeCompactLocked()
+	}
+	return nil
+}
+
+// putCost approximates the WAL footprint of one put record.
+func putCost(id string, val []byte) int64 {
+	chunks := (int64(len(val)) + walChunkSize - 1) / walChunkSize
+	return int64(walHdrLen) + int64(len(id)) + 4 + int64(len(val)) + 4*chunks + sha256.Size
+}
+
+// Delete tombstones id. The tombstone is WAL-durable immediately and
+// masks every older copy until a compaction that includes the oldest
+// segment drops both for good. Deleting an absent key is a no-op.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, ok := s.digestLocked(id); !ok {
+		return nil
+	}
+	if err := s.wal.appendRecord(walDelete, id, nil); err != nil {
+		return err
+	}
+	s.applyDeleteLocked(id)
+	s.st.Deletes++
+	return nil
+}
+
+// digestLocked resolves id to its current value digest, newest tier
+// first. ok is false for absent or tombstoned keys.
+func (s *Store) digestLocked(id string) ([sha256.Size]byte, bool) {
+	if sum, ok := s.memSum[id]; ok {
+		return sum, true
+	}
+	if s.memTomb[id] {
+		return [sha256.Size]byte{}, false
+	}
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		seg := s.segs[i]
+		if !seg.bloom.MayContain(id) {
+			s.st.BloomNegatives++
+			continue
+		}
+		if ei, ok := seg.find(id); ok {
+			if seg.metas[ei].tomb {
+				return [sha256.Size]byte{}, false
+			}
+			return seg.metas[ei].digest, true
+		}
+	}
+	return [sha256.Size]byte{}, false
+}
+
+// Contains reports whether id is live, answering registry misses
+// without touching any segment's data region (memtable map hit, then
+// per-segment bloom filters and in-memory indexes only).
+func (s *Store) Contains(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.digestLocked(id)
+	return ok
+}
+
+// Get returns a copy of id's value (tests and small entries; the
+// serving path uses Load to stream without materializing).
+func (s *Store) Get(id string) ([]byte, error) {
+	b, err := s.Load(id)
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	val := make([]byte, b.Size())
+	if _, err := readFullAt(b, val, 0); err != nil {
+		return nil, err
+	}
+	if sum := sha256.Sum256(val); sum != b.Digest() {
+		return nil, fmt.Errorf("store: entry %q digest mismatch", id)
+	}
+	return val, nil
+}
+
+// Load opens id's current value for random-access streaming. Segment
+// hits get their own file descriptor, so the blob stays readable even
+// if a concurrent compaction deletes the segment file. Callers should
+// verify integrity (Blob.Verify, or an incremental digest of all bytes
+// read) before trusting the content, and must Close the blob.
+func (s *Store) Load(id string) (*Blob, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	s.clock++
+	if val, ok := s.mem[id]; ok {
+		s.access[id] = s.clock
+		s.st.Loads++
+		return newMemBlob(val, s.memSum[id]), nil
+	}
+	if s.memTomb[id] {
+		return nil, ErrNotFound
+	}
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		seg := s.segs[i]
+		if !seg.bloom.MayContain(id) {
+			s.st.BloomNegatives++
+			continue
+		}
+		ei, ok := seg.find(id)
+		if !ok {
+			continue
+		}
+		if seg.metas[ei].tomb {
+			return nil, ErrNotFound
+		}
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return nil, err
+		}
+		s.access[id] = s.clock
+		s.st.Loads++
+		m := &seg.metas[ei]
+		return newFileBlob(f, m.off, m.vlen, m.digest), nil
+	}
+	return nil, ErrNotFound
+}
+
+// liveLocked materializes the live key set (segments oldest→newest,
+// then the memtable, tombstones masking as they go).
+func (s *Store) liveLocked() map[string]bool {
+	live := map[string]bool{}
+	for _, seg := range s.segs {
+		for i, id := range seg.ids {
+			if seg.metas[i].tomb {
+				delete(live, id)
+			} else {
+				live[id] = true
+			}
+		}
+	}
+	for id := range s.mem {
+		live[id] = true
+	}
+	for id := range s.memTomb {
+		delete(live, id)
+	}
+	return live
+}
+
+// Keys returns the sorted live key set.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := s.liveLocked()
+	out := make([]string, 0, len(live))
+	for id := range live {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the live key count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.liveLocked())
+}
+
+// Flush spills the memtable to a fresh segment and truncates the WAL.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.maybeCompactLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if len(s.mem) == 0 && len(s.memTomb) == 0 {
+		return nil
+	}
+	entries := make([]segEntry, 0, len(s.mem)+len(s.memTomb))
+	for id, val := range s.mem {
+		entries = append(entries, segEntry{id: id, val: val, digest: s.memSum[id]})
+	}
+	for id := range s.memTomb {
+		entries = append(entries, segEntry{id: id, tomb: true})
+	}
+	seq := s.nextSeq
+	path := filepath.Join(s.dir, segName(seq, 0))
+	if _, err := writeSegment(path, entries); err != nil {
+		return err
+	}
+	seg, err := openSegment(path, seq)
+	if err != nil {
+		return err
+	}
+	s.nextSeq++
+	s.segs = append(s.segs, seg)
+	s.mem = map[string][]byte{}
+	s.memSum = map[string][sha256.Size]byte{}
+	s.memTomb = map[string]bool{}
+	s.memB = 0
+	s.st.Spills++
+	// The segment is durable; the WAL no longer needs to cover it. A
+	// crash between the rename above and this truncate just replays puts
+	// that the segment already holds — replay is idempotent and the next
+	// compaction dedups the copies.
+	if err := s.wal.f.Truncate(0); err != nil {
+		return err
+	}
+	if err := s.wal.f.Sync(); err != nil {
+		return err
+	}
+	if _, err := s.wal.f.Seek(0, 0); err != nil {
+		return err
+	}
+	s.wal.off = 0
+	return nil
+}
+
+// sizeTier buckets a segment by log2 of its file size, the grouping key
+// of size-tiered compaction.
+func sizeTier(size int64) int {
+	t := 0
+	for size >= 4096 {
+		size >>= 1
+		t++
+	}
+	return t
+}
+
+// maybeCompactLocked runs tiered compaction: any run of CompactAt or
+// more age-adjacent segments in the same size tier is merged (adjacency
+// keeps newest-wins semantics exact). Repeats until no run qualifies.
+func (s *Store) maybeCompactLocked() error {
+	for {
+		lo, hi, found := -1, -1, false
+		run := 1
+		for i := 1; i <= len(s.segs); i++ {
+			if i < len(s.segs) && sizeTier(s.segs[i].size) == sizeTier(s.segs[i-1].size) {
+				run++
+				continue
+			}
+			if run >= s.opts.CompactAt {
+				lo, hi, found = i-run, i-1, true
+				break
+			}
+			run = 1
+		}
+		if !found {
+			return nil
+		}
+		if err := s.compactRunLocked(lo, hi); err != nil {
+			return err
+		}
+	}
+}
+
+// Compact merges everything — memtable flushed first, then all segments
+// folded into one with tombstones dropped.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return s.compactAllLocked()
+}
+
+func (s *Store) compactAllLocked() error {
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if len(s.segs) == 0 {
+		return nil
+	}
+	return s.compactRunLocked(0, len(s.segs)-1)
+}
+
+// compactRunLocked merges segments [lo, hi] (age order, inclusive) into
+// one, newest value per key winning. Tombstones are dropped only when
+// the run includes the oldest segment — otherwise they must survive to
+// keep masking older copies. The merge commits via a two-phase
+// protocol: the merged output is written to a .pending path, a commit
+// file naming the output and the dead inputs is fsync'd (the point of
+// no return), then the output is renamed live and the inputs deleted.
+// Open replays whichever half a crash interrupted.
+func (s *Store) compactRunLocked(lo, hi int) error {
+	dropTombs := lo == 0
+	type pick struct {
+		seg *segment
+		ei  int
+	}
+	newest := map[string]pick{}
+	var order []string
+	for i := hi; i >= lo; i-- {
+		seg := s.segs[i]
+		for ei, id := range seg.ids {
+			if _, ok := newest[id]; ok {
+				continue
+			}
+			newest[id] = pick{seg: seg, ei: ei}
+			order = append(order, id)
+		}
+	}
+	var entries []segEntry
+	for _, id := range order {
+		p := newest[id]
+		m := &p.seg.metas[p.ei]
+		if m.tomb {
+			if !dropTombs {
+				entries = append(entries, segEntry{id: id, tomb: true})
+			}
+			continue
+		}
+		val, err := p.seg.load(p.ei)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, segEntry{id: id, val: val, digest: m.digest})
+	}
+
+	outSeq, outGen := s.segs[hi].seq, uint32(0)
+	if _, gen, ok := parseSegName(filepath.Base(s.segs[hi].path)); ok {
+		outGen = gen + 1
+	}
+	final := segName(outSeq, outGen)
+	finalPath := filepath.Join(s.dir, final)
+	commitFinal := final
+	if len(entries) == 0 {
+		commitFinal = "-"
+	} else {
+		if _, err := writeSegment(finalPath+".pending", entries); err != nil {
+			return err
+		}
+	}
+	var commit strings.Builder
+	commit.WriteString("v1 " + commitFinal + "\n")
+	for i := lo; i <= hi; i++ {
+		commit.WriteString(filepath.Base(s.segs[i].path) + "\n")
+	}
+	commitPath := filepath.Join(s.dir, "compact.commit")
+	if err := writeFileSync(commitPath, []byte(commit.String())); err != nil {
+		return err
+	}
+	// Point of no return: the inputs are logically dead.
+	var merged *segment
+	if len(entries) > 0 {
+		if err := os.Rename(finalPath+".pending", finalPath); err != nil {
+			return err
+		}
+		if err := syncDir(finalPath); err != nil {
+			return err
+		}
+		var err error
+		merged, err = openSegment(finalPath, outSeq)
+		if err != nil {
+			return err
+		}
+	}
+	for i := lo; i <= hi; i++ {
+		if err := os.Remove(s.segs[i].path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if err := os.Remove(commitPath); err != nil {
+		return err
+	}
+	rest := append([]*segment{}, s.segs[:lo]...)
+	if merged != nil {
+		rest = append(rest, merged)
+	}
+	s.segs = append(rest, s.segs[hi+1:]...)
+	s.st.Compactions++
+	return nil
+}
+
+// writeFileSync writes path atomically (tmp + rename) and fsyncs both
+// the file and its directory.
+func writeFileSync(path string, blob []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(path)
+}
+
+// diskBytesLocked is the store's on-disk footprint: segment files plus
+// the WAL.
+func (s *Store) diskBytesLocked() int64 {
+	total := s.wal.off
+	for _, seg := range s.segs {
+		total += seg.size
+	}
+	return total
+}
+
+// ensureRoomLocked makes need bytes of WAL headroom available under the
+// disk cap: compact first (reclaims dead versions and dropped
+// tombstones), then evict the least-recently-accessed live entries
+// (skipping the incoming key) until the projected footprint fits.
+func (s *Store) ensureRoomLocked(need int64, skip string) error {
+	cap := s.opts.DiskCapBytes
+	if cap <= 0 || s.diskBytesLocked()+need <= cap {
+		return nil
+	}
+	if err := s.compactAllLocked(); err != nil {
+		return err
+	}
+	for s.diskBytesLocked()+need > cap {
+		victim, ok := s.coldestLocked(skip)
+		if !ok {
+			return ErrDiskCap
+		}
+		if err := s.wal.appendRecord(walDelete, victim, nil); err != nil {
+			return err
+		}
+		s.applyDeleteLocked(victim)
+		s.st.Evictions++
+		if err := s.compactAllLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// coldestLocked picks the live entry with the oldest access clock
+// (never-accessed entries first, id order breaking ties).
+func (s *Store) coldestLocked(skip string) (string, bool) {
+	var victim string
+	var victimClock uint64
+	found := false
+	live := s.liveLocked()
+	ids := make([]string, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if id == skip {
+			continue
+		}
+		c := s.access[id]
+		if !found || c < victimClock {
+			victim, victimClock, found = id, c, true
+		}
+	}
+	return victim, found
+}
+
+// Stats returns a snapshot of occupancy and counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st
+	st.Entries = len(s.liveLocked())
+	st.MemBytes = s.memB
+	st.WALBytes = s.wal.off
+	st.DiskBytes = s.diskBytesLocked()
+	st.Segments = len(s.segs)
+	return st
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close flushes the memtable (so the next Open reattaches segments
+// instead of replaying the WAL) and releases the log file. The store is
+// unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.flushLocked()
+	if cerr := s.wal.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

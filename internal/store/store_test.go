@@ -1,0 +1,536 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTestStore(t *testing.T, dir string, opts Options) (*Store, Recovery) {
+	t.Helper()
+	s, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, rec
+}
+
+func TestStorePutGetDelete(t *testing.T) {
+	s, _ := openTestStore(t, t.TempDir(), Options{})
+	val := bytes.Repeat([]byte{0xAB}, 1000)
+	if err := s.Put("alpha", val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatal("value mismatch")
+	}
+	if !s.Contains("alpha") || s.Contains("beta") {
+		t.Fatal("Contains wrong")
+	}
+	if err := s.Delete("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains("alpha") {
+		t.Fatal("deleted key still present")
+	}
+	if _, err := s.Get("alpha"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+	// Deleting an absent key is a no-op.
+	if err := s.Delete("never"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Re-putting identical content (the content-addressed steady state)
+// must not grow the WAL.
+func TestStoreIdempotentPut(t *testing.T) {
+	s, _ := openTestStore(t, t.TempDir(), Options{})
+	val := bytes.Repeat([]byte{1}, 500)
+	if err := s.Put("id", val); err != nil {
+		t.Fatal(err)
+	}
+	walAfterFirst := s.Stats().WALBytes
+	for i := 0; i < 5; i++ {
+		if err := s.Put("id", val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().WALBytes; got != walAfterFirst {
+		t.Fatalf("duplicate puts grew WAL: %d -> %d", walAfterFirst, got)
+	}
+	// A different value under the same key does overwrite.
+	val2 := bytes.Repeat([]byte{2}, 500)
+	if err := s.Put("id", val2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val2) {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestStoreReopenFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, Options{})
+	vals := map[string][]byte{}
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("sess-%d", i)
+		vals[id] = bytes.Repeat([]byte{byte(i)}, 200+i)
+		if err := s.Put(id, vals[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete("sess-3")
+	delete(vals, "sess-3")
+	// Simulate a crash: do NOT Close (no flush), reopen and replay.
+	s.mu.Lock()
+	s.wal.f.Close()
+	s.closed = true
+	s.mu.Unlock()
+
+	s2, rec := openTestStore(t, dir, Options{})
+	if rec.Entries != len(vals) || rec.WALRecords != 11 || rec.WALDroppedBytes != 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	for id, want := range vals {
+		got, err := s2.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("value mismatch for %s", id)
+		}
+	}
+	if s2.Contains("sess-3") {
+		t.Fatal("tombstone lost on replay")
+	}
+}
+
+// A torn WAL tail (crash mid-record) must drop exactly the torn record
+// and preserve every earlier one.
+func TestStoreReopenTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, Options{})
+	if err := s.Put("acked", bytes.Repeat([]byte{7}, 300)); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.wal.f.Close()
+	s.closed = true
+	s.mu.Unlock()
+	// Append garbage simulating a torn in-flight record.
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := append(bytes.Repeat([]byte{0xFF}, 3), []byte("torn-upload")...)
+	if _, err := f.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, rec := openTestStore(t, dir, Options{})
+	if rec.WALDroppedBytes != int64(len(junk)) {
+		t.Fatalf("dropped %d bytes, want %d", rec.WALDroppedBytes, len(junk))
+	}
+	if !s2.Contains("acked") {
+		t.Fatal("acked entry lost")
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("Len=%d want 1", s2.Len())
+	}
+	// And the truncation must be durable: a third open sees a clean log.
+	s2.Close()
+	_, rec3 := openTestStore(t, dir, Options{})
+	if rec3.WALDroppedBytes != 0 {
+		t.Fatalf("truncation not durable: dropped %d", rec3.WALDroppedBytes)
+	}
+}
+
+func TestStoreSpillAndReopenFromSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny memtable so every few puts spill to a segment.
+	s, _ := openTestStore(t, dir, Options{MemtableBytes: 4096})
+	vals := map[string][]byte{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("sess-%02d", i)
+		val := make([]byte, 500+rng.Intn(1500))
+		rng.Read(val)
+		vals[id] = val
+		if err := s.Put(id, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Spills == 0 || st.Segments == 0 {
+		t.Fatalf("no spills happened: %+v", st)
+	}
+	for id, want := range vals {
+		got, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("mismatch for %s", id)
+		}
+	}
+	s.Close()
+
+	s2, rec := openTestStore(t, dir, Options{MemtableBytes: 4096})
+	if rec.Entries != len(vals) {
+		t.Fatalf("recovered %d entries, want %d", rec.Entries, len(vals))
+	}
+	if rec.WALRecords != 0 {
+		t.Fatalf("clean close left %d WAL records", rec.WALRecords)
+	}
+	for id, want := range vals {
+		got, err := s2.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s) after reopen: %v", id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("mismatch for %s after reopen", id)
+		}
+	}
+}
+
+// Property: any interleaving of puts, overwrites, and deletes followed
+// by compaction yields exactly the live set a model map predicts.
+func TestStoreCompactionPreservesLiveSet(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			s, _ := openTestStore(t, dir, Options{MemtableBytes: 2048, CompactAt: 3})
+			rng := rand.New(rand.NewSource(seed))
+			model := map[string][]byte{}
+			for step := 0; step < 200; step++ {
+				id := fmt.Sprintf("k%02d", rng.Intn(25))
+				switch rng.Intn(4) {
+				case 0:
+					if err := s.Delete(id); err != nil {
+						t.Fatal(err)
+					}
+					delete(model, id)
+				default:
+					val := make([]byte, 100+rng.Intn(400))
+					rng.Read(val)
+					if err := s.Put(id, val); err != nil {
+						t.Fatal(err)
+					}
+					model[id] = val
+				}
+			}
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			if st.Segments > 1 {
+				t.Fatalf("full compaction left %d segments", st.Segments)
+			}
+			checkAgainstModel(t, s, model)
+			// Tombstones must actually be gone after a full compaction.
+			if len(s.segs) == 1 && s.segs[0].live != len(s.segs[0].ids) {
+				t.Fatalf("full compaction kept tombstones: %d live of %d", s.segs[0].live, len(s.segs[0].ids))
+			}
+			// And the same live set must survive a reopen.
+			s.Close()
+			s2, _ := openTestStore(t, dir, Options{MemtableBytes: 2048, CompactAt: 3})
+			checkAgainstModel(t, s2, model)
+		})
+	}
+}
+
+func checkAgainstModel(t *testing.T, s *Store, model map[string][]byte) {
+	t.Helper()
+	keys := s.Keys()
+	if len(keys) != len(model) {
+		t.Fatalf("live set size %d, model %d", len(keys), len(model))
+	}
+	for _, id := range keys {
+		want, ok := model[id]
+		if !ok {
+			t.Fatalf("store has %s, model does not", id)
+		}
+		got, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("value mismatch for %s", id)
+		}
+	}
+}
+
+// An interrupted compaction (crash right after the commit file became
+// durable, inputs still on disk) must roll forward on open without
+// resurrecting tombstoned values.
+func TestStoreCompactionCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, Options{})
+	if err := s.Put("keep", bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("gone", bytes.Repeat([]byte{2}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Two segments: [puts], [tombstone]. Stage the crash window by hand:
+	// merged output pending + commit file present, inputs not yet deleted.
+	s.mu.Lock()
+	if len(s.segs) != 2 {
+		s.mu.Unlock()
+		t.Fatalf("want 2 segments, have %d", len(s.segs))
+	}
+	in0, in1 := s.segs[0], s.segs[1]
+	merged := []segEntry{{id: "keep", val: bytes.Repeat([]byte{1}, 100), digest: sha256.Sum256(bytes.Repeat([]byte{1}, 100))}}
+	final := segName(in1.seq, 1)
+	if _, err := writeSegment(filepath.Join(dir, final+".pending"), merged); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	commit := "v1 " + final + "\n" + filepath.Base(in0.path) + "\n" + filepath.Base(in1.path) + "\n"
+	if err := writeFileSync(filepath.Join(dir, "compact.commit"), []byte(commit)); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	s.wal.f.Close()
+	s.closed = true
+	s.mu.Unlock()
+
+	s2, rec := openTestStore(t, dir, Options{})
+	if rec.Quarantined != 0 {
+		t.Fatalf("recovery quarantined %d segments", rec.Quarantined)
+	}
+	if !s2.Contains("keep") {
+		t.Fatal("live entry lost rolling compaction forward")
+	}
+	if s2.Contains("gone") {
+		t.Fatal("tombstoned value resurrected by interrupted compaction")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "compact.commit")); !os.IsNotExist(err) {
+		t.Fatal("commit file not cleaned up")
+	}
+}
+
+// A crash before the commit file exists must discard the pending output
+// and keep serving from the inputs.
+func TestStoreCompactionAbortedDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, Options{})
+	if err := s.Put("a", bytes.Repeat([]byte{3}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Pending merge output with no commit file: never committed.
+	if _, err := writeSegment(filepath.Join(dir, segName(99, 1)+".pending"), []segEntry{{id: "ghost", val: []byte{9}, digest: sha256.Sum256([]byte{9})}}); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.wal.f.Close()
+	s.closed = true
+	s.mu.Unlock()
+
+	s2, _ := openTestStore(t, dir, Options{})
+	if s2.Contains("ghost") {
+		t.Fatal("uncommitted merge output became visible")
+	}
+	if !s2.Contains("a") {
+		t.Fatal("input entry lost")
+	}
+	pend, _ := filepath.Glob(filepath.Join(dir, "*.pending"))
+	if len(pend) != 0 {
+		t.Fatalf("pending files survived recovery: %v", pend)
+	}
+}
+
+// A corrupt segment file is quarantined, not served from and not fatal.
+func TestStoreQuarantinesCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, Options{})
+	if err := s.Put("ok", bytes.Repeat([]byte{5}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.sst"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %v (%v)", segs, err)
+	}
+	blob, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0xFF // break the footer magic
+	if err := os.WriteFile(segs[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := openTestStore(t, dir, Options{})
+	if rec.Quarantined != 1 {
+		t.Fatalf("quarantined=%d want 1", rec.Quarantined)
+	}
+	if s2.Contains("ok") {
+		t.Fatal("entry served from corrupt segment")
+	}
+	qs, _ := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if len(qs) != 1 {
+		t.Fatalf("corrupt file not kept for forensics: %v", qs)
+	}
+}
+
+// With a disk cap, cold entries are evicted (oldest access first) to
+// make room, and the incoming entry always survives.
+func TestStoreDiskCapEvictsCold(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, Options{MemtableBytes: 1, DiskCapBytes: 64 << 10})
+	val := bytes.Repeat([]byte{1}, 8<<10)
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("cold-%d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch cold-0 so it is the hottest.
+	if _, err := s.Get("cold-0"); err != nil {
+		t.Fatal(err)
+	}
+	// Push enough new entries to exceed the cap.
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("new-%d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under cap pressure: %+v", st)
+	}
+	if st.DiskBytes > 64<<10 {
+		t.Fatalf("disk bytes %d exceed cap", st.DiskBytes)
+	}
+	// The most recent put always survives.
+	if !s.Contains("new-3") {
+		t.Fatal("incoming entry evicted")
+	}
+	// A single value larger than the cap is rejected, not looped on.
+	if err := s.Put("huge", bytes.Repeat([]byte{2}, 80<<10)); !errors.Is(err, ErrDiskCap) {
+		t.Fatalf("oversized put: %v", err)
+	}
+}
+
+func TestStoreBlobVerifyAndStream(t *testing.T) {
+	s, _ := openTestStore(t, t.TempDir(), Options{})
+	val := bytes.Repeat([]byte{0xC3}, 100_000)
+	if err := s.Put("big", val); err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		b, err := s.Load("big")
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		defer b.Close()
+		if b.Size() != int64(len(val)) {
+			t.Fatalf("%s: size %d", label, b.Size())
+		}
+		if err := b.Verify(); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		mid := make([]byte, 1000)
+		if _, err := readFullAt(b, mid, 50_000); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !bytes.Equal(mid, val[50_000:51_000]) {
+			t.Fatalf("%s: mid-read mismatch", label)
+		}
+	}
+	check("memtable")
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	check("segment")
+	// A blob opened before compaction keeps reading after the segment
+	// file is replaced (it holds its own descriptor).
+	b, err := s.Load("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := s.Put("other", bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatalf("blob unreadable after compaction: %v", err)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s, _ := openTestStore(t, t.TempDir(), Options{MemtableBytes: 8 << 10, CompactAt: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("w%d-k%d", w, rng.Intn(10))
+				switch rng.Intn(5) {
+				case 0:
+					if err := s.Delete(id); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if b, err := s.Load(id); err == nil {
+						if err := b.Verify(); err != nil {
+							t.Error(err)
+						}
+						b.Close()
+					} else if !errors.Is(err, ErrNotFound) {
+						t.Error(err)
+						return
+					}
+				default:
+					val := make([]byte, 100+rng.Intn(2000))
+					rng.Read(val)
+					if err := s.Put(id, val); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,243 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Write-ahead log. Every mutation (Put, Delete) is appended as one
+// record and fsync'd before the call returns, so an acked upload
+// survives a crash at any later instant. Values are written in bounded
+// chunks, each followed by its CRC-32C, and the record closes with the
+// SHA-256 digest of the whole value — a torn write (power cut mid
+// record) or a bit-flipped tail fails one of those checks on replay and
+// the log is truncated back to the last intact record. Replay is
+// idempotent: records are keyed, re-applying a prefix that was already
+// spilled to a segment just recreates the same memtable state (newest
+// wins on lookup, compaction dedups the segment copies later).
+//
+// Record layout (little-endian):
+//
+//	magic(u32 "AWL1") | type(u8) | idLen(u16) | valLen(u64) | id | hcrc(u32)
+//	put: value chunks (≤ walChunkSize each, crc32c(u32) after every chunk) | sha256(value)[32]
+//	del: nothing further
+//
+// hcrc is the CRC-32C of everything before it (magic through id), so a
+// bit flip anywhere in the header or key is caught even though the
+// chunk CRCs and digest only cover the value.
+const (
+	walMagic uint32 = 0x41574c31 // "AWL1"
+
+	walPut    byte = 1
+	walDelete byte = 2
+
+	// walChunkSize bounds one CRC-framed chunk of a value: a 300 MB key
+	// upload streams through the log in 1 MiB digest-verified pieces.
+	walChunkSize = 1 << 20
+
+	// walMaxIDLen bounds a record's key (session IDs are 32 hex chars;
+	// the slack keeps the format generic without letting a corrupt
+	// length field drive a huge allocation).
+	walMaxIDLen = 512
+
+	walHdrLen = 4 + 1 + 2 + 8
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// walWriter appends records to the open log file.
+type walWriter struct {
+	f   *os.File
+	buf []byte // record staging, reused across appends
+	off int64  // current end of the intact log
+}
+
+// appendRecord stages one full record in w.buf, writes it with a single
+// Write, and fsyncs. Staging the whole record first means a crash
+// mid-write can only produce a torn suffix, never interleaved records.
+func (w *walWriter) appendRecord(typ byte, id string, val []byte) error {
+	if len(id) == 0 || len(id) > walMaxIDLen {
+		return fmt.Errorf("store: wal record id length %d out of range", len(id))
+	}
+	b := w.buf[:0]
+	b = binary.LittleEndian.AppendUint32(b, walMagic)
+	b = append(b, typ)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(id)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(val)))
+	b = append(b, id...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+	switch typ {
+	case walPut:
+		if len(val) == 0 {
+			return fmt.Errorf("store: empty value in wal put record")
+		}
+		for off := 0; off < len(val); off += walChunkSize {
+			end := off + walChunkSize
+			if end > len(val) {
+				end = len(val)
+			}
+			chunk := val[off:end]
+			b = append(b, chunk...)
+			b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(chunk, castagnoli))
+		}
+		sum := sha256.Sum256(val)
+		b = append(b, sum[:]...)
+	case walDelete:
+	default:
+		return fmt.Errorf("store: unknown wal record type %d", typ)
+	}
+	w.buf = b
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.off += int64(len(b))
+	return nil
+}
+
+// walOp is one replayed record.
+type walOp struct {
+	del    bool
+	id     string
+	val    []byte
+	digest [32]byte
+}
+
+// replayWAL scans the log from the start, calling apply for every
+// intact record in order. It stops at the first malformed byte — bad
+// magic, impossible length, short read, chunk CRC or digest mismatch —
+// and reports the offset of the last intact record boundary plus how
+// many bytes after it were dropped. The caller truncates the file to
+// goodBytes before appending, so a torn tail can never corrupt later
+// records. Applying the same log twice yields the same state: records
+// carry full values (not deltas), so replay is idempotent by
+// construction.
+func replayWAL(f *os.File, apply func(op walOp)) (goodBytes, droppedBytes int64, err error) {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	for {
+		op, n, rerr := readWALRecord(br, size-off)
+		if rerr != nil {
+			if rerr == io.EOF && n == 0 {
+				return off, size - off, nil
+			}
+			// Malformed or torn record: everything from its start on is
+			// dropped.
+			return off, size - off, nil
+		}
+		apply(op)
+		off += n
+	}
+}
+
+// readWALRecord decodes one record from br, bounded by remain bytes.
+// Every length field is validated against remain before any allocation,
+// so a corrupt header surfaces as an error, never a panic or an
+// attacker-sized make.
+func readWALRecord(br *bufio.Reader, remain int64) (walOp, int64, error) {
+	var op walOp
+	if remain == 0 {
+		return op, 0, io.EOF
+	}
+	var hdr [walHdrLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return op, 0, fmt.Errorf("store: wal header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != walMagic {
+		return op, 0, fmt.Errorf("store: bad wal magic %#x", m)
+	}
+	typ := hdr[4]
+	idLen := int(binary.LittleEndian.Uint16(hdr[5:7]))
+	valLen := binary.LittleEndian.Uint64(hdr[7:15])
+	if idLen == 0 || idLen > walMaxIDLen {
+		return op, 0, fmt.Errorf("store: wal id length %d out of range", idLen)
+	}
+	// Bound the value length by the bytes actually present before any
+	// signed arithmetic or allocation: a corrupt 2^63-scale length field
+	// must not wrap the accounting below.
+	if valLen > uint64(remain) {
+		return op, 0, fmt.Errorf("store: wal value length %d exceeds remaining %d bytes (torn tail)", valLen, remain)
+	}
+	need := int64(walHdrLen) + int64(idLen) + 4 // header + id + hcrc
+	switch typ {
+	case walPut:
+		if valLen == 0 {
+			return op, 0, fmt.Errorf("store: empty value in wal put record")
+		}
+		chunks := (int64(valLen) + walChunkSize - 1) / walChunkSize
+		need += int64(valLen) + 4*chunks + sha256.Size
+	case walDelete:
+		if valLen != 0 {
+			return op, 0, fmt.Errorf("store: wal delete record carries %d value bytes", valLen)
+		}
+	default:
+		return op, 0, fmt.Errorf("store: unknown wal record type %d", typ)
+	}
+	if need > remain {
+		return op, 0, fmt.Errorf("store: wal record needs %d bytes, %d remain (torn tail)", need, remain)
+	}
+	idBuf := make([]byte, idLen)
+	if _, err := io.ReadFull(br, idBuf); err != nil {
+		return op, 0, fmt.Errorf("store: wal id: %w", err)
+	}
+	op.id = string(idBuf)
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return op, 0, fmt.Errorf("store: wal header crc: %w", err)
+	}
+	hcrc := crc32.Checksum(hdr[:], castagnoli)
+	hcrc = crc32.Update(hcrc, castagnoli, idBuf)
+	if binary.LittleEndian.Uint32(crcBuf[:]) != hcrc {
+		return op, 0, fmt.Errorf("store: wal header crc mismatch")
+	}
+
+	switch typ {
+	case walDelete:
+		op.del = true
+		return op, need, nil
+
+	default: // walPut
+		val := make([]byte, valLen)
+		for off := uint64(0); off < valLen; off += walChunkSize {
+			end := off + walChunkSize
+			if end > valLen {
+				end = valLen
+			}
+			chunk := val[off:end]
+			if _, err := io.ReadFull(br, chunk); err != nil {
+				return op, 0, fmt.Errorf("store: wal chunk: %w", err)
+			}
+			if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+				return op, 0, fmt.Errorf("store: wal chunk crc: %w", err)
+			}
+			if binary.LittleEndian.Uint32(crcBuf[:]) != crc32.Checksum(chunk, castagnoli) {
+				return op, 0, fmt.Errorf("store: wal chunk crc mismatch")
+			}
+		}
+		var want [sha256.Size]byte
+		if _, err := io.ReadFull(br, want[:]); err != nil {
+			return op, 0, fmt.Errorf("store: wal digest: %w", err)
+		}
+		sum := sha256.Sum256(val)
+		if !bytes.Equal(sum[:], want[:]) {
+			return op, 0, fmt.Errorf("store: wal record digest mismatch")
+		}
+		op.val, op.digest = val, sum
+		return op, need, nil
+	}
+}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestWAL(t *testing.T) (*walWriter, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return &walWriter{f: f}, path
+}
+
+func replayAll(t *testing.T, path string) ([]walOp, int64, int64) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var ops []walOp
+	good, dropped, err := replayWAL(f, func(op walOp) { ops = append(ops, op) })
+	if err != nil {
+		t.Fatalf("replayWAL: %v", err)
+	}
+	return ops, good, dropped
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	w, path := openTestWAL(t)
+	rng := rand.New(rand.NewSource(1))
+	type rec struct {
+		del bool
+		id  string
+		val []byte
+	}
+	var want []rec
+	for i := 0; i < 20; i++ {
+		id := string(rune('a'+i%7)) + "key"
+		if i%5 == 4 {
+			want = append(want, rec{del: true, id: id})
+			if err := w.appendRecord(walDelete, id, nil); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		// Mix sizes across the chunk boundary, including multi-chunk.
+		n := 1 + rng.Intn(3*walChunkSize/2)
+		val := make([]byte, n)
+		rng.Read(val)
+		want = append(want, rec{id: id, val: val})
+		if err := w.appendRecord(walPut, id, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops, good, dropped := replayAll(t, path)
+	if dropped != 0 {
+		t.Fatalf("clean log dropped %d bytes", dropped)
+	}
+	if good != w.off {
+		t.Fatalf("good=%d writer off=%d", good, w.off)
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(ops), len(want))
+	}
+	for i, op := range ops {
+		if op.del != want[i].del || op.id != want[i].id || !bytes.Equal(op.val, want[i].val) {
+			t.Fatalf("record %d mismatch", i)
+		}
+		if !op.del {
+			if op.digest != sha256.Sum256(want[i].val) {
+				t.Fatalf("record %d digest mismatch", i)
+			}
+		}
+	}
+}
+
+// Replaying the same log twice must produce identical state — the crash
+// path re-runs replay over a log that may already be reflected in
+// segments.
+func TestWALReplayIdempotent(t *testing.T) {
+	w, path := openTestWAL(t)
+	for i := 0; i < 10; i++ {
+		id := string(rune('a' + i%3))
+		if err := w.appendRecord(walPut, id, bytes.Repeat([]byte{byte(i)}, 100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.appendRecord(walDelete, "b", nil); err != nil {
+		t.Fatal(err)
+	}
+	apply := func() map[string][]byte {
+		state := map[string][]byte{}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		_, _, err = replayWAL(f, func(op walOp) {
+			if op.del {
+				delete(state, op.id)
+			} else {
+				state[op.id] = op.val
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return state
+	}
+	once, twice := apply(), apply()
+	if len(once) != len(twice) {
+		t.Fatalf("replay not idempotent: %d vs %d keys", len(once), len(twice))
+	}
+	for id, val := range once {
+		if !bytes.Equal(twice[id], val) {
+			t.Fatalf("replay not idempotent for %q", id)
+		}
+	}
+	if _, ok := once["b"]; ok {
+		t.Fatal("tombstoned key survived replay")
+	}
+}
+
+// A torn tail — the log cut at any byte short of the last record
+// boundary — must drop exactly the torn record(s) and keep every intact
+// prefix record.
+func TestWALTruncatedTailDropped(t *testing.T) {
+	w, path := openTestWAL(t)
+	var bounds []int64
+	for i := 0; i < 5; i++ {
+		if err := w.appendRecord(walPut, "key", bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, w.off)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		tpath := filepath.Join(t.TempDir(), "wal.log")
+		if err := os.WriteFile(tpath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ops, good, dropped := replayAll(t, tpath)
+		// The intact prefix is the largest record boundary ≤ cut.
+		wantRecs, wantGood := 0, int64(0)
+		for i, b := range bounds {
+			if b <= cut {
+				wantRecs, wantGood = i+1, b
+			}
+		}
+		if len(ops) != wantRecs || good != wantGood || dropped != cut-wantGood {
+			t.Fatalf("cut=%d: got %d recs good=%d dropped=%d, want %d recs good=%d dropped=%d",
+				cut, len(ops), good, dropped, wantRecs, wantGood, cut-wantGood)
+		}
+	}
+}
+
+// A bit flip anywhere in the final record must invalidate it (CRC or
+// digest or header validation) while preserving intact earlier records.
+func TestWALBitFlippedTailDropped(t *testing.T) {
+	w, path := openTestWAL(t)
+	if err := w.appendRecord(walPut, "first", bytes.Repeat([]byte{1}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	firstEnd := w.off
+	if err := w.appendRecord(walPut, "second", bytes.Repeat([]byte{2}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := firstEnd; pos < int64(len(full)); pos++ {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0x40
+		tpath := filepath.Join(t.TempDir(), "wal.log")
+		if err := os.WriteFile(tpath, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ops, good, _ := replayAll(t, tpath)
+		if len(ops) != 1 || ops[0].id != "first" || good != firstEnd {
+			t.Fatalf("flip at %d: got %d recs good=%d, want 1 rec good=%d", pos, len(ops), good, firstEnd)
+		}
+	}
+}
+
+func TestWALRejectsBadRecords(t *testing.T) {
+	w, _ := openTestWAL(t)
+	if err := w.appendRecord(walPut, "", []byte{1}); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if err := w.appendRecord(walPut, "id", nil); err == nil {
+		t.Fatal("empty put value accepted")
+	}
+	long := bytes.Repeat([]byte{'x'}, walMaxIDLen+1)
+	if err := w.appendRecord(walPut, string(long), []byte{1}); err == nil {
+		t.Fatal("oversized id accepted")
+	}
+}
