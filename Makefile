@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint vet race bench store-test crash-test
+.PHONY: build test check lint vet race bench store-test crash-test cluster-test
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,14 @@ crash-test:
 	$(GO) build -o /tmp/athena-serve-crashtest ./cmd/athena-serve
 	ATHENA_SERVE_BIN=/tmp/athena-serve-crashtest \
 		$(GO) test -count=1 -run 'TestCrashRecoverySIGKILL|TestServeStoreRestart' -v ./internal/serve/
+
+# Cluster gate: ring/router/control suites under the race detector,
+# including the drain-under-load acceptance test (16 retrying clients
+# through the router, owner drained mid-traffic, zero failures). The
+# CI cluster-integration job runs exactly this plus a live-binary
+# smoke.
+cluster-test:
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/serve/client/
 
 # check is the CI gate: compile, vet, FHE-aware static analysis, the
 # full suite under the race detector (store suite included), then the

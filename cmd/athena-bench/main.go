@@ -10,6 +10,7 @@
 //	athena-bench -json BENCH_kernels.json   # kernel microbenchmarks
 //	athena-bench -compare BENCH_kernels.json -tol 0.25   # regression gate
 //	athena-bench -scaling        # EncryptedInference p={1,2,4} speedup table
+//	athena-bench -cluster-scaling  # ClusterThroughput nodes={1,2,3} req/s table
 //
 // -json runs the hot-path kernel microbenchmarks (NTT, PMult, CMult,
 // keyswitch, pack, FBS, end-to-end inference at GOMAXPROCS 1/2/4/8) and
@@ -38,7 +39,18 @@ func main() {
 	comparePath := flag.String("compare", "", "re-run the kernel microbenchmarks and compare against this baseline JSON; exit 1 on regression")
 	tol := flag.Float64("tol", 0.25, "fractional ns/op growth tolerated by -compare before failing")
 	scaling := flag.Bool("scaling", false, "run only the EncryptedInference/p={1,2,4} multicore rows and print a speedup table (the CI multicore-scaling job)")
+	clusterScaling := flag.Bool("cluster-scaling", false, "run only the ClusterThroughput/nodes={1,2,3} rows and print a req/s table (the CI cluster-integration job)")
 	flag.Parse()
+
+	if *clusterScaling {
+		table, err := report.ClusterScalingTable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster benchmarks: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(table)
+		return
+	}
 
 	if *scaling {
 		table, err := report.ScalingTable([]int{1, 2, 4})

@@ -1,0 +1,127 @@
+// Command athena-cluster is the operator CLI for the athena-router
+// JSON-RPC control plane.
+//
+//	athena-cluster -control 127.0.0.1:7801 status
+//	athena-cluster -control 127.0.0.1:7801 join b 127.0.0.1:7710 127.0.0.1:7711
+//	athena-cluster -control 127.0.0.1:7801 drain a
+//	athena-cluster -control 127.0.0.1:7801 leave a
+//	athena-cluster -control 127.0.0.1:7801 rebalance
+//	athena-cluster -control 127.0.0.1:7801 metrics
+//
+// Every subcommand is one JSON-RPC 2.0 call; the result (or error)
+// prints as indented JSON, so the command composes with jq.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	control := flag.String("control", "127.0.0.1:7801", "router control-plane address")
+	timeout := flag.Duration("timeout", 30*time.Second, "one RPC round-trip bound")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: athena-cluster [-control host:port] <status|join|drain|leave|rebalance|metrics> [args]\n\n"+
+				"  status                     membership table and epoch\n"+
+				"  join <name> <addr> [admin] add or re-activate a node\n"+
+				"  drain <name>               remove a node from placement (keeps it in the table)\n"+
+				"  leave <name>               remove a node entirely\n"+
+				"  rebalance                  re-push ownership to every node admin endpoint\n"+
+				"  metrics                    aggregated cluster metrics document\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var method string
+	var params any
+	switch args[0] {
+	case "status":
+		method = "cluster.status"
+	case "metrics":
+		method = "cluster.metrics"
+	case "rebalance":
+		method = "cluster.rebalance"
+	case "join":
+		if len(args) < 3 || len(args) > 4 {
+			log.Fatal("join needs <name> <addr> [admin]")
+		}
+		method = "cluster.join"
+		p := map[string]string{"name": args[1], "addr": args[2]}
+		if len(args) == 4 {
+			p["admin"] = args[3]
+		}
+		params = p
+	case "drain", "leave":
+		if len(args) != 2 {
+			log.Fatalf("%s needs <name>", args[0])
+		}
+		method = "cluster." + args[0]
+		params = map[string]string{"name": args[1]}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	result, rpcErr, err := call(*control, *timeout, method, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rpcErr != nil {
+		fmt.Fprintf(os.Stderr, "rpc error %d: %s\n", rpcErr.Code, rpcErr.Message)
+		os.Exit(1)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, result, "", "  "); err != nil {
+		fmt.Println(string(result))
+		return
+	}
+	fmt.Println(buf.String())
+}
+
+type rpcErrorBody struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// call performs one JSON-RPC 2.0 round-trip against the control plane.
+func call(control string, timeout time.Duration, method string, params any) (json.RawMessage, *rpcErrorBody, error) {
+	req := map[string]any{"jsonrpc": "2.0", "id": 1, "method": method}
+	if params != nil {
+		req["params"] = params
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl := &http.Client{Timeout: timeout}
+	resp, err := cl.Post("http://"+control+"/rpc", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	var out struct {
+		Result json.RawMessage `json:"result"`
+		Error  *rpcErrorBody   `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, nil, fmt.Errorf("undecodable control-plane reply (%s): %w", resp.Status, err)
+	}
+	return out.Result, out.Error, nil
+}

@@ -1,0 +1,113 @@
+// Command athena-router is the stateless front tier of an athena
+// cluster: it speaks the same ASV1 frame protocol as athena-serve, but
+// instead of evaluating it places each session on its owning node by
+// consistent hashing and relays frames, demultiplexing replies by
+// request ID. It holds no key material, so any number of routers can
+// front the same nodes.
+//
+//	athena-router -addr :7800 -control :7801 \
+//	    -node a=127.0.0.1:7700,127.0.0.1:7701 \
+//	    -node b=127.0.0.1:7710,127.0.0.1:7711
+//
+// Membership changes at runtime go through the JSON-RPC control plane
+// on -control (POST /rpc: cluster.join, cluster.drain, cluster.leave,
+// cluster.rebalance, cluster.status, cluster.metrics; GET /metrics is
+// the aggregated cluster document). The athena-cluster command is the
+// CLI for it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"athena/internal/cluster"
+)
+
+// nodeFlags collects repeated -node name=addr[,admin] values.
+type nodeFlags []cluster.Node
+
+func (f *nodeFlags) String() string { return fmt.Sprintf("%d nodes", len(*f)) }
+
+func (f *nodeFlags) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" || rest == "" {
+		return fmt.Errorf("want name=addr[,admin], got %q", v)
+	}
+	addr, admin, _ := strings.Cut(rest, ",")
+	if addr == "" {
+		return fmt.Errorf("want name=addr[,admin], got %q", v)
+	}
+	*f = append(*f, cluster.Node{Name: name, Addr: addr, Admin: admin})
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7800", "ASV1 listen address clients connect to")
+	control := flag.String("control", "", "JSON-RPC control-plane HTTP listen address (empty = disabled)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per physical node on the hash ring")
+	inflight := flag.Int("inflight", 0, "max in-flight requests per backend connection; beyond it clients get BUSY (0 = 256)")
+	var nodes nodeFlags
+	flag.Var(&nodes, "node", "seed member as name=addr[,admin] (repeatable)")
+	flag.Parse()
+
+	members := cluster.NewMembership(*vnodes)
+	for _, n := range nodes {
+		if err := members.Join(n.Name, n.Addr, n.Admin); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Members:               members,
+		MaxInflightPerBackend: *inflight,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctl := cluster.NewControl(members, router)
+	if len(nodes) > 0 {
+		// Seed the nodes' ownership predicates so eviction ordering is
+		// cluster-aware from the first request (best effort — nodes
+		// without admin addresses just evict in plain LRU order).
+		if pushed, errs := ctl.PushOwnership(); len(errs) > 0 {
+			for _, e := range errs {
+				log.Printf("ownership push: %v", e)
+			}
+		} else if pushed > 0 {
+			fmt.Printf("pushed ownership to %d nodes\n", pushed)
+		}
+	}
+	if *control != "" {
+		go func() {
+			fmt.Printf("control plane on http://%s/rpc (metrics: /metrics)\n", *control)
+			if err := http.ListenAndServe(*control, ctl.Handler()); err != nil {
+				log.Printf("control listener: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("\n%v: shutting down router...\n", s)
+		router.Shutdown()
+	}()
+
+	snapshot, epoch := members.Snapshot()
+	fmt.Printf("athena-router listening on %s (%d nodes, epoch %d, %d vnodes)\n",
+		*addr, len(snapshot), epoch, *vnodes)
+	if err := router.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+	rs := router.Stats()
+	fmt.Printf("router done: %d sessions routed, %d infers relayed, %d redirects\n",
+		rs.SessionsRouted, rs.InfersRelayed, rs.Redirects)
+}

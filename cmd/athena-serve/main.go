@@ -15,8 +15,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -24,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"athena/internal/cluster"
 	"athena/internal/core"
 	"athena/internal/qnn"
 	"athena/internal/serve"
@@ -31,7 +34,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "inference listen address")
-	admin := flag.String("admin", "", "admin HTTP listen address serving GET /metrics (empty = disabled)")
+	admin := flag.String("admin", "", "admin HTTP listen address serving GET /metrics and POST /cluster (empty = disabled)")
+	name := flag.String("name", "", "node name on the cluster ring (empty = standalone; required for ownership-aware eviction)")
+	rate := flag.Float64("rate", 0, "per-client admission rate in requests/sec; exhausted clients get BUSY (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-client token-bucket burst (0 = 2x max-batch)")
 	preset := flag.String("preset", "test", "engine parameters: test (N=128,t=257) or medium (N=2048,t=65537)")
 	modelPath := flag.String("model", "", "serve a saved model (JSON from QNetwork.WriteJSON) instead of the built-in wire-demo")
 	maxBatch := flag.Int("max-batch", 16, "flush a batch at this many requests")
@@ -81,6 +87,8 @@ func main() {
 		MemCapBytes:  *memCap,
 		DataDir:      *dataDir,
 		DiskCapBytes: *diskCap,
+		RatePerSec:   *rate,
+		Burst:        *burst,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -99,9 +107,34 @@ func main() {
 	}
 
 	if *admin != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", srv.AdminHandler())
+		// POST /cluster: the control plane pushes membership snapshots
+		// here after join/drain/leave. The node derives its ownership
+		// predicate from the ring and hands it to both eviction tiers.
+		mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				w.Header().Set("Allow", http.MethodPost)
+				http.Error(w, "membership push is POST", http.StatusMethodNotAllowed)
+				return
+			}
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			var doc cluster.MembershipDoc
+			if err := json.Unmarshal(body, &doc); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			srv.SetSessionOwnership(doc.OwnedFunc(*name))
+			fmt.Printf("cluster membership epoch %d applied (%d nodes)\n", doc.Epoch, len(doc.Nodes))
+			w.WriteHeader(http.StatusNoContent)
+		})
 		go func() {
 			fmt.Printf("admin /metrics on http://%s/metrics\n", *admin)
-			if err := http.ListenAndServe(*admin, srv.AdminHandler()); err != nil {
+			if err := http.ListenAndServe(*admin, mux); err != nil {
 				log.Printf("admin listener: %v", err)
 			}
 		}()

@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// MembershipDoc is the wire form of a membership snapshot: what the
+// control plane pushes to node admin endpoints (so nodes can order
+// eviction by ownership) and what cluster.status returns.
+type MembershipDoc struct {
+	Epoch  uint64 `json:"epoch"`
+	VNodes int    `json:"vnodes"`
+	Nodes  []Node `json:"nodes"`
+}
+
+// Doc snapshots the membership as a pushable document.
+func (m *Membership) Doc() MembershipDoc {
+	nodes, epoch := m.Snapshot()
+	return MembershipDoc{Epoch: epoch, VNodes: m.VNodes(), Nodes: nodes}
+}
+
+// OwnedFunc builds the ownership predicate a node named self should
+// install: true when the doc's ring places the session on self. An
+// empty ring claims everything (a lone node should not evict on the
+// say-so of a vacuous membership); a doc that excludes self claims
+// nothing, which is exactly right for a drained node — its sessions
+// become the first eviction victims.
+func (d MembershipDoc) OwnedFunc(self string) func(id string) bool {
+	active := make([]string, 0, len(d.Nodes))
+	for _, n := range d.Nodes {
+		if n.State == NodeActive {
+			active = append(active, n.Name)
+		}
+	}
+	ring := NewRing(active, d.VNodes)
+	return func(id string) bool {
+		owner, ok := ring.Owner(id)
+		return !ok || owner == self
+	}
+}
+
+// Control is the cluster's JSON-RPC admin plane: membership mutation
+// (join/drain/leave), ownership rebalancing, and cluster-wide metrics
+// aggregation. It serves POST /rpc (JSON-RPC 2.0) and GET /metrics.
+type Control struct {
+	members *Membership
+	router  *Router // optional: its counters join the metrics document
+
+	// StatsTimeout bounds one node stats round-trip during aggregation.
+	StatsTimeout time.Duration
+	// PushTimeout bounds one ownership push to a node admin endpoint.
+	PushTimeout time.Duration
+
+	client *http.Client
+}
+
+// NewControl builds the control plane over members. router may be nil
+// (a control plane run standalone still mutates membership and
+// aggregates node metrics; only the router counter block is absent).
+func NewControl(members *Membership, router *Router) *Control {
+	return &Control{
+		members:      members,
+		router:       router,
+		StatsTimeout: 5 * time.Second,
+		PushTimeout:  5 * time.Second,
+		client:       &http.Client{},
+	}
+}
+
+// Handler returns the HTTP handler: POST /rpc and GET /metrics.
+func (c *Control) Handler() http.Handler {
+	mux := http.NewServeMux()
+	methods := map[string]rpcMethod{
+		"cluster.join":      c.rpcJoin,
+		"cluster.drain":     c.rpcDrain,
+		"cluster.leave":     c.rpcLeave,
+		"cluster.rebalance": c.rpcRebalance,
+		"cluster.status":    c.rpcStatus,
+		"cluster.metrics":   c.rpcMetrics,
+	}
+	mux.HandleFunc("/rpc", func(w http.ResponseWriter, r *http.Request) {
+		serveRPC(w, r, methods)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "metrics is GET", http.StatusMethodNotAllowed)
+			return
+		}
+		snap := c.gather()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	return mux
+}
+
+// joinParams are the cluster.join arguments.
+type joinParams struct {
+	Name  string `json:"name"`
+	Addr  string `json:"addr"`
+	Admin string `json:"admin,omitempty"`
+}
+
+// nameParams are the arguments of the single-node methods.
+type nameParams struct {
+	Name string `json:"name"`
+}
+
+// changeResult reports a membership mutation: the new epoch and how the
+// ownership push to node admin endpoints went (best effort — a node
+// that misses a push just evicts in plain LRU order until the next).
+type changeResult struct {
+	Epoch      uint64   `json:"epoch"`
+	Pushed     int      `json:"pushed"`
+	PushErrors []string `json:"push_errors,omitempty"`
+}
+
+func (c *Control) rpcJoin(params json.RawMessage) (any, *rpcError) {
+	var p joinParams
+	if e := unmarshalParams(params, &p); e != nil {
+		return nil, e
+	}
+	if err := c.members.Join(p.Name, p.Addr, p.Admin); err != nil {
+		return nil, &rpcError{Code: rpcInvalidParams, Message: err.Error()}
+	}
+	return c.changed(), nil
+}
+
+func (c *Control) rpcDrain(params json.RawMessage) (any, *rpcError) {
+	var p nameParams
+	if e := unmarshalParams(params, &p); e != nil {
+		return nil, e
+	}
+	if err := c.members.Drain(p.Name); err != nil {
+		return nil, &rpcError{Code: rpcInvalidParams, Message: err.Error()}
+	}
+	return c.changed(), nil
+}
+
+func (c *Control) rpcLeave(params json.RawMessage) (any, *rpcError) {
+	var p nameParams
+	if e := unmarshalParams(params, &p); e != nil {
+		return nil, e
+	}
+	if err := c.members.Leave(p.Name); err != nil {
+		return nil, &rpcError{Code: rpcInvalidParams, Message: err.Error()}
+	}
+	return c.changed(), nil
+}
+
+// rpcRebalance re-pushes the current ownership map to every node admin
+// endpoint without changing membership — the recovery path when a node
+// missed a push (restart, partition).
+func (c *Control) rpcRebalance(json.RawMessage) (any, *rpcError) {
+	return c.changed(), nil
+}
+
+func (c *Control) rpcStatus(json.RawMessage) (any, *rpcError) {
+	return c.members.Doc(), nil
+}
+
+func (c *Control) rpcMetrics(json.RawMessage) (any, *rpcError) {
+	return c.gather(), nil
+}
+
+// changed pushes ownership after a mutation and reports the outcome.
+func (c *Control) changed() changeResult {
+	pushed, errs := c.PushOwnership()
+	res := changeResult{Epoch: c.members.Epoch(), Pushed: pushed}
+	for _, err := range errs {
+		res.PushErrors = append(res.PushErrors, err.Error())
+	}
+	return res
+}
+
+// PushOwnership POSTs the membership snapshot to every node that
+// exposes an admin address. Nodes apply it with OwnedFunc to order
+// their eviction; nodes without an admin address are skipped.
+func (c *Control) PushOwnership() (pushed int, errs []error) {
+	doc := c.members.Doc()
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return 0, []error{err}
+	}
+	for _, n := range doc.Nodes {
+		if n.Admin == "" {
+			continue
+		}
+		if err := c.pushOne(n, body); err != nil {
+			errs = append(errs, fmt.Errorf("push to %s: %w", n.Name, err))
+			continue
+		}
+		pushed++
+	}
+	return pushed, errs
+}
+
+func (c *Control) pushOne(n Node, body []byte) error {
+	url := "http://" + n.Admin + "/cluster"
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	cl := *c.client
+	cl.Timeout = c.PushTimeout
+	resp, err := cl.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return nil
+}
+
+// gather assembles the cluster metrics document.
+func (c *Control) gather() ClusterSnapshot {
+	var rs *RouterStats
+	if c.router != nil {
+		s := c.router.Stats()
+		rs = &s
+	}
+	return GatherClusterStats(c.members, rs, c.StatsTimeout)
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Minimal JSON-RPC 2.0 over HTTP POST, stdlib only: one request per
+// body (no batching), standard error codes, notifications (requests
+// without an id) acknowledged with 204. This is the operator surface —
+// a handful of calls per membership change — so clarity beats
+// throughput.
+
+// JSON-RPC 2.0 error codes.
+const (
+	rpcParseError     = -32700
+	rpcInvalidRequest = -32600
+	rpcMethodNotFound = -32601
+	rpcInvalidParams  = -32602
+	rpcServerError    = -32000
+)
+
+// maxRPCBody bounds one control-plane request body; membership calls
+// are tiny, so anything larger is garbage or abuse.
+const maxRPCBody = 1 << 20
+
+type rpcRequest struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Method  string          `json:"method"`
+	Params  json.RawMessage `json:"params"`
+}
+
+type rpcError struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+	Data    any    `json:"data,omitempty"`
+}
+
+func (e *rpcError) Error() string { return fmt.Sprintf("jsonrpc %d: %s", e.Code, e.Message) }
+
+type rpcResponse struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Result  any             `json:"result,omitempty"`
+	Error   *rpcError       `json:"error,omitempty"`
+}
+
+// rpcMethod is one registered control-plane method. params is the raw
+// JSON params field (may be nil); the result must marshal cleanly.
+type rpcMethod func(params json.RawMessage) (any, *rpcError)
+
+// serveRPC dispatches one HTTP request against the method table.
+func serveRPC(w http.ResponseWriter, r *http.Request, methods map[string]rpcMethod) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "JSON-RPC requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRPCBody+1))
+	if err != nil {
+		writeRPC(w, rpcResponse{JSONRPC: "2.0", Error: &rpcError{Code: rpcParseError, Message: "reading body: " + err.Error()}})
+		return
+	}
+	if len(body) > maxRPCBody {
+		writeRPC(w, rpcResponse{JSONRPC: "2.0", Error: &rpcError{Code: rpcInvalidRequest, Message: "request body too large"}})
+		return
+	}
+	var req rpcRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeRPC(w, rpcResponse{JSONRPC: "2.0", Error: &rpcError{Code: rpcParseError, Message: err.Error()}})
+		return
+	}
+	if req.JSONRPC != "2.0" || req.Method == "" {
+		writeRPC(w, rpcResponse{JSONRPC: "2.0", ID: req.ID, Error: &rpcError{Code: rpcInvalidRequest, Message: `need "jsonrpc":"2.0" and a method`}})
+		return
+	}
+	fn, ok := methods[req.Method]
+	if !ok {
+		writeRPC(w, rpcResponse{JSONRPC: "2.0", ID: req.ID, Error: &rpcError{Code: rpcMethodNotFound, Message: "unknown method " + req.Method}})
+		return
+	}
+	result, rerr := fn(req.Params)
+	if req.ID == nil { // notification: no response body
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if rerr != nil {
+		writeRPC(w, rpcResponse{JSONRPC: "2.0", ID: req.ID, Error: rerr})
+		return
+	}
+	writeRPC(w, rpcResponse{JSONRPC: "2.0", ID: req.ID, Result: result})
+}
+
+func writeRPC(w http.ResponseWriter, resp rpcResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(resp); err != nil {
+		// Headers are out; nothing more to do.
+		_ = err
+	}
+}
+
+// unmarshalParams decodes params strictly into dst.
+func unmarshalParams(params json.RawMessage, dst any) *rpcError {
+	if len(params) == 0 {
+		return &rpcError{Code: rpcInvalidParams, Message: "params required"}
+	}
+	if err := json.Unmarshal(params, dst); err != nil {
+		return &rpcError{Code: rpcInvalidParams, Message: err.Error()}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+// Package cluster is the horizontal scale-out tier for athena-serve: a
+// consistent-hash ring that places sessions on nodes by their content
+// address, a membership table with join/drain/leave, a thin stateless
+// router speaking the ASV1 frame protocol on the front, and a JSON-RPC
+// control plane for operators.
+//
+// Placement is deterministic: a session's owner is a pure function of
+// the active membership set and the session's content-addressed ID, so
+// any router (and any node handed the membership list) computes the
+// same answer with no coordination. Virtual nodes smooth the load:
+// each node projects VNodes points onto the ring (SHA-256 of
+// "name#i"), and a session belongs to the first point clockwise from
+// the hash of its ID. Adding or removing one node moves only the
+// sessions in the arcs that node's points cover — about K/N of them —
+// which the ring property tests pin exactly.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 64 keeps
+// the per-node load imbalance within a few percent at small cluster
+// sizes while the ring stays tiny (N*64 points).
+const DefaultVNodes = 64
+
+// NodeState is a membership entry's lifecycle state.
+type NodeState uint8
+
+// Node lifecycle states.
+const (
+	// NodeActive nodes take placements.
+	NodeActive NodeState = iota
+	// NodeDraining nodes are excluded from placement: their sessions'
+	// ownership has already moved to the remaining active nodes, and the
+	// node only finishes in-flight work before being removed.
+	NodeDraining
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeActive:
+		return "active"
+	case NodeDraining:
+		return "draining"
+	}
+	return "state_" + strconv.Itoa(int(s))
+}
+
+// Node is one membership entry.
+type Node struct {
+	// Name identifies the node on the ring (placement hashes Name, not
+	// Addr, so a node can change address without moving its sessions).
+	Name string `json:"name"`
+	// Addr is the node's ASV1 serving address.
+	Addr string `json:"addr"`
+	// Admin is the node's HTTP admin address ("" = none); the control
+	// plane pushes membership snapshots there so nodes can order their
+	// eviction by ownership.
+	Admin string `json:"admin,omitempty"`
+	// State is the lifecycle state.
+	State NodeState `json:"state"`
+}
+
+// Ring is an immutable consistent-hash ring over a set of node names.
+// Build one with NewRing; reads are safe for concurrent use.
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string // index into no particular table — the owning node name
+}
+
+// NewRing projects vnodes points per node (SHA-256 of "name#i") onto
+// the 64-bit ring. Node order does not matter; equal inputs build
+// identical rings. vnodes <= 0 takes DefaultVNodes.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(nodes)*vnodes)}
+	for _, name := range nodes {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(name, i), node: name})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// A 64-bit collision between distinct names is vanishingly rare
+		// but must still order deterministically.
+		return a.node < b.node
+	})
+	return r
+}
+
+// pointHash is the ring coordinate of a node's i-th virtual node.
+func pointHash(name string, i int) uint64 {
+	sum := sha256.Sum256([]byte(name + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash is the ring coordinate of a session ID. The ID is already a
+// hex-encoded SHA-256 prefix, but hashing it again keeps placement
+// uniform for any caller-chosen key shape.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the node owning key: the first point at or clockwise
+// from the key's hash. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (node string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return r.points[i].node, true
+}
+
+// Size returns the number of points on the ring.
+func (r *Ring) Size() int { return len(r.points) }
+
+// Membership is the cluster's node table plus the placement ring
+// derived from its active subset. All methods are safe for concurrent
+// use; every mutation bumps the epoch and rebuilds the ring.
+type Membership struct {
+	mu     sync.RWMutex
+	vnodes int
+	nodes  map[string]Node
+	epoch  uint64
+	ring   *Ring
+}
+
+// NewMembership builds an empty table. vnodes <= 0 takes DefaultVNodes.
+func NewMembership(vnodes int) *Membership {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	m := &Membership{vnodes: vnodes, nodes: map[string]Node{}}
+	m.ring = NewRing(nil, vnodes)
+	return m
+}
+
+// Join adds (or re-activates) a node. Re-joining an existing name
+// updates its addresses and returns it to NodeActive — the path an
+// operator uses to cancel a drain.
+func (m *Membership) Join(name, addr, admin string) error {
+	if name == "" || addr == "" {
+		return fmt.Errorf("cluster: join needs a node name and address")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[name] = Node{Name: name, Addr: addr, Admin: admin, State: NodeActive}
+	m.bumpLocked()
+	return nil
+}
+
+// Drain marks a node draining: it is removed from placement (its
+// sessions' ownership moves to the remaining active nodes immediately)
+// but stays in the table so operators can watch it finish in-flight
+// work before Leave.
+func (m *Membership) Drain(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[name]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %q", name)
+	}
+	if n.State == NodeDraining {
+		return nil // idempotent
+	}
+	n.State = NodeDraining
+	m.nodes[name] = n
+	m.bumpLocked()
+	return nil
+}
+
+// Leave removes a node from the table entirely.
+func (m *Membership) Leave(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.nodes[name]; !ok {
+		return fmt.Errorf("cluster: unknown node %q", name)
+	}
+	delete(m.nodes, name)
+	m.bumpLocked()
+	return nil
+}
+
+// bumpLocked rebuilds the ring from the active subset and advances the
+// epoch. Node names are sorted first so the ring build is independent
+// of map iteration order (NewRing sorts anyway; this keeps the input
+// canonical for tests that compare rings).
+func (m *Membership) bumpLocked() {
+	active := make([]string, 0, len(m.nodes))
+	for name, n := range m.nodes {
+		if n.State == NodeActive {
+			active = append(active, name)
+		}
+	}
+	sort.Strings(active)
+	m.ring = NewRing(active, m.vnodes)
+	m.epoch++
+}
+
+// Owner resolves key's owning node. ok is false when no node is active.
+func (m *Membership) Owner(key string) (Node, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	name, ok := m.ring.Owner(key)
+	if !ok {
+		return Node{}, false
+	}
+	n, ok := m.nodes[name]
+	return n, ok
+}
+
+// Epoch returns the membership version; it advances on every change.
+func (m *Membership) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
+// Node looks up one entry by name.
+func (m *Membership) Node(name string) (Node, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n, ok := m.nodes[name]
+	return n, ok
+}
+
+// Snapshot returns the table (sorted by name) and the current epoch.
+func (m *Membership) Snapshot() ([]Node, uint64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Node, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, m.epoch
+}
+
+// VNodes returns the configured virtual-node count.
+func (m *Membership) VNodes() int { return m.vnodes }

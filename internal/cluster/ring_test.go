@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys builds a deterministic key population shaped like real
+// session IDs (hex content addresses).
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%032x", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingDeterministic: equal node sets build identical placement
+// regardless of input order.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"a", "b", "c"}, 64)
+	b := NewRing([]string{"c", "a", "b"}, 64)
+	if a.Size() != 3*64 || b.Size() != 3*64 {
+		t.Fatalf("ring sizes %d/%d, want %d", a.Size(), b.Size(), 3*64)
+	}
+	for _, k := range ringKeys(2000) {
+		oa, ok := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if !ok || oa != ob {
+			t.Fatalf("key %s: owner %q vs %q", k, oa, ob)
+		}
+	}
+}
+
+// TestRingEmpty: the empty ring owns nothing.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 64)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+}
+
+// TestRingDistribution: with 64 vnodes, no node of three carries more
+// than half the keys (the bound is loose on purpose — the property
+// that matters is that no node is starved or overwhelmed).
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 64)
+	counts := map[string]int{}
+	keys := ringKeys(6000)
+	for _, k := range keys {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	for n, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.1f%% of keys — imbalance outside [15%%, 55%%]", n, 100*frac)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding a node moves keys only TO the
+// new node — no key changes owner between surviving nodes — and the
+// moved fraction is near 1/N.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	before := NewRing([]string{"a", "b", "c"}, 64)
+	after := NewRing([]string{"a", "b", "c", "d"}, 64)
+	keys := ringKeys(6000)
+	moved := 0
+	for _, k := range keys {
+		ob, _ := before.Owner(k)
+		oa, _ := after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "d" {
+			t.Fatalf("key %s moved %s→%s: only moves to the new node are allowed", k, ob, oa)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	// Expect ≈ 1/4; accept a wide band around it.
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("join moved %.1f%% of keys, want ≈25%%", 100*frac)
+	}
+}
+
+// TestRingMinimalMovementOnRemove: removing a node moves only the keys
+// it owned; every other placement is untouched.
+func TestRingMinimalMovementOnRemove(t *testing.T) {
+	before := NewRing([]string{"a", "b", "c"}, 64)
+	after := NewRing([]string{"a", "b"}, 64)
+	for _, k := range ringKeys(6000) {
+		ob, _ := before.Owner(k)
+		oa, _ := after.Owner(k)
+		if ob != "c" && oa != ob {
+			t.Fatalf("key %s moved %s→%s though its owner survived", k, ob, oa)
+		}
+		if oa == "c" {
+			t.Fatalf("key %s still owned by removed node", k)
+		}
+	}
+}
+
+// TestMembershipLifecycle: join/drain/leave semantics — drain excludes
+// from placement but keeps the entry, rejoin cancels a drain, every
+// mutation bumps the epoch.
+func TestMembershipLifecycle(t *testing.T) {
+	m := NewMembership(64)
+	if _, ok := m.Owner("k"); ok {
+		t.Fatal("empty membership claimed an owner")
+	}
+	if err := m.Join("", "x", ""); err == nil {
+		t.Fatal("join with empty name accepted")
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.Join("a", "1.2.3.4:7700", "1.2.3.4:7701"))
+	must(m.Join("b", "1.2.3.5:7700", ""))
+	e2 := m.Epoch()
+	if e2 != 2 {
+		t.Fatalf("epoch %d after two joins, want 2", e2)
+	}
+
+	// Drain b: everything lands on a, the entry survives as draining.
+	must(m.Drain("b"))
+	for _, k := range ringKeys(100) {
+		o, ok := m.Owner(k)
+		if !ok || o.Name != "a" {
+			t.Fatalf("key %s owned by %q during drain of b, want a", k, o.Name)
+		}
+	}
+	if n, ok := m.Node("b"); !ok || n.State != NodeDraining {
+		t.Fatalf("drained node b: %+v ok=%v, want draining entry", n, ok)
+	}
+	if err := m.Drain("b"); err != nil {
+		t.Fatalf("re-drain not idempotent: %v", err)
+	}
+	if err := m.Drain("ghost"); err == nil {
+		t.Fatal("drain of unknown node accepted")
+	}
+
+	// Rejoin cancels the drain.
+	must(m.Join("b", "1.2.3.5:7700", ""))
+	if n, _ := m.Node("b"); n.State != NodeActive {
+		t.Fatalf("rejoin left b %v, want active", n.State)
+	}
+
+	must(m.Leave("b"))
+	if _, ok := m.Node("b"); ok {
+		t.Fatal("left node still in table")
+	}
+	if err := m.Leave("b"); err == nil {
+		t.Fatal("double leave accepted")
+	}
+	nodes, _ := m.Snapshot()
+	if len(nodes) != 1 || nodes[0].Name != "a" {
+		t.Fatalf("snapshot %+v, want just a", nodes)
+	}
+}
+
+// TestOwnedFunc: the pushed membership doc yields the same ownership
+// split the ring computes, a doc excluding self claims nothing, and an
+// empty doc claims everything.
+func TestOwnedFunc(t *testing.T) {
+	m := NewMembership(64)
+	for _, n := range []string{"a", "b", "c"} {
+		if err := m.Join(n, n+":7700", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc := m.Doc()
+	ownedA := doc.OwnedFunc("a")
+	sawOwned, sawUnowned := false, false
+	for _, k := range ringKeys(500) {
+		o, _ := m.Owner(k)
+		if got := ownedA(k); got != (o.Name == "a") {
+			t.Fatalf("key %s: OwnedFunc says %v, ring owner is %s", k, got, o.Name)
+		}
+		if ownedA(k) {
+			sawOwned = true
+		} else {
+			sawUnowned = true
+		}
+	}
+	if !sawOwned || !sawUnowned {
+		t.Fatal("degenerate split: ownership predicate never varied")
+	}
+
+	// A node outside the doc owns nothing (the drained-away case).
+	ghost := doc.OwnedFunc("ghost")
+	for _, k := range ringKeys(50) {
+		if ghost(k) {
+			t.Fatalf("node outside membership claimed key %s", k)
+		}
+	}
+	// Empty membership claims everything (standalone safety).
+	empty := MembershipDoc{}.OwnedFunc("a")
+	if !empty("anything") {
+		t.Fatal("empty membership disowned a session")
+	}
+}

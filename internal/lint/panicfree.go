@@ -61,6 +61,11 @@ func NewPanicFreeWire() *PanicFreeWire {
 		// crash: the WAL replay path and the segment open/read path.
 		{Pkg: "internal/store", File: "wal.go", Prefixes: []string{"replay", "read"}},
 		{Pkg: "internal/store", File: "segment.go", Prefixes: []string{"open", "read"}},
+		// The cluster router relays frames between untrusted clients and
+		// backend nodes: both socket directions are wire entry points, as
+		// is the stats aggregator's per-node fetch.
+		{Pkg: "internal/cluster", File: "router.go", Prefixes: []string{"handle", "dispatch", "backend", "relay"}},
+		{Pkg: "internal/cluster", File: "stats.go", Prefixes: []string{"fetch", "Gather"}},
 	}}
 }
 

@@ -12,6 +12,7 @@ import (
 func fixturePanicFree() *PanicFreeWire {
 	return &PanicFreeWire{Entries: []WireEntry{
 		{Pkg: "wire", File: "wire.go", Prefixes: []string{"Read", "read"}},
+		{Pkg: "relaydemo", File: "relaydemo.go", Prefixes: []string{"handle", "dispatch", "backend"}},
 	}}
 }
 

@@ -1,0 +1,47 @@
+// Package relaydemo seeds panicfree-wire fixtures for the router
+// relay shape: handle*/dispatch*/backend* functions in this file are
+// configured entry points, mirroring internal/cluster/router.go where
+// every byte read off a client or backend socket is attacker
+// influence. Panics tagged "// want panicfree-wire" are reachable
+// from an entry point; the rest must stay silent.
+package relaydemo
+
+import "errors"
+
+// handleFrame is the client-facing entry: it panics on a malformed
+// header one hop down.
+func handleFrame(b []byte) error {
+	splitHeader(b)
+	return nil
+}
+
+func splitHeader(b []byte) (byte, []byte) {
+	if len(b) < 12 {
+		panic("relaydemo: short frame header") // want panicfree-wire
+	}
+	return b[0], b[12:]
+}
+
+// dispatchReply is the backend-facing entry: the reply demux panics
+// directly on a truncated request ID.
+func dispatchReply(payload []byte) uint64 {
+	if len(payload) < 8 {
+		panic("relaydemo: reply shorter than request id") // want panicfree-wire
+	}
+	return uint64(payload[0])
+}
+
+// backendAttach is the fixed form: malformed control replies surface
+// as returned errors, never as a crash.
+func backendAttach(payload []byte) (string, error) {
+	if len(payload) < 2 {
+		return "", errors.New("relaydemo: truncated attach reply")
+	}
+	return string(payload[2:]), nil
+}
+
+// rebalance panics, but no relay entry point reaches it: silent. The
+// admin plane runs on trusted operator input, not wire bytes.
+func rebalance() {
+	panic("relaydemo: unreachable from the relay path")
+}

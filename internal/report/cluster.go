@@ -1,0 +1,199 @@
+package report
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"athena/internal/cluster"
+	"athena/internal/core"
+	"athena/internal/qnn"
+	"athena/internal/serve"
+	serveclient "athena/internal/serve/client"
+)
+
+// clusterThroughputRows measures horizontal scaling through the ASV1
+// router: an in-process cluster of 1, 2, and 3 athena-serve nodes
+// behind one router, driven by 16 clients spread over 4 distinct
+// sessions (4 engines with distinct key seeds, so consistent hashing
+// places them on different nodes). ns_op is wall time per request —
+// the regression gate applies — and req_per_sec is the realized
+// cluster throughput at that node count. The sessions and traffic are
+// identical across rows, so the req/s progression is the scaling
+// curve.
+func clusterThroughputRows(out map[string]KernelResult) error {
+	const sessions = 4
+	const clientsPerSession = 4
+	const rounds = 2
+	model := serve.DemoNet()
+
+	// One engine per session: distinct key seeds give distinct content
+	// addresses, which is what lets placement spread them.
+	engs := make([]*core.Engine, sessions)
+	ins := make([]*core.EncryptedInput, sessions)
+	for i := range engs {
+		p := core.TestParams()
+		p.Seed = uint64(1000 + i)
+		eng, err := core.NewEngine(p)
+		if err != nil {
+			return err
+		}
+		engs[i] = eng
+		if ins[i], err = eng.EncryptInput(model, serve.DemoInput(uint64(i+1))); err != nil {
+			return err
+		}
+	}
+
+	for _, nodeCount := range []int{1, 2, 3} {
+		row, err := clusterThroughputRow(model, engs, ins, nodeCount, clientsPerSession, rounds)
+		if err != nil {
+			return fmt.Errorf("report: cluster throughput nodes=%d: %w", nodeCount, err)
+		}
+		out[fmt.Sprintf("ClusterThroughput/nodes=%d", nodeCount)] = row
+	}
+	return nil
+}
+
+// ClusterScalingTable runs only the ClusterThroughput/nodes={1,2,3}
+// rows and renders a markdown req/s table (the CI cluster-integration
+// job's step-summary payload). Scaling flattens when the host has
+// fewer cores than nodes; the header prints the core count so readers
+// can judge.
+func ClusterScalingTable() (string, error) {
+	out := map[string]KernelResult{}
+	if err := clusterThroughputRows(out); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Cluster throughput through the ASV1 router (host cores: %d)\n\n", runtime.NumCPU())
+	sb.WriteString("| nodes | ns/req | req/s |\n|------:|-------:|------:|\n")
+	for _, n := range []int{1, 2, 3} {
+		r := out[fmt.Sprintf("ClusterThroughput/nodes=%d", n)]
+		fmt.Fprintf(&sb, "| %d | %d | %.2f |\n", n, r.NsOp, r.ReqPerSec)
+	}
+	return sb.String(), nil
+}
+
+func clusterThroughputRow(model *qnn.QNetwork, engs []*core.Engine, ins []*core.EncryptedInput, nodeCount, clientsPerSession, rounds int) (KernelResult, error) {
+	var zero KernelResult
+	members := cluster.NewMembership(0)
+	type nodeHandle struct {
+		name string
+		srv  *serve.Server
+	}
+	nodes := make([]nodeHandle, 0, nodeCount)
+	defer func() {
+		for _, n := range nodes {
+			n.srv.Shutdown()
+		}
+	}()
+	for i := 0; i < nodeCount; i++ {
+		name := fmt.Sprintf("n%d", i)
+		dataDir, err := os.MkdirTemp("", "athena-bench-cluster-*")
+		if err != nil {
+			return zero, err
+		}
+		defer os.RemoveAll(dataDir)
+		srv, err := serve.NewServer(serve.Config{
+			Params:   core.TestParams(),
+			Models:   map[string]*qnn.QNetwork{model.Name: model},
+			MaxBatch: 16,
+			MaxWait:  25 * time.Millisecond,
+			MaxQueue: 256,
+			DataDir:  dataDir,
+		})
+		if err != nil {
+			return zero, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Shutdown()
+			return zero, err
+		}
+		go srv.Serve(ln)
+		nodes = append(nodes, nodeHandle{name: name, srv: srv})
+		if err := members.Join(name, ln.Addr().String(), ""); err != nil {
+			return zero, err
+		}
+	}
+	// Ownership predicates applied directly (the binaries push the same
+	// document over the admin plane).
+	doc := members.Doc()
+	for _, n := range nodes {
+		n.srv.SetSessionOwnership(doc.OwnedFunc(n.name))
+	}
+
+	router, err := cluster.NewRouter(cluster.RouterConfig{Members: members})
+	if err != nil {
+		return zero, err
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return zero, err
+	}
+	go router.Serve(rln)
+	defer router.Shutdown()
+
+	total := len(engs) * clientsPerSession
+	cs := make([]*serveclient.Client, 0, total)
+	defer func() {
+		for _, c := range cs {
+			c.Close()
+		}
+	}()
+	which := make([]int, 0, total)
+	for s, eng := range engs {
+		var sessID string
+		for k := 0; k < clientsPerSession; k++ {
+			c, err := serveclient.Dial(rln.Addr().String(), eng, serveclient.Options{})
+			if err != nil {
+				return zero, err
+			}
+			cs = append(cs, c)
+			which = append(which, s)
+			if k == 0 {
+				if sessID, err = c.OpenSession(); err != nil {
+					return zero, err
+				}
+			} else if err := c.Attach(sessID); err != nil {
+				return zero, err
+			}
+		}
+		// Warm-up primes the backend connection and per-session caches.
+		if _, err := cs[len(cs)-1].InferEncrypted(model, ins[s], 0); err != nil {
+			return zero, err
+		}
+	}
+
+	start := time.Now()
+	errs := make([]error, total)
+	var wg sync.WaitGroup
+	for i := range cs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := cs[i].InferEncrypted(model, ins[which[i]], 0); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return zero, err
+		}
+	}
+	reqs := total * rounds
+	return KernelResult{
+		NsOp:      elapsed.Nanoseconds() / int64(reqs),
+		ReqPerSec: float64(reqs) / elapsed.Seconds(),
+	}, nil
+}

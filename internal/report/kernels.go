@@ -234,6 +234,11 @@ func KernelBenchmarks() (map[string]KernelResult, error) {
 	if err := sessionColdLoadRow(out); err != nil {
 		return nil, err
 	}
+	// Cluster rows: the same traffic through the ASV1 router at 1, 2,
+	// and 3 nodes — the horizontal-scaling curve.
+	if err := clusterThroughputRows(out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -88,6 +88,14 @@ func Dial(addr string, eng *core.Engine, opts Options) (*Client, error) {
 // Close drops the connection; pending calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Err returns the error that poisoned the connection (nil while
+// healthy). A poisoned client fails every call; reconnect to recover.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
+}
+
 // SessionID returns the attached session's ID ("" before OpenSession or
 // Attach succeeds).
 func (c *Client) SessionID() string {
@@ -121,6 +129,21 @@ func (c *Client) readLoop() {
 				return
 			}
 			c.deliver(reqID, pendingReply{logits: logits})
+		case serve.FrameRedirect:
+			reqID, addr, session, err := serve.DecodeRedirect(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			rerr := &serve.RedirectError{Addr: addr, Session: session}
+			if reqID == 0 {
+				select {
+				case c.ctrlErrC <- rerr:
+				default:
+				}
+				continue
+			}
+			c.deliver(reqID, pendingReply{err: rerr})
 		case serve.FrameError:
 			reqID, code, msg, err := serve.DecodeError(payload)
 			if err != nil {

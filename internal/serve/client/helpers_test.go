@@ -1,0 +1,32 @@
+package client
+
+import (
+	"sync"
+	"testing"
+
+	"athena/internal/core"
+	"athena/internal/qnn"
+	"athena/internal/serve"
+)
+
+// Engine construction (keygen) is the expensive part; share one across
+// the package's tests.
+var testEnv struct {
+	once sync.Once
+	eng  *core.Engine
+	err  error
+}
+
+func testEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	testEnv.once.Do(func() {
+		testEnv.eng, testEnv.err = core.NewEngine(core.TestParams())
+	})
+	if testEnv.err != nil {
+		t.Fatal(testEnv.err)
+	}
+	return testEnv.eng
+}
+
+func testModel() *qnn.QNetwork  { return serve.DemoNet() }
+func testInput() *qnn.IntTensor { return serve.DemoInput(1234) }

@@ -19,6 +19,7 @@ type Metrics struct {
 	accepted     uint64
 	completed    uint64
 	rejectedBusy uint64
+	rateLimited  uint64
 	deadline     uint64
 	failed       uint64
 	conns        uint64
@@ -44,6 +45,9 @@ func (m *Metrics) Completed() { m.bump(&m.completed) }
 
 // RejectedBusy counts one BUSY backpressure rejection.
 func (m *Metrics) RejectedBusy() { m.bump(&m.rejectedBusy) }
+
+// RateLimited counts one BUSY answered by the per-client token bucket.
+func (m *Metrics) RateLimited() { m.bump(&m.rateLimited) }
 
 // DeadlineExpired counts one request dropped at its deadline.
 func (m *Metrics) DeadlineExpired() { m.bump(&m.deadline) }
@@ -118,6 +122,7 @@ type Snapshot struct {
 		Accepted        uint64 `json:"accepted"`
 		Completed       uint64 `json:"completed"`
 		RejectedBusy    uint64 `json:"rejected_busy"`
+		RateLimited     uint64 `json:"rate_limited"`
 		DeadlineExpired uint64 `json:"deadline_expired"`
 		Failed          uint64 `json:"failed"`
 	} `json:"requests"`
@@ -178,6 +183,7 @@ func (m *Metrics) Snapshot(reg *Registry, b *Batcher) Snapshot {
 	s.Requests.Accepted = m.accepted
 	s.Requests.Completed = m.completed
 	s.Requests.RejectedBusy = m.rejectedBusy
+	s.Requests.RateLimited = m.rateLimited
 	s.Requests.DeadlineExpired = m.deadline
 	s.Requests.Failed = m.failed
 	s.Connections = m.conns

@@ -56,6 +56,12 @@ const (
 	FrameError         FrameType = 6 // server→client: typed error
 	FrameStats         FrameType = 7 // client→server: metrics request
 	FrameStatsReply    FrameType = 8 // server→client: metrics JSON
+	// FrameRedirect is sent by a cluster router when the request's
+	// session is owned by a different node than the one the connection
+	// last attached to (membership changed — a node joined, drained, or
+	// left). The payload names the new owner; the client re-attaches
+	// (through the router, which routes to the new owner) and retries.
+	FrameRedirect FrameType = 9 // router→client: session moved, re-attach
 )
 
 // ErrCode is a typed protocol error carried by FrameError.
@@ -72,6 +78,16 @@ const (
 	CodeInternal        ErrCode = 7 // evaluation failed server-side
 	CodeNoSession       ErrCode = 8 // inference before session open/attach
 	CodeRegistryFull    ErrCode = 9 // session cap reached and nothing evictable
+	// CodeNeedKeys is the cluster's re-upload-on-miss signal: the
+	// session's owning node holds no copy of its evaluation keys (in RAM
+	// or in its durable store). The client must re-upload the bundle
+	// (public material only — the secret key never ships) with
+	// FrameSessionNew; content addressing lands it on the same session.
+	CodeNeedKeys ErrCode = 10 // owner lacks the keys — re-upload them
+	// CodeUnavailable reports a transient cluster fault: the owning node
+	// is unreachable or there is no active node for the session. Safe to
+	// retry after a backoff.
+	CodeUnavailable ErrCode = 11 // owning node unreachable — retry later
 )
 
 func (c ErrCode) String() string {
@@ -94,6 +110,10 @@ func (c ErrCode) String() string {
 		return "NO_SESSION"
 	case CodeRegistryFull:
 		return "REGISTRY_FULL"
+	case CodeNeedKeys:
+		return "NEED_KEYS"
+	case CodeUnavailable:
+		return "UNAVAILABLE"
 	}
 	return fmt.Sprintf("ERR_%d", uint16(c))
 }
@@ -313,6 +333,50 @@ func DecodeError(b []byte) (reqID uint64, code ErrCode, msg string, err error) {
 	code = ErrCode(binary.LittleEndian.Uint16(b[8:10]))
 	msg, _, err = readString(b[10:])
 	return reqID, code, msg, err
+}
+
+// RedirectError is the client-visible form of a FrameRedirect reply:
+// the session is owned by another node. Clients recover by re-attaching
+// (a router routes the attach to the new owner); Addr lets a client
+// that dials nodes directly go straight there.
+type RedirectError struct {
+	Addr    string // new owner's serving address
+	Session string // the session that moved
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("serve: REDIRECT session %s to %s", e.Session, e.Addr)
+}
+
+// EncodeRedirect builds a FrameRedirect payload: the request it
+// answers, the new owner's address, and the session that moved.
+func EncodeRedirect(reqID uint64, addr, session string) []byte {
+	b := make([]byte, 0, 12+len(addr)+len(session))
+	b = binary.LittleEndian.AppendUint64(b, reqID)
+	b = appendString(b, addr)
+	return appendString(b, session)
+}
+
+// DecodeRedirect parses a FrameRedirect payload. Malformed input —
+// truncated header, over-long strings, trailing bytes — returns an
+// error, never a panic.
+func DecodeRedirect(b []byte) (reqID uint64, addr, session string, err error) {
+	if len(b) < 8 {
+		return 0, "", "", fmt.Errorf("serve: truncated redirect header")
+	}
+	reqID = binary.LittleEndian.Uint64(b[0:8])
+	addr, rest, err := readString(b[8:])
+	if err != nil {
+		return 0, "", "", fmt.Errorf("serve: redirect addr: %w", err)
+	}
+	session, rest, err = readString(rest)
+	if err != nil {
+		return 0, "", "", fmt.Errorf("serve: redirect session: %w", err)
+	}
+	if len(rest) != 0 {
+		return 0, "", "", fmt.Errorf("serve: %d trailing bytes after redirect", len(rest))
+	}
+	return reqID, addr, session, nil
 }
 
 // EncodeSessionID builds a FrameSessionOK / FrameSessionAttach payload.

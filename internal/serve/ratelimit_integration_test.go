@@ -1,0 +1,82 @@
+package serve_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"athena/internal/serve"
+	"athena/internal/serve/client"
+)
+
+// TestServeRateLimit: with a per-client token bucket configured, a
+// client that exhausts its burst gets the typed BUSY immediately (no
+// queueing), the rejection is counted separately from queue
+// backpressure, and advancing the clock refills admission — all on the
+// manual clock, so the test is deterministic.
+func TestServeRateLimit(t *testing.T) {
+	eng := itEngine(t)
+	model := serve.DemoNet()
+	clk := serve.NewManualClock()
+	srv, addr := startServer(t, serve.Config{
+		MaxBatch:   1, // flush on every request: MaxWait never matters
+		MaxWait:    time.Hour,
+		MaxQueue:   64,
+		Clock:      clk,
+		RatePerSec: 1,
+		Burst:      2,
+	})
+
+	c, err := client.Dial(addr, eng, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.OpenSession(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The burst admits two requests back to back.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Infer(model, serve.DemoInput(uint64(700+i)), 0); err != nil {
+			t.Fatalf("burst request %d: %v", i, err)
+		}
+	}
+	// The third is over budget: typed BUSY, straight away.
+	_, err = c.Infer(model, serve.DemoInput(702), 0)
+	var re *serve.RequestError
+	if !errors.As(err, &re) || re.Code != serve.CodeBusy {
+		t.Fatalf("over-rate request: got %v, want BUSY", err)
+	}
+
+	// One simulated second refills one token.
+	clk.Advance(time.Second)
+	if _, err := c.Infer(model, serve.DemoInput(703), 0); err != nil {
+		t.Fatalf("request after refill: %v", err)
+	}
+
+	snap := srv.Metrics()
+	if snap.Requests.RateLimited != 1 {
+		t.Fatalf("rate_limited=%d, want 1", snap.Requests.RateLimited)
+	}
+	if snap.Requests.RejectedBusy != 0 {
+		t.Fatalf("rejected_busy=%d: rate limiting leaked into queue backpressure", snap.Requests.RejectedBusy)
+	}
+	if snap.Requests.Completed != 3 {
+		t.Fatalf("completed=%d, want 3", snap.Requests.Completed)
+	}
+
+	// A second connection has its own bucket: it is admitted even though
+	// the first connection's bucket is dry.
+	c2, err := client.Dial(addr, eng, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Attach(c.SessionID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Infer(model, serve.DemoInput(704), 0); err != nil {
+		t.Fatalf("fresh client rate-limited by a stranger's bucket: %v", err)
+	}
+}

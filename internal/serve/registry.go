@@ -68,6 +68,12 @@ type Registry struct {
 	// LRU eviction just drops the RAM copy, the disk entry remains.
 	store *store.Store
 
+	// owned is the cluster's ownership hint (nil = single-node, every
+	// session owned). Idle sessions this node does not own are evicted
+	// before any owned session, regardless of recency: after a drain
+	// moves a session away, its key material is the first to yield RAM.
+	owned func(id string) bool
+
 	// Evictions counts sessions dropped under memory pressure.
 	evictions uint64
 	// Tier counters: resident lookup hits, disk reloads, true misses.
@@ -97,6 +103,14 @@ func SessionID(blob []byte) string {
 func (r *Registry) SetStore(st *store.Store) {
 	r.mu.Lock()
 	r.store = st
+	r.mu.Unlock()
+}
+
+// SetOwned installs the cluster ownership predicate used to order
+// eviction (see the owned field). nil clears it.
+func (r *Registry) SetOwned(owned func(id string) bool) {
+	r.mu.Lock()
+	r.owned = owned
 	r.mu.Unlock()
 }
 
@@ -292,13 +306,21 @@ func (r *Registry) touchLocked(s *Session) {
 // (the candidate blob may also simply exceed the cap on its own).
 func (r *Registry) makeRoomLocked(need int64) error {
 	for r.total+need > r.capBytes {
+		// Two-tier victim choice: any idle session the cluster says this
+		// node no longer owns is evicted before any owned one; within a
+		// tier, least recently used wins.
 		var victim *Session
+		victimOwned := true
 		for _, s := range r.sessions {
 			if s.refs > 0 {
 				continue
 			}
-			if victim == nil || s.lastUsed < victim.lastUsed {
-				victim = s
+			sOwned := r.owned == nil || r.owned(s.ID)
+			switch {
+			case victim == nil,
+				victimOwned && !sOwned,
+				victimOwned == sOwned && s.lastUsed < victim.lastUsed:
+				victim, victimOwned = s, sOwned
 			}
 		}
 		if victim == nil {

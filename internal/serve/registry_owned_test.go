@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"testing"
+
+	"athena/internal/core"
+)
+
+// ownedTestRegistry builds a registry pre-seeded with idle fake
+// sessions (no engines — eviction only looks at refs/lastUsed/Bytes).
+func ownedTestRegistry(capBytes int64, sessions ...*Session) *Registry {
+	r := NewRegistry(core.TestParams(), capBytes)
+	for _, s := range sessions {
+		r.sessions[s.ID] = s
+		r.total += s.Bytes
+		if s.lastUsed > r.clock {
+			r.clock = s.lastUsed
+		}
+	}
+	return r
+}
+
+// TestRegistryEvictsUnownedFirst: under pressure, an idle session the
+// cluster moved away is evicted before an owned one — even when the
+// unowned session is the more recently used.
+func TestRegistryEvictsUnownedFirst(t *testing.T) {
+	a := &Session{ID: "owned-old", Bytes: 40, lastUsed: 1}
+	b := &Session{ID: "moved-hot", Bytes: 40, lastUsed: 9}
+	r := ownedTestRegistry(100, a, b)
+	r.SetOwned(func(id string) bool { return id != "moved-hot" })
+
+	if err := r.makeRoomLocked(40); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.sessions["moved-hot"]; ok {
+		t.Fatal("unowned session survived while an owned one was evictable")
+	}
+	if _, ok := r.sessions["owned-old"]; !ok {
+		t.Fatal("owned session evicted before the unowned one")
+	}
+	if r.evictions != 1 || r.total != 40 {
+		t.Fatalf("evictions=%d total=%d, want 1/40", r.evictions, r.total)
+	}
+}
+
+// TestRegistryOwnedFallsBackToLRU: with the hint cleared (or all
+// sessions owned), plain LRU order decides.
+func TestRegistryOwnedFallsBackToLRU(t *testing.T) {
+	a := &Session{ID: "old", Bytes: 40, lastUsed: 1}
+	b := &Session{ID: "new", Bytes: 40, lastUsed: 9}
+	r := ownedTestRegistry(100, a, b)
+	r.SetOwned(func(string) bool { return true })
+
+	if err := r.makeRoomLocked(40); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.sessions["old"]; ok {
+		t.Fatal("LRU victim survived")
+	}
+	if _, ok := r.sessions["new"]; !ok {
+		t.Fatal("recently used session evicted out of order")
+	}
+}
+
+// TestRegistryOwnedSkipsPinned: an unowned session with in-flight work
+// is never the victim; pressure falls to the idle owned one.
+func TestRegistryOwnedSkipsPinned(t *testing.T) {
+	pinned := &Session{ID: "moved-busy", Bytes: 40, lastUsed: 9, refs: 1}
+	idle := &Session{ID: "owned-idle", Bytes: 40, lastUsed: 1}
+	r := ownedTestRegistry(100, pinned, idle)
+	r.SetOwned(func(id string) bool { return id != "moved-busy" })
+
+	if err := r.makeRoomLocked(40); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.sessions["moved-busy"]; !ok {
+		t.Fatal("pinned session evicted despite in-flight work")
+	}
+	if _, ok := r.sessions["owned-idle"]; ok {
+		t.Fatal("idle session survived while pressure remained")
+	}
+}

@@ -43,6 +43,16 @@ type Config struct {
 	// (0 = unbounded). Only meaningful with DataDir set.
 	DiskCapBytes int64
 
+	// RatePerSec enables token-bucket admission per client connection:
+	// each inference request spends one token, refilled at this rate up
+	// to Burst. Exhaustion answers the request with the typed BUSY the
+	// clients already back off on (0 = no rate limit).
+	RatePerSec float64
+	// Burst is the token-bucket capacity (≥1 once rate limiting is on;
+	// 0 takes a default of 2× MaxBatch so a well-behaved client can
+	// fill a batch without tripping the limiter).
+	Burst int
+
 	// ReadTimeout bounds the wait for the next frame on an idle
 	// connection; WriteTimeout bounds one reply write. Zero values take
 	// generous defaults (10 min read, 30 s write).
@@ -93,6 +103,16 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = RealClock()
 	}
+	if cfg.RatePerSec < 0 {
+		return nil, fmt.Errorf("serve: negative rate %v", cfg.RatePerSec)
+	}
+	if cfg.RatePerSec > 0 && cfg.Burst == 0 {
+		mb := cfg.MaxBatch
+		if mb <= 0 {
+			mb = 16
+		}
+		cfg.Burst = 2 * mb
+	}
 	m := NewMetrics()
 	s := &Server{
 		cfg:      cfg,
@@ -124,6 +144,21 @@ func (s *Server) Metrics() Snapshot { return s.metrics.Snapshot(s.registry, s.ba
 // Recovery reports what the durable tier found on boot (zero value when
 // DataDir is unset).
 func (s *Server) Recovery() store.Recovery { return s.recovery }
+
+// SetSessionOwnership installs the cluster's ownership predicate:
+// owned(id) reports whether this node currently owns session id on the
+// consistent-hash ring. Sessions the node does not own become the
+// preferred eviction victims in both tiers (registry LRU and durable
+// store), so a drained-away session's key material yields its RAM and
+// disk to sessions the node actually serves. nil clears the hint
+// (every session treated as owned). Safe to call while serving; the
+// predicate must be safe for concurrent use.
+func (s *Server) SetSessionOwnership(owned func(id string) bool) {
+	s.registry.SetOwned(owned)
+	if s.store != nil {
+		s.store.SetEvictionHint(owned)
+	}
+}
 
 // ListenAndServe listens on addr and serves until Shutdown.
 func (s *Server) ListenAndServe(addr string) error {
@@ -224,11 +259,18 @@ type connState struct {
 	wmu  sync.Mutex
 	wbuf []byte // reusable frame staging, guarded by wmu
 	sess *Session
+
+	// limiter is the per-client token bucket (nil = unlimited). It is
+	// only touched from this connection's read loop.
+	limiter *tokenBucket
 }
 
 func (s *Server) handleConn(c net.Conn) {
 	defer s.connWG.Done()
 	st := &connState{s: s, conn: c}
+	if s.cfg.RatePerSec > 0 {
+		st.limiter = newTokenBucket(s.cfg.Clock, s.cfg.RatePerSec, s.cfg.Burst)
+	}
 	defer func() {
 		_ = c.Close()
 		s.mu.Lock()
@@ -317,6 +359,13 @@ func (s *Server) handleInfer(st *connState, payload []byte) bool {
 	model, ok := s.cfg.Models[req.Model]
 	if !ok {
 		return st.writeError(req.ReqID, CodeModelNotFound, "model "+req.Model+" not hosted")
+	}
+	// Admission control runs before the expensive input decode: a client
+	// over its rate budget costs the server one frame read and a typed
+	// reply, nothing more.
+	if !st.limiter.allow() {
+		s.metrics.RateLimited()
+		return st.writeError(req.ReqID, CodeBusy, "client rate limit exceeded")
 	}
 	in, err := st.sess.Eng.ReadEncryptedInput(model, bytes.NewReader(req.Input))
 	if err != nil {

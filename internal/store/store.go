@@ -91,6 +91,11 @@ type Store struct {
 	access map[string]uint64 // logical last-access clock (not persisted)
 	clock  uint64
 
+	// owned is the cluster ownership hint (nil = everything owned):
+	// disk-cap eviction removes entries this node does not own before
+	// any owned entry, regardless of recency.
+	owned func(id string) bool
+
 	st     Stats
 	rec    Recovery
 	closed bool
@@ -825,11 +830,24 @@ func (s *Store) ensureRoomLocked(need int64, skip string) error {
 	return nil
 }
 
-// coldestLocked picks the live entry with the oldest access clock
+// SetEvictionHint installs the cluster ownership predicate: entries
+// for which owned returns false are evicted under disk pressure before
+// any owned entry, regardless of recency. nil clears the hint. The
+// predicate must be safe for concurrent use and must not call back
+// into the store.
+func (s *Store) SetEvictionHint(owned func(id string) bool) {
+	s.mu.Lock()
+	s.owned = owned
+	s.mu.Unlock()
+}
+
+// coldestLocked picks the eviction victim: unowned entries (per the
+// eviction hint) before owned ones, then the oldest access clock
 // (never-accessed entries first, id order breaking ties).
 func (s *Store) coldestLocked(skip string) (string, bool) {
 	var victim string
 	var victimClock uint64
+	victimOwned := true
 	found := false
 	live := s.liveLocked()
 	ids := make([]string, 0, len(live))
@@ -842,8 +860,12 @@ func (s *Store) coldestLocked(skip string) (string, bool) {
 			continue
 		}
 		c := s.access[id]
-		if !found || c < victimClock {
-			victim, victimClock, found = id, c, true
+		idOwned := s.owned == nil || s.owned(id)
+		switch {
+		case !found,
+			victimOwned && !idOwned,
+			victimOwned == idOwned && c < victimClock:
+			victim, victimClock, victimOwned, found = id, c, idOwned, true
 		}
 	}
 	return victim, found

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestStoreEvictsUnownedFirst: the disk-cap eviction honors the
+// cluster ownership hint — entries this node no longer owns are
+// tombstoned before any owned entry, even when the unowned one is the
+// most recently accessed.
+func TestStoreEvictsUnownedFirst(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{DiskCapBytes: 36 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	val := bytes.Repeat([]byte{0xA5}, 10<<10)
+	for _, id := range []string{"aaa", "bbb", "ccc"} {
+		if err := s.Put(id, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Make the soon-to-be-unowned entry the hottest, so plain LRU would
+	// keep it.
+	for i := 0; i < 3; i++ {
+		b, err := s.Load("bbb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Close()
+	}
+	s.SetEvictionHint(func(id string) bool { return id != "bbb" })
+
+	// Push past the cap; eviction must fall on bbb first.
+	if err := s.Put("ddd", val); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("bbb"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unowned hot entry: %v, want evicted (ErrNotFound)", err)
+	}
+	for _, id := range []string{"aaa", "ccc", "ddd"} {
+		b, err := s.Load(id)
+		if err != nil {
+			t.Fatalf("owned entry %s: %v", id, err)
+		}
+		b.Close()
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("no eviction recorded")
+	}
+}
+
+// TestStoreEvictionHintCleared: clearing the hint restores pure
+// recency order.
+func TestStoreEvictionHintCleared(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{DiskCapBytes: 36 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	val := bytes.Repeat([]byte{0x5A}, 10<<10)
+	for _, id := range []string{"aaa", "bbb", "ccc"} {
+		if err := s.Put(id, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch all but aaa, making aaa the coldest.
+	for _, id := range []string{"bbb", "ccc"} {
+		b, err := s.Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Close()
+	}
+	s.SetEvictionHint(func(id string) bool { return id != "bbb" })
+	s.SetEvictionHint(nil) // cleared: bbb is no longer preferred
+
+	if err := s.Put("ddd", val); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("aaa"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("coldest entry: %v, want evicted (ErrNotFound)", err)
+	}
+	b, err := s.Load("bbb")
+	if err != nil {
+		t.Fatalf("hot entry evicted with hint cleared: %v", err)
+	}
+	b.Close()
+}
