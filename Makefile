@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint vet race bench store-test crash-test cluster-test
+.PHONY: build test check lint vet vet-lostcancel race bench store-test crash-test cluster-test
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ lint:
 
 vet:
 	$(GO) vet ./...
+
+# lostcancel pinned explicitly, independent of the default vet set: a
+# dropped context.CancelFunc is a goroutine leak athena-lint's goleak
+# pass cannot see through function values.
+vet-lostcancel:
+	$(GO) vet -lostcancel ./...
 
 race:
 	$(GO) test -race ./...
@@ -39,10 +45,11 @@ crash-test:
 cluster-test:
 	$(GO) test -race -count=1 ./internal/cluster/ ./internal/serve/client/
 
-# check is the CI gate: compile, vet, FHE-aware static analysis, the
-# full suite under the race detector (store suite included), then the
-# crash-recovery integration test against a real binary.
-check: build vet lint race crash-test
+# check is the CI gate: compile, vet (plus the pinned lostcancel
+# analyzer), FHE-aware static analysis, the full suite under the race
+# detector (store suite included), then the crash-recovery integration
+# test against a real binary.
+check: build vet vet-lostcancel lint race crash-test
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

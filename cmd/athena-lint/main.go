@@ -1,24 +1,31 @@
 // Command athena-lint runs the FHE-aware static-analysis suite over the
 // module. The syntactic passes — modguard, cryptorand, parsafe,
-// panicfree-wire, errdrop — are joined by four interprocedural dataflow
+// panicfree-wire, errdrop — are joined by the interprocedural dataflow
 // passes: secrettaint (secret-key material reaching wire encoders or
 // fmt/log), scratchalias (shared evaluator/encoder scratch captured by
 // worker closures), moddomain (lazy-reduction domain mixing across
-// internal/ring kernels), and noalloc (//lint:noalloc hot paths proven
-// heap-allocation-free through their static call trees). See
+// internal/ring kernels), noalloc (//lint:noalloc hot paths proven
+// heap-allocation-free through their static call trees), and the
+// concurrency-soundness trio: lockorder (module-wide mutex order graph
+// kept acyclic and re-acquisition-free), blockhold (no blocking
+// operation while a mutex is held, escape hatch //lint:holdok), and
+// goleak (every go statement needs a provable termination signal). See
 // internal/lint for the pass catalog and the annotation grammar. It is
 // the gate every PR runs:
 //
 //	go run ./cmd/athena-lint ./...
 //	go run ./cmd/athena-lint -json ./... > findings.json
+//	go run ./cmd/athena-lint -sarif ./... > findings.sarif
 //	go run ./cmd/athena-lint -allows
 //	go run ./cmd/athena-lint -list
 //	go run ./cmd/athena-lint -passes modguard,parsafe ./internal/lwe/...
 //
 // Findings print sorted by (file, line, pass), so runs are diffable;
 // -json emits the same ordering as a JSON array (always an array, [] on
-// a clean run). -allows audits every //lint:allow / declassify /
-// domain / noalloc / prealloc annotation with its justification.
+// a clean run) and -sarif as a SARIF 2.1.0 log (one run, one result per
+// finding, rule metadata from the pass catalog) for code-scanning
+// upload. -allows audits every //lint:allow / declassify / domain /
+// holdok / noalloc / prealloc annotation with its justification.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure. Findings
 // are suppressed in source with `//lint:allow <pass> <reason>`; the
@@ -58,6 +65,7 @@ func main() {
 	list := flag.Bool("list", false, "list the available passes and exit")
 	passNames := flag.String("passes", "", "comma-separated subset of passes to run (default: all)")
 	jsonOut := flag.Bool("json", false, "emit findings (or -allows annotations) as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log for code-scanning upload")
 	allows := flag.Bool("allows", false, "audit mode: list every lint annotation with its justification and exit")
 	flag.Parse()
 
@@ -104,7 +112,12 @@ func main() {
 			findings[i].Pos.Filename = r
 		}
 	}
-	if *jsonOut {
+	if *sarifOut {
+		if err := writeSARIF(os.Stdout, passes, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "athena-lint:", err)
+			os.Exit(2)
+		}
+	} else if *jsonOut {
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {
 			out = append(out, jsonFinding{

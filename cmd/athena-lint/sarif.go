@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+
+	"athena/internal/lint"
+)
+
+// SARIF 2.1.0 output, the minimum GitHub code scanning accepts: one
+// tool.driver with a rule per pass (id, short and full description),
+// one run, one result per finding with its rule index and a physical
+// location whose artifact URI is module-relative. Findings arrive
+// already sorted and relativized by main, so the log is diffable run
+// to run.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF emits findings as one SARIF run. The rule table covers the
+// passes that ran (plus the synthetic allowlist rule malformed
+// directives report under), so every result's ruleId resolves.
+func writeSARIF(w io.Writer, passes []lint.Pass, findings []lint.Finding) error {
+	var rules []sarifRule
+	index := map[string]int{}
+	addRule := func(id, short, full string) {
+		if _, ok := index[id]; ok {
+			return
+		}
+		index[id] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: short},
+			FullDescription:  sarifMessage{Text: full},
+		})
+	}
+	addRule("allowlist", "malformed lint directive",
+		"lint:allow and lint:holdok directives must name a known pass and carry a written justification")
+	for _, p := range passes {
+		addRule(p.Name(), p.Name()+" violation", p.Doc())
+	}
+	for _, f := range findings {
+		// A finding from a pass outside the table (defensive: filtered
+		// runs) still gets a resolvable rule.
+		addRule(f.Pass, f.Pass+" violation", f.Pass)
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:    f.Pass,
+			RuleIndex: index[f.Pass],
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "athena-lint", Rules: rules}}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

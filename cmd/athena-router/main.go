@@ -95,6 +95,7 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	//lint:allow goleak process-lifetime signal watcher; it dies with the process
 	go func() {
 		s := <-sig
 		fmt.Printf("\n%v: shutting down router...\n", s)

@@ -142,6 +142,7 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	//lint:allow goleak process-lifetime signal watcher; it dies with the process
 	go func() {
 		s := <-sig
 		fmt.Printf("\n%v: draining (in-flight requests will complete)...\n", s)

@@ -42,6 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:allow goleak the accept loop exits when Shutdown closes the listener at process end
 	go srv.Serve(ln)
 	fmt.Println("server listening on", ln.Addr())
 

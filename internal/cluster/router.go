@@ -380,6 +380,7 @@ func (cc *clientConn) write(typ serve.FrameType, payload []byte) bool {
 		return false
 	}
 	cc.wbuf = serve.AppendFrame(cc.wbuf[:0], typ, payload)
+	//lint:holdok wmu exists to serialize frame writes on this connection; the deadline-bounded write is the critical section
 	_, err := cc.conn.Write(cc.wbuf)
 	return err == nil
 }
@@ -535,6 +536,7 @@ func (r *Router) initBackend(bc *backendConn, blob []byte) {
 		fail(fmt.Errorf("cluster: node %s: unexpected frame %d during session setup", bc.node, typ))
 		return
 	}
+	r.connWG.Add(1)
 	go r.backendReadLoop(bc)
 }
 
@@ -563,6 +565,7 @@ func (bc *backendConn) ctrl(typ serve.FrameType, payload []byte, cfg RouterConfi
 // connections, rewriting the router-assigned request ID to the
 // client's own.
 func (r *Router) backendReadLoop(bc *backendConn) {
+	defer r.connWG.Done()
 	var arena []byte
 	for {
 		typ, payload, err := serve.ReadFrameInto(bc.conn, &arena, r.cfg.MaxFrame)
@@ -629,6 +632,7 @@ func (bc *backendConn) write(typ serve.FrameType, payload []byte) error {
 	bc.wmu.Lock()
 	defer bc.wmu.Unlock()
 	bc.wbuf = serve.AppendFrame(bc.wbuf[:0], typ, payload)
+	//lint:holdok wmu exists to serialize frame writes on the shared backend connection; the write is the critical section
 	_, err := bc.conn.Write(bc.wbuf)
 	return err
 }

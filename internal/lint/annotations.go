@@ -16,7 +16,7 @@ import (
 // Annotation is one lint directive found in source.
 type Annotation struct {
 	// Kind is the directive name: "allow", "declassify", "domain",
-	// "noalloc", or "prealloc".
+	// "holdok", "noalloc", or "prealloc".
 	Kind string
 	// Pass is the suppressed pass for allow directives; for the others
 	// it is the pass that consumes the annotation.
@@ -33,6 +33,7 @@ var annotationKinds = []struct{ kind, pass string }{
 	{"allow", ""},
 	{"declassify", "secrettaint"},
 	{"domain", "moddomain"},
+	{"holdok", "blockhold"},
 	{"noalloc", "noalloc"},
 	{"prealloc", "noalloc"},
 }

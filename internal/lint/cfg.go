@@ -260,12 +260,14 @@ func (b *cfgBuilder) forStmt(st *ast.ForStmt, label string) {
 }
 
 func (b *cfgBuilder) rangeStmt(st *ast.RangeStmt, label string) {
+	// The operand is evaluated once, before the loop; the header is a
+	// fresh block so the body's back edge re-enters only the iteration
+	// dispatch, not the straight-line code preceding the loop (a held
+	// lock there must not look re-acquired on the second iteration).
 	b.add(st.X)
-	header := b.cur
-	if header == nil {
-		header = b.newBlock()
-		b.cur = header
-	}
+	header := b.newBlock()
+	link(b.cur, header)
+	b.cur = header
 	after := b.newBlock()
 	link(header, after) // ranges over empty operands skip the body
 

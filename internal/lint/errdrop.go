@@ -8,8 +8,9 @@ import (
 )
 
 // ErrDrop flags statement-position calls that silently discard an error
-// result in the serving and engine layers (internal/core, internal/serve
-// and its subpackages). A dropped error there is a dropped frame, a
+// result in the serving, engine, and durability layers (internal/core,
+// internal/serve, internal/cluster, internal/store and their
+// subpackages). A dropped error there is a dropped frame, a
 // leaked session slot, or a half-written wire message that surfaces
 // minutes later as a protocol desync. An intentional discard must be
 // spelled `_ = f()` (or carry a //lint:allow errdrop) so the reader can
@@ -26,7 +27,20 @@ func (*ErrDrop) Name() string { return "errdrop" }
 
 // Doc implements Pass.
 func (*ErrDrop) Doc() string {
-	return "statement-position calls discarding an error result in internal/core and internal/serve"
+	return "statement-position calls discarding an error result in internal/core, internal/serve, internal/cluster, and internal/store"
+}
+
+// errdropTier reports whether the package at module-relative path rel
+// is under the pass's contract: the engine, serving, cluster, and
+// durable-store tiers, where a dropped error is a dropped frame, a
+// stale route, or a silently-unsynced WAL.
+func errdropTier(rel string) bool {
+	for _, root := range []string{"internal/core", "internal/serve", "internal/cluster", "internal/store"} {
+		if rel == root || strings.HasPrefix(rel, root+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 // Run implements Pass.
@@ -34,8 +48,7 @@ func (p *ErrDrop) Run(prog *Program) []Finding {
 	var findings []Finding
 	for _, pkg := range prog.Packages {
 		rel := relPkgPath(prog, pkg)
-		if rel != "internal/core" && rel != "internal/serve" &&
-			!strings.HasPrefix(rel, "internal/serve/") && !strings.HasPrefix(rel, "internal/core/") {
+		if !errdropTier(rel) {
 			continue
 		}
 		for _, file := range pkg.Files {

@@ -89,7 +89,8 @@ func TestLoadModuleFixture(t *testing.T) {
 		"fixture/internal/bfv", "fixture/internal/serve", "fixture/internal/core",
 		"fixture/modfix", "fixture/parfix", "fixture/wire",
 		"fixture/taintdemo", "fixture/scratchdemo", "fixture/lazydemo",
-		"fixture/allocdemo",
+		"fixture/allocdemo", "fixture/lockdemo", "fixture/holddemo",
+		"fixture/goleakdemo",
 	} {
 		pkg := prog.ByPath[path]
 		if pkg == nil {
@@ -150,10 +151,10 @@ func TestWellFormedAllowsSuppress(t *testing.T) {
 		}
 	}
 	// modfix and allocdemo have two each; bfv, parfix, scratchdemo
-	// (scratchalias), lazydemo (moddomain), and internal/core (errdrop)
-	// one each.
-	if n != 9 {
-		t.Fatalf("%d well-formed allow directives, want 9", n)
+	// (scratchalias), lazydemo (moddomain), internal/core (errdrop), and
+	// goleakdemo (goleak) one each.
+	if n != 10 {
+		t.Fatalf("%d well-formed allow directives, want 10", n)
 	}
 }
 

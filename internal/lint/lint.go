@@ -13,8 +13,9 @@
 //   - panicfree-wire: no panic may be reachable from the wire
 //     deserialization entry points — a malicious ciphertext must yield
 //     an error, not a crash.
-//   - errdrop: statement-position calls in internal/core and
-//     internal/serve must not silently discard an error result.
+//   - errdrop: statement-position calls in internal/core,
+//     internal/serve, internal/cluster, and internal/store must not
+//     silently discard an error result.
 //
 // On top of the syntactic passes sit four dataflow passes built on
 // function summaries over the go/types call graph:
@@ -34,6 +35,21 @@
 //     transitively call through static module calls — are proven free
 //     of heap allocation outside CFG-cold panic/error paths; arena
 //     refills are declared with //lint:prealloc <reason>.
+//
+// Three concurrency passes share a lock/channel identity model and a
+// may-held dataflow over the same CFG (conc.go):
+//
+//   - lockorder: per-function lock-acquisition summaries compose into a
+//     module-wide lock-order graph; re-acquiring a held lock or any
+//     edge on a cycle is a potential deadlock, reported with a witness
+//     chain.
+//   - blockhold: blocking operations (channel ops, default-less
+//     selects, sleeps, Waits, fsync, io/net streams) while a mutex is
+//     statically held; deliberate holds are justified in place with
+//     //lint:holdok <reason>.
+//   - goleak: every go statement needs a provable termination argument
+//     (WaitGroup accounting, closed-channel range, bounded channel
+//     protocol, or a loop-exiting cancellation select).
 //
 // Everything is built on the standard library only (go/ast, go/parser,
 // go/types); go.mod stays bare. Findings can be suppressed in source
@@ -88,6 +104,9 @@ func AllPasses() []Pass {
 		&SecretTaint{},
 		&ModDomain{},
 		&NoAlloc{},
+		&LockOrder{},
+		&BlockHold{},
+		&GoLeak{},
 	}
 }
 

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the interprocedural deadlock pass: it composes every
+// function's mutex acquisitions (conc.go summaries) into one
+// module-wide lock-order graph and reports
+//
+//   - re-acquisition: taking a mutex that the may-held analysis says is
+//     already held — directly, or through a static call chain that
+//     reaches another Lock of the same identity (sync.Mutex is not
+//     reentrant; RLock-upgrade and RLock-after-Lock count too, since a
+//     queued writer deadlocks both), and
+//   - order cycles: a directed edge A → B is recorded whenever B is
+//     acquired (directly or via calls) while A is held; any cycle in
+//     the edge graph is a potential deadlock. Each edge on the cycle
+//     gets one finding carrying its own witness chain plus the cycle,
+//     so both (or all) implicated sites are visible — the two witness
+//     chains of an AB/BA inversion land on the two offending lines.
+//
+// Lock identity is the *types.Var behind the expression (struct field,
+// package var, or local), so every instance of a type shares one node —
+// the right granularity for ordering discipline, at the cost of
+// conservatively merging hand-over-hand locking over distinct
+// instances (the repo has none). TryLock never blocks and contributes
+// no edges. Function literals contribute their internal edges to the
+// global graph (they run eventually, on some goroutine) but are atoms
+// to their enclosing function's flow.
+type LockOrder struct{}
+
+// Name implements Pass.
+func (*LockOrder) Name() string { return "lockorder" }
+
+// Doc implements Pass.
+func (*LockOrder) Doc() string {
+	return "module-wide mutex acquisition-order graph must be acyclic and re-acquisition-free (interprocedural, CFG-based)"
+}
+
+// lockEdge is one direction of the order graph with its first witness.
+type lockEdge struct {
+	from, to *types.Var
+	pos      token.Pos
+	witness  string
+}
+
+// transAcq is one mutex transitively acquired by a function, with the
+// call chain that reaches its Lock.
+type transAcq struct {
+	mu    *types.Var
+	chain string
+}
+
+// lockOrderState carries the composed graph.
+type lockOrderState struct {
+	prog      *Program
+	decls     map[*types.Func]*concFn
+	summaries map[*types.Func]*concSummary
+	disp      map[*types.Var]string
+
+	edges   []*lockEdge
+	edgeIdx map[[2]*types.Var]*lockEdge
+	adj     map[*types.Var][]*lockEdge
+
+	transMemo map[*types.Func][]transAcq
+}
+
+// Run implements Pass.
+func (p *LockOrder) Run(prog *Program) []Finding {
+	allows, _ := collectAllows(prog)
+	holdok, _ := collectHoldok(prog) // parsed for summary symmetry; findings are blockhold's
+	fns, decls := collectConcFns(prog)
+
+	st := &lockOrderState{
+		prog:      prog,
+		decls:     decls,
+		summaries: map[*types.Func]*concSummary{},
+		disp:      map[*types.Var]string{},
+		edgeIdx:   map[[2]*types.Var]*lockEdge{},
+		adj:       map[*types.Var][]*lockEdge{},
+		transMemo: map[*types.Func][]transAcq{},
+	}
+	sums := make([]*concSummary, len(fns))
+	for i, fn := range fns {
+		sums[i] = buildConcSummary(prog, fn.pkg, fn.body, allows, holdok, st.disp)
+		if fn.obj != nil {
+			st.summaries[fn.obj] = sums[i]
+		}
+	}
+
+	var findings []Finding
+	for i, fn := range fns {
+		sum := sums[i]
+		for _, a := range sum.acquires {
+			site := fmt.Sprintf("%s acquires %s at %s", fn.name, st.disp[a.mu], st.shortPos(a.pos))
+			for _, h := range a.held {
+				if h == a.mu {
+					findings = append(findings, Finding{Pass: "lockorder", Pos: prog.Fset.Position(a.pos),
+						Message: fmt.Sprintf("%s re-acquired while already held (sync mutexes are not reentrant): %s", st.disp[a.mu], site)})
+					continue
+				}
+				st.addEdge(h, a.mu, a.pos, site+fmt.Sprintf(" while holding %s", st.disp[h]))
+			}
+		}
+		for _, c := range sum.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for _, t := range st.transAcquires(c.callee) {
+				site := fmt.Sprintf("%s calls %s at %s → %s", fn.name, shortName(c.callee), st.shortPos(c.pos), t.chain)
+				for _, h := range c.held {
+					if h == t.mu {
+						findings = append(findings, Finding{Pass: "lockorder", Pos: prog.Fset.Position(c.pos),
+							Message: fmt.Sprintf("call re-acquires %s, already held here (sync mutexes are not reentrant): %s", st.disp[t.mu], site)})
+						continue
+					}
+					st.addEdge(h, t.mu, c.pos, site+fmt.Sprintf(" while holding %s", st.disp[h]))
+				}
+			}
+		}
+	}
+
+	findings = append(findings, st.cycleFindings()...)
+	return findings
+}
+
+func (st *lockOrderState) shortPos(pos token.Pos) string {
+	p := st.prog.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// addEdge records from → to once, keeping the first witness.
+func (st *lockOrderState) addEdge(from, to *types.Var, pos token.Pos, witness string) {
+	key := [2]*types.Var{from, to}
+	if st.edgeIdx[key] != nil {
+		return
+	}
+	e := &lockEdge{from: from, to: to, pos: pos, witness: witness}
+	st.edges = append(st.edges, e)
+	st.edgeIdx[key] = e
+	st.adj[from] = append(st.adj[from], e)
+}
+
+// transAcquires returns every mutex fn transitively acquires through
+// static module calls, each with a witness chain. In-progress cycle
+// members answer empty (a recursive cycle adds nothing new); results
+// are memoized.
+func (st *lockOrderState) transAcquires(fn *types.Func) []transAcq {
+	if got, ok := st.transMemo[fn]; ok {
+		return got
+	}
+	sum := st.summaries[fn]
+	if sum == nil {
+		st.transMemo[fn] = nil
+		return nil
+	}
+	st.transMemo[fn] = []transAcq{} // in-progress marker: recursion sees empty
+	var out []transAcq
+	seen := map[*types.Var]bool{}
+	for _, a := range sum.acquires {
+		if seen[a.mu] {
+			continue
+		}
+		seen[a.mu] = true
+		out = append(out, transAcq{mu: a.mu,
+			chain: fmt.Sprintf("%s acquires %s at %s", shortName(fn), st.disp[a.mu], st.shortPos(a.pos))})
+	}
+	for _, c := range sum.calls {
+		for _, t := range st.transAcquires(c.callee) {
+			if seen[t.mu] {
+				continue
+			}
+			seen[t.mu] = true
+			out = append(out, transAcq{mu: t.mu,
+				chain: fmt.Sprintf("%s calls %s at %s → %s", shortName(fn), shortName(c.callee), st.shortPos(c.pos), t.chain)})
+		}
+	}
+	st.transMemo[fn] = out
+	return out
+}
+
+// cycleFindings detects cycles in the edge graph and emits one finding
+// per participating edge. Each cycle is reported once, keyed by the
+// sorted set of lock names on it.
+func (st *lockOrderState) cycleFindings() []Finding {
+	var findings []Finding
+	reported := map[string]bool{}
+	for _, e := range st.edges {
+		path := st.findPath(e.to, e.from)
+		if path == nil {
+			continue
+		}
+		cycle := append([]*lockEdge{e}, path...)
+		names := make([]string, len(cycle))
+		for i, ce := range cycle {
+			names[i] = st.disp[ce.from]
+		}
+		key := canonicalCycle(names)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		ring := strings.Join(append(names, names[0]), " → ")
+		for _, ce := range cycle {
+			others := make([]string, 0, len(cycle)-1)
+			for _, oe := range cycle {
+				if oe != ce {
+					others = append(others, oe.witness)
+				}
+			}
+			findings = append(findings, Finding{Pass: "lockorder", Pos: st.prog.Fset.Position(ce.pos),
+				Message: fmt.Sprintf("potential deadlock: lock-order cycle %s. This edge: %s. Completing edge(s): %s",
+					ring, ce.witness, strings.Join(others, "; "))})
+		}
+	}
+	return findings
+}
+
+// findPath returns the edges of one path from → to (BFS over insertion
+// order, so deterministic), or nil.
+func (st *lockOrderState) findPath(from, to *types.Var) []*lockEdge {
+	type hop struct {
+		v    *types.Var
+		via  *lockEdge
+		prev *hop
+	}
+	visited := map[*types.Var]bool{from: true}
+	queue := []*hop{{v: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.v == to {
+			var path []*lockEdge
+			for h := cur; h.via != nil; h = h.prev {
+				path = append([]*lockEdge{h.via}, path...)
+			}
+			return path
+		}
+		for _, e := range st.adj[cur.v] {
+			if !visited[e.to] {
+				visited[e.to] = true
+				queue = append(queue, &hop{v: e.to, via: e, prev: cur})
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalCycle keys a cycle independent of its starting point.
+func canonicalCycle(names []string) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, "|")
+}

@@ -1,0 +1,179 @@
+// Package goleakdemo seeds accept and reject cases for the goleak
+// pass: every go statement must carry a provable termination signal —
+// WaitGroup accounting, a closed-channel range, a bounded channel
+// protocol, or a cancellation select. Unbounded loops, never-closed
+// channels, unresolvable spawn targets, and selects with no exit are
+// flagged; justified process-lifetime goroutines are suppressed with
+// an explained allow.
+package goleakdemo
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+var (
+	jobs     = make(chan int)
+	done     = make(chan struct{})
+	buffered = make(chan int, 8)
+
+	neverData = make(chan int)
+	neverSig  = make(chan struct{})
+
+	fnVal = func() {}
+)
+
+// Stop closes the protocol channels the accept cases rely on.
+func Stop() {
+	close(jobs)
+	close(done)
+}
+
+func spinWorker() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Rejects: each spawn leaks.
+
+func SpawnForever() {
+	go func() { // want goleak
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func SpawnRangeNeverClosed() {
+	go func() { // want goleak
+		for v := range neverData {
+			_ = v
+		}
+	}()
+}
+
+func SpawnUnbufferedSend() {
+	go func() { // want goleak
+		neverData <- 1
+	}()
+}
+
+func SpawnNeverClosedRecv() {
+	go func() { // want goleak
+		<-neverSig
+	}()
+}
+
+func SpawnDeadSelect() {
+	go func() { // want goleak
+		select {
+		case v := <-neverData:
+			_ = v
+		case <-neverSig:
+		}
+	}()
+}
+
+func SpawnFuncValue() {
+	go fnVal() // want goleak
+}
+
+func SpawnStdlib() {
+	go time.Sleep(time.Millisecond) // want goleak
+}
+
+func SpawnSpinWorker() {
+	go spinWorker() // want goleak
+}
+
+func SpawnNonExitingCancelCase() {
+	go func() { // want goleak
+		for {
+			select {
+			case <-done:
+				// Observes the signal but never exits the loop.
+			case v := <-neverData:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Accepts: each spawn carries a termination proof.
+
+func SpawnWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+func SpawnClosedRange() {
+	go func() {
+		for v := range jobs {
+			_ = v
+		}
+	}()
+}
+
+func SpawnBufferedSend() {
+	go func() {
+		buffered <- 1
+	}()
+}
+
+func SpawnBoundedLoop() {
+	go func() {
+		for i := 0; i < 4; i++ {
+			buffered <- i
+		}
+	}()
+}
+
+func SpawnCancellationSelect() {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-jobs:
+				_ = v
+			}
+		}
+	}()
+}
+
+func SpawnTimerRecv() {
+	go func() {
+		<-time.After(time.Millisecond)
+	}()
+}
+
+func ctxWorker(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-jobs:
+			_ = v
+		}
+	}
+}
+
+func SpawnCtxWorker(ctx context.Context) {
+	go ctxWorker(ctx)
+}
+
+// SpawnProcessLifetime is the justified escape hatch: a deliberate
+// process-lifetime goroutine with an explained allow.
+func SpawnProcessLifetime() {
+	//lint:allow goleak deliberate process-lifetime metrics pump; it dies with the process
+	go func() {
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}

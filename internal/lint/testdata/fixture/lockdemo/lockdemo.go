@@ -1,0 +1,165 @@
+// Package lockdemo seeds accept and reject cases for the lockorder
+// pass: re-acquisition of a held mutex (directly or through a call
+// chain) and lock-order cycles (two-lock inversions, composed edges,
+// and a three-lock ring) are flagged; consistent ordering, release
+// before re-acquire, and TryLock are not.
+package lockdemo
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+
+	muC sync.Mutex
+	muD sync.Mutex
+
+	muX sync.Mutex
+	muY sync.Mutex
+	muZ sync.Mutex
+
+	ordFirst  sync.Mutex
+	ordSecond sync.Mutex
+
+	reMu  sync.Mutex
+	rwMu  sync.RWMutex
+	tryMu sync.Mutex
+)
+
+// DoubleLock re-acquires reMu while it is already held.
+func DoubleLock() {
+	reMu.Lock()
+	reMu.Lock() // want lockorder
+	reMu.Unlock()
+	reMu.Unlock()
+}
+
+// UpgradeRLock read-locks rwMu while already write-holding it: a queued
+// writer deadlocks both.
+func UpgradeRLock() {
+	rwMu.Lock()
+	rwMu.RLock() // want lockorder
+	rwMu.RUnlock()
+	rwMu.Unlock()
+}
+
+func lockRe() {
+	reMu.Lock()
+	reMu.Unlock()
+}
+
+// CallReacquire reaches a second Lock of reMu through a static call.
+func CallReacquire() {
+	reMu.Lock()
+	lockRe() // want lockorder
+	reMu.Unlock()
+}
+
+// InvertAB and InvertBA acquire muA and muB in opposite orders: a
+// classic two-lock inversion, reported on both offending acquires.
+func InvertAB() {
+	muA.Lock()
+	muB.Lock() // want lockorder
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func InvertBA() {
+	muB.Lock()
+	muA.Lock() // want lockorder
+	muA.Unlock()
+	muB.Unlock()
+}
+
+func lockD() {
+	muD.Lock()
+	muD.Unlock()
+}
+
+// ComposedCD takes muD through a call while holding muC; DirectDC
+// inverts the order directly. The composed edge's finding lands on the
+// call site.
+func ComposedCD() {
+	muC.Lock()
+	lockD() // want lockorder
+	muC.Unlock()
+}
+
+func DirectDC() {
+	muD.Lock()
+	muC.Lock() // want lockorder
+	muC.Unlock()
+	muD.Unlock()
+}
+
+// RingXY, RingYZ, RingZX close a three-lock cycle X → Y → Z → X; every
+// edge gets a finding.
+func RingXY() {
+	muX.Lock()
+	muY.Lock() // want lockorder
+	muY.Unlock()
+	muX.Unlock()
+}
+
+func RingYZ() {
+	muY.Lock()
+	muZ.Lock() // want lockorder
+	muZ.Unlock()
+	muY.Unlock()
+}
+
+func RingZX() {
+	muZ.Lock()
+	muX.Lock() // want lockorder
+	muX.Unlock()
+	muZ.Unlock()
+}
+
+// ConsistentOne and ConsistentTwo take ordFirst before ordSecond in
+// both places: one direction, no cycle, no finding.
+func ConsistentOne() {
+	ordFirst.Lock()
+	ordSecond.Lock()
+	ordSecond.Unlock()
+	ordFirst.Unlock()
+}
+
+func ConsistentTwo() {
+	ordFirst.Lock()
+	defer ordFirst.Unlock()
+	ordSecond.Lock()
+	defer ordSecond.Unlock()
+}
+
+// ReleaseThenRelock releases before the second acquire, so nothing is
+// re-acquired while held.
+func ReleaseThenRelock() {
+	reMu.Lock()
+	reMu.Unlock()
+	reMu.Lock()
+	reMu.Unlock()
+}
+
+// TryWhileHeld uses TryLock, which never blocks: no re-acquisition and
+// no order edge.
+func TryWhileHeld() {
+	tryMu.Lock()
+	if tryMu.TryLock() {
+		tryMu.Unlock()
+	}
+	tryMu.Unlock()
+}
+
+// BalancedCallee locks and fully releases ordSecond; a caller holding
+// ordFirst sees no held state exported (and only the consistent
+// ordFirst → ordSecond edge).
+func BalancedCallee() {
+	ordSecond.Lock()
+	defer ordSecond.Unlock()
+}
+
+func CallsBalanced() {
+	ordFirst.Lock()
+	defer ordFirst.Unlock()
+	BalancedCallee()
+}

@@ -77,6 +77,7 @@ func TrainedModel(name string, cfg AccuracyConfig) (*qnn.Network, *qnn.Dataset, 
 		test = qnn.SynthCIFAR(cfg.TestSamples, cfg.Seed+2)
 		tc.Epochs = 10
 		tc.LR = 0.1
+		//lint:holdok trainedMu serializes the one-time readout training; waiters need the shared model and block on it by design
 		qnn.TrainReadout(net, train, tc)
 	}
 	trainedCache[key] = &trainedModel{net: net, train: train, test: test}

@@ -114,6 +114,7 @@ func clusterThroughputRow(model *qnn.QNetwork, engs []*core.Engine, ins []*core.
 			srv.Shutdown()
 			return zero, err
 		}
+		//lint:allow goleak the accept loop exits when the deferred node Shutdown closes the listener
 		go srv.Serve(ln)
 		nodes = append(nodes, nodeHandle{name: name, srv: srv})
 		if err := members.Join(name, ln.Addr().String(), ""); err != nil {
@@ -135,6 +136,7 @@ func clusterThroughputRow(model *qnn.QNetwork, engs []*core.Engine, ins []*core.
 	if err != nil {
 		return zero, err
 	}
+	//lint:allow goleak the accept loop exits when the deferred Shutdown closes the listener
 	go router.Serve(rln)
 	defer router.Shutdown()
 

@@ -50,6 +50,7 @@ func serveThroughputRows(out map[string]KernelResult) error {
 	if err != nil {
 		return err
 	}
+	//lint:allow goleak the accept loop exits when the deferred Shutdown closes the listener
 	go srv.Serve(ln)
 	defer srv.Shutdown()
 

@@ -42,8 +42,9 @@ type Client struct {
 
 	eng *core.Engine // client-side engine: holds sk, enc, dec
 
-	wmu    sync.Mutex // frame writes
-	opMu   sync.Mutex // serializes session/stats round-trips
+	wmu    sync.Mutex     // frame writes
+	readWG sync.WaitGroup // readLoop lifetime; Close waits for it
+	opMu   sync.Mutex     // serializes session/stats round-trips
 	nextID uint64
 	idMu   sync.Mutex
 
@@ -81,12 +82,18 @@ func Dial(addr string, eng *core.Engine, opts Options) (*Client, error) {
 		statsC:   make(chan []byte, 1),
 		ctrlErrC: make(chan error, 1),
 	}
+	c.readWG.Add(1)
 	go c.readLoop()
 	return c, nil
 }
 
-// Close drops the connection; pending calls fail.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close drops the connection (pending calls fail) and waits for the
+// read loop to exit, so a closed client leaves no goroutine behind.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.readWG.Wait()
+	return err
+}
 
 // Err returns the error that poisoned the connection (nil while
 // healthy). A poisoned client fails every call; reconnect to recover.
@@ -106,6 +113,7 @@ func (c *Client) SessionID() string {
 
 // readLoop demultiplexes server frames to their waiters.
 func (c *Client) readLoop() {
+	defer c.readWG.Done()
 	for {
 		typ, payload, err := serve.ReadFrame(c.conn, c.opts.MaxFrame)
 		if err != nil {
@@ -115,13 +123,19 @@ func (c *Client) readLoop() {
 		switch typ {
 		case serve.FrameSessionOK:
 			if id, err := serve.DecodeSessionID(payload); err == nil {
-				c.sessC <- id
+				select {
+				case c.sessC <- id:
+				default: // unsolicited duplicate; drop rather than wedge
+				}
 			} else {
 				c.fail(err)
 				return
 			}
 		case serve.FrameStatsReply:
-			c.statsC <- payload
+			select {
+			case c.statsC <- payload:
+			default: // unsolicited duplicate; drop rather than wedge
+			}
 		case serve.FrameResult:
 			reqID, logits, err := serve.DecodeResult(payload)
 			if err != nil {
@@ -201,6 +215,7 @@ func (c *Client) fail(err error) {
 func (c *Client) writeFrame(typ serve.FrameType, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	//lint:holdok wmu exists to serialize frame writes on the shared connection; the write is the critical section
 	return serve.WriteFrame(c.conn, typ, payload)
 }
 
@@ -214,11 +229,13 @@ func (c *Client) roundTripCtrl(typ serve.FrameType, payload []byte) (string, []b
 	case <-c.ctrlErrC:
 	default:
 	}
+	//lint:holdok opMu serializes control round-trips end to end; Infer never takes it, so the hot path cannot queue behind this
 	if err := c.writeFrame(typ, payload); err != nil {
 		return "", nil, err
 	}
 	switch typ {
 	case serve.FrameSessionNew, serve.FrameSessionAttach:
+		//lint:holdok the reply wait is the round-trip opMu exists to serialize; readLoop delivers or Close fails ctrlErrC
 		select {
 		case id := <-c.sessC:
 			return id, nil, nil
@@ -226,6 +243,7 @@ func (c *Client) roundTripCtrl(typ serve.FrameType, payload []byte) (string, []b
 			return "", nil, err
 		}
 	case serve.FrameStats:
+		//lint:holdok the reply wait is the round-trip opMu exists to serialize; readLoop delivers or Close fails ctrlErrC
 		select {
 		case doc := <-c.statsC:
 			return "", doc, nil

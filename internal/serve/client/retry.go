@@ -317,6 +317,7 @@ func (rc *Reliable) ensureConn() (*Client, error) {
 		return c, nil
 	}
 	if rc.c != nil {
+		//lint:holdok the connection is poisoned, so its read loop has already exited and Close's wait returns at once
 		_ = rc.c.Close()
 		rc.c = nil
 	}

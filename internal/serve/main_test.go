@@ -1,0 +1,13 @@
+package serve
+
+import (
+	"testing"
+
+	"athena/internal/par/leakcheck"
+)
+
+// TestMain enforces the goroutine-leak baseline over this package's
+// tests: every server, router, store, and client the tests start must
+// tear down completely, or the binary fails with the survivors'
+// stacks.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

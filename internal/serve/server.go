@@ -440,6 +440,7 @@ func (st *connState) write(typ FrameType, payload []byte) bool {
 		return false
 	}
 	st.wbuf = AppendFrame(st.wbuf[:0], typ, payload)
+	//lint:holdok wmu exists to serialize frame writes on this connection; the deadline-bounded write is the critical section
 	_, err := st.conn.Write(st.wbuf)
 	return err == nil
 }

@@ -68,7 +68,7 @@ func (b *Blob) Verify() error {
 		if _, err := readFullAt(b.ra, buf[:n], off); err != nil {
 			return err
 		}
-		h.Write(buf[:n])
+		_, _ = h.Write(buf[:n]) // hash.Hash.Write never errors
 		off += int64(n)
 	}
 	var sum [sha256.Size]byte

@@ -89,7 +89,7 @@ func writeSegment(path string, entries []segEntry) (int64, error) {
 	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
 	binary.LittleEndian.PutUint32(hdr[4:8], segVersion)
 	if _, err := bw.Write(hdr[:]); err != nil {
-		f.Close()
+		_ = f.Close() // abandoning the partial segment; the write error wins
 		return 0, err
 	}
 
@@ -102,7 +102,7 @@ func writeSegment(path string, entries []segEntry) (int64, error) {
 			continue
 		}
 		if _, err := bw.Write(entries[i].val); err != nil {
-			f.Close()
+			_ = f.Close() // abandoning the partial segment; the write error wins
 			return 0, err
 		}
 		off += int64(len(entries[i].val))
@@ -135,11 +135,11 @@ func writeSegment(path string, entries []segEntry) (int64, error) {
 	indexOff := off
 	bloomOff := indexOff + int64(len(index))
 	if _, err := bw.Write(index); err != nil {
-		f.Close()
+		_ = f.Close() // abandoning the partial segment; the write error wins
 		return 0, err
 	}
 	if _, err := bw.Write(bb); err != nil {
-		f.Close()
+		_ = f.Close() // abandoning the partial segment; the write error wins
 		return 0, err
 	}
 	crc := crc32.Update(crc32.Checksum(index, castagnoli), castagnoli, bb)
@@ -151,15 +151,15 @@ func writeSegment(path string, entries []segEntry) (int64, error) {
 	binary.LittleEndian.PutUint32(foot[32:36], crc)
 	binary.LittleEndian.PutUint32(foot[36:40], segMagic)
 	if _, err := bw.Write(foot[:]); err != nil {
-		f.Close()
+		_ = f.Close() // abandoning the partial segment; the write error wins
 		return 0, err
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		_ = f.Close() // abandoning the partial segment; the write error wins
 		return 0, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // abandoning the partial segment; the write error wins
 		return 0, err
 	}
 	if err := f.Close(); err != nil {
